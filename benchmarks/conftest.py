@@ -1,0 +1,37 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+The SuiteRunner (workload sweeps under baseline / vectorized /
+static+TIE) is session-scoped: Figures 6-10 all reuse its cached runs.
+Each benchmark prints its formatted table (run pytest with ``-s`` to
+see them) and also writes it to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench import SuiteRunner
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Workload size multiplier for the benchmark sweeps.
+SCALE = 0.5
+
+
+@pytest.fixture(scope="session")
+def runner() -> SuiteRunner:
+    return SuiteRunner(scale=SCALE)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a section and persist it for EXPERIMENTS.md."""
+    print("\n" + text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

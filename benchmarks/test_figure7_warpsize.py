@@ -1,0 +1,57 @@
+"""Figure 7 reproduction: average warp size of executed kernels with
+maximum warp size 4.
+
+Paper shape: "most kernel entries from the execution manager have warp
+size of 4 for every application except SimpleVoteIntrinsics which is
+only ever able to form warps of 2 threads at most", and divergent apps
+show a visible ws=1/ws=2 tail (the motivation for dynamic formation).
+"""
+
+import pytest
+
+from repro.bench import run_figure7
+from repro.bench.reporting import format_figure7
+
+from conftest import publish
+
+
+@pytest.fixture(scope="module")
+def figure7(runner):
+    return run_figure7(runner)
+
+
+def test_figure7_warp_sizes(benchmark, figure7, runner, results_dir):
+    benchmark.pedantic(
+        lambda: runner.average_warp_sizes(), rounds=1, iterations=1
+    )
+    publish(results_dir, "figure7", format_figure7(figure7))
+
+    fractions = figure7.fractions
+    averages = figure7.averages
+
+    # Most applications enter predominantly at full width.
+    dominated_by_4 = [
+        name
+        for name in fractions
+        if name != "SimpleVoteIntrinsics"
+        and figure7.dominant_warp_size(name) == 4
+    ]
+    assert len(dominated_by_4) >= 0.8 * (len(fractions) - 1)
+
+    # SimpleVoteIntrinsics caps at warp size 2.
+    assert max(fractions["SimpleVoteIntrinsics"]) == 2
+    assert averages["SimpleVoteIntrinsics"] == pytest.approx(2.0)
+
+    # Divergent apps are "not entirely convergent": they carry a
+    # sub-maximal tail, which justifies dynamic re-formation (§6.1).
+    for name in ("MersenneTwister", "mri-q"):
+        tail = sum(
+            fraction
+            for size, fraction in fractions[name].items()
+            if size < 4
+        )
+        assert tail > 0.05, name
+
+    # Convergent apps stay at exactly 4.
+    assert averages["BlackScholes"] == pytest.approx(4.0)
+    assert averages["cp"] == pytest.approx(4.0)

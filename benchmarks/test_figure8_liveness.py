@@ -1,0 +1,47 @@
+"""Figure 8 reproduction: average number of values restored per thread
+at entry points from the execution manager.
+
+Paper shape: average 4.54 values/thread; "most applications with
+barriers have live state at yield points and require some context to
+be reloaded"; fewer values than architectural registers are restored.
+"""
+
+import pytest
+
+from repro.bench import run_figure8
+from repro.bench.reporting import format_figure8
+from repro.workloads import get_workload
+
+from conftest import publish
+
+
+@pytest.fixture(scope="module")
+def figure8(runner):
+    return run_figure8(runner)
+
+
+def test_figure8_liveness(benchmark, figure8, runner, results_dir):
+    benchmark.pedantic(
+        lambda: runner.values_restored(), rounds=1, iterations=1
+    )
+    publish(results_dir, "figure8", format_figure8(figure8))
+
+    restored = figure8.restored
+
+    # Barrier applications reload live context.
+    for name in ("Reduction", "Scan", "MatrixMul", "BinomialOptions"):
+        assert restored[name] > 1.0, name
+
+    # Fully convergent, barrier-free kernels never resume mid-kernel.
+    for name in ("BlackScholes", "Template", "cp"):
+        assert restored[name] == 0.0, name
+
+    # "On average, fewer values than architectural registers need to
+    # be restored" — the x86-64 GPR+XMM budget is 16+16.
+    assert 0.0 < figure8.average < 16.0
+
+    # Same order of magnitude as the paper's 4.54 for the apps that
+    # restore at all.
+    active = [value for value in restored.values() if value > 0]
+    average_active = sum(active) / len(active)
+    assert 1.0 < average_active < 10.0

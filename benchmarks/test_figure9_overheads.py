@@ -1,0 +1,49 @@
+"""Figure 9 reproduction: fraction of cycles spent in the execution
+manager (EM), in yields to/from the EM (spill/restore/scheduler), and
+executing the vectorized subkernel.
+
+Paper shape: "Applications such as MersenneTwister, Nbody, and CP
+achieve ... nearly all execution time is spent within the vectorized
+subkernel" (for Nbody/CP); "Synchronization-intensive applications
+such as BinomialOptions and MatrixMul spend more time within the
+execution manager"; yield save/restore is a small overhead relative to
+subkernel cycles for convergent apps.
+"""
+
+import pytest
+
+from repro.bench import run_figure9
+from repro.bench.reporting import format_figure9
+
+from conftest import publish
+
+
+@pytest.fixture(scope="module")
+def figure9(runner):
+    return run_figure9(runner)
+
+
+def test_figure9_overheads(benchmark, figure9, runner, results_dir):
+    benchmark.pedantic(
+        lambda: runner.cycle_fractions(), rounds=1, iterations=1
+    )
+    publish(results_dir, "figure9", format_figure9(figure9))
+
+    fractions = figure9.fractions
+
+    # Compute-bound convergent apps live in the subkernel.
+    for name in ("Nbody", "cp", "MonteCarlo", "ImageDenoising"):
+        assert figure9.kernel_fraction(name) > 0.80, name
+
+    # Synchronization-intensive apps are EM/yield dominated.
+    for name in ("BinomialOptions", "MatrixMul", "Reduction", "Scan"):
+        overhead = 1.0 - figure9.kernel_fraction(name)
+        assert overhead > 0.4, name
+
+    # Fractions are well-formed.
+    for name, parts in fractions.items():
+        assert sum(parts.values()) == pytest.approx(1.0), name
+
+    # EM time exceeds yield time for barrier-free memory apps (little
+    # state to save), while divergent apps pay heavy yield costs.
+    assert fractions["MersenneTwister"]["yield"] > 0.2

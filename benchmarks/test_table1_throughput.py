@@ -1,0 +1,47 @@
+"""Table 1 reproduction: peak floating-point throughput per warp size.
+
+Paper (i7-2600, SSE, peak ~108 GFLOP/s):
+
+    warp size    1      2      4      8
+    GFLOP/s    25.0   47.9   97.1   37.0
+
+The shape to reproduce: near-linear scaling up to the machine width
+(ws=4 above 80% of peak) and a register-pressure cliff at ws=8 that
+lands *below* the ws=2 point.
+"""
+
+import pytest
+
+from repro.bench import run_table1
+from repro.bench.paper_reference import TABLE1_GFLOPS
+from repro.bench.reporting import format_table1
+
+from conftest import publish
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_table1(scale=0.5)
+
+
+def test_table1_throughput(benchmark, table1, results_dir):
+    benchmark.pedantic(
+        lambda: run_table1(scale=0.1, warp_sizes=(4,)),
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "table1", format_table1(table1))
+
+    measured = table1.gflops
+    # Monotone scaling up to the machine width.
+    assert measured[1] < measured[2] < measured[4]
+    # ws=4 sustains most of machine peak (paper: 90%).
+    assert measured[4] / table1.peak > 0.75
+    # Scalar run sits near the scalar-issue bound (paper: 25 of 27.2).
+    assert 15.0 < measured[1] < 28.0
+    # The ws=8 register-pressure cliff: worse than ws=2 (paper: 37 vs
+    # 47.9).
+    assert measured[8] < measured[2]
+    # Every point within a factor-of-2 band of the paper's value.
+    for warp_size, expected in TABLE1_GFLOPS.items():
+        assert measured[warp_size] == pytest.approx(expected, rel=0.5)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Option pricing on the simulated vector processor.
+
+Prices a portfolio of European options with the BlackScholes workload
+kernel (the paper's compute-bound, control-uniform class) under every
+execution configuration and reports modeled speedups plus machine
+throughput — the Figure 6 experiment for a single application,
+end-to-end through the public API.
+
+Run:  python examples/blackscholes_pricing.py
+"""
+
+import numpy as np
+
+from repro import (
+    Device,
+    baseline_config,
+    static_tie_config,
+    vectorized_config,
+)
+from repro.workloads import get_workload
+
+
+def main():
+    workload = get_workload("BlackScholes")
+    print(f"workload : {workload.name} — {workload.description}")
+
+    configurations = [
+        ("scalar baseline", baseline_config()),
+        ("vectorized (ws<=4)", vectorized_config(4)),
+        ("static + TIE", static_tie_config(4)),
+    ]
+
+    baseline_cycles = None
+    for label, config in configurations:
+        device = Device(config=config)
+        workload.prepare(device)
+        run = workload.execute(device, scale=2.0, check=True)
+        stats = run.statistics
+        cycles = run.elapsed_cycles
+        if baseline_cycles is None:
+            baseline_cycles = cycles
+        seconds = run.elapsed_seconds(device.machine.clock_hz)
+        print(
+            f"  {label:<20} verified={run.correct} "
+            f"modeled {seconds * 1e6:8.1f} us "
+            f"speedup {baseline_cycles / cycles:5.2f}x "
+            f"({stats.gflops(device.machine.clock_hz):5.1f} GFLOP/s, "
+            f"avg warp {stats.average_warp_size:.2f})"
+        )
+
+    print(
+        "\nBlackScholes has no data-dependent control flow, so every "
+        "warp stays at the maximum width and vectorization pays off "
+        "directly — the behaviour the paper reports for the "
+        "compute-bound SDK applications."
+    )
+
+
+if __name__ == "__main__":
+    main()

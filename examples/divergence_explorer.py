@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Divergence explorer: watch yield-on-diverge and dynamic warp
+formation at work.
+
+A Collatz step-count kernel has per-thread loop trip counts that
+depend on the input data. The script runs it with three data
+distributions (uniform, mildly divergent, pathological) under the
+scalar baseline, dynamic warp formation and static warp formation, and
+prints the execution-manager statistics the paper's Figures 7-9 are
+built from.
+
+Run:  python examples/divergence_explorer.py
+"""
+
+import numpy as np
+
+from repro import (
+    Device,
+    baseline_config,
+    static_tie_config,
+    vectorized_config,
+)
+
+COLLATZ = r"""
+.version 2.3
+.target sim
+.entry collatz (.param .u64 src, .param .u64 dst, .param .u32 n)
+{
+  .reg .u32 %r<12>;
+  .reg .u64 %rd<8>;
+  .reg .pred %p<4>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  ld.param.u32 %r5, [n];
+  setp.ge.u32 %p1, %r4, %r5;
+  @%p1 bra DONE;
+  mul.wide.u32 %rd1, %r4, 4;
+  ld.param.u64 %rd2, [src];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.u32 %r6, [%rd3];
+  mov.u32 %r7, 0;
+LOOP:
+  setp.le.u32 %p2, %r6, 1;
+  @%p2 bra EXITLOOP;
+  and.b32 %r8, %r6, 1;
+  setp.eq.u32 %p3, %r8, 0;
+  @%p3 bra EVEN;
+  mul.lo.u32 %r6, %r6, 3;
+  add.u32 %r6, %r6, 1;
+  bra NEXT;
+EVEN:
+  shr.u32 %r6, %r6, 1;
+NEXT:
+  add.u32 %r7, %r7, 1;
+  bra LOOP;
+EXITLOOP:
+  ld.param.u64 %rd4, [dst];
+  add.u64 %rd5, %rd4, %rd1;
+  st.global.u32 [%rd5], %r7;
+DONE:
+  exit;
+}
+"""
+
+N = 512
+CONFIGS = [
+    ("scalar baseline", baseline_config()),
+    ("dynamic warp formation", vectorized_config(4)),
+    ("static formation + TIE", static_tie_config(4)),
+]
+
+
+def datasets():
+    rng = np.random.default_rng(7)
+    uniform = np.full(N, 27, dtype=np.uint32)  # identical trip counts
+    mild = (27 + rng.integers(0, 4, N)).astype(np.uint32)
+    pathological = rng.integers(1, 10_000, N).astype(np.uint32)
+    return [
+        ("uniform data", uniform),
+        ("mildly divergent", mild),
+        ("pathological", pathological),
+    ]
+
+
+def run(config, data):
+    device = Device(config=config)
+    device.register_module(COLLATZ)
+    src = device.upload(data)
+    dst = device.malloc(N * 4)
+    result = device.launch(
+        "collatz", grid=(8, 1, 1), block=(64, 1, 1),
+        args=[src, dst, N],
+    )
+    return result.statistics
+
+
+def main():
+    for data_label, data in datasets():
+        print(f"\n=== {data_label} ===")
+        baseline_cycles = None
+        for config_label, config in CONFIGS:
+            stats = run(config, data)
+            cycles = stats.elapsed_cycles
+            if baseline_cycles is None:
+                baseline_cycles = cycles
+            fractions = stats.cycle_fractions()
+            print(
+                f"  {config_label:<24} "
+                f"speedup {baseline_cycles / cycles:5.2f}x | "
+                f"avg warp {stats.average_warp_size:4.2f} | "
+                f"divergent yields {stats.divergent_yields:6d} | "
+                f"restored/thread {stats.average_values_restored:5.2f} | "
+                f"EM {fractions['em']:5.1%} "
+                f"yield {fractions['yield']:5.1%} "
+                f"kernel {fractions['kernel']:5.1%}"
+            )
+    print(
+        "\nReading the output: with uniform data the 4-wide kernel "
+        "never leaves the vectorized region; as control flow "
+        "decorrelates, dynamic formation yields at more branches "
+        "(Fig. 4b context switches) until the scalar baseline wins — "
+        "the paper's MersenneTwister effect."
+    )
+
+
+if __name__ == "__main__":
+    main()

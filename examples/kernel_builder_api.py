@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Authoring kernels programmatically with the KernelBuilder API.
+
+Instead of writing PTX dialect assembly, kernels can be constructed in
+Python. This example builds a fused multiply-add kernel (saxpy) and a
+strided-sum kernel, registers them as one module, and runs both.
+
+Run:  python examples/kernel_builder_api.py
+"""
+
+import numpy as np
+
+from repro import Device
+from repro.ptx import (
+    AddressSpace,
+    CompareOp,
+    DataType,
+    KernelBuilder,
+    Module,
+)
+
+
+def build_saxpy() -> KernelBuilder:
+    b = KernelBuilder("saxpy")
+    b.param("x", DataType.u64)
+    b.param("y", DataType.u64)
+    b.param("a", DataType.f32)
+    b.param("n", DataType.u32)
+
+    tid = b.special(DataType.u32, "tid", "x")
+    ntid = b.special(DataType.u32, "ntid", "x")
+    ctaid = b.special(DataType.u32, "ctaid", "x")
+    gid = b.mad(DataType.u32, ctaid, ntid, tid)
+    bound = b.load_param(DataType.u32, "n")
+    out_of_range = b.setp(CompareOp.ge, DataType.u32, gid, bound)
+    b.branch("DONE", predicate=out_of_range)
+
+    offset = b.cvt(DataType.u64, DataType.u32, gid)
+    offset = b.mul(DataType.u64, offset, 4)
+    x_address = b.add(
+        DataType.u64, b.load_param(DataType.u64, "x"), offset
+    )
+    y_address = b.add(
+        DataType.u64, b.load_param(DataType.u64, "y"), offset
+    )
+    x = b.load(AddressSpace.global_, DataType.f32, x_address)
+    y = b.load(AddressSpace.global_, DataType.f32, y_address)
+    a = b.load_param(DataType.f32, "a")
+    b.store(
+        AddressSpace.global_, DataType.f32, y_address,
+        b.fma(DataType.f32, a, x, y),
+    )
+    b.label("DONE")
+    b.exit()
+    return b
+
+
+def build_strided_sum() -> KernelBuilder:
+    """One thread sums elements i, i+stride, i+2*stride, ..."""
+    b = KernelBuilder("stridedSum")
+    b.param("src", DataType.u64)
+    b.param("dst", DataType.u64)
+    b.param("count", DataType.u32)
+    b.param("stride", DataType.u32)
+
+    tid = b.special(DataType.u32, "tid", "x")
+    total = b.mov(DataType.f32, 0.0)
+    index = b.mov(DataType.u32, tid)
+    count = b.load_param(DataType.u32, "count")
+    stride = b.load_param(DataType.u32, "stride")
+    source = b.load_param(DataType.u64, "src")
+
+    b.label("LOOP")
+    done = b.setp(CompareOp.ge, DataType.u32, index, count)
+    b.branch("STORE", predicate=done)
+    offset = b.cvt(DataType.u64, DataType.u32, index)
+    offset = b.mul(DataType.u64, offset, 4)
+    address = b.add(DataType.u64, source, offset)
+    value = b.load(AddressSpace.global_, DataType.f32, address)
+    # accumulate in-place: re-emit into the same register
+    from repro.ptx import Opcode, PTXInstruction
+
+    b.emit(
+        PTXInstruction(
+            opcode=Opcode.add,
+            dtype=DataType.f32,
+            operands=[total, total, value],
+        )
+    )
+    b.emit(
+        PTXInstruction(
+            opcode=Opcode.add,
+            dtype=DataType.u32,
+            operands=[index, index, stride],
+        )
+    )
+    b.branch("LOOP")
+
+    b.label("STORE")
+    destination = b.load_param(DataType.u64, "dst")
+    slot = b.cvt(DataType.u64, DataType.u32, tid)
+    slot = b.mul(DataType.u64, slot, 4)
+    out_address = b.add(DataType.u64, destination, slot)
+    b.store(AddressSpace.global_, DataType.f32, out_address, total)
+    b.exit()
+    return b
+
+
+def main():
+    module = Module("built_kernels")
+    module.add_kernel(build_saxpy().kernel)
+    module.add_kernel(build_strided_sum().kernel)
+    print("generated module:\n")
+    print("\n".join(str(module).splitlines()[:12]), "\n  ...\n")
+
+    device = Device()
+    device.register_module(module)
+    rng = np.random.default_rng(3)
+
+    # saxpy
+    n = 500
+    x_host = rng.standard_normal(n).astype(np.float32)
+    y_host = rng.standard_normal(n).astype(np.float32)
+    x = device.upload(x_host)
+    y = device.upload(y_host)
+    device.launch(
+        "saxpy", grid=(-(-n // 128), 1, 1), block=(128, 1, 1),
+        args=[x, y, 3.0, n],
+    )
+    assert np.allclose(
+        y.read(np.float32, n), np.float32(3.0) * x_host + y_host,
+        rtol=1e-5,
+    )
+    print("saxpy verified over", n, "elements")
+
+    # strided sum: 16 threads over 256 values
+    threads, count = 16, 256
+    data = rng.standard_normal(count).astype(np.float32)
+    src = device.upload(data)
+    dst = device.malloc(threads * 4)
+    device.launch(
+        "stridedSum", grid=(1, 1, 1), block=(threads, 1, 1),
+        args=[src, dst, count, threads],
+    )
+    got = dst.read(np.float32, threads)
+    expected = data.reshape(-1, threads).sum(axis=0)
+    assert np.allclose(got, expected, rtol=1e-4)
+    print("stridedSum verified:", threads, "partials over", count,
+          "values")
+
+
+if __name__ == "__main__":
+    main()

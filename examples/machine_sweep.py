@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Vector-width scaling sweep across machine models.
+
+The paper's abstract promises "performance scalability ... from 2-wide
+to arbitrary-width vector units" but could only measure SSE (no AVX
+backend in LLVM at the time, no Knights Ferry silicon). This example
+runs the peak-throughput microbenchmark on the SSE-like, AVX-like and
+Knights-Ferry-like machine models with matching specializations and
+prints the sustained fraction of each machine's peak.
+
+Run:  python examples/machine_sweep.py
+"""
+
+from repro import (
+    Device,
+    ExecutionConfig,
+    avx_machine,
+    knights_ferry,
+    sandybridge,
+)
+from repro.workloads import get_workload
+
+
+def config_for(width: int) -> ExecutionConfig:
+    sizes = [1]
+    while sizes[-1] * 2 <= width:
+        sizes.append(sizes[-1] * 2)
+    return ExecutionConfig(warp_sizes=tuple(sizes))
+
+
+def main():
+    machines = [
+        ("Sandybridge / SSE (paper's testbed)", sandybridge(), 4),
+        ("Sandybridge / AVX (paper's near-term target)",
+         avx_machine(), 8),
+        ("Knights-Ferry-like many-core", knights_ferry(), 16),
+    ]
+    workload = get_workload("throughput")
+    print("peak-throughput microbenchmark, specialized per machine\n")
+    for label, machine, width in machines:
+        run = workload.run_on(
+            config_for(width), scale=0.5, machine=machine
+        )
+        gflops = run.statistics.gflops(machine.clock_hz)
+        peak = machine.peak_vector_gflops
+        print(
+            f"  {label:<46} {machine.cores:>2} cores x "
+            f"{machine.vector_width:>2} lanes | "
+            f"{gflops:7.1f} / {peak:7.1f} GFLOP/s "
+            f"({gflops / peak:4.0%} of peak)"
+        )
+    print(
+        "\nThe same PTX kernel and the same transformation serve every "
+        "machine — only the translation cache's specialization widths "
+        "change, which is the paper's ISA-agnosticism claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

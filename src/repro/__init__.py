@@ -1,0 +1,48 @@
+"""repro — a reproduction of "Dynamic Compilation of Data-Parallel
+Kernels for Vector Processors" (Kerr, Diamos, Yalamanchili; CGO 2012).
+
+The package implements the paper's full stack: a PTX-dialect frontend,
+a scalar mid-level IR, the vectorization transformation with
+yield-on-diverge (Algorithms 1-4), thread-invariant expression
+elimination, a dynamic execution manager with dynamic/static warp
+formation, a translation cache, and a simulated multicore vector
+processor with a calibrated cost model.
+
+Quick start::
+
+    from repro import Device
+    device = Device()
+    device.register_module(ptx_text)
+    out = device.malloc(n * 4)
+    device.launch("vecAdd", grid=(blocks, 1, 1),
+                  block=(threads, 1, 1), args=[a, b, out, n])
+"""
+
+from .api.device import Device
+from .machine.descriptor import (
+    MachineDescription,
+    avx_machine,
+    knights_ferry,
+    sandybridge,
+)
+from .runtime.config import (
+    ExecutionConfig,
+    baseline_config,
+    static_tie_config,
+    vectorized_config,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Device",
+    "ExecutionConfig",
+    "MachineDescription",
+    "avx_machine",
+    "baseline_config",
+    "knights_ferry",
+    "sandybridge",
+    "static_tie_config",
+    "vectorized_config",
+    "__version__",
+]

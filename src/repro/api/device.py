@@ -1,0 +1,217 @@
+"""CUDA-Runtime-style front-end (§3: "The proposed compilation model is
+wrapped by an API front-end for heterogeneous computing").
+
+A :class:`Device` bundles the simulated machine, its memory, the
+translation cache and the launcher:
+
+>>> device = Device()
+>>> device.register_module(ptx_source)
+>>> a = device.malloc(1024)
+>>> device.memcpy_htod(a, host_array)
+>>> result = device.launch("vecAdd", grid=(4, 1, 1),
+...                        block=(64, 1, 1), args=[a, b, c, 256])
+>>> device.memcpy_dtoh(out, c)
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import LaunchError
+from ..machine.descriptor import MachineDescription, sandybridge
+from ..machine.interpreter import Interpreter
+from ..machine.memory import Allocation, MemorySystem
+from ..ptx.module import Module
+from ..ptx.parser import parse
+from ..ptx.types import DataType
+from ..ptx.validator import validate_module
+from ..runtime.config import ExecutionConfig
+from ..runtime.launcher import KernelLauncher, LaunchResult
+from ..runtime.translation_cache import TranslationCache
+
+_PACK_FORMATS = {
+    DataType.u8: "<B",
+    DataType.s8: "<b",
+    DataType.u16: "<H",
+    DataType.s16: "<h",
+    DataType.u32: "<I",
+    DataType.s32: "<i",
+    DataType.u64: "<Q",
+    DataType.s64: "<q",
+    DataType.f32: "<f",
+    DataType.f64: "<d",
+    DataType.b8: "<B",
+    DataType.b16: "<H",
+    DataType.b32: "<I",
+    DataType.b64: "<Q",
+}
+
+Dim = Union[int, Tuple[int, ...]]
+
+
+def _normalize_dim(value: Dim) -> Tuple[int, int, int]:
+    if isinstance(value, int):
+        return (value, 1, 1)
+    padded = tuple(value) + (1, 1, 1)
+    return padded[:3]
+
+
+class Device:
+    """A simulated vector-processor device with a CUDA-like runtime."""
+
+    def __init__(
+        self,
+        machine: Optional[MachineDescription] = None,
+        config: Optional[ExecutionConfig] = None,
+        memory_size: int = 1 << 26,
+    ):
+        self.machine = machine or sandybridge()
+        self.config = config or ExecutionConfig()
+        self.memory = MemorySystem(size=memory_size)
+        self.interpreter = Interpreter(self.machine, self.memory)
+        self.cache = TranslationCache(
+            self.machine, self.interpreter, self.config
+        )
+        self.launcher = KernelLauncher(
+            self.machine,
+            self.memory,
+            self.interpreter,
+            self.cache,
+            self.config,
+        )
+        self.modules: List[Module] = []
+        self._allocations: List[Allocation] = []
+
+    # -- module management ---------------------------------------------------
+
+    def register_module(self, source: Union[str, Module]) -> Module:
+        """Register a PTX module (text or already-parsed). Parsing and
+        validation are eager (§3); translation is lazy."""
+        if isinstance(source, str):
+            module = parse(source)
+        else:
+            module = source
+        validate_module(module)
+        global_symbols = self._materialize_module_variables(module)
+        self.cache.register_module(module, global_symbols)
+        self.modules.append(module)
+        return module
+
+    def _materialize_module_variables(
+        self, module: Module
+    ) -> Dict[str, int]:
+        """Allocate module-scope .global/.const variables in the arena
+        and apply initializers."""
+        addresses: Dict[str, int] = {}
+        for variable in module.variables:
+            if variable.space.value not in ("global", "const"):
+                continue
+            address = self.memory.allocate(
+                max(variable.size, 1), align=max(variable.alignment, 1)
+            )
+            addresses[variable.name] = address
+            if variable.initializer:
+                array = np.array(
+                    variable.initializer,
+                    dtype=variable.dtype.numpy_dtype,
+                )
+                self.memory.write_array(address, array)
+        return addresses
+
+    # -- memory management (the cudaMalloc / cudaMemcpy analogues) ---------
+
+    def malloc(self, size: int, label: str = None) -> Allocation:
+        address = self.memory.allocate(size, align=16)
+        allocation = Allocation(self.memory, address, size, label=label)
+        self._allocations.append(allocation)
+        return allocation
+
+    def upload(self, array: np.ndarray, label: str = None) -> Allocation:
+        """malloc + memcpy_htod in one step."""
+        allocation = self.malloc(array.nbytes, label=label)
+        allocation.write(array)
+        return allocation
+
+    def memcpy_htod(self, allocation: Allocation, array) -> None:
+        allocation.write(np.asarray(array))
+
+    def memcpy_dtoh(
+        self, allocation: Allocation, dtype, count: int
+    ) -> np.ndarray:
+        return allocation.read(dtype, count)
+
+    def memset(self, allocation: Allocation, byte: int = 0) -> None:
+        self.memory.fill(allocation.address, allocation.size, byte)
+
+    # -- launches --------------------------------------------------------
+
+    def launch(
+        self,
+        kernel_name: str,
+        grid: Dim,
+        block: Dim,
+        args: Sequence[object] = (),
+    ) -> LaunchResult:
+        """Launch ``kernel_name`` over ``grid`` x ``block`` threads.
+
+        ``args`` entries are matched positionally against the kernel's
+        ``.param`` declarations: :class:`Allocation` / int for pointer
+        parameters, Python numbers for scalars, and sequences for array
+        parameters.
+        """
+        kernel = self.cache.kernel(kernel_name)
+        parameters = kernel.parameters
+        if len(args) != len(parameters):
+            raise LaunchError(
+                f"{kernel_name} expects {len(parameters)} arguments "
+                f"({[p.name for p in parameters]}), got {len(args)}"
+            )
+        param_base = self.memory.allocate(max(kernel.param_size, 1))
+        for parameter, value in zip(parameters, args):
+            self._write_parameter(param_base, parameter, value)
+        return self.launcher.launch(
+            kernel_name,
+            _normalize_dim(grid),
+            _normalize_dim(block),
+            param_base,
+        )
+
+    def _write_parameter(self, base: int, parameter, value) -> None:
+        fmt = _PACK_FORMATS.get(parameter.dtype)
+        if fmt is None:
+            raise LaunchError(
+                f"cannot pass parameter of type {parameter.dtype}"
+            )
+        if parameter.count > 1:
+            values = list(value)
+            if len(values) != parameter.count:
+                raise LaunchError(
+                    f"parameter {parameter.name} expects "
+                    f"{parameter.count} elements, got {len(values)}"
+                )
+        else:
+            values = [value]
+        offset = base + parameter.offset
+        size = parameter.dtype.size
+        for index, element in enumerate(values):
+            if isinstance(element, Allocation):
+                element = element.address
+            raw = struct.pack(fmt, element)
+            self.memory.write_array(
+                offset + index * size,
+                np.frombuffer(raw, dtype=np.uint8),
+            )
+
+    # -- introspection -------------------------------------------------------
+
+    def statistics_report(self) -> str:
+        cache = self.cache.statistics
+        return (
+            f"modules={len(self.modules)} "
+            f"translations={cache.translations} "
+            f"cache hits={cache.hits} misses={cache.misses} "
+            f"translation time={cache.translation_seconds:.3f}s"
+        )

@@ -1,0 +1,240 @@
+"""Reproduction drivers: one function per table/figure of §6.
+
+Each returns a plain-data result object that the benchmark tests assert
+shape properties on and the reporting module formats as text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..machine.descriptor import MachineDescription, sandybridge
+from ..runtime.config import ExecutionConfig
+from ..transforms.uniformity import count_thread_invariant_operands
+from ..workloads.registry import all_workloads, get_workload
+from . import paper_reference as paper
+from .harness import (
+    BASELINE,
+    STATIC_TIE,
+    VECTORIZED,
+    SuiteRunner,
+    application_workloads,
+    average,
+)
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table1Result:
+    gflops: Dict[int, float]
+    peak: float
+    paper_gflops: Dict[int, float] = field(
+        default_factory=lambda: dict(paper.TABLE1_GFLOPS)
+    )
+
+    @property
+    def fraction_of_peak(self) -> Dict[int, float]:
+        return {
+            ws: value / self.peak for ws, value in self.gflops.items()
+        }
+
+
+def run_table1(
+    scale: float = 1.0,
+    machine: MachineDescription = None,
+    warp_sizes: Tuple[int, ...] = (1, 2, 4, 8),
+) -> Table1Result:
+    """Peak FP throughput of the microbenchmark per maximum warp size."""
+    machine = machine or sandybridge()
+    workload = get_workload("throughput")
+    gflops: Dict[int, float] = {}
+    for max_ws in warp_sizes:
+        sizes = tuple(s for s in (1, 2, 4, 8, 16) if s <= max_ws)
+        config = ExecutionConfig(warp_sizes=sizes)
+        run = workload.run_on(config, scale=scale, machine=machine)
+        gflops[max_ws] = run.statistics.gflops(machine.clock_hz)
+    return Table1Result(gflops=gflops, peak=machine.peak_vector_gflops)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — speedup over scalar baseline
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure6Result:
+    speedups: Dict[str, float]
+
+    @property
+    def average(self) -> float:
+        return average(self.speedups.values())
+
+    @property
+    def slowdown_apps(self) -> List[str]:
+        return sorted(
+            name
+            for name, speed in self.speedups.items()
+            if speed < 0.95
+        )
+
+    @property
+    def best(self) -> Tuple[str, float]:
+        name = max(self.speedups, key=self.speedups.get)
+        return name, self.speedups[name]
+
+
+def run_figure6(runner: SuiteRunner) -> Figure6Result:
+    return Figure6Result(speedups=runner.speedups())
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — average warp size distribution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure7Result:
+    fractions: Dict[str, Dict[int, float]]
+    averages: Dict[str, float]
+
+    def dominant_warp_size(self, name: str) -> int:
+        fractions = self.fractions[name]
+        return max(fractions, key=fractions.get)
+
+
+def run_figure7(runner: SuiteRunner) -> Figure7Result:
+    return Figure7Result(
+        fractions=runner.warp_size_fractions(),
+        averages=runner.average_warp_sizes(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — liveness at entry points
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure8Result:
+    restored: Dict[str, float]
+
+    @property
+    def average(self) -> float:
+        return average(self.restored.values())
+
+
+def run_figure8(runner: SuiteRunner) -> Figure8Result:
+    return Figure8Result(restored=runner.values_restored())
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — cycle fractions (EM / yield / subkernel)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure9Result:
+    fractions: Dict[str, Dict[str, float]]
+
+    def kernel_fraction(self, name: str) -> float:
+        return self.fractions[name]["kernel"]
+
+    def em_fraction(self, name: str) -> float:
+        return self.fractions[name]["em"]
+
+
+def run_figure9(runner: SuiteRunner) -> Figure9Result:
+    return Figure9Result(fractions=runner.cycle_fractions())
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — static warp formation + TIE over dynamic formation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure10Result:
+    #: static+TIE speedup relative to dynamic warp formation
+    relative: Dict[str, float]
+    #: static+TIE speedup relative to the scalar baseline
+    absolute: Dict[str, float]
+
+    @property
+    def average_relative(self) -> float:
+        return average(self.relative.values())
+
+
+def run_figure10(runner: SuiteRunner) -> Figure10Result:
+    return Figure10Result(
+        relative=runner.speedups(over=VECTORIZED, config=STATIC_TIE),
+        absolute=runner.speedups(over=BASELINE, config=STATIC_TIE),
+    )
+
+
+# ---------------------------------------------------------------------------
+# §6.2 — static instruction reduction from thread-invariant elimination
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class InstructionReductionResult:
+    #: per (workload, warp size): 1 - tie_count / dynamic_count
+    reductions: Dict[Tuple[str, int], float]
+    #: fraction of registers proven thread-invariant per workload
+    invariant_fractions: Dict[str, float]
+
+    def average_reduction(self, warp_size: int) -> float:
+        return average(
+            value
+            for (name, ws), value in self.reductions.items()
+            if ws == warp_size
+        )
+
+    @property
+    def average_invariant_fraction(self) -> float:
+        return average(self.invariant_fractions.values())
+
+
+def run_instruction_reduction(
+    warp_sizes: Tuple[int, ...] = (2, 4)
+) -> InstructionReductionResult:
+    """Compare static instruction counts of specializations compiled
+    with and without TIE (the §6.2 measurement)."""
+    from ..api.device import Device
+    from ..runtime.config import static_tie_config, vectorized_config
+
+    reductions: Dict[Tuple[str, int], float] = {}
+    invariant_fractions: Dict[str, float] = {}
+    for workload in application_workloads():
+        plain_device = Device(config=vectorized_config(max(warp_sizes)))
+        tie_device = Device(config=static_tie_config(max(warp_sizes)))
+        workload.prepare(plain_device)
+        workload.prepare(tie_device)
+        kernel_names = [
+            kernel
+            for module in plain_device.modules
+            for kernel in module.kernels
+        ]
+        for kernel_name in kernel_names:
+            scalar = plain_device.cache.scalar_ir(kernel_name)
+            uniform, total = count_thread_invariant_operands(scalar)
+            invariant_fractions[workload.name] = (
+                uniform / total if total else 0.0
+            )
+            for warp_size in warp_sizes:
+                plain = plain_device.cache.instruction_count(
+                    kernel_name, warp_size
+                )
+                tie = tie_device.cache.instruction_count(
+                    kernel_name, warp_size
+                )
+                reductions[(f"{workload.name}:{kernel_name}", warp_size)] = (
+                    1.0 - tie / plain if plain else 0.0
+                )
+    return InstructionReductionResult(
+        reductions=reductions, invariant_fractions=invariant_fractions
+    )

@@ -1,0 +1,40 @@
+"""Published numbers from the paper's evaluation (§6), used by the
+benchmark harness to check that the reproduced *shape* holds and by
+EXPERIMENTS.md generation to report paper-vs-measured."""
+
+#: Table 1 — peak single-precision throughput on the i7-2600
+#: (GFLOP/s) per warp size; machine peak estimated at 108 GFLOP/s.
+TABLE1_GFLOPS = {1: 25.0, 2: 47.9, 4: 97.1, 8: 37.0}
+TABLE1_PEAK = 108.0
+
+#: Figure 6 — speedups of vectorized execution (max ws = 4) over the
+#: scalar baseline. The paper's prose pins these values; the rest of
+#: the figure is read qualitatively.
+FIGURE6_AVERAGE = 1.45
+FIGURE6_KNOWN = {
+    "BinomialOptions": 2.25,
+    "cp": 3.9,
+    "BoxFilter": 1.0,
+    "ScalarProd": 1.0,
+    "SobolQRNG": 1.0,
+}
+#: Applications the paper reports as *slower* with dynamic warp
+#: formation (irregular control flow).
+FIGURE6_SLOWDOWNS = ("MersenneTwister", "mri-q", "mri-fhd")
+
+#: Figure 7 — "most kernel entries ... have warp size of 4 for every
+#: application except SimpleVoteIntrinsics which is only ever able to
+#: form warps of 2 threads at most".
+FIGURE7_VOTE_MAX_WARP = 2
+
+#: Figure 8 — average values restored per thread at entry points.
+FIGURE8_AVERAGE_RESTORED = 4.54
+
+#: Figure 10 — static warp formation + thread-invariant elimination
+#: over dynamic warp formation.
+FIGURE10_AVERAGE_GAIN = 1.113
+FIGURE10_MT_RELATIVE = 6.4  # MersenneTwister's relative recovery
+#: §6.2 — static instruction count reduction from TIE.
+TIE_INSTRUCTION_REDUCTION = {2: 0.095, 4: 0.115}
+#: Collange et al. report ~15% thread-invariant result operands.
+THREAD_INVARIANT_OPERAND_FRACTION = 0.15

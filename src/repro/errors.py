@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro dynamic compilation framework."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class PTXSyntaxError(ReproError):
+    """Raised by the PTX parser on malformed source.
+
+    Carries the line/column of the offending token when available.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class PTXValidationError(ReproError):
+    """Raised when a parsed PTX module violates a structural invariant."""
+
+
+class TranslationError(ReproError):
+    """Raised when PTX cannot be translated to the scalar IR."""
+
+
+class IRVerificationError(ReproError):
+    """Raised by the IR verifier when a function is malformed."""
+
+
+class VectorizationError(ReproError):
+    """Raised when the vectorization transform encounters an
+    instruction it cannot replicate or promote."""
+
+
+class ExecutionError(ReproError):
+    """Raised by the vector machine interpreter on a runtime fault
+    (bad address, type mismatch, unsupported opcode)."""
+
+
+class MemoryFault(ExecutionError):
+    """Out-of-bounds or misaligned access in the simulated memory."""
+
+    def __init__(self, address, size, reason="out-of-bounds access"):
+        super().__init__(f"{reason}: address=0x{address:x} size={size}")
+        self.address = address
+        self.size = size
+
+
+class LaunchError(ReproError):
+    """Raised by the runtime API for invalid launch configurations."""
+
+
+class TranslationCacheError(ReproError):
+    """Raised when the translation cache cannot satisfy a query."""

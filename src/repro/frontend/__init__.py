@@ -1,0 +1,15 @@
+"""Frontend: PTX -> scalar IR translation and registration-time kernel
+analysis (§5.1). Predication lowering (predicated ops -> selects /
+short diamonds) and barrier block-splitting happen inside the
+translator, matching the paper's PTX->PTX pre-pass."""
+
+from .analysis import KernelAnalysis, analyze_kernel, analyze_module
+from .translator import Translator, translate_kernel
+
+__all__ = [
+    "KernelAnalysis",
+    "Translator",
+    "analyze_kernel",
+    "analyze_module",
+    "translate_kernel",
+]

@@ -1,0 +1,94 @@
+"""Registration-time kernel analysis.
+
+The paper's runtime "immediately parses and analyzes kernels within the
+modules" (§3). This module computes the cheap structural facts the
+execution manager and translation cache want before any translation
+happens: barrier/atomic/vote usage, static instruction mix, potential
+divergence sites, and shared/local segment sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..ptx.instructions import Label, Opcode, PTXInstruction
+from ..ptx.module import Kernel
+from ..ptx.types import AddressSpace
+
+
+@dataclass
+class KernelAnalysis:
+    """Structural summary of one PTX kernel."""
+
+    name: str
+    static_instructions: int = 0
+    basic_block_estimate: int = 0
+    barrier_count: int = 0
+    atomic_count: int = 0
+    vote_count: int = 0
+    #: Conditional branches — each is a *potential* divergence site.
+    potential_divergence_sites: int = 0
+    uses_shared_memory: bool = False
+    uses_local_memory: bool = False
+    shared_size: int = 0
+    local_size: int = 0
+    param_size: int = 0
+    opcode_histogram: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def is_statically_convergent(self) -> bool:
+        """True when no conditional branch exists, so every execution is
+        convergent (§4.1: "some kernels may be statically proven to be
+        entirely convergent")."""
+        return self.potential_divergence_sites == 0
+
+    @property
+    def has_barriers(self) -> bool:
+        return self.barrier_count > 0
+
+
+def analyze_kernel(kernel: Kernel) -> KernelAnalysis:
+    analysis = KernelAnalysis(name=kernel.name)
+    analysis.shared_size = kernel.shared_size
+    analysis.local_size = kernel.local_size
+    analysis.param_size = kernel.param_size
+    analysis.uses_shared_memory = analysis.shared_size > 0
+    analysis.uses_local_memory = analysis.local_size > 0
+    leaders = 1
+    previous_was_terminator = False
+    for statement in kernel.statements:
+        if isinstance(statement, Label):
+            leaders += 1
+            previous_was_terminator = False
+            continue
+        instruction: PTXInstruction = statement
+        analysis.static_instructions += 1
+        name = str(instruction.opcode)
+        analysis.opcode_histogram[name] = (
+            analysis.opcode_histogram.get(name, 0) + 1
+        )
+        if instruction.opcode is Opcode.bar:
+            analysis.barrier_count += 1
+            leaders += 1
+        elif instruction.opcode in (Opcode.atom, Opcode.red):
+            analysis.atomic_count += 1
+        elif instruction.opcode is Opcode.vote:
+            analysis.vote_count += 1
+        elif instruction.opcode is Opcode.bra:
+            if instruction.guard is not None:
+                analysis.potential_divergence_sites += 1
+            leaders += 1
+        if instruction.space is AddressSpace.shared:
+            analysis.uses_shared_memory = True
+        if instruction.space is AddressSpace.local:
+            analysis.uses_local_memory = True
+        if previous_was_terminator:
+            leaders += 1
+        previous_was_terminator = instruction.is_terminator
+    analysis.basic_block_estimate = leaders
+    return analysis
+
+
+def analyze_module(module) -> List[KernelAnalysis]:
+    return [analyze_kernel(kernel) for kernel in module.kernels.values()]

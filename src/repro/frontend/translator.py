@@ -1,0 +1,767 @@
+"""PTX-to-IR translation (the paper's PTX -> LLVM step, §5.1).
+
+The translator performs, in one walk:
+
+- block discovery (labels, branch fall-throughs), matching Ocelot's
+  CFG construction;
+- the PTX->PTX cleanups the paper describes: non-branch predicated
+  instructions become conditional selects (pure ops) or short diamonds
+  (memory ops, which must not execute when guarded off), and basic
+  blocks are split at barriers;
+- instruction selection into the mid-level IR.
+
+The result is the *scalar* IR function the vectorizer specializes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import TranslationError
+from ..ir.function import IRFunction
+from ..ir.instructions import (
+    AtomicRMW,
+    BarrierTerm,
+    BinaryOp,
+    Branch,
+    Compare,
+    CondBranch,
+    ContextRead,
+    Convert,
+    Exit,
+    FusedMultiplyAdd,
+    Intrinsic,
+    Load,
+    Reduce,
+    Select,
+    Store,
+    UnaryOp,
+)
+from ..ir.values import Constant, VirtualRegister
+from ..ptx.instructions import Label, MulMode, Opcode, PTXInstruction
+from ..ptx.module import Kernel
+from ..ptx.operands import (
+    AddressOperand,
+    ImmediateOperand,
+    LabelOperand,
+    RegisterOperand,
+    SpecialRegisterOperand,
+    SymbolOperand,
+    VectorOperand,
+)
+from ..ptx.types import AddressSpace, DataType
+
+_BINARY_OPS = {
+    Opcode.add: "add",
+    Opcode.sub: "sub",
+    Opcode.div: "div",
+    Opcode.rem: "rem",
+    Opcode.min: "min",
+    Opcode.max: "max",
+    Opcode.and_: "and",
+    Opcode.or_: "or",
+    Opcode.xor: "xor",
+    Opcode.shl: "shl",
+}
+
+_UNARY_OPS = {
+    Opcode.neg: "neg",
+    Opcode.abs: "abs",
+    Opcode.not_: "not",
+    Opcode.cnot: "cnot",
+}
+
+_INTRINSICS = {
+    Opcode.rcp: "rcp",
+    Opcode.sqrt: "sqrt",
+    Opcode.rsqrt: "rsqrt",
+    Opcode.sin: "sin",
+    Opcode.cos: "cos",
+    Opcode.lg2: "lg2",
+    Opcode.ex2: "ex2",
+}
+
+_WIDEN = {
+    DataType.u8: DataType.u16,
+    DataType.s8: DataType.s16,
+    DataType.u16: DataType.u32,
+    DataType.s16: DataType.s32,
+    DataType.u32: DataType.u64,
+    DataType.s32: DataType.s64,
+}
+
+
+class Translator:
+    """Translates one PTX kernel into a scalar :class:`IRFunction`.
+
+    ``global_symbols`` maps module-scope ``.global``/``.const`` variable
+    names to absolute addresses in the machine's memory arena (assigned
+    when the module was registered with the runtime).
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        global_symbols: Optional[Dict[str, int]] = None,
+    ):
+        self.kernel = kernel
+        self.global_symbols = global_symbols or {}
+        self.function = IRFunction(name=f"{kernel.name}.scalar", warp_size=1)
+        self.function.source_kernel = kernel.name
+        self.function.local_segment_size = kernel.local_size
+        self.registers: Dict[str, VirtualRegister] = {}
+        self.block = None
+        self._label_counter = 0
+        # Lay out kernel-scope shared/local variables before use.
+        kernel.layout_segment(AddressSpace.shared)
+        kernel.layout_segment(AddressSpace.local)
+
+    # -- public entry ------------------------------------------------------
+
+    def translate(self) -> IRFunction:
+        self._map_registers()
+        statements = self.kernel.statements
+        block_labels = self._discover_labels(statements)
+        entry = self.function.add_block("entry", make_entry=True)
+        self.block = entry
+        for statement in statements:
+            if isinstance(statement, Label):
+                self._start_labeled_block(block_labels[statement.name])
+            else:
+                self._translate_instruction(statement, block_labels)
+        if self.block is not None and not self.block.is_terminated:
+            self.block.append(Exit())
+        return self.function
+
+    # -- block management ----------------------------------------------------
+
+    def _discover_labels(self, statements) -> Dict[str, str]:
+        """PTX label -> IR block label (identity, but kept as a map so
+        generated labels can never collide with user ones)."""
+        mapping: Dict[str, str] = {}
+        for statement in statements:
+            if isinstance(statement, Label):
+                mapping[statement.name] = statement.name
+        return mapping
+
+    def _fresh_block_label(self, hint: str) -> str:
+        self._label_counter += 1
+        return self.function.fresh_label(f"{hint}_{self._label_counter}")
+
+    def _start_labeled_block(self, label: str) -> None:
+        if self.block is not None and not self.block.is_terminated:
+            self.block.append(Branch(label))
+        self.block = self.function.add_block(label)
+
+    def _start_fresh_block(self, hint: str) -> str:
+        label = self._fresh_block_label(hint)
+        self.block = self.function.add_block(label)
+        return label
+
+    # -- register and operand mapping ------------------------------------
+
+    def _map_registers(self) -> None:
+        for name, dtype in self.kernel.registers.items():
+            self.registers[name] = VirtualRegister(name=name, dtype=dtype)
+
+    def _temp(self, dtype: DataType) -> VirtualRegister:
+        return self.function.fresh_register(dtype, hint="tmp")
+
+    def _value(self, operand, expected: Optional[DataType] = None):
+        """Translate a source operand into an IR value."""
+        if isinstance(operand, RegisterOperand):
+            register = self.registers.get(operand.name)
+            if register is None:
+                raise TranslationError(
+                    f"{self.kernel.name}: undeclared register "
+                    f"%{operand.name}"
+                )
+            if operand.negated:
+                negated = self._temp(register.dtype)
+                self.block.append(
+                    UnaryOp(
+                        op="not",
+                        dtype=register.dtype,
+                        dst=negated,
+                        a=register,
+                    )
+                )
+                return negated
+            return register
+        if isinstance(operand, ImmediateOperand):
+            dtype = operand.dtype or expected
+            if dtype is None:
+                raise TranslationError(
+                    f"{self.kernel.name}: untyped immediate {operand.value}"
+                )
+            return Constant(value=operand.value, dtype=dtype)
+        if isinstance(operand, SymbolOperand):
+            return self._symbol_address(operand.name, expected)
+        if isinstance(operand, SpecialRegisterOperand):
+            raise TranslationError(
+                f"{self.kernel.name}: special register {operand} is only "
+                f"valid as a mov source"
+            )
+        raise TranslationError(
+            f"{self.kernel.name}: unsupported operand {operand!r}"
+        )
+
+    def _destination(self, operand) -> VirtualRegister:
+        if not isinstance(operand, RegisterOperand):
+            raise TranslationError(
+                f"{self.kernel.name}: destination must be a register, "
+                f"found {operand}"
+            )
+        return self.registers[operand.name]
+
+    def _symbol_address(self, name: str, expected: Optional[DataType]):
+        """Address of a named variable as a Constant.
+
+        shared/local/param symbols resolve to segment-relative offsets;
+        module .global/.const symbols resolve to absolute arena
+        addresses captured at registration time.
+        """
+        dtype = expected if expected is not None else DataType.u64
+        parameter = self.kernel.find_parameter(name)
+        if parameter is not None:
+            return Constant(value=parameter.offset, dtype=dtype)
+        variable = self.kernel.find_variable(name)
+        if variable is None:
+            raise TranslationError(
+                f"{self.kernel.name}: unknown symbol {name!r}"
+            )
+        if variable.space in (AddressSpace.shared, AddressSpace.local):
+            return Constant(value=variable.offset, dtype=dtype)
+        if name in self.global_symbols:
+            return Constant(value=self.global_symbols[name], dtype=dtype)
+        raise TranslationError(
+            f"{self.kernel.name}: module variable {name!r} has no "
+            f"assigned address (register the module before translating)"
+        )
+
+    # -- predication -------------------------------------------------------
+
+    def _guard_register(self, inst: PTXInstruction):
+        guard = inst.guard
+        register = self.registers[guard.name]
+        if guard.negated:
+            negated = self._temp(DataType.pred)
+            self.block.append(
+                UnaryOp(
+                    op="not", dtype=DataType.pred, dst=negated, a=register
+                )
+            )
+            return negated
+        return register
+
+    def _translate_instruction(self, inst: PTXInstruction, labels) -> None:
+        if self.block is None or self.block.is_terminated:
+            # Unreachable code after an unconditional terminator with no
+            # label: keep it in a detached block so the IR stays valid.
+            self._start_fresh_block("dead")
+        if inst.guard is None:
+            self._select_and_emit(inst, labels)
+            return
+        if inst.opcode is Opcode.bra:
+            self._translate_branch(inst, labels)
+            return
+        if inst.opcode in (
+            Opcode.st,
+            Opcode.atom,
+            Opcode.red,
+            Opcode.exit,
+            Opcode.ret,
+            Opcode.bar,
+        ) or inst.opcode is Opcode.ld:
+            # Memory and control effects must not happen when the guard
+            # is off: lower to a short diamond.
+            self._translate_guarded_effect(inst, labels)
+            return
+        # Pure ops: compute unconditionally, select the result
+        # (the paper's PTX->PTX "replace predicated instructions with
+        # select" transformation).
+        predicate = self._guard_register(inst)
+        destination = self._destination(inst.operands[0])
+        temp = self._temp(destination.dtype)
+        unguarded = _clone_without_guard(inst)
+        unguarded.operands = [RegisterOperand("__temp__", destination.dtype)]
+        unguarded.operands.extend(inst.operands[1:])
+        self.registers["__temp__"] = temp
+        self._select_and_emit(unguarded, labels)
+        del self.registers["__temp__"]
+        self.block.append(
+            Select(
+                dtype=destination.dtype,
+                dst=destination,
+                a=temp,
+                b=destination,
+                predicate=predicate,
+            )
+        )
+
+    def _translate_guarded_effect(self, inst: PTXInstruction, labels):
+        predicate = self._guard_register(inst)
+        then_label = self._fresh_block_label("pred_then")
+        join_label = self._fresh_block_label("pred_join")
+        self.block.append(
+            CondBranch(
+                predicate=predicate, taken=then_label, fallthrough=join_label
+            )
+        )
+        self.block = self.function.add_block(then_label)
+        self._select_and_emit(_clone_without_guard(inst), labels)
+        if self.block is not None and not self.block.is_terminated:
+            self.block.append(Branch(join_label))
+        self.block = self.function.add_block(join_label)
+
+    # -- instruction selection ---------------------------------------------
+
+    def _select_and_emit(self, inst: PTXInstruction, labels) -> None:
+        opcode = inst.opcode
+        if opcode is Opcode.mov:
+            self._translate_mov(inst)
+        elif opcode is Opcode.ld:
+            self._translate_load(inst)
+        elif opcode is Opcode.st:
+            self._translate_store(inst)
+        elif opcode in _BINARY_OPS:
+            self._translate_binary(inst, _BINARY_OPS[opcode])
+        elif opcode is Opcode.shr:
+            op = "ashr" if inst.dtype.is_signed else "lshr"
+            self._translate_binary(inst, op)
+        elif opcode is Opcode.mul:
+            self._translate_mul(inst)
+        elif opcode in (Opcode.mad, Opcode.fma):
+            self._translate_mad(inst)
+        elif opcode in _UNARY_OPS:
+            self._translate_unary(inst, _UNARY_OPS[opcode])
+        elif opcode in _INTRINSICS:
+            self._translate_intrinsic(inst, _INTRINSICS[opcode])
+        elif opcode is Opcode.cvt:
+            self._translate_cvt(inst)
+        elif opcode is Opcode.cvta:
+            destination = self._destination(inst.operands[0])
+            source = self._value(inst.operands[1], inst.dtype)
+            self.block.append(
+                UnaryOp(
+                    op="mov", dtype=inst.dtype, dst=destination, a=source
+                )
+            )
+        elif opcode is Opcode.setp:
+            self._translate_setp(inst)
+        elif opcode is Opcode.set:
+            self._translate_set(inst)
+        elif opcode is Opcode.selp:
+            self._translate_selp(inst)
+        elif opcode is Opcode.slct:
+            self._translate_slct(inst)
+        elif opcode is Opcode.bra:
+            self._translate_branch(inst, labels)
+        elif opcode in (Opcode.exit, Opcode.ret):
+            self.block.append(Exit())
+            self.block = None
+        elif opcode is Opcode.bar:
+            successor = self._fresh_block_label("post_barrier")
+            self.block.append(BarrierTerm(successor=successor))
+            self.block = self.function.add_block(successor)
+        elif opcode is Opcode.membar:
+            pass  # single memory arena: fences are no-ops
+        elif opcode in (Opcode.atom, Opcode.red):
+            self._translate_atomic(inst)
+        elif opcode is Opcode.vote:
+            self._translate_vote(inst)
+        else:
+            raise TranslationError(
+                f"{self.kernel.name}: unsupported opcode {opcode}"
+            )
+
+    def _translate_mov(self, inst: PTXInstruction) -> None:
+        destination = self._destination(inst.operands[0])
+        source = inst.operands[1]
+        if isinstance(source, SpecialRegisterOperand):
+            field = source.register
+            if source.dimension:
+                field = f"{field}.{source.dimension}"
+            self.block.append(
+                ContextRead(
+                    field_name=field, dtype=destination.dtype,
+                    dst=destination,
+                )
+            )
+            return
+        value = self._value(source, inst.dtype or destination.dtype)
+        self.block.append(
+            UnaryOp(
+                op="mov",
+                dtype=inst.dtype or destination.dtype,
+                dst=destination,
+                a=value,
+            )
+        )
+
+    def _address(self, operand: AddressOperand):
+        """Return (space-agnostic base value, byte offset)."""
+        base = operand.base
+        if isinstance(base, RegisterOperand):
+            return self.registers[base.name], operand.offset
+        if isinstance(base, SymbolOperand):
+            constant = self._symbol_address(base.name, DataType.u64)
+            return constant, operand.offset
+        raise TranslationError(
+            f"{self.kernel.name}: bad address base {base!r}"
+        )
+
+    def _resolve_space(self, inst: PTXInstruction, base) -> AddressSpace:
+        """Module .const/.global symbols live at absolute arena
+        addresses, so their accesses use the global space."""
+        space = inst.space
+        if space in (AddressSpace.const, AddressSpace.generic):
+            return AddressSpace.global_
+        return space
+
+    def _translate_load(self, inst: PTXInstruction) -> None:
+        address = inst.operands[1]
+        if not isinstance(address, AddressOperand):
+            raise TranslationError(
+                f"{self.kernel.name}: ld needs an address operand"
+            )
+        base, offset = self._address(address)
+        space = self._resolve_space(inst, base)
+        destination = inst.operands[0]
+        if isinstance(destination, VectorOperand):
+            size = inst.dtype.size
+            for index, element in enumerate(destination.elements):
+                self.block.append(
+                    Load(
+                        dtype=inst.dtype,
+                        dst=self.registers[element.name],
+                        space=space,
+                        base=base,
+                        offset=offset + index * size,
+                    )
+                )
+            return
+        self.block.append(
+            Load(
+                dtype=inst.dtype,
+                dst=self._destination(destination),
+                space=space,
+                base=base,
+                offset=offset,
+            )
+        )
+
+    def _translate_store(self, inst: PTXInstruction) -> None:
+        address = inst.operands[0]
+        base, offset = self._address(address)
+        space = self._resolve_space(inst, base)
+        value = inst.operands[1]
+        if isinstance(value, VectorOperand):
+            size = inst.dtype.size
+            for index, element in enumerate(value.elements):
+                self.block.append(
+                    Store(
+                        dtype=inst.dtype,
+                        space=space,
+                        base=base,
+                        value=self.registers[element.name],
+                        offset=offset + index * size,
+                    )
+                )
+            return
+        self.block.append(
+            Store(
+                dtype=inst.dtype,
+                space=space,
+                base=base,
+                value=self._value(value, inst.dtype),
+                offset=offset,
+            )
+        )
+
+    def _translate_binary(self, inst: PTXInstruction, op: str) -> None:
+        destination = self._destination(inst.operands[0])
+        a = self._value(inst.operands[1], inst.dtype)
+        b = self._value(inst.operands[2], inst.dtype)
+        self.block.append(
+            BinaryOp(op=op, dtype=inst.dtype, dst=destination, a=a, b=b)
+        )
+
+    def _translate_mul(self, inst: PTXInstruction) -> None:
+        dtype = inst.dtype
+        destination = self._destination(inst.operands[0])
+        a = self._value(inst.operands[1], dtype)
+        b = self._value(inst.operands[2], dtype)
+        mode = inst.mul_mode
+        if dtype.is_float or mode in (None, MulMode.lo):
+            self.block.append(
+                BinaryOp(op="mul", dtype=dtype, dst=destination, a=a, b=b)
+            )
+        elif mode is MulMode.hi:
+            self.block.append(
+                BinaryOp(op="mulhi", dtype=dtype, dst=destination, a=a, b=b)
+            )
+        else:  # wide
+            wide = _WIDEN[dtype]
+            wide_a = self._temp(wide)
+            wide_b = self._temp(wide)
+            self.block.append(
+                Convert(dst_type=wide, src_type=dtype, dst=wide_a, src=a)
+            )
+            self.block.append(
+                Convert(dst_type=wide, src_type=dtype, dst=wide_b, src=b)
+            )
+            self.block.append(
+                BinaryOp(
+                    op="mul", dtype=wide, dst=destination, a=wide_a, b=wide_b
+                )
+            )
+
+    def _translate_mad(self, inst: PTXInstruction) -> None:
+        dtype = inst.dtype
+        destination = self._destination(inst.operands[0])
+        a = self._value(inst.operands[1], dtype)
+        b = self._value(inst.operands[2], dtype)
+        if dtype.is_float:
+            c = self._value(inst.operands[3], dtype)
+            self.block.append(
+                FusedMultiplyAdd(
+                    dtype=dtype, dst=destination, a=a, b=b, c=c
+                )
+            )
+            return
+        mode = inst.mul_mode or MulMode.lo
+        if mode is MulMode.wide:
+            wide = _WIDEN[dtype]
+            c = self._value(inst.operands[3], wide)
+            wide_a = self._temp(wide)
+            wide_b = self._temp(wide)
+            product = self._temp(wide)
+            self.block.append(
+                Convert(dst_type=wide, src_type=dtype, dst=wide_a, src=a)
+            )
+            self.block.append(
+                Convert(dst_type=wide, src_type=dtype, dst=wide_b, src=b)
+            )
+            self.block.append(
+                BinaryOp(op="mul", dtype=wide, dst=product, a=wide_a,
+                         b=wide_b)
+            )
+            self.block.append(
+                BinaryOp(op="add", dtype=wide, dst=destination, a=product,
+                         b=c)
+            )
+            return
+        c = self._value(inst.operands[3], dtype)
+        op = "mul" if mode is MulMode.lo else "mulhi"
+        product = self._temp(dtype)
+        self.block.append(
+            BinaryOp(op=op, dtype=dtype, dst=product, a=a, b=b)
+        )
+        self.block.append(
+            BinaryOp(op="add", dtype=dtype, dst=destination, a=product, b=c)
+        )
+
+    def _translate_unary(self, inst: PTXInstruction, op: str) -> None:
+        destination = self._destination(inst.operands[0])
+        a = self._value(inst.operands[1], inst.dtype)
+        self.block.append(
+            UnaryOp(op=op, dtype=inst.dtype, dst=destination, a=a)
+        )
+
+    def _translate_intrinsic(self, inst: PTXInstruction, name: str) -> None:
+        destination = self._destination(inst.operands[0])
+        a = self._value(inst.operands[1], inst.dtype)
+        self.block.append(
+            Intrinsic(name=name, dtype=inst.dtype, dst=destination,
+                      args=[a])
+        )
+
+    def _translate_cvt(self, inst: PTXInstruction) -> None:
+        destination = self._destination(inst.operands[0])
+        src_type = inst.source_type or inst.dtype
+        source = self._value(inst.operands[1], src_type)
+        self.block.append(
+            Convert(
+                dst_type=inst.dtype,
+                src_type=src_type,
+                dst=destination,
+                src=source,
+                rounding=inst.rounding,
+            )
+        )
+
+    def _translate_setp(self, inst: PTXInstruction) -> None:
+        destination = self._destination(inst.operands[0])
+        a = self._value(inst.operands[1], inst.dtype)
+        b = self._value(inst.operands[2], inst.dtype)
+        self.block.append(
+            Compare(
+                op=inst.compare.value,
+                dtype=inst.dtype,
+                dst=destination,
+                a=a,
+                b=b,
+            )
+        )
+
+    def _translate_set(self, inst: PTXInstruction) -> None:
+        destination = self._destination(inst.operands[0])
+        operand_type = inst.source_type or inst.dtype
+        a = self._value(inst.operands[1], operand_type)
+        b = self._value(inst.operands[2], operand_type)
+        predicate = self._temp(DataType.pred)
+        self.block.append(
+            Compare(
+                op=inst.compare.value,
+                dtype=operand_type,
+                dst=predicate,
+                a=a,
+                b=b,
+            )
+        )
+        if inst.dtype.is_float:
+            true_value = Constant(1.0, inst.dtype)
+        else:
+            mask = (1 << (inst.dtype.size * 8)) - 1
+            true_value = Constant(mask, inst.dtype)
+        self.block.append(
+            Select(
+                dtype=inst.dtype,
+                dst=destination,
+                a=true_value,
+                b=Constant(0, inst.dtype),
+                predicate=predicate,
+            )
+        )
+
+    def _translate_selp(self, inst: PTXInstruction) -> None:
+        destination = self._destination(inst.operands[0])
+        a = self._value(inst.operands[1], inst.dtype)
+        b = self._value(inst.operands[2], inst.dtype)
+        predicate = self._value(inst.operands[3], DataType.pred)
+        self.block.append(
+            Select(
+                dtype=inst.dtype,
+                dst=destination,
+                a=a,
+                b=b,
+                predicate=predicate,
+            )
+        )
+
+    def _translate_slct(self, inst: PTXInstruction) -> None:
+        destination = self._destination(inst.operands[0])
+        a = self._value(inst.operands[1], inst.dtype)
+        b = self._value(inst.operands[2], inst.dtype)
+        selector_type = inst.source_type or DataType.f32
+        c = self._value(inst.operands[3], selector_type)
+        predicate = self._temp(DataType.pred)
+        self.block.append(
+            Compare(
+                op="ge",
+                dtype=selector_type,
+                dst=predicate,
+                a=c,
+                b=Constant(0, selector_type),
+            )
+        )
+        self.block.append(
+            Select(
+                dtype=inst.dtype,
+                dst=destination,
+                a=a,
+                b=b,
+                predicate=predicate,
+            )
+        )
+
+    def _translate_branch(self, inst: PTXInstruction, labels) -> None:
+        target = inst.operands[0]
+        if not isinstance(target, LabelOperand):
+            raise TranslationError(
+                f"{self.kernel.name}: indirect branches are unsupported"
+            )
+        target_label = labels.get(target.name)
+        if target_label is None:
+            raise TranslationError(
+                f"{self.kernel.name}: branch to unknown label "
+                f"{target.name!r}"
+            )
+        if inst.guard is None:
+            self.block.append(Branch(target_label))
+            self.block = None
+            return
+        predicate = self._guard_register(inst)
+        fallthrough = self._fresh_block_label("fall")
+        self.block.append(
+            CondBranch(
+                predicate=predicate,
+                taken=target_label,
+                fallthrough=fallthrough,
+            )
+        )
+        self.block = self.function.add_block(fallthrough)
+
+    def _translate_atomic(self, inst: PTXInstruction) -> None:
+        has_destination = inst.opcode is Opcode.atom
+        operands = inst.operands
+        destination = (
+            self._destination(operands[0]) if has_destination else None
+        )
+        address = operands[1] if has_destination else operands[0]
+        base, offset = self._address(address)
+        space = self._resolve_space(inst, base)
+        value_index = 2 if has_destination else 1
+        value = self._value(operands[value_index], inst.dtype)
+        compare = None
+        if inst.atomic_op is not None and inst.atomic_op.name == "cas":
+            compare = value
+            value = self._value(operands[value_index + 1], inst.dtype)
+        self.block.append(
+            AtomicRMW(
+                op=str(inst.atomic_op),
+                dtype=inst.dtype,
+                dst=destination,
+                space=space,
+                base=base,
+                value=value,
+                compare=compare,
+                offset=offset,
+            )
+        )
+
+    def _translate_vote(self, inst: PTXInstruction) -> None:
+        destination = self._destination(inst.operands[0])
+        source = self._value(inst.operands[1], DataType.pred)
+        self.block.append(
+            Reduce(op=inst.vote_mode.value, dst=destination, src=source)
+        )
+
+
+def _clone_without_guard(inst: PTXInstruction) -> PTXInstruction:
+    clone = PTXInstruction(
+        opcode=inst.opcode,
+        dtype=inst.dtype,
+        operands=list(inst.operands),
+        guard=None,
+        space=inst.space,
+        compare=inst.compare,
+        mul_mode=inst.mul_mode,
+        atomic_op=inst.atomic_op,
+        vote_mode=inst.vote_mode,
+        source_type=inst.source_type,
+        rounding=inst.rounding,
+        approx=inst.approx,
+        full=inst.full,
+        vector_width=inst.vector_width,
+        line=inst.line,
+    )
+    return clone
+
+
+def translate_kernel(
+    kernel: Kernel, global_symbols: Optional[Dict[str, int]] = None
+) -> IRFunction:
+    """Translate ``kernel`` to its scalar IR function."""
+    return Translator(kernel, global_symbols=global_symbols).translate()

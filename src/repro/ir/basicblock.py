@@ -1,0 +1,68 @@
+"""Basic blocks of the mid-level IR."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..errors import IRVerificationError
+from .instructions import IRInstruction, Terminator
+
+
+class BasicBlock:
+    """A label, a straight-line instruction list, and one terminator."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self.instructions: List[IRInstruction] = []
+        self.terminator: Optional[Terminator] = None
+
+    def append(self, instruction: IRInstruction) -> IRInstruction:
+        if instruction.is_terminator:
+            if self.terminator is not None:
+                raise IRVerificationError(
+                    f"block {self.label} already terminated by "
+                    f"{self.terminator}"
+                )
+            self.terminator = instruction
+        else:
+            if self.terminator is not None:
+                raise IRVerificationError(
+                    f"appending {instruction} after terminator in block "
+                    f"{self.label}"
+                )
+            self.instructions.append(instruction)
+        return instruction
+
+    def extend(self, instructions: Iterable[IRInstruction]) -> None:
+        for instruction in instructions:
+            self.append(instruction)
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    def all_instructions(self) -> List[IRInstruction]:
+        """Body instructions plus terminator, in execution order."""
+        if self.terminator is None:
+            return list(self.instructions)
+        return self.instructions + [self.terminator]
+
+    def successors(self) -> List[str]:
+        if self.terminator is None:
+            return []
+        return self.terminator.successors()
+
+    def __iter__(self):
+        return iter(self.all_instructions())
+
+    def __len__(self):
+        return len(self.instructions) + (1 if self.terminator else 0)
+
+    def __str__(self):
+        lines = [f"{self.label}:"]
+        for instruction in self.all_instructions():
+            lines.append(f"  {instruction}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"<BasicBlock {self.label} ({len(self)} insts)>"

@@ -1,0 +1,127 @@
+"""Control-flow graph queries over an :class:`~repro.ir.function.
+IRFunction`.
+
+The CFG is computed on demand from block terminators. Transform passes
+mutate blocks and then rebuild; nothing here is cached across edits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .function import IRFunction
+
+
+class ControlFlowGraph:
+    """Predecessor/successor maps plus reachability helpers."""
+
+    def __init__(self, function: IRFunction):
+        self.function = function
+        self.successors: Dict[str, List[str]] = {}
+        self.predecessors: Dict[str, List[str]] = {}
+        for block in function.ordered_blocks():
+            self.successors[block.label] = list(block.successors())
+            self.predecessors.setdefault(block.label, [])
+        for label, targets in self.successors.items():
+            for target in targets:
+                self.predecessors.setdefault(target, [])
+                self.predecessors[target].append(label)
+
+    def reachable(self, start: str = None) -> Set[str]:
+        if start is None:
+            start = self.function.entry_label
+        seen: Set[str] = set()
+        stack = [start]
+        while stack:
+            label = stack.pop()
+            if label in seen:
+                continue
+            seen.add(label)
+            stack.extend(self.successors.get(label, []))
+        return seen
+
+    def reverse_postorder(self) -> List[str]:
+        """Blocks in reverse postorder from the entry — the traversal
+        order the vectorizer uses (§4: breadth-first-flavoured walk)."""
+        visited: Set[str] = set()
+        order: List[str] = []
+
+        def visit(label: str) -> None:
+            stack = [(label, iter(self.successors.get(label, [])))]
+            visited.add(label)
+            while stack:
+                current, successors = stack[-1]
+                advanced = False
+                for successor in successors:
+                    if successor not in visited:
+                        visited.add(successor)
+                        stack.append(
+                            (
+                                successor,
+                                iter(self.successors.get(successor, [])),
+                            )
+                        )
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(current)
+                    stack.pop()
+
+        visit(self.function.entry_label)
+        # Entry points added by the scheduler may make extra roots; make
+        # sure every block appears.
+        for block in self.function.ordered_blocks():
+            if block.label not in visited:
+                visit(block.label)
+        order.reverse()
+        return order
+
+    def back_edges(self) -> List[tuple]:
+        """(source, target) pairs where target dominates source in a
+        DFS sense — loop back edges for simple loop detection."""
+        color: Dict[str, int] = {}
+        edges: List[tuple] = []
+
+        def dfs(root: str) -> None:
+            stack = [(root, iter(self.successors.get(root, [])))]
+            color[root] = 1
+            while stack:
+                label, successors = stack[-1]
+                advanced = False
+                for successor in successors:
+                    state = color.get(successor, 0)
+                    if state == 1:
+                        edges.append((label, successor))
+                    elif state == 0:
+                        color[successor] = 1
+                        stack.append(
+                            (
+                                successor,
+                                iter(self.successors.get(successor, [])),
+                            )
+                        )
+                        advanced = True
+                        break
+                if not advanced:
+                    color[label] = 2
+                    stack.pop()
+
+        dfs(self.function.entry_label)
+        return edges
+
+
+def remove_unreachable_blocks(function: IRFunction) -> int:
+    """Delete blocks unreachable from the entry (and from any registered
+    entry point). Returns the number removed."""
+    cfg = ControlFlowGraph(function)
+    live: Set[str] = set()
+    roots = [function.entry_label] + list(function.entry_points.values())
+    for root in roots:
+        if root in function.blocks:
+            live |= cfg.reachable(root)
+    removed = 0
+    for label in list(function.blocks):
+        if label not in live:
+            function.remove_block(label)
+            removed += 1
+    return removed

@@ -1,0 +1,90 @@
+"""Live-variable analysis.
+
+Backward may-dataflow over virtual registers. The vectorizer's exit
+handlers spill exactly the registers live *out* of a divergence site,
+and entry handlers restore the registers live *in* to a resumption block
+(Algorithms 3/4; Figure 8 measures the restored counts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from .cfg import ControlFlowGraph
+from .function import IRFunction
+from .values import VirtualRegister
+
+
+class LivenessInfo:
+    """Per-block live-in / live-out register-name sets."""
+
+    def __init__(self, function: IRFunction):
+        self.function = function
+        self.use: Dict[str, Set[str]] = {}
+        self.define: Dict[str, Set[str]] = {}
+        self.live_in: Dict[str, Set[str]] = {}
+        self.live_out: Dict[str, Set[str]] = {}
+        self._types: Dict[str, VirtualRegister] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        function = self.function
+        cfg = ControlFlowGraph(function)
+        for block in function.ordered_blocks():
+            upward_exposed: Set[str] = set()
+            killed: Set[str] = set()
+            for instruction in block.all_instructions():
+                for value in instruction.uses():
+                    if isinstance(value, VirtualRegister):
+                        self._types.setdefault(value.name, value)
+                        if value.name not in killed:
+                            upward_exposed.add(value.name)
+                defined = instruction.defined()
+                if defined is not None:
+                    self._types.setdefault(defined.name, defined)
+                    killed.add(defined.name)
+            self.use[block.label] = upward_exposed
+            self.define[block.label] = killed
+            self.live_in[block.label] = set()
+            self.live_out[block.label] = set()
+
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(function.ordered_blocks()):
+                label = block.label
+                out: Set[str] = set()
+                for successor in cfg.successors.get(label, []):
+                    out |= self.live_in.get(successor, set())
+                new_in = self.use[label] | (out - self.define[label])
+                if out != self.live_out[label] or (
+                    new_in != self.live_in[label]
+                ):
+                    self.live_out[label] = out
+                    self.live_in[label] = new_in
+                    changed = True
+
+    def register(self, name: str) -> VirtualRegister:
+        return self._types[name]
+
+    def live_in_registers(self, label: str):
+        """Live-in registers sorted by name for deterministic handler
+        emission order."""
+        return [
+            self._types[name] for name in sorted(self.live_in[label])
+        ]
+
+    def live_out_registers(self, label: str):
+        return [
+            self._types[name] for name in sorted(self.live_out[label])
+        ]
+
+    def max_live(self) -> int:
+        """Maximum number of simultaneously live registers at any block
+        boundary — a register-pressure proxy used by the cost model."""
+        best = 0
+        for label in self.live_in:
+            best = max(
+                best, len(self.live_in[label]), len(self.live_out[label])
+            )
+        return best

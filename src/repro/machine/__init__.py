@@ -1,0 +1,41 @@
+"""Simulated vector processor: machine description, flat memory with
+segment windows, static cost model, and the interpreter that stands in
+for JIT code generation + native execution (see DESIGN.md for the
+substitution rationale)."""
+
+from .costmodel import (
+    FunctionCostTable,
+    InstructionCost,
+    build_cost_table,
+    vector_register_pressure,
+)
+from .descriptor import (
+    MACHINES,
+    MachineDescription,
+    avx_machine,
+    knights_ferry,
+    sandybridge,
+)
+from .interpreter import (
+    ExecutableFunction,
+    ExecutionStats,
+    Interpreter,
+)
+from .memory import Allocation, MemorySystem
+
+__all__ = [
+    "Allocation",
+    "ExecutableFunction",
+    "ExecutionStats",
+    "FunctionCostTable",
+    "InstructionCost",
+    "Interpreter",
+    "MACHINES",
+    "MachineDescription",
+    "MemorySystem",
+    "avx_machine",
+    "build_cost_table",
+    "knights_ferry",
+    "sandybridge",
+    "vector_register_pressure",
+]

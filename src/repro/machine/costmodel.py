@@ -1,0 +1,196 @@
+"""Issue-slot cost model of the simulated vector processor.
+
+Per-instruction charges are computed *statically* when a function is
+lowered (our analogue of code generation): the interpreter then simply
+accumulates precomputed cycle counts. Costs depend on the machine
+description and on the function's register pressure — live vector state
+beyond the physical vector register file injects spill/fill traffic,
+which is the mechanism behind Table 1's performance cliff at warp
+sizes wider than the machine (§6: "executing the above benchmark with a
+warp size of 8 threads while targeting SSE results in degraded
+performance").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..ir.function import IRFunction
+from ..ir.instructions import (
+    AtomicRMW,
+    BarrierTerm,
+    BinaryOp,
+    Branch,
+    Broadcast,
+    Compare,
+    CondBranch,
+    ContextRead,
+    ContextWrite,
+    Convert,
+    Exit,
+    ExtractElement,
+    FusedMultiplyAdd,
+    InsertElement,
+    Intrinsic,
+    Load,
+    Reduce,
+    Select,
+    Store,
+    Switch,
+    UnaryOp,
+    VectorLoad,
+    VectorStore,
+    Yield,
+)
+from ..ir.liveness import LivenessInfo
+from ..ir.values import VirtualRegister
+from ..ptx.types import AddressSpace
+from .descriptor import MachineDescription
+
+_FLOAT_UNITS = {
+    "add": 1,
+    "sub": 1,
+    "mul": 1,
+    "div": 4,
+    "min": 1,
+    "max": 1,
+}
+
+
+def vector_register_pressure(
+    function: IRFunction, machine: MachineDescription
+) -> int:
+    """Maximum physical vector registers live at any block boundary.
+
+    Each live register of width ``w > 1`` occupies ``ceil(w / machine
+    width)`` physical registers.
+    """
+    liveness = LivenessInfo(function)
+    pressure = 0
+    for label in function.blocks:
+        for live_set in (
+            liveness.live_in[label],
+            liveness.live_out[label],
+        ):
+            total = 0
+            for name in live_set:
+                register = liveness.register(name)
+                if register.width > 1:
+                    total += machine.vector_chunks(register.width)
+            pressure = max(pressure, total)
+    return pressure
+
+
+@dataclass
+class InstructionCost:
+    """Static cycles and floating-point work of one instruction."""
+
+    cycles: int
+    flops: int = 0
+
+
+@dataclass
+class FunctionCostTable:
+    """Per-instruction costs for one lowered function."""
+
+    pressure: int
+    spilling: bool
+    costs: Dict[int, InstructionCost] = field(default_factory=dict)
+
+    def cost_of(self, instruction) -> InstructionCost:
+        return self.costs[id(instruction)]
+
+
+def _width_of(instruction) -> int:
+    target = instruction.defined()
+    candidates = []
+    if target is not None:
+        candidates.append(target)
+    candidates.extend(
+        v for v in instruction.uses() if isinstance(v, VirtualRegister)
+    )
+    width = 1
+    for value in candidates:
+        width = max(width, value.width)
+    return width
+
+
+def build_cost_table(
+    function: IRFunction, machine: MachineDescription
+) -> FunctionCostTable:
+    """Assign a static cycle cost to every instruction of ``function``."""
+    pressure = vector_register_pressure(function, machine)
+    spilling = pressure > machine.vector_registers
+    table = FunctionCostTable(pressure=pressure, spilling=spilling)
+    for block in function.ordered_blocks():
+        for instruction in block.all_instructions():
+            table.costs[id(instruction)] = _instruction_cost(
+                instruction, machine, spilling
+            )
+    return table
+
+
+def _instruction_cost(
+    instruction, machine: MachineDescription, spilling: bool
+) -> InstructionCost:
+    width = _width_of(instruction)
+    chunks = machine.vector_chunks(width)
+    spill_extra = machine.spill_penalty * chunks if (
+        spilling and width > machine.vector_width
+    ) else 0
+
+    if isinstance(instruction, FusedMultiplyAdd):
+        flops = 2 * width if instruction.dtype.is_float else 0
+        return InstructionCost(
+            cycles=machine.alu_cost * chunks + spill_extra, flops=flops
+        )
+    if isinstance(instruction, BinaryOp):
+        units = 1
+        flops = 0
+        if instruction.dtype.is_float:
+            units = _FLOAT_UNITS.get(instruction.op, 1)
+            flops = width
+        return InstructionCost(
+            cycles=machine.alu_cost * units * chunks + spill_extra,
+            flops=flops,
+        )
+    if isinstance(instruction, (UnaryOp, Compare, Select, Convert)):
+        return InstructionCost(
+            cycles=machine.alu_cost * chunks + spill_extra
+        )
+    if isinstance(instruction, Intrinsic):
+        flops = width if instruction.dtype.is_float else 0
+        return InstructionCost(
+            cycles=machine.intrinsic_cost * chunks + spill_extra,
+            flops=flops,
+        )
+    if isinstance(instruction, (Load, Store)):
+        if instruction.space is AddressSpace.local:
+            return InstructionCost(cycles=machine.local_memory_cost)
+        return InstructionCost(cycles=machine.memory_cost)
+    if isinstance(instruction, (VectorLoad, VectorStore)):
+        # One access per machine-width chunk (movups-style).
+        return InstructionCost(cycles=machine.memory_cost * chunks)
+    if isinstance(instruction, AtomicRMW):
+        return InstructionCost(cycles=machine.atomic_cost)
+    if isinstance(instruction, (ContextRead, ContextWrite)):
+        return InstructionCost(cycles=machine.context_cost)
+    if isinstance(instruction, (InsertElement, ExtractElement)):
+        return InstructionCost(cycles=machine.shuffle_cost)
+    if isinstance(instruction, Broadcast):
+        return InstructionCost(cycles=machine.shuffle_cost)
+    if isinstance(instruction, Reduce):
+        steps = max(1, (width - 1).bit_length())
+        return InstructionCost(cycles=machine.shuffle_cost * steps + 1)
+    if isinstance(instruction, Branch):
+        return InstructionCost(cycles=machine.branch_cost)
+    if isinstance(instruction, CondBranch):
+        return InstructionCost(cycles=machine.branch_cost)
+    if isinstance(instruction, Switch):
+        return InstructionCost(cycles=machine.switch_cost)
+    if isinstance(instruction, Yield):
+        return InstructionCost(cycles=machine.yield_cost)
+    if isinstance(instruction, (Exit, BarrierTerm)):
+        return InstructionCost(cycles=machine.branch_cost)
+    return InstructionCost(cycles=machine.alu_cost)

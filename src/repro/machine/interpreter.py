@@ -1,0 +1,723 @@
+"""Executable lowering and interpretation of IR functions.
+
+``load_function`` is this simulator's stand-in for JIT code generation:
+it binds every instruction to a handler, pre-converts constants to
+machine values, and attaches the static cost table. ``execute`` then
+runs a warp of thread contexts through the lowered function, starting
+at the scheduler block, until the function yields back to the execution
+manager with a resume status (§3's subkernel execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..ir.function import IRFunction
+from ..ir.instructions import (
+    AtomicRMW,
+    BarrierTerm,
+    BinaryOp,
+    Branch,
+    Broadcast,
+    Compare,
+    CondBranch,
+    ContextRead,
+    ContextWrite,
+    Convert,
+    Exit,
+    ExtractElement,
+    FusedMultiplyAdd,
+    InsertElement,
+    Intrinsic,
+    Load,
+    Reduce,
+    ResumeStatus,
+    Select,
+    Store,
+    Switch,
+    UnaryOp,
+    VectorLoad,
+    VectorStore,
+    Yield,
+)
+from ..ir.values import Constant, VirtualRegister
+from ..ptx.types import AddressSpace, DataType
+from .costmodel import FunctionCostTable, build_cost_table
+from .descriptor import MachineDescription
+from .memory import MemorySystem
+
+# NumPy integer wraparound is the desired machine semantics.
+np.seterr(over="ignore", invalid="ignore", divide="ignore")
+
+_DEFAULT_INSTRUCTION_LIMIT = 200_000_000
+
+
+@dataclass
+class ExecutionStats:
+    """Per-execution accounting consumed by the runtime statistics."""
+
+    kernel_cycles: int = 0
+    yield_cycles: int = 0
+    instructions: int = 0
+    flops: int = 0
+
+    def merge(self, other: "ExecutionStats") -> None:
+        self.kernel_cycles += other.kernel_cycles
+        self.yield_cycles += other.yield_cycles
+        self.instructions += other.instructions
+        self.flops += other.flops
+
+
+@dataclass
+class ExecutableFunction:
+    """A lowered function: blocks of (instruction, cost, overhead)."""
+
+    function: IRFunction
+    cost_table: FunctionCostTable
+    blocks: Dict[str, tuple] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.function.name
+
+    @property
+    def warp_size(self) -> int:
+        return self.function.warp_size
+
+
+class Interpreter:
+    """Executes lowered IR functions against a memory system."""
+
+    def __init__(
+        self,
+        machine: MachineDescription,
+        memory: MemorySystem,
+        instruction_limit: int = _DEFAULT_INSTRUCTION_LIMIT,
+    ):
+        self.machine = machine
+        self.memory = memory
+        self.instruction_limit = instruction_limit
+
+    # -- lowering ("code generation") ------------------------------------
+
+    def load_function(self, function: IRFunction) -> ExecutableFunction:
+        cost_table = build_cost_table(function, self.machine)
+        executable = ExecutableFunction(
+            function=function, cost_table=cost_table
+        )
+        for block in function.ordered_blocks():
+            body = []
+            for instruction in block.instructions:
+                cost = cost_table.cost_of(instruction)
+                body.append(
+                    (
+                        instruction,
+                        cost.cycles,
+                        cost.flops,
+                        bool(getattr(instruction, "overhead", False)),
+                    )
+                )
+            terminator = block.terminator
+            terminator_cost = cost_table.cost_of(terminator)
+            executable.blocks[block.label] = (
+                tuple(body),
+                terminator,
+                terminator_cost.cycles,
+                bool(getattr(terminator, "overhead", False)),
+            )
+        return executable
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(
+        self,
+        executable: ExecutableFunction,
+        warp,
+        param_base: int,
+        stats: Optional[ExecutionStats] = None,
+    ) -> int:
+        """Run ``warp`` through ``executable`` from its scheduler block.
+
+        Returns the resume status; each context's ``resume_point`` has
+        been updated by the exit handlers before a branch/barrier yield.
+        """
+        state = _WarpState(
+            interpreter=self,
+            executable=executable,
+            warp=warp,
+            param_base=param_base,
+        )
+        status = state.run()
+        if stats is not None:
+            stats.merge(state.stats)
+        return status
+
+
+class _WarpState:
+    """Mutable state of one warp execution."""
+
+    def __init__(self, interpreter, executable, warp, param_base):
+        self.machine = interpreter.machine
+        self.memory = interpreter.memory
+        self.limit = interpreter.instruction_limit
+        self.executable = executable
+        self.function = executable.function
+        self.warp = warp
+        self.contexts = warp.contexts
+        self.param_base = param_base
+        self.warp_size = executable.warp_size
+        self.registers: Dict[str, object] = {}
+        self.stats = ExecutionStats()
+        self._constants: Dict[int, object] = {}
+        if len(self.contexts) != self.warp_size:
+            raise ExecutionError(
+                f"{executable.name}: warp of {len(self.contexts)} threads "
+                f"given to a warp-size-{self.warp_size} specialization"
+            )
+
+    # -- value plumbing ------------------------------------------------------
+
+    def fetch(self, value):
+        if isinstance(value, VirtualRegister):
+            current = self.registers.get(value.name)
+            if current is None:
+                current = self._default(value)
+                self.registers[value.name] = current
+            return current
+        cached = self._constants.get(id(value))
+        if cached is None:
+            cached = value.dtype.numpy_dtype.type(value.value)
+            self._constants[id(value)] = cached
+        return cached
+
+    def fetch_typed(self, value, dtype):
+        """Fetch and bit-reinterpret to the instruction's type (PTX
+        registers are untyped bit containers; instructions impose the
+        interpretation, e.g. ``max.s32`` on a ``.u32`` register)."""
+        fetched = self.fetch(value)
+        wanted = dtype.numpy_dtype
+        current = getattr(fetched, "dtype", None)
+        if current is None or current == wanted:
+            return fetched
+        if dtype.is_predicate or current == np.bool_:
+            return fetched
+        if current.itemsize == wanted.itemsize:
+            return fetched.view(wanted)
+        return fetched.astype(wanted)
+
+    def _default(self, register: VirtualRegister):
+        dtype = register.dtype.numpy_dtype
+        if register.width > 1:
+            return np.zeros(register.width, dtype=dtype)
+        return dtype.type(0)
+
+    def set(self, register: VirtualRegister, value) -> None:
+        self.registers[register.name] = value
+
+    # -- address resolution ----------------------------------------------
+
+    def resolve_address(self, space, base, offset: int, lane: int) -> int:
+        address = int(base) + offset
+        if space is AddressSpace.global_:
+            return address
+        if space is AddressSpace.param:
+            return self.param_base + address
+        if space is AddressSpace.shared:
+            return self.contexts[lane].shared_base + address
+        if space is AddressSpace.local:
+            return self.contexts[lane].local_base + address
+        raise ExecutionError(f"unresolvable address space {space}")
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> int:
+        blocks = self.executable.blocks
+        label = self.function.entry_label
+        executed = 0
+        stats = self.stats
+        while True:
+            body, terminator, terminator_cycles, terminator_overhead = (
+                blocks[label]
+            )
+            for instruction, cycles, flops, overhead in body:
+                _HANDLERS[type(instruction)](self, instruction)
+                if overhead:
+                    stats.yield_cycles += cycles
+                else:
+                    stats.kernel_cycles += cycles
+                stats.flops += flops
+            executed += len(body) + 1
+            if executed > self.limit:
+                raise ExecutionError(
+                    f"{self.executable.name}: instruction limit exceeded "
+                    f"({self.limit}); possible infinite loop"
+                )
+            stats.instructions = executed
+            if terminator_overhead:
+                stats.yield_cycles += terminator_cycles
+            else:
+                stats.kernel_cycles += terminator_cycles
+            next_label = _TERMINATORS[type(terminator)](self, terminator)
+            if isinstance(next_label, int):
+                stats.instructions = executed
+                return next_label
+            label = next_label
+
+    # -- instruction implementations ---------------------------------------
+
+    def _binary(self, inst: BinaryOp) -> None:
+        a = self.fetch_typed(inst.a, inst.dtype)
+        b = self.fetch_typed(inst.b, inst.dtype)
+        self.set(inst.dst, _BINARY_IMPL[inst.op](a, b, inst.dtype))
+
+    def _unary(self, inst: UnaryOp) -> None:
+        a = self.fetch_typed(inst.a, inst.dtype)
+        op = inst.op
+        if op == "mov":
+            result = a
+            if (
+                inst.dst.width > 1
+                and not (isinstance(a, np.ndarray) and a.ndim == 1)
+            ):
+                result = np.full(
+                    inst.dst.width, a, dtype=inst.dtype.numpy_dtype
+                )
+        elif op == "neg":
+            result = np.negative(a)
+        elif op == "abs":
+            result = np.abs(a)
+        elif op == "not":
+            if inst.dtype.is_predicate:
+                result = np.logical_not(a)
+            else:
+                result = np.invert(a)
+        elif op == "cnot":
+            result = np.where(
+                a == 0, inst.dtype.numpy_dtype.type(1),
+                inst.dtype.numpy_dtype.type(0),
+            )
+        else:
+            raise ExecutionError(f"unknown unary op {op}")
+        self.set(inst.dst, result)
+
+    def _fma(self, inst: FusedMultiplyAdd) -> None:
+        a = self.fetch_typed(inst.a, inst.dtype)
+        b = self.fetch_typed(inst.b, inst.dtype)
+        c = self.fetch_typed(inst.c, inst.dtype)
+        self.set(inst.dst, a * b + c)
+
+    def _compare(self, inst: Compare) -> None:
+        a = self.fetch_typed(inst.a, inst.dtype)
+        b = self.fetch_typed(inst.b, inst.dtype)
+        self.set(inst.dst, _COMPARE_IMPL[inst.op](a, b))
+
+    def _select(self, inst: Select) -> None:
+        predicate = self.fetch(inst.predicate)
+        a = self.fetch(inst.a)
+        b = self.fetch(inst.b)
+        if inst.dst.width > 1:
+            result = np.where(predicate, a, b).astype(
+                inst.dtype.numpy_dtype
+            )
+        else:
+            result = a if bool(predicate) else b
+            result = inst.dtype.numpy_dtype.type(result)
+        self.set(inst.dst, result)
+
+    def _convert(self, inst: Convert) -> None:
+        source = self.fetch_typed(inst.src, inst.src_type)
+        destination_dtype = inst.dst_type
+        numpy_dtype = destination_dtype.numpy_dtype
+        if destination_dtype.is_float or not inst.src_type.is_float:
+            result = np.asarray(source).astype(numpy_dtype)
+        else:
+            rounding = inst.rounding or "rzi"
+            if rounding == "rni":
+                rounded = np.rint(source)
+            elif rounding == "rmi":
+                rounded = np.floor(source)
+            elif rounding == "rpi":
+                rounded = np.ceil(source)
+            else:
+                rounded = np.trunc(source)
+            result = np.asarray(rounded).astype(numpy_dtype)
+        if result.ndim == 0:
+            result = result[()]
+        self.set(inst.dst, result)
+
+    def _intrinsic(self, inst: Intrinsic) -> None:
+        argument = self.fetch(inst.args[0])
+        name = inst.name
+        if name == "sqrt":
+            result = np.sqrt(argument)
+        elif name == "rsqrt":
+            result = 1.0 / np.sqrt(argument)
+        elif name == "rcp":
+            result = 1.0 / np.asarray(argument)
+        elif name == "sin":
+            result = np.sin(argument)
+        elif name == "cos":
+            result = np.cos(argument)
+        elif name == "ex2":
+            result = np.exp2(argument)
+        elif name == "lg2":
+            result = np.log2(argument)
+        else:
+            raise ExecutionError(f"unknown intrinsic {name}")
+        numpy_dtype = inst.dtype.numpy_dtype
+        result = np.asarray(result).astype(numpy_dtype)
+        if result.ndim == 0:
+            result = result[()]
+        self.set(inst.dst, result)
+
+    def _load(self, inst: Load) -> None:
+        address = self.resolve_address(
+            inst.space, self.fetch(inst.base), inst.offset, inst.lane
+        )
+        self.set(inst.dst, self.memory.load(inst.dtype, address))
+
+    def _store(self, inst: Store) -> None:
+        address = self.resolve_address(
+            inst.space, self.fetch(inst.base), inst.offset, inst.lane
+        )
+        self.memory.store(inst.dtype, address, self.fetch(inst.value))
+
+    def _vector_load(self, inst: VectorLoad) -> None:
+        address = self.resolve_address(
+            inst.space, self.fetch(inst.base), inst.offset, inst.lane
+        )
+        self.set(
+            inst.dst,
+            self.memory.read_array(
+                address, inst.dtype.numpy_dtype, inst.dst.width
+            ),
+        )
+
+    def _vector_store(self, inst: VectorStore) -> None:
+        address = self.resolve_address(
+            inst.space, self.fetch(inst.base), inst.offset, inst.lane
+        )
+        value = self.fetch(inst.value)
+        width = self.warp_size
+        array = np.asarray(value, dtype=inst.dtype.numpy_dtype)
+        if array.ndim == 0:
+            array = np.full(
+                width, array, dtype=inst.dtype.numpy_dtype
+            )
+        self.memory.write_array(address, array)
+
+    def _atomic(self, inst: AtomicRMW) -> None:
+        address = self.resolve_address(
+            inst.space, self.fetch(inst.base), inst.offset, inst.lane
+        )
+        old = self.memory.load(inst.dtype, address)
+        operand = self.fetch(inst.value)
+        op = inst.op
+        if op == "add":
+            new = old + operand
+        elif op == "min":
+            new = min(old, operand)
+        elif op == "max":
+            new = max(old, operand)
+        elif op == "exch":
+            new = operand
+        elif op == "and":
+            new = old & operand
+        elif op == "or":
+            new = old | operand
+        elif op == "xor":
+            new = old ^ operand
+        elif op == "inc":
+            new = 0 if old >= operand else old + 1
+        elif op == "dec":
+            new = operand if (old == 0 or old > operand) else old - 1
+        elif op == "cas":
+            compare = self.fetch(inst.compare)
+            new = operand if old == compare else old
+        else:
+            raise ExecutionError(f"unknown atomic op {op}")
+        self.memory.store(inst.dtype, address, new)
+        if inst.dst is not None:
+            self.set(inst.dst, old)
+
+    def _context_read(self, inst: ContextRead) -> None:
+        context = self.contexts[inst.lane]
+        field_name = inst.field_name
+        value = _CONTEXT_GETTERS[field_name](context, self, inst.lane)
+        self.set(inst.dst, inst.dtype.numpy_dtype.type(value))
+
+    def _context_write(self, inst: ContextWrite) -> None:
+        context = self.contexts[inst.lane]
+        if inst.field_name == "resume_point":
+            context.resume_point = int(self.fetch(inst.value))
+        else:
+            raise ExecutionError(
+                f"unwritable context field {inst.field_name}"
+            )
+
+    def _insert(self, inst: InsertElement) -> None:
+        if inst.src is None:
+            vector = np.zeros(
+                inst.dst.width, dtype=inst.dst.dtype.numpy_dtype
+            )
+        else:
+            vector = np.array(
+                self.fetch(inst.src), dtype=inst.dst.dtype.numpy_dtype
+            )
+            if vector.ndim == 0:
+                vector = np.full(
+                    inst.dst.width, vector,
+                    dtype=inst.dst.dtype.numpy_dtype,
+                )
+        vector[inst.index] = self.fetch(inst.scalar)
+        self.set(inst.dst, vector)
+
+    def _extract(self, inst: ExtractElement) -> None:
+        vector = self.fetch(inst.src)
+        if isinstance(vector, np.ndarray) and vector.ndim == 1:
+            self.set(inst.dst, vector[inst.index])
+        else:
+            self.set(inst.dst, vector)
+
+    def _broadcast(self, inst: Broadcast) -> None:
+        scalar = self.fetch(inst.src)
+        self.set(
+            inst.dst,
+            np.full(
+                inst.dst.width, scalar, dtype=inst.dst.dtype.numpy_dtype
+            ),
+        )
+
+    def _reduce(self, inst: Reduce) -> None:
+        source = np.asarray(self.fetch(inst.src))
+        op = inst.op
+        if op == "add":
+            result = int(np.count_nonzero(source)) if (
+                source.dtype == np.bool_
+            ) else int(source.sum())
+        elif op == "any":
+            result = bool(source.any())
+        elif op == "all":
+            result = bool(source.all())
+        elif op == "uni":
+            result = bool((source == source.flat[0]).all())
+        elif op == "ballot":
+            bits = 0
+            for index, value in enumerate(np.atleast_1d(source)):
+                if value:
+                    bits |= 1 << index
+            result = bits
+        else:
+            raise ExecutionError(f"unknown reduction {op}")
+        self.set(inst.dst, inst.dst.dtype.numpy_dtype.type(result))
+
+    # -- terminators -------------------------------------------------------
+
+    def _branch(self, inst: Branch):
+        return inst.target
+
+    def _cond_branch(self, inst: CondBranch):
+        predicate = self.fetch(inst.predicate)
+        return inst.taken if bool(predicate) else inst.fallthrough
+
+    def _switch(self, inst: Switch):
+        value = int(self.fetch(inst.value))
+        return inst.cases.get(value, inst.default)
+
+    def _yield(self, inst: Yield):
+        return inst.status
+
+    def _exit(self, inst: Exit):
+        return ResumeStatus.THREAD_EXIT
+
+    def _barrier_term(self, inst: BarrierTerm):
+        raise ExecutionError(
+            "raw barrier terminator reached the machine; kernels must be "
+            "specialized through the vectorizer first"
+        )
+
+
+# -- context field getters ----------------------------------------------
+
+
+def _context_getter(attribute, axis):
+    def getter(context, state, lane):
+        return getattr(context, attribute)[axis]
+
+    return getter
+
+
+_CONTEXT_GETTERS = {
+    "tid.x": _context_getter("tid", 0),
+    "tid.y": _context_getter("tid", 1),
+    "tid.z": _context_getter("tid", 2),
+    "ntid.x": _context_getter("ntid", 0),
+    "ntid.y": _context_getter("ntid", 1),
+    "ntid.z": _context_getter("ntid", 2),
+    "ctaid.x": _context_getter("ctaid", 0),
+    "ctaid.y": _context_getter("ctaid", 1),
+    "ctaid.z": _context_getter("ctaid", 2),
+    "nctaid.x": _context_getter("nctaid", 0),
+    "nctaid.y": _context_getter("nctaid", 1),
+    "nctaid.z": _context_getter("nctaid", 2),
+    "laneid": lambda context, state, lane: lane,
+    "warpid": lambda context, state, lane: state.warp.warp_id,
+    "clock": lambda context, state, lane: (
+        state.stats.kernel_cycles + state.stats.yield_cycles
+    ),
+    "resume_point": lambda context, state, lane: context.resume_point,
+}
+
+
+# -- binary operator implementations -------------------------------------
+
+
+def _shift_mask(b, dtype: DataType):
+    bits = dtype.size * 8
+    return np.asarray(b).astype(np.uint64) % bits
+
+
+def _int_div(a, b, dtype):
+    if dtype.is_float:
+        return np.asarray(a) / np.asarray(b)
+    a = np.asarray(a)
+    b = np.asarray(b)
+    safe_b = np.where(b == 0, 1, b)
+    quotient = a // safe_b
+    remainder = a - quotient * safe_b
+    if dtype.is_signed:
+        adjust = (remainder != 0) & ((a < 0) != (b < 0))
+        quotient = quotient + adjust
+    result = np.where(b == 0, 0, quotient).astype(dtype.numpy_dtype)
+    return result if result.ndim else result[()]
+
+
+def _int_rem(a, b, dtype):
+    if dtype.is_float:
+        return np.fmod(a, b)
+    quotient = _int_div(a, b, dtype)
+    b = np.asarray(b)
+    result = np.where(
+        b == 0, 0, np.asarray(a) - np.asarray(quotient) * b
+    ).astype(dtype.numpy_dtype)
+    return result if result.ndim else result[()]
+
+
+def _mulhi(a, b, dtype):
+    bits = dtype.size * 8
+    if bits <= 32:
+        wide = np.int64 if dtype.is_signed else np.uint64
+        product = np.asarray(a).astype(wide) * np.asarray(b).astype(wide)
+        result = (product >> bits).astype(dtype.numpy_dtype)
+        return result if result.ndim else result[()]
+    # 64-bit: exact Python integers.
+    a_list = np.atleast_1d(np.asarray(a)).tolist()
+    b_list = np.atleast_1d(np.asarray(b)).tolist()
+    if len(a_list) == 1 and len(b_list) > 1:
+        a_list = a_list * len(b_list)
+    if len(b_list) == 1 and len(a_list) > 1:
+        b_list = b_list * len(a_list)
+    values = [
+        ((int(x) * int(y)) >> bits) & ((1 << bits) - 1)
+        for x, y in zip(a_list, b_list)
+    ]
+    result = np.array(values).astype(dtype.numpy_dtype)
+    return result if len(values) > 1 else result[0]
+
+
+def _logical_or_bitwise(numpy_bitop, numpy_logicalop):
+    def implementation(a, b, dtype):
+        if dtype.is_predicate:
+            return numpy_logicalop(a, b)
+        return numpy_bitop(a, b)
+
+    return implementation
+
+
+_BINARY_IMPL = {
+    "add": lambda a, b, dt: a + b,
+    "sub": lambda a, b, dt: a - b,
+    "mul": lambda a, b, dt: a * b,
+    "mulhi": _mulhi,
+    "div": _int_div,
+    "rem": _int_rem,
+    "min": lambda a, b, dt: np.minimum(a, b),
+    "max": lambda a, b, dt: np.maximum(a, b),
+    "and": _logical_or_bitwise(np.bitwise_and, np.logical_and),
+    "or": _logical_or_bitwise(np.bitwise_or, np.logical_or),
+    "xor": _logical_or_bitwise(np.bitwise_xor, np.logical_xor),
+    "shl": lambda a, b, dt: (
+        a << _shift_mask(b, dt).astype(dt.numpy_dtype)
+    ),
+    "lshr": lambda a, b, dt: (
+        (
+            np.asarray(a).view(
+                np.dtype(f"u{dt.size}")
+            )
+            >> _shift_mask(b, dt).astype(np.dtype(f"u{dt.size}"))
+        ).view(dt.numpy_dtype)
+    ),
+    "ashr": lambda a, b, dt: (
+        np.asarray(a).view(np.dtype(f"i{dt.size}"))
+        >> _shift_mask(b, dt).astype(np.dtype(f"i{dt.size}"))
+    ).view(dt.numpy_dtype),
+}
+
+
+def _unordered(op):
+    def implementation(a, b):
+        nan = np.isnan(a) | np.isnan(b)
+        return op(a, b) | nan
+
+    return implementation
+
+
+_COMPARE_IMPL = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+    "ltu": _unordered(lambda a, b: a < b),
+    "leu": _unordered(lambda a, b: a <= b),
+    "gtu": _unordered(lambda a, b: a > b),
+    "geu": _unordered(lambda a, b: a >= b),
+    "num": lambda a, b: ~(np.isnan(a) | np.isnan(b)),
+    "nan": lambda a, b: np.isnan(a) | np.isnan(b),
+}
+
+
+_HANDLERS = {
+    BinaryOp: _WarpState._binary,
+    UnaryOp: _WarpState._unary,
+    FusedMultiplyAdd: _WarpState._fma,
+    Compare: _WarpState._compare,
+    Select: _WarpState._select,
+    Convert: _WarpState._convert,
+    Intrinsic: _WarpState._intrinsic,
+    Load: _WarpState._load,
+    Store: _WarpState._store,
+    VectorLoad: _WarpState._vector_load,
+    VectorStore: _WarpState._vector_store,
+    AtomicRMW: _WarpState._atomic,
+    ContextRead: _WarpState._context_read,
+    ContextWrite: _WarpState._context_write,
+    InsertElement: _WarpState._insert,
+    ExtractElement: _WarpState._extract,
+    Broadcast: _WarpState._broadcast,
+    Reduce: _WarpState._reduce,
+}
+
+_TERMINATORS = {
+    Branch: _WarpState._branch,
+    CondBranch: _WarpState._cond_branch,
+    Switch: _WarpState._switch,
+    Yield: _WarpState._yield,
+    Exit: _WarpState._exit,
+    BarrierTerm: _WarpState._barrier_term,
+}

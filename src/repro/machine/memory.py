@@ -1,0 +1,150 @@
+"""Simulated flat memory with segment windows.
+
+One byte-addressable arena backs every PTX state space:
+
+- ``global`` addresses are absolute arena addresses (kernel parameters
+  pass them around as 64-bit values, exactly as on hardware);
+- ``param`` / ``shared`` / ``local`` accesses are segment-relative and
+  resolved against per-launch / per-CTA / per-thread base addresses
+  held by the executing context (§2's multiple on-chip address spaces).
+
+Address 0 is reserved so that a null pointer always faults.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import MemoryFault
+from ..ptx.types import DataType
+
+#: Bytes reserved at the bottom of the arena (null page).
+_NULL_GUARD = 64
+
+
+class MemorySystem:
+    """Bump-allocated arena with typed loads and stores."""
+
+    def __init__(self, size: int = 1 << 24):
+        self.size = size
+        self.data = np.zeros(size, dtype=np.uint8)
+        self._brk = _NULL_GUARD
+        #: Number of loads/stores serviced (machine-level statistic).
+        self.load_count = 0
+        self.store_count = 0
+
+    # -- allocation ----------------------------------------------------------
+
+    def allocate(self, size: int, align: int = 16) -> int:
+        """Reserve ``size`` bytes and return the base address."""
+        if size < 0:
+            raise MemoryFault(self._brk, size, "negative allocation")
+        remainder = self._brk % align
+        if remainder:
+            self._brk += align - remainder
+        base = self._brk
+        if base + size > self.size:
+            raise MemoryFault(base, size, "arena exhausted")
+        self._brk += size
+        return base
+
+    def reset(self) -> None:
+        """Free everything (used between benchmark iterations)."""
+        self.data[:] = 0
+        self._brk = _NULL_GUARD
+        self.load_count = 0
+        self.store_count = 0
+
+    @property
+    def bytes_allocated(self) -> int:
+        return self._brk
+
+    # -- bounds --------------------------------------------------------------
+
+    def _check(self, address: int, size: int) -> None:
+        if address < _NULL_GUARD or address + size > self.size:
+            raise MemoryFault(address, size)
+
+    # -- typed scalar access -------------------------------------------------
+
+    def load(self, dtype: DataType, address: int):
+        """Load one value of ``dtype`` from ``address``."""
+        address = int(address)
+        if dtype.is_predicate:
+            self._check(address, 1)
+            self.load_count += 1
+            return bool(self.data[address])
+        size = dtype.size
+        self._check(address, size)
+        self.load_count += 1
+        view = self.data[address : address + size]
+        return view.view(dtype.numpy_dtype)[0]
+
+    def store(self, dtype: DataType, address: int, value) -> None:
+        """Store one value of ``dtype`` at ``address``."""
+        address = int(address)
+        if dtype.is_predicate:
+            self._check(address, 1)
+            self.store_count += 1
+            self.data[address] = 1 if value else 0
+            return
+        size = dtype.size
+        self._check(address, size)
+        self.store_count += 1
+        scalar = np.asarray(value).astype(dtype.numpy_dtype)
+        self.data[address : address + size] = np.frombuffer(
+            scalar.tobytes(), dtype=np.uint8
+        )
+
+    # -- bulk host access (the cudaMemcpy analogues) ----------------------
+
+    def write_array(self, address: int, array: np.ndarray) -> None:
+        raw = np.ascontiguousarray(array).view(np.uint8).reshape(-1)
+        self._check(address, raw.size)
+        self.data[address : address + raw.size] = raw
+
+    def read_array(
+        self,
+        address: int,
+        dtype,
+        count: int,
+    ) -> np.ndarray:
+        numpy_dtype = np.dtype(dtype)
+        nbytes = numpy_dtype.itemsize * count
+        self._check(address, nbytes)
+        raw = self.data[address : address + nbytes]
+        return raw.view(numpy_dtype).copy()
+
+    def fill(self, address: int, size: int, byte: int = 0) -> None:
+        self._check(address, size)
+        self.data[address : address + size] = byte
+
+
+class Allocation:
+    """A host-visible handle to an arena region (device buffer)."""
+
+    def __init__(
+        self, memory: MemorySystem, address: int, size: int,
+        label: Optional[str] = None,
+    ):
+        self.memory = memory
+        self.address = address
+        self.size = size
+        self.label = label
+
+    def write(self, array: np.ndarray) -> None:
+        self.memory.write_array(self.address, array)
+
+    def read(self, dtype, count: int) -> np.ndarray:
+        return self.memory.read_array(self.address, dtype, count)
+
+    def __int__(self):
+        return self.address
+
+    def __repr__(self):
+        label = f" {self.label}" if self.label else ""
+        return (
+            f"<Allocation{label} @0x{self.address:x} {self.size} bytes>"
+        )

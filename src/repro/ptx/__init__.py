@@ -1,0 +1,62 @@
+"""PTX dialect: the data-parallel virtual ISA consumed by the dynamic
+compiler (the paper's §2 execution model).
+
+Public surface:
+
+- :func:`parse` — textual assembly to :class:`Module`
+- :class:`KernelBuilder` — programmatic kernel construction
+- :class:`Module`, :class:`Kernel` — containers
+- type and instruction enums
+"""
+
+from .builder import KernelBuilder
+from .instructions import (
+    AtomicOp,
+    CompareOp,
+    Label,
+    MulMode,
+    Opcode,
+    PTXInstruction,
+    VoteMode,
+)
+from .module import Kernel, Module, Parameter, RegisterDeclaration, Variable
+from .operands import (
+    AddressOperand,
+    ImmediateOperand,
+    LabelOperand,
+    RegisterOperand,
+    SpecialRegisterOperand,
+    SymbolOperand,
+    VectorOperand,
+)
+from .parser import parse
+from .types import AddressSpace, DataType
+from .validator import validate_kernel, validate_module
+
+__all__ = [
+    "AddressOperand",
+    "AddressSpace",
+    "AtomicOp",
+    "CompareOp",
+    "DataType",
+    "ImmediateOperand",
+    "Kernel",
+    "KernelBuilder",
+    "Label",
+    "LabelOperand",
+    "Module",
+    "MulMode",
+    "Opcode",
+    "PTXInstruction",
+    "Parameter",
+    "RegisterDeclaration",
+    "RegisterOperand",
+    "SpecialRegisterOperand",
+    "SymbolOperand",
+    "Variable",
+    "VectorOperand",
+    "VoteMode",
+    "parse",
+    "validate_kernel",
+    "validate_module",
+]

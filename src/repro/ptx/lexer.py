@@ -1,0 +1,192 @@
+"""Tokenizer for the PTX dialect.
+
+Produces a flat token stream. Dotted opcode modifiers (``add.f32``) are
+tokenized as an identifier followed by directive tokens so the parser can
+interpret modifier chains uniformly.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import PTXSyntaxError
+
+
+class TokenKind(enum.Enum):
+    DIRECTIVE = "directive"  # .foo
+    IDENT = "ident"
+    REGISTER = "register"  # %foo
+    INTEGER = "integer"
+    FLOAT = "float"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self):
+        return f"Token({self.kind.value}, {self.text!r}, line={self.line})"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<hexfloat>0[fF][0-9a-fA-F]{8}|0[dD][0-9a-fA-F]{16})
+  | (?P<float>[-+]?(\d+\.\d*|\.\d+)([eE][-+]?\d+)?[fF]?
+              |[-+]?\d+[eE][-+]?\d+)
+  | (?P<hex>0[xX][0-9a-fA-F]+[Uu]?)
+  | (?P<int>[-+]?\d+[Uu]?)
+  | (?P<directive>\.[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<register>%[A-Za-z_][A-Za-z0-9_$]*)
+  | (?P<ident>[A-Za-z_$][A-Za-z0-9_$]*)
+  | (?P<punct>[{}()\[\],;:@!<>=+\-*])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def _decode_hex_float(text: str) -> float:
+    import struct
+
+    if text[1] in "fF":
+        (value,) = struct.unpack("<f", bytes.fromhex(text[2:])[::-1])
+    else:
+        (value,) = struct.unpack("<d", bytes.fromhex(text[2:])[::-1])
+    return float(value)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize PTX dialect source, raising :class:`PTXSyntaxError`
+    with line/column information on unexpected characters."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    position = 0
+    length = len(source)
+    while position < length:
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            column = position - line_start + 1
+            raise PTXSyntaxError(
+                f"unexpected character {source[position]!r}", line, column
+            )
+        kind = match.lastgroup
+        text = match.group()
+        column = position - line_start + 1
+        if kind in ("ws", "comment"):
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                line_start = position + text.rfind("\n") + 1
+        elif kind == "directive":
+            tokens.append(
+                Token(TokenKind.DIRECTIVE, text, text[1:], line, column)
+            )
+        elif kind == "register":
+            tokens.append(
+                Token(TokenKind.REGISTER, text, text[1:], line, column)
+            )
+        elif kind == "ident":
+            tokens.append(Token(TokenKind.IDENT, text, text, line, column))
+        elif kind == "hexfloat":
+            tokens.append(
+                Token(
+                    TokenKind.FLOAT,
+                    text,
+                    _decode_hex_float(text),
+                    line,
+                    column,
+                )
+            )
+        elif kind == "float":
+            tokens.append(
+                Token(
+                    TokenKind.FLOAT,
+                    text,
+                    float(text.rstrip("fF")),
+                    line,
+                    column,
+                )
+            )
+        elif kind == "hex":
+            tokens.append(
+                Token(
+                    TokenKind.INTEGER,
+                    text,
+                    int(text.rstrip("uU"), 16),
+                    line,
+                    column,
+                )
+            )
+        elif kind == "int":
+            tokens.append(
+                Token(
+                    TokenKind.INTEGER,
+                    text,
+                    int(text.rstrip("uU")),
+                    line,
+                    column,
+                )
+            )
+        elif kind == "punct":
+            tokens.append(Token(TokenKind.PUNCT, text, text, line, column))
+        position = match.end()
+    tokens.append(Token(TokenKind.EOF, "", None, line, 0))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with one-token lookahead helpers."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def at(self, kind: TokenKind, text: str = None) -> bool:
+        token = self.current
+        if token.kind is not kind:
+            return False
+        return text is None or token.text == text
+
+    def accept(self, kind: TokenKind, text: str = None):
+        if self.at(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: TokenKind, text: str = None) -> Token:
+        if not self.at(kind, text):
+            token = self.current
+            expected = text if text is not None else kind.value
+            raise PTXSyntaxError(
+                f"expected {expected!r}, found {token.text!r}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def __iter__(self) -> Iterator[Token]:
+        return iter(self._tokens[self._index :])

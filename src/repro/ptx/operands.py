@@ -1,0 +1,107 @@
+"""Operand kinds of the PTX dialect.
+
+Operands appear as sources/destinations of :class:`repro.ptx.instructions.
+PTXInstruction`. They are plain immutable value objects; the parser and
+the :class:`~repro.ptx.builder.KernelBuilder` both construct them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .types import DataType
+
+
+@dataclass(frozen=True)
+class RegisterOperand:
+    """A virtual register reference, e.g. ``%r4`` or ``%p1``.
+
+    ``negated`` is only meaningful for predicate guards (``@!%p1``).
+    """
+
+    name: str
+    dtype: DataType
+    negated: bool = False
+
+    def __str__(self):
+        prefix = "!" if self.negated else ""
+        return f"{prefix}%{self.name}"
+
+
+@dataclass(frozen=True)
+class ImmediateOperand:
+    """A literal constant, e.g. ``0f3F800000`` parsed to a Python number."""
+
+    value: object  # int or float
+    dtype: DataType
+
+    def __str__(self):
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class SpecialRegisterOperand:
+    """A PTX special register such as ``%tid.x`` or ``%nctaid.y``."""
+
+    register: str  # tid | ntid | ctaid | nctaid | laneid | warpid
+    dimension: Optional[str] = None  # x | y | z or None
+
+    VALID = ("tid", "ntid", "ctaid", "nctaid", "laneid", "warpid", "clock")
+
+    def __str__(self):
+        if self.dimension:
+            return f"%{self.register}.{self.dimension}"
+        return f"%{self.register}"
+
+
+@dataclass(frozen=True)
+class SymbolOperand:
+    """A reference to a named symbol: a kernel parameter or a module /
+    kernel scoped ``.shared``/``.const``/``.local`` variable."""
+
+    name: str
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class AddressOperand:
+    """A memory address expression ``[base (+ offset)]``.
+
+    ``base`` is a register or symbol; ``offset`` is a byte displacement.
+    """
+
+    base: object  # RegisterOperand | SymbolOperand
+    offset: int = 0
+
+    def __str__(self):
+        if self.offset:
+            return f"[{self.base}+{self.offset}]"
+        return f"[{self.base}]"
+
+
+@dataclass(frozen=True)
+class LabelOperand:
+    """A branch target label."""
+
+    name: str
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class VectorOperand:
+    """A brace-enclosed operand tuple used by vector loads/stores,
+    e.g. ``{%f1, %f2}`` for ``ld.global.v2.f32``."""
+
+    elements: Tuple[RegisterOperand, ...]
+
+    def __str__(self):
+        inner = ", ".join(str(element) for element in self.elements)
+        return "{" + inner + "}"
+
+
+Operand = object  # Union of the dataclasses above; kept loose for speed.

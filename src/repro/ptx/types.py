@@ -1,0 +1,137 @@
+"""Scalar data types of the PTX dialect.
+
+PTX types are suffixes on opcodes (``add.f32``, ``ld.global.u64``). Each
+type knows its byte width, signedness and the numpy dtype used by the
+simulated machine to hold values of that type.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class DataType(enum.Enum):
+    """A PTX scalar type (the ``.xNN`` opcode suffix)."""
+
+    u8 = "u8"
+    s8 = "s8"
+    u16 = "u16"
+    s16 = "s16"
+    u32 = "u32"
+    s32 = "s32"
+    u64 = "u64"
+    s64 = "s64"
+    f32 = "f32"
+    f64 = "f64"
+    b8 = "b8"
+    b16 = "b16"
+    b32 = "b32"
+    b64 = "b64"
+    pred = "pred"
+
+    def __str__(self):
+        return f".{self.value}"
+
+    @property
+    def size(self) -> int:
+        """Size in bytes (predicates occupy one byte in local storage)."""
+        return _SIZES[self]
+
+    @property
+    def is_float(self) -> bool:
+        return self in (DataType.f32, DataType.f64)
+
+    @property
+    def is_signed(self) -> bool:
+        return self in (DataType.s8, DataType.s16, DataType.s32, DataType.s64)
+
+    @property
+    def is_unsigned(self) -> bool:
+        return self in (
+            DataType.u8,
+            DataType.u16,
+            DataType.u32,
+            DataType.u64,
+        )
+
+    @property
+    def is_integer(self) -> bool:
+        return self.is_signed or self.is_unsigned or self.is_untyped_bits
+
+    @property
+    def is_untyped_bits(self) -> bool:
+        return self in (DataType.b8, DataType.b16, DataType.b32, DataType.b64)
+
+    @property
+    def is_predicate(self) -> bool:
+        return self is DataType.pred
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The numpy dtype the machine uses for registers of this type."""
+        return _NUMPY[self]
+
+    @classmethod
+    def parse(cls, text: str) -> "DataType":
+        """Parse a suffix with or without the leading dot."""
+        return cls(text.lstrip("."))
+
+
+_SIZES = {
+    DataType.u8: 1,
+    DataType.s8: 1,
+    DataType.b8: 1,
+    DataType.u16: 2,
+    DataType.s16: 2,
+    DataType.b16: 2,
+    DataType.u32: 4,
+    DataType.s32: 4,
+    DataType.b32: 4,
+    DataType.f32: 4,
+    DataType.u64: 8,
+    DataType.s64: 8,
+    DataType.b64: 8,
+    DataType.f64: 8,
+    DataType.pred: 1,
+}
+
+_NUMPY = {
+    DataType.u8: np.dtype(np.uint8),
+    DataType.s8: np.dtype(np.int8),
+    DataType.b8: np.dtype(np.uint8),
+    DataType.u16: np.dtype(np.uint16),
+    DataType.s16: np.dtype(np.int16),
+    DataType.b16: np.dtype(np.uint16),
+    DataType.u32: np.dtype(np.uint32),
+    DataType.s32: np.dtype(np.int32),
+    DataType.b32: np.dtype(np.uint32),
+    DataType.f32: np.dtype(np.float32),
+    DataType.u64: np.dtype(np.uint64),
+    DataType.s64: np.dtype(np.int64),
+    DataType.b64: np.dtype(np.uint64),
+    DataType.f64: np.dtype(np.float64),
+    DataType.pred: np.dtype(np.bool_),
+}
+
+
+class AddressSpace(enum.Enum):
+    """PTX state spaces reachable by ``ld``/``st``/``atom``."""
+
+    global_ = "global"
+    shared = "shared"
+    local = "local"
+    param = "param"
+    const = "const"
+    generic = "generic"
+
+    def __str__(self):
+        return f".{self.value}"
+
+    @classmethod
+    def parse(cls, text: str) -> "AddressSpace":
+        text = text.lstrip(".")
+        if text == "global":
+            return cls.global_
+        return cls(text)

@@ -1,0 +1,31 @@
+"""Runtime: thread contexts, dynamic execution manager, warp formation,
+translation cache, launcher and statistics (§3, §5)."""
+
+from .config import (
+    ExecutionConfig,
+    baseline_config,
+    static_tie_config,
+    vectorized_config,
+)
+from .context import ThreadContext, Warp
+from .execution_manager import ExecutionManager, LaunchGeometry
+from .launcher import KernelLauncher, LaunchResult, partition_ctas
+from .statistics import LaunchStatistics
+from .translation_cache import CacheStatistics, TranslationCache
+
+__all__ = [
+    "CacheStatistics",
+    "ExecutionConfig",
+    "ExecutionManager",
+    "KernelLauncher",
+    "LaunchGeometry",
+    "LaunchResult",
+    "LaunchStatistics",
+    "ThreadContext",
+    "TranslationCache",
+    "Warp",
+    "baseline_config",
+    "partition_ctas",
+    "static_tie_config",
+    "vectorized_config",
+]

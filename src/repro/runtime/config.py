@@ -1,0 +1,144 @@
+"""Execution configuration: which specializations exist and how warps
+are formed. Mirrors the experiment axes of §6."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Configuration of the dynamic compilation pipeline + runtime.
+
+    Attributes
+    ----------
+    warp_sizes:
+        Specialization widths kept in the translation cache. The paper
+        uses (1, 2, 4) on the 4-wide SSE machine (§4.1: "each kernel
+        has been specialized for warp sizes of 1 thread, 2 threads, and
+        4 threads").
+    static_warps:
+        Static warp formation (§6.2): warps are consecutive ``tid.x``
+        threads of one CTA instead of dynamically re-formed groups.
+    thread_invariant_elimination:
+        Scalarize provably thread-invariant expressions (§6.2).
+    optimize:
+        Run the traditional cleanup pipeline (constant folding, CSE,
+        DCE, block fusion) after vectorization (§5.1).
+    scalar_yields_at_branches:
+        Whether the width-1 specialization yields at conditional
+        branches so threads can re-form wider warps (Fig. 4b). ``None``
+        = automatic: True when wider specializations exist, False for
+        the pure scalar baseline.
+    cta_window:
+        How many CTAs each execution manager keeps simultaneously
+        active (bounds shared/local memory footprint).
+    allow_cross_cta_warps:
+        Permit warps mixing threads of different CTAs (Fig. 2 draws
+        the formation pool from several CTAs). Off by default: warp
+        primitives (``vote``) are warp-scoped, and same-CTA formation
+        matches Ocelot's multicore backend.
+    """
+
+    warp_sizes: Tuple[int, ...] = (1, 2, 4)
+    static_warps: bool = False
+    thread_invariant_elimination: bool = False
+    optimize: bool = True
+    scalar_yields_at_branches: Optional[bool] = None
+    cta_window: int = 4
+    allow_cross_cta_warps: bool = False
+    #: Enable the affine vector-memory optimization (§4 future work):
+    #: contiguous per-lane accesses become single vector loads/stores.
+    #: Only effective together with static_warps.
+    vector_memory: bool = False
+    #: If-convert short pure diamonds into selects before vectorizing
+    #: (the predication-style conditional data flow of Karrenberg/Shin,
+    #: §7) — trades both-arms execution for fewer divergence yields.
+    if_conversion: bool = False
+
+    def __post_init__(self):
+        if not self.warp_sizes:
+            raise ValueError("warp_sizes must not be empty")
+        if sorted(self.warp_sizes) != list(self.warp_sizes):
+            raise ValueError("warp_sizes must be ascending")
+        if 1 not in self.warp_sizes:
+            raise ValueError(
+                "a width-1 specialization is required (threads resume "
+                "scalar execution after divergence)"
+            )
+
+    @property
+    def max_warp_size(self) -> int:
+        return max(self.warp_sizes)
+
+    @property
+    def vectorized(self) -> bool:
+        return self.max_warp_size > 1
+
+    def yields_at_branches(self, warp_size: int) -> bool:
+        """Yield policy of one specialization.
+
+        Dynamic formation: sub-maximal widths yield at every formerly
+        conditional branch so the execution manager can re-form wider
+        warps (Fig. 4b's reconvergence). The maximal width yields only
+        on divergence (Algorithm 2's switch).
+
+        Static formation (§6.2): the thread-to-warp mapping is fixed a
+        priori, so chasing re-formation is pointless — diverged
+        sub-warps run on without yielding and only barriers regroup
+        them ("constrained warp formation").
+        """
+        if self.static_warps:
+            return False
+        if warp_size >= self.max_warp_size:
+            return False
+        if warp_size == 1 and self.scalar_yields_at_branches is not None:
+            return self.scalar_yields_at_branches
+        return True
+
+    def cache_key(self) -> tuple:
+        return (
+            self.warp_sizes,
+            self.static_warps,
+            self.thread_invariant_elimination,
+            self.optimize,
+            self.scalar_yields_at_branches,
+            self.vector_memory,
+            self.if_conversion,
+        )
+
+
+def baseline_config() -> ExecutionConfig:
+    """The paper's baseline: pure scalar serialization with the
+    [16]-style thread scheduler — no vectorization, no branch yields."""
+    return ExecutionConfig(
+        warp_sizes=(1,), scalar_yields_at_branches=False
+    )
+
+
+def vectorized_config(max_warp_size: int = 4) -> ExecutionConfig:
+    """Dynamic warp formation with specializations up to
+    ``max_warp_size`` (Figure 6's configuration)."""
+    sizes = [1]
+    while sizes[-1] * 2 <= max_warp_size:
+        sizes.append(sizes[-1] * 2)
+    return ExecutionConfig(warp_sizes=tuple(sizes))
+
+
+def static_tie_config(
+    max_warp_size: int = 4, vector_memory: bool = False
+) -> ExecutionConfig:
+    """Static warp formation + thread-invariant elimination
+    (Figure 10's configuration). ``vector_memory=True`` additionally
+    enables the affine vector load/store optimization the paper left
+    as future work."""
+    sizes = [1]
+    while sizes[-1] * 2 <= max_warp_size:
+        sizes.append(sizes[-1] * 2)
+    return ExecutionConfig(
+        warp_sizes=tuple(sizes),
+        static_warps=True,
+        thread_invariant_elimination=True,
+        vector_memory=vector_memory,
+    )

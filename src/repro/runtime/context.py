@@ -1,0 +1,84 @@
+"""Thread contexts and warps.
+
+A :class:`ThreadContext` is the paper's "context object identifying the
+executing thread" (§4): grid/block geometry, thread coordinates, base
+pointers for its shared and local segments, and the resume point used
+by the yield-on-diverge machinery. A :class:`Warp` is an ordered
+collection of contexts entering the same block (§3, "warp formation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..ir.instructions import ResumeStatus
+
+
+@dataclass
+class ThreadContext:
+    """One light-weight PTX thread."""
+
+    tid: Tuple[int, int, int]
+    ntid: Tuple[int, int, int]
+    ctaid: Tuple[int, int, int]
+    nctaid: Tuple[int, int, int]
+    #: Absolute arena address of this thread's CTA shared segment.
+    shared_base: int = 0
+    #: Absolute arena address of this thread's private local segment
+    #: (user .local variables followed by the spill area).
+    local_base: int = 0
+    #: Entry-point ID at which the thread resumes (0 = kernel entry).
+    resume_point: int = 0
+    #: Last resume status observed for this thread.
+    status: int = ResumeStatus.RUNNING
+
+    @property
+    def linear_tid(self) -> int:
+        x, y, z = self.tid
+        nx, ny, _ = self.ntid
+        return x + nx * (y + ny * z)
+
+    @property
+    def linear_ctaid(self) -> int:
+        x, y, z = self.ctaid
+        nx, ny, _ = self.nctaid
+        return x + nx * (y + ny * z)
+
+    @property
+    def global_linear_id(self) -> int:
+        threads_per_cta = self.ntid[0] * self.ntid[1] * self.ntid[2]
+        return self.linear_ctaid * threads_per_cta + self.linear_tid
+
+    def __repr__(self):
+        return (
+            f"<Thread cta={self.ctaid} tid={self.tid} "
+            f"entry={self.resume_point}>"
+        )
+
+
+@dataclass
+class Warp:
+    """Threads executing one vectorized subkernel entry together."""
+
+    contexts: List[ThreadContext]
+    warp_id: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.contexts)
+
+    @property
+    def entry_point(self) -> int:
+        return self.contexts[0].resume_point
+
+    def validate(self) -> bool:
+        """All member threads must wait at the same entry point."""
+        entry = self.entry_point
+        return all(c.resume_point == entry for c in self.contexts)
+
+    def __repr__(self):
+        return (
+            f"<Warp #{self.warp_id} size={self.size} "
+            f"entry={self.entry_point}>"
+        )

@@ -1,0 +1,440 @@
+"""The dynamic execution manager (§3, §5.2).
+
+One execution manager runs per worker thread. It owns the thread
+contexts of its assigned CTAs, per-CTA shared memory and per-thread
+local memory, a ready pool, and the warp former. The main loop:
+
+1. pick a ready entry point (round-robin over the pool),
+2. form the largest possible warp of threads waiting at that entry
+   (dynamic formation; or a consecutive-``tid.x`` run under static
+   formation),
+3. query the translation cache for the matching specialization and
+   execute it,
+4. act on the warp's resume status: re-insert branching threads into
+   the ready pool, park barrier threads in their CTA's barrier pool
+   (releasing the pool when every live CTA thread has arrived), and
+   discard exited threads.
+
+This iterates until all threads of the window have terminated (§3:
+"This process iterates until all threads have terminated").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import LaunchError
+from ..ir.instructions import ResumeStatus
+from ..machine.descriptor import MachineDescription
+from ..machine.interpreter import ExecutionStats, Interpreter
+from ..machine.memory import MemorySystem
+from ..transforms.vectorize import assign_spill_slots
+from .config import ExecutionConfig
+from .context import ThreadContext, Warp
+from .statistics import LaunchStatistics
+from .translation_cache import TranslationCache
+
+
+@dataclass(frozen=True)
+class LaunchGeometry:
+    """Grid and block dimensions of one kernel launch."""
+
+    grid: Tuple[int, int, int]
+    block: Tuple[int, int, int]
+
+    @property
+    def threads_per_cta(self) -> int:
+        return self.block[0] * self.block[1] * self.block[2]
+
+    @property
+    def cta_count(self) -> int:
+        return self.grid[0] * self.grid[1] * self.grid[2]
+
+    @property
+    def total_threads(self) -> int:
+        return self.threads_per_cta * self.cta_count
+
+    def cta_coordinates(self, linear: int) -> Tuple[int, int, int]:
+        gx, gy, _ = self.grid
+        x = linear % gx
+        y = (linear // gx) % gy
+        z = linear // (gx * gy)
+        return (x, y, z)
+
+    def thread_coordinates(self, linear: int) -> Tuple[int, int, int]:
+        bx, by, _ = self.block
+        x = linear % bx
+        y = (linear // bx) % by
+        z = linear // (bx * by)
+        return (x, y, z)
+
+
+class _ReadyPool:
+    """Ready threads grouped by formation key, visited round-robin.
+
+    The key is the entry point (plus the CTA, unless cross-CTA warps
+    are allowed): §5.2's "largest warp possible from other ready
+    threads with the same entry point".
+    """
+
+    def __init__(self, cross_cta: bool = False):
+        self._queues: "OrderedDict[tuple, deque]" = OrderedDict()
+        self._cross_cta = cross_cta
+        self.size = 0
+
+    def _key(self, context: ThreadContext) -> tuple:
+        if self._cross_cta:
+            return (context.resume_point,)
+        return (context.resume_point, context.linear_ctaid)
+
+    def push(self, context: ThreadContext) -> None:
+        key = self._key(context)
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = deque()
+            self._queues[key] = queue
+        queue.append(context)
+        self.size += 1
+
+    def pop_group(self, limit: int) -> List[ThreadContext]:
+        """Take up to ``limit`` threads waiting at the next entry point
+        in round-robin order."""
+        while self._queues:
+            key, queue = next(iter(self._queues.items()))
+            if not queue:
+                del self._queues[key]
+                continue
+            members = []
+            while queue and len(members) < limit:
+                members.append(queue.popleft())
+            self.size -= len(members)
+            if not queue:
+                del self._queues[key]
+            else:
+                # Round-robin: move the group to the back.
+                self._queues.move_to_end(key)
+            return members
+        return []
+
+    def __bool__(self):
+        return self.size > 0
+
+
+class ExecutionManager:
+    """Orchestrates the threads of the CTAs assigned to one worker."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        machine: MachineDescription,
+        memory: MemorySystem,
+        interpreter: Interpreter,
+        cache: TranslationCache,
+        config: ExecutionConfig,
+    ):
+        self.worker_id = worker_id
+        self.machine = machine
+        self.memory = memory
+        self.interpreter = interpreter
+        self.cache = cache
+        self.config = config
+        self.stats = LaunchStatistics()
+        #: Optional callable receiving (event, payload) tuples:
+        #: ("warp", ...), ("yield", ...), ("barrier_release", ...).
+        #: Set through KernelLauncher.trace; None disables tracing.
+        self.trace = None
+        self._warp_counter = 0
+        self._shared_slabs: List[int] = []
+        self._shared_slab_bytes = 0
+        self._local_slab: Optional[int] = None
+        self._local_slab_bytes = 0
+
+    # -- public --------------------------------------------------------------
+
+    def run(
+        self,
+        kernel_name: str,
+        geometry: LaunchGeometry,
+        cta_ids: List[int],
+        param_base: int,
+    ) -> LaunchStatistics:
+        """Execute the assigned CTAs to completion."""
+        kernel = self.cache.kernel(kernel_name)
+        scalar = self.cache.scalar_ir(kernel_name)
+        _, spill_size = assign_spill_slots(scalar)
+        local_bytes = _align(scalar.local_segment_size + spill_size, 16)
+        shared_bytes = _align(max(kernel.shared_size, 1), 16)
+        window = max(1, self.config.cta_window)
+        self._reserve_slabs(
+            window, shared_bytes, local_bytes, geometry.threads_per_cta
+        )
+        for start in range(0, len(cta_ids), window):
+            self._run_window(
+                kernel_name,
+                geometry,
+                cta_ids[start : start + window],
+                param_base,
+                shared_bytes,
+                local_bytes,
+            )
+        return self.stats
+
+    # -- memory slabs ----------------------------------------------------
+
+    def _reserve_slabs(
+        self,
+        window: int,
+        shared_bytes: int,
+        local_bytes: int,
+        threads_per_cta: int,
+    ) -> None:
+        """Reuse previously reserved shared/local slabs across launches
+        (growing them when a kernel needs more)."""
+        if (
+            len(self._shared_slabs) < window
+            or self._shared_slab_bytes < shared_bytes
+        ):
+            self._shared_slabs = [
+                self.memory.allocate(shared_bytes) for _ in range(window)
+            ]
+            self._shared_slab_bytes = shared_bytes
+        total_local = max(local_bytes * threads_per_cta * window, 16)
+        if self._local_slab is None or self._local_slab_bytes < total_local:
+            self._local_slab = self.memory.allocate(total_local)
+            self._local_slab_bytes = total_local
+
+    # -- one window of CTAs ------------------------------------------------
+
+    def _run_window(
+        self,
+        kernel_name: str,
+        geometry: LaunchGeometry,
+        cta_ids: List[int],
+        param_base: int,
+        shared_bytes: int,
+        local_bytes: int,
+    ) -> None:
+        ready = _ReadyPool(cross_cta=self.config.allow_cross_cta_warps)
+        live_counts: Dict[int, int] = {}
+        barrier_pools: Dict[int, List[ThreadContext]] = {}
+        cta_of: Dict[int, int] = {}
+        threads_per_cta = geometry.threads_per_cta
+
+        # Clear the reused slabs (shared memory starts zeroed).
+        for slab in self._shared_slabs:
+            self.memory.fill(slab, shared_bytes, 0)
+        self.memory.fill(self._local_slab, self._local_slab_bytes, 0)
+
+        local_cursor = self._local_slab
+        for slot, cta_linear in enumerate(cta_ids):
+            ctaid = geometry.cta_coordinates(cta_linear)
+            shared_base = self._shared_slabs[slot]
+            live_counts[cta_linear] = threads_per_cta
+            barrier_pools[cta_linear] = []
+            for thread_linear in range(threads_per_cta):
+                context = ThreadContext(
+                    tid=geometry.thread_coordinates(thread_linear),
+                    ntid=geometry.block,
+                    ctaid=ctaid,
+                    nctaid=geometry.grid,
+                    shared_base=shared_base,
+                    local_base=local_cursor,
+                    resume_point=0,
+                )
+                local_cursor += local_bytes
+                cta_of[id(context)] = cta_linear
+                ready.push(context)
+                self.stats.threads_launched += 1
+
+        while ready:
+            warp = self._form_warp(ready)
+            executable = self.cache.get(kernel_name, warp.size)
+            restored = executable.function.restore_counts.get(
+                warp.entry_point, 0
+            )
+            self.stats.record_entry(self.worker_id, warp.size, restored)
+            self.stats.em_cycles += (
+                self.machine.em_event_cost
+                + self.machine.em_per_thread_cost * warp.size
+            )
+            if self.trace is not None:
+                self.trace(
+                    "warp",
+                    {
+                        "worker": self.worker_id,
+                        "warp_id": warp.warp_id,
+                        "size": warp.size,
+                        "entry": warp.entry_point,
+                        "kernel": kernel_name,
+                    },
+                )
+            execution = ExecutionStats()
+            status = self.interpreter.execute(
+                executable, warp, param_base, stats=execution
+            )
+            self.stats.kernel_cycles += execution.kernel_cycles
+            self.stats.yield_cycles += execution.yield_cycles
+            self.stats.instructions += execution.instructions
+            self.stats.flops += execution.flops
+            self.stats.record_yield(status)
+            if self.trace is not None:
+                self.trace(
+                    "yield",
+                    {
+                        "worker": self.worker_id,
+                        "warp_id": warp.warp_id,
+                        "status": ResumeStatus.NAMES.get(status, status),
+                    },
+                )
+            self._handle_yield(
+                status, warp, ready, live_counts, barrier_pools, cta_of
+            )
+
+        leftovers = [
+            cta for cta, waiting in barrier_pools.items() if waiting
+        ]
+        if leftovers:
+            raise LaunchError(
+                f"deadlock: CTAs {leftovers} have threads waiting at a "
+                f"barrier that can never be released"
+            )
+
+    # -- warp formation ------------------------------------------------------
+
+    def _form_warp(self, ready: _ReadyPool) -> Warp:
+        limit = self.config.max_warp_size
+        if self.config.static_warps:
+            members = self._form_static(ready, limit)
+        else:
+            group = ready.pop_group(limit)
+            size = self.cache.specialization_for(len(group))
+            members = group[:size]
+            for extra in group[size:]:
+                ready.push(extra)
+        warp = Warp(contexts=members, warp_id=self._warp_counter)
+        self._warp_counter += 1
+        return warp
+
+    def _form_static(
+        self, ready: _ReadyPool, limit: int
+    ) -> List[ThreadContext]:
+        """Static warp formation: a run of consecutively indexed
+        ``tid.x`` threads from one CTA row (§6.2)."""
+        group = ready.pop_group(limit * 4)
+        anchor = group[0]
+        window_base = (anchor.tid[0] // limit) * limit
+        run: List[ThreadContext] = [anchor]
+        rest: List[ThreadContext] = []
+        by_x: Dict[int, ThreadContext] = {}
+        for candidate in group[1:]:
+            same_row = (
+                candidate.ctaid == anchor.ctaid
+                and candidate.tid[1] == anchor.tid[1]
+                and candidate.tid[2] == anchor.tid[2]
+                and window_base
+                <= candidate.tid[0]
+                < window_base + limit
+            )
+            if same_row and candidate.tid[0] not in by_x:
+                by_x[candidate.tid[0]] = candidate
+            else:
+                rest.append(candidate)
+        next_x = anchor.tid[0] + 1
+        while next_x in by_x and len(run) < limit:
+            run.append(by_x.pop(next_x))
+            next_x += 1
+        rest.extend(by_x.values())
+        size = self.cache.specialization_for(len(run))
+        members = run[:size]
+        for extra in run[size:]:
+            ready.push(extra)
+        for extra in rest:
+            ready.push(extra)
+        return members
+
+    # -- yield handling ------------------------------------------------------
+
+    def _handle_yield(
+        self,
+        status: int,
+        warp: Warp,
+        ready: _ReadyPool,
+        live_counts: Dict[int, int],
+        barrier_pools: Dict[int, List[ThreadContext]],
+        cta_of: Dict[int, int],
+    ) -> None:
+        if status == ResumeStatus.THREAD_BRANCH:
+            for context in warp.contexts:
+                context.status = status
+                ready.push(context)
+            return
+        if status == ResumeStatus.THREAD_EXIT:
+            released: List[int] = []
+            for context in warp.contexts:
+                context.status = status
+                cta = cta_of[id(context)]
+                live_counts[cta] -= 1
+                released.append(cta)
+            for cta in set(released):
+                self._maybe_release_barrier(
+                    cta, ready, live_counts, barrier_pools
+                )
+            return
+        if status == ResumeStatus.THREAD_BARRIER:
+            self.stats.em_cycles += (
+                self.machine.em_barrier_cost * warp.size
+            )
+            arrived: List[int] = []
+            for context in warp.contexts:
+                context.status = status
+                cta = cta_of[id(context)]
+                barrier_pools[cta].append(context)
+                arrived.append(cta)
+            for cta in set(arrived):
+                self._maybe_release_barrier(
+                    cta, ready, live_counts, barrier_pools
+                )
+            return
+        raise LaunchError(f"kernel yielded unknown status {status}")
+
+    def _maybe_release_barrier(
+        self,
+        cta: int,
+        ready: _ReadyPool,
+        live_counts: Dict[int, int],
+        barrier_pools: Dict[int, List[ThreadContext]],
+    ) -> None:
+        waiting = barrier_pools[cta]
+        if waiting and len(waiting) == live_counts[cta]:
+            self.stats.em_cycles += (
+                self.machine.em_barrier_cost * len(waiting)
+            )
+            if self.trace is not None:
+                self.trace(
+                    "barrier_release",
+                    {
+                        "worker": self.worker_id,
+                        "cta": cta,
+                        "threads": len(waiting),
+                    },
+                )
+            for context in waiting:
+                ready.push(context)
+            waiting.clear()
+
+    @property
+    def total_cycles(self) -> int:
+        return (
+            self.stats.kernel_cycles
+            + self.stats.yield_cycles
+            + self.stats.em_cycles
+        )
+
+
+def _align(value: int, alignment: int) -> int:
+    remainder = value % alignment
+    if remainder:
+        return value + alignment - remainder
+    return value

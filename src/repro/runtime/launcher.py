@@ -1,0 +1,133 @@
+"""Kernel launcher: partitions the grid across worker execution
+managers (§3: "Kernel launches spawn a set of hardware threads, each
+running a dynamic execution manager. The kernel's grid of CTAs is
+statically partitioned across the set of execution managers").
+
+The workers model the paper's four hardware threads. They are executed
+sequentially here (CPython cannot run interpreters concurrently), but
+each worker accumulates its own cycle count and the launch's elapsed
+time is the maximum across workers — the quantity a wall clock would
+measure on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import LaunchError
+from ..machine.descriptor import MachineDescription
+from ..machine.interpreter import Interpreter
+from ..machine.memory import MemorySystem
+from .config import ExecutionConfig
+from .execution_manager import ExecutionManager, LaunchGeometry
+from .statistics import LaunchStatistics
+from .translation_cache import TranslationCache
+
+
+@dataclass
+class LaunchResult:
+    """Outcome of one kernel launch."""
+
+    kernel_name: str
+    geometry: LaunchGeometry
+    statistics: LaunchStatistics
+    clock_hz: float
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.statistics.elapsed_seconds(self.clock_hz)
+
+    @property
+    def gflops(self) -> float:
+        return self.statistics.gflops(self.clock_hz)
+
+    def __repr__(self):
+        return (
+            f"<LaunchResult {self.kernel_name} "
+            f"{self.elapsed_seconds * 1e3:.3f} ms modeled>"
+        )
+
+
+def partition_ctas(cta_count: int, workers: int) -> List[List[int]]:
+    """Contiguous static partition of CTA IDs across workers."""
+    if workers < 1:
+        raise LaunchError(f"invalid worker count {workers}")
+    base = cta_count // workers
+    extra = cta_count % workers
+    partitions: List[List[int]] = []
+    cursor = 0
+    for worker in range(workers):
+        size = base + (1 if worker < extra else 0)
+        partitions.append(list(range(cursor, cursor + size)))
+        cursor += size
+    return partitions
+
+
+class KernelLauncher:
+    """Owns the per-worker execution managers and dispatches launches."""
+
+    def __init__(
+        self,
+        machine: MachineDescription,
+        memory: MemorySystem,
+        interpreter: Interpreter,
+        cache: TranslationCache,
+        config: ExecutionConfig,
+    ):
+        self.machine = machine
+        self.memory = memory
+        self.interpreter = interpreter
+        self.cache = cache
+        self.config = config
+        #: Optional trace callback (event, payload) propagated to
+        #: every execution manager; None disables tracing.
+        self.trace = None
+        self.managers = [
+            ExecutionManager(
+                worker_id=worker,
+                machine=machine,
+                memory=memory,
+                interpreter=interpreter,
+                cache=cache,
+                config=config,
+            )
+            for worker in range(machine.cores)
+        ]
+
+    def launch(
+        self,
+        kernel_name: str,
+        grid: Tuple[int, int, int],
+        block: Tuple[int, int, int],
+        param_base: int,
+    ) -> LaunchResult:
+        geometry = LaunchGeometry(grid=grid, block=block)
+        if geometry.cta_count < 1 or geometry.threads_per_cta < 1:
+            raise LaunchError(
+                f"empty launch: grid={grid} block={block}"
+            )
+        partitions = partition_ctas(
+            geometry.cta_count, self.machine.cores
+        )
+        for manager in self.managers:
+            manager.trace = self.trace
+        total = LaunchStatistics()
+        for manager, cta_ids in zip(self.managers, partitions):
+            if not cta_ids:
+                continue
+            manager.stats = LaunchStatistics()
+            manager.run(kernel_name, geometry, cta_ids, param_base)
+            worker_stats = manager.stats
+            total.merge(worker_stats)
+            total.worker_cycles[manager.worker_id] = (
+                worker_stats.kernel_cycles
+                + worker_stats.yield_cycles
+                + worker_stats.em_cycles
+            )
+        return LaunchResult(
+            kernel_name=kernel_name,
+            geometry=geometry,
+            statistics=total,
+            clock_hz=self.machine.clock_hz,
+        )

@@ -1,0 +1,165 @@
+"""Runtime statistics: the quantities Figures 6-10 are built from."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..ir.instructions import ResumeStatus
+
+
+@dataclass
+class LaunchStatistics:
+    """Aggregated over all execution managers of one kernel launch."""
+
+    #: cycles spent inside vectorized subkernels (useful work)
+    kernel_cycles: int = 0
+    #: cycles spent in compiler-inserted yield machinery
+    #: (spill/restore/scheduler — Fig. 9's "yield" category)
+    yield_cycles: int = 0
+    #: cycles spent in the execution manager itself (warp formation,
+    #: barrier bookkeeping, status updates — Fig. 9's "EM" category)
+    em_cycles: int = 0
+    #: dynamic IR instructions executed
+    instructions: int = 0
+    #: single-precision floating point operations executed
+    flops: int = 0
+    #: kernel entries per warp size (Fig. 7)
+    warp_size_histogram: Dict[int, int] = field(default_factory=dict)
+    #: total threads entering kernels (sum over entries of warp size)
+    thread_entries: int = 0
+    #: total live values restored across all thread entries (Fig. 8)
+    values_restored: int = 0
+    #: yields by resume status
+    yields_by_status: Dict[int, int] = field(default_factory=dict)
+    #: number of warp executions
+    warp_executions: int = 0
+    #: threads launched
+    threads_launched: int = 0
+    #: per-worker total cycles (kernel + yield + em)
+    worker_cycles: Dict[int, int] = field(default_factory=dict)
+
+    # -- accumulation ------------------------------------------------------
+
+    def record_entry(
+        self, worker_id: int, warp_size: int, restored_values: int
+    ) -> None:
+        self.warp_executions += 1
+        self.warp_size_histogram[warp_size] = (
+            self.warp_size_histogram.get(warp_size, 0) + 1
+        )
+        self.thread_entries += warp_size
+        self.values_restored += restored_values * warp_size
+
+    def record_yield(self, status: int) -> None:
+        self.yields_by_status[status] = (
+            self.yields_by_status.get(status, 0) + 1
+        )
+
+    def merge(self, other: "LaunchStatistics") -> None:
+        self.kernel_cycles += other.kernel_cycles
+        self.yield_cycles += other.yield_cycles
+        self.em_cycles += other.em_cycles
+        self.instructions += other.instructions
+        self.flops += other.flops
+        self.thread_entries += other.thread_entries
+        self.values_restored += other.values_restored
+        self.warp_executions += other.warp_executions
+        self.threads_launched += other.threads_launched
+        for key, value in other.warp_size_histogram.items():
+            self.warp_size_histogram[key] = (
+                self.warp_size_histogram.get(key, 0) + value
+            )
+        for key, value in other.yields_by_status.items():
+            self.yields_by_status[key] = (
+                self.yields_by_status.get(key, 0) + value
+            )
+        for key, value in other.worker_cycles.items():
+            self.worker_cycles[key] = (
+                self.worker_cycles.get(key, 0) + value
+            )
+
+    # -- derived metrics -----------------------------------------------------
+
+    @property
+    def total_cycles(self) -> int:
+        return self.kernel_cycles + self.yield_cycles + self.em_cycles
+
+    @property
+    def elapsed_cycles(self) -> int:
+        """Wall-clock cycles: the slowest worker (workers run
+        concurrently on separate cores)."""
+        if not self.worker_cycles:
+            return self.total_cycles
+        return max(self.worker_cycles.values())
+
+    def elapsed_seconds(self, clock_hz: float) -> float:
+        return self.elapsed_cycles / clock_hz
+
+    def gflops(self, clock_hz: float) -> float:
+        seconds = self.elapsed_seconds(clock_hz)
+        if seconds == 0:
+            return 0.0
+        return self.flops / seconds / 1e9
+
+    @property
+    def average_warp_size(self) -> float:
+        if self.warp_executions == 0:
+            return 0.0
+        return self.thread_entries / self.warp_executions
+
+    def warp_size_fractions(self) -> Dict[int, float]:
+        """Fraction of kernel entries at each warp size (Fig. 7)."""
+        total = sum(self.warp_size_histogram.values())
+        if total == 0:
+            return {}
+        return {
+            size: count / total
+            for size, count in sorted(self.warp_size_histogram.items())
+        }
+
+    @property
+    def average_values_restored(self) -> float:
+        """Average live values restored per thread entry (Fig. 8)."""
+        if self.thread_entries == 0:
+            return 0.0
+        return self.values_restored / self.thread_entries
+
+    def cycle_fractions(self) -> Dict[str, float]:
+        """Fraction of cycles in EM / yield / subkernel (Fig. 9)."""
+        total = self.total_cycles
+        if total == 0:
+            return {"em": 0.0, "yield": 0.0, "kernel": 0.0}
+        return {
+            "em": self.em_cycles / total,
+            "yield": self.yield_cycles / total,
+            "kernel": self.kernel_cycles / total,
+        }
+
+    @property
+    def divergent_yields(self) -> int:
+        return self.yields_by_status.get(ResumeStatus.THREAD_BRANCH, 0)
+
+    @property
+    def barrier_yields(self) -> int:
+        return self.yields_by_status.get(ResumeStatus.THREAD_BARRIER, 0)
+
+    def report(self, clock_hz: float = 3.4e9) -> str:
+        fractions = self.cycle_fractions()
+        return "\n".join(
+            [
+                f"threads launched     {self.threads_launched}",
+                f"warp executions      {self.warp_executions}",
+                f"average warp size    {self.average_warp_size:.2f}",
+                f"avg values restored  "
+                f"{self.average_values_restored:.2f}",
+                f"cycles (EM/yld/krn)  {self.em_cycles}/"
+                f"{self.yield_cycles}/{self.kernel_cycles}",
+                f"cycle fractions      em={fractions['em']:.2%} "
+                f"yield={fractions['yield']:.2%} "
+                f"kernel={fractions['kernel']:.2%}",
+                f"elapsed              "
+                f"{self.elapsed_seconds(clock_hz) * 1e3:.3f} ms "
+                f"({self.gflops(clock_hz):.1f} GFLOP/s)",
+            ]
+        )

@@ -1,0 +1,163 @@
+"""The dynamic translation cache (§5.1).
+
+Responsible for producing executable specializations of each kernel:
+PTX -> scalar IR (translation), vectorization for the requested warp
+size, the traditional cleanup passes, and lowering for the machine
+("JIT compilation"). Results are memoized; execution managers query by
+(kernel, warp size) exactly as the paper describes, and translations
+happen lazily on first request.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..errors import TranslationCacheError
+from ..frontend.translator import translate_kernel
+from ..ir.function import IRFunction
+from ..machine.descriptor import MachineDescription
+from ..machine.interpreter import ExecutableFunction, Interpreter
+from ..ptx.module import Kernel, Module
+from ..transforms.if_conversion import if_convert
+from ..transforms.pass_manager import standard_cleanup_pipeline
+from ..transforms.vectorize import VectorizeOptions, vectorize_kernel
+from .config import ExecutionConfig
+
+
+@dataclass
+class CacheStatistics:
+    translations: int = 0
+    hits: int = 0
+    misses: int = 0
+    translation_seconds: float = 0.0
+    #: per-specialization static instruction counts (for §6.2's
+    #: instruction-reduction measurement)
+    instruction_counts: Dict[Tuple[str, int], int] = field(
+        default_factory=dict
+    )
+
+
+class TranslationCache:
+    """Kernel-name + warp-size keyed cache of lowered functions."""
+
+    def __init__(
+        self,
+        machine: MachineDescription,
+        interpreter: Interpreter,
+        config: ExecutionConfig,
+    ):
+        self.machine = machine
+        self.interpreter = interpreter
+        self.config = config
+        self.statistics = CacheStatistics()
+        self._kernels: Dict[str, Kernel] = {}
+        self._global_symbols: Dict[str, int] = {}
+        self._scalar_ir: Dict[str, IRFunction] = {}
+        self._specializations: Dict[
+            Tuple[str, int], ExecutableFunction
+        ] = {}
+
+    # -- registration --------------------------------------------------------
+
+    def register_module(
+        self, module: Module, global_symbols: Optional[Dict[str, int]] = None
+    ) -> None:
+        """Add a module's kernels. ``global_symbols`` maps module-scope
+        .global/.const variable names to arena addresses (assigned by
+        the device at registration)."""
+        if global_symbols:
+            self._global_symbols.update(global_symbols)
+        for kernel in module.kernels.values():
+            self._kernels[kernel.name] = kernel
+
+    def kernel(self, name: str) -> Kernel:
+        try:
+            return self._kernels[name]
+        except KeyError:
+            raise TranslationCacheError(
+                f"kernel {name!r} is not registered; "
+                f"have {sorted(self._kernels)}"
+            ) from None
+
+    # -- queries -------------------------------------------------------------
+
+    def scalar_ir(self, kernel_name: str) -> IRFunction:
+        """The scalar IR translation (shared by all specializations)."""
+        cached = self._scalar_ir.get(kernel_name)
+        if cached is None:
+            kernel = self.kernel(kernel_name)
+            cached = translate_kernel(
+                kernel, global_symbols=self._global_symbols
+            )
+            if self.config.if_conversion:
+                # Predication-style conditional data flow (§7): must
+                # happen before entry points are assigned so every
+                # specialization sees the same control structure.
+                if_convert(cached)
+            self._scalar_ir[kernel_name] = cached
+        return cached
+
+    def get(self, kernel_name: str, warp_size: int) -> ExecutableFunction:
+        """Executable specialization of ``kernel_name`` for
+        ``warp_size`` threads (translating lazily on first query)."""
+        if warp_size not in self.config.warp_sizes:
+            raise TranslationCacheError(
+                f"no warp-size-{warp_size} specialization configured "
+                f"(have {self.config.warp_sizes})"
+            )
+        key = (kernel_name, warp_size)
+        cached = self._specializations.get(key)
+        if cached is not None:
+            self.statistics.hits += 1
+            return cached
+        self.statistics.misses += 1
+        start = time.perf_counter()
+        executable = self._translate(kernel_name, warp_size)
+        self.statistics.translation_seconds += time.perf_counter() - start
+        self.statistics.translations += 1
+        self._specializations[key] = executable
+        return executable
+
+    def specialization_for(self, available_threads: int) -> int:
+        """Largest configured warp size not exceeding
+        ``available_threads`` (§5.2's warp formation query)."""
+        chosen = 1
+        for size in self.config.warp_sizes:
+            if size <= available_threads:
+                chosen = size
+        return chosen
+
+    # -- pipeline -----------------------------------------------------------
+
+    def _translate(
+        self, kernel_name: str, warp_size: int
+    ) -> ExecutableFunction:
+        scalar = self.scalar_ir(kernel_name)
+        options = VectorizeOptions(
+            warp_size=warp_size,
+            yield_at_branches=self.config.yields_at_branches(warp_size),
+            static_warps=self.config.static_warps,
+            thread_invariant_elimination=(
+                self.config.thread_invariant_elimination
+            ),
+            vector_memory=self.config.vector_memory,
+        )
+        function = vectorize_kernel(scalar, options)
+        if self.config.optimize:
+            pipeline = standard_cleanup_pipeline(verify=True)
+            function = pipeline.run(function)
+        self.statistics.instruction_counts[(kernel_name, warp_size)] = (
+            function.instruction_count()
+        )
+        return self.interpreter.load_function(function)
+
+    # -- introspection -------------------------------------------------------
+
+    def cached_specializations(self):
+        return sorted(self._specializations)
+
+    def instruction_count(self, kernel_name: str, warp_size: int) -> int:
+        self.get(kernel_name, warp_size)
+        return self.statistics.instruction_counts[(kernel_name, warp_size)]

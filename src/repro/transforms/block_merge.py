@@ -1,0 +1,49 @@
+"""Basic-block fusion (straightening).
+
+The paper's translation cache "applies existing LLVM transformation
+passes including traditional compiler optimizations such as basic block
+fusion" (§5.1). A block ending in an unconditional branch merges with
+its unique successor when that successor has no other predecessors and
+is not independently addressable (function entry, scheduler entry
+handler, or resume target).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..ir.cfg import ControlFlowGraph
+from ..ir.function import IRFunction
+from ..ir.instructions import Branch
+
+
+def merge_blocks(function: IRFunction) -> int:
+    """Fuse trivially linear block chains. Returns merges performed."""
+    merged = 0
+    protected: Set[str] = {function.entry_label}
+    protected.update(function.entry_points.values())
+    while True:
+        cfg = ControlFlowGraph(function)
+        change = False
+        for block in function.ordered_blocks():
+            terminator = block.terminator
+            if not isinstance(terminator, Branch):
+                continue
+            successor_label = terminator.target
+            if successor_label in protected:
+                continue
+            if successor_label == block.label:
+                continue
+            predecessors = cfg.predecessors.get(successor_label, [])
+            if len(predecessors) != 1:
+                continue
+            successor = function.blocks[successor_label]
+            block.terminator = None
+            block.instructions.extend(successor.instructions)
+            block.terminator = successor.terminator
+            function.remove_block(successor_label)
+            merged += 1
+            change = True
+            break
+        if not change:
+            return merged

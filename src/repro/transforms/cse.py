@@ -1,0 +1,268 @@
+"""Common-subexpression elimination.
+
+§6.2: "Standard common subexpression elimination optimizations
+downstream of vectorization eliminates redundant thread-invariant
+expressions via a conservative analysis." This pass implements local
+value numbering per block, extended across the dominator tree
+(an expression computed in a dominating block is reusable), over the
+pure instruction set: arithmetic, compares, selects, conversions,
+intrinsics, context reads and extract/insert/broadcast shuffles.
+
+Because the IR is not SSA, an available expression dies when any of its
+source registers — or its destination — is redefined. The pass tracks
+that invalidation precisely within a block and conservatively discards
+cross-block expressions whose inputs are redefined anywhere in the
+function more than once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.dominance import DominatorTree
+from ..ir.function import IRFunction
+from ..ir.instructions import (
+    BinaryOp,
+    Broadcast,
+    Compare,
+    ContextRead,
+    Convert,
+    ExtractElement,
+    FusedMultiplyAdd,
+    InsertElement,
+    Intrinsic,
+    Select,
+    UnaryOp,
+)
+from ..ir.values import Constant, VirtualRegister
+
+_COMMUTATIVE = {"add", "mul", "and", "or", "xor", "min", "max"}
+
+
+def _value_key(value) -> Optional[tuple]:
+    if isinstance(value, Constant):
+        return ("const", value.value, value.dtype.value)
+    if isinstance(value, VirtualRegister):
+        return ("reg", value.name, value.width)
+    if value is None:
+        return ("none",)
+    return None
+
+
+def _expression_key(instruction) -> Optional[tuple]:
+    """Hashable identity of a pure computation, or None if the
+    instruction is not CSE-able."""
+    if isinstance(instruction, BinaryOp):
+        a = _value_key(instruction.a)
+        b = _value_key(instruction.b)
+        if a is None or b is None:
+            return None
+        if instruction.op in _COMMUTATIVE and b < a:
+            a, b = b, a
+        return ("bin", instruction.op, instruction.dtype.value, a, b)
+    if isinstance(instruction, UnaryOp):
+        a = _value_key(instruction.a)
+        if a is None:
+            return None
+        return ("un", instruction.op, instruction.dtype.value, a)
+    if isinstance(instruction, FusedMultiplyAdd):
+        keys = tuple(
+            _value_key(v)
+            for v in (instruction.a, instruction.b, instruction.c)
+        )
+        if any(k is None for k in keys):
+            return None
+        return ("fma", instruction.dtype.value) + keys
+    if isinstance(instruction, Compare):
+        a = _value_key(instruction.a)
+        b = _value_key(instruction.b)
+        if a is None or b is None:
+            return None
+        return ("cmp", instruction.op, instruction.dtype.value, a, b)
+    if isinstance(instruction, Select):
+        keys = tuple(
+            _value_key(v)
+            for v in (instruction.a, instruction.b, instruction.predicate)
+        )
+        if any(k is None for k in keys):
+            return None
+        return ("sel", instruction.dtype.value) + keys
+    if isinstance(instruction, Convert):
+        src = _value_key(instruction.src)
+        if src is None:
+            return None
+        return (
+            "cvt",
+            instruction.dst_type.value,
+            instruction.src_type.value,
+            instruction.rounding,
+            src,
+        )
+    if isinstance(instruction, Intrinsic):
+        keys = tuple(_value_key(v) for v in instruction.args)
+        if any(k is None for k in keys):
+            return None
+        return ("call", instruction.name, instruction.dtype.value) + keys
+    if isinstance(instruction, ContextRead):
+        if instruction.field_name in ("clock", "resume_point"):
+            return None
+        return ("ctx", instruction.field_name, instruction.lane)
+    if isinstance(instruction, ExtractElement):
+        src = _value_key(instruction.src)
+        if src is None:
+            return None
+        return ("ext", src, instruction.index)
+    if isinstance(instruction, InsertElement):
+        src = _value_key(instruction.src)
+        scalar = _value_key(instruction.scalar)
+        if scalar is None:
+            return None
+        return ("ins", src, scalar, instruction.index)
+    if isinstance(instruction, Broadcast):
+        src = _value_key(instruction.src)
+        if src is None:
+            return None
+        return ("bcast", src)
+    return None
+
+
+def _key_registers(key: tuple) -> List[str]:
+    """Register names an expression key depends on."""
+    names: List[str] = []
+    stack = list(key)
+    while stack:
+        item = stack.pop()
+        if isinstance(item, tuple):
+            if len(item) == 3 and item[0] == "reg":
+                names.append(item[1])
+            else:
+                stack.extend(item)
+    return names
+
+
+def _definition_counts(function: IRFunction) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for instruction in function.instructions():
+        target = instruction.defined()
+        if target is not None:
+            counts[target.name] = counts.get(target.name, 0) + 1
+    return counts
+
+
+def eliminate_common_subexpressions(function: IRFunction) -> int:
+    """Run dominator-scoped value numbering. Returns replacements made.
+
+    Replaced instructions become copies (``mov``) from the equivalent
+    register so downstream DCE can drop them when unused.
+    """
+    replaced = 0
+    dominators = DominatorTree(function)
+    definition_counts = _definition_counts(function)
+
+    def stable(name: str) -> bool:
+        return definition_counts.get(name, 0) <= 1
+
+    # Scope tables: block label -> available expressions defined there.
+    available_per_block: Dict[str, Dict[tuple, VirtualRegister]] = {}
+
+    def lookup(label: str, key: tuple) -> Optional[VirtualRegister]:
+        current = label
+        while True:
+            table = available_per_block.get(current)
+            if table is not None and key in table:
+                return table[key]
+            parent = dominators.immediate_dominator(current)
+            if parent is None or parent == current:
+                return None
+            current = parent
+
+    for label in _domtree_preorder(dominators, function):
+        block = function.blocks[label]
+        local: Dict[tuple, VirtualRegister] = {}
+        available_per_block[label] = local
+        # Map expr keys defined locally; invalidate on redefinition.
+        by_register: Dict[str, List[tuple]] = {}
+        new_instructions = []
+        for instruction in block.instructions:
+            key = _expression_key(instruction)
+            target = instruction.defined()
+            if key is not None:
+                existing = None
+                if key in local:
+                    existing = local[key]
+                else:
+                    candidate = lookup(label, key)
+                    if candidate is not None and all(
+                        stable(name) for name in _key_registers(key)
+                    ) and stable(candidate.name):
+                        existing = candidate
+                if (
+                    existing is not None
+                    and target is not None
+                    and existing.dtype == target.dtype
+                    and existing.width == target.width
+                ):
+                    new_instructions.append(
+                        UnaryOp(
+                            op="mov",
+                            dtype=target.dtype,
+                            dst=target,
+                            a=existing,
+                        )
+                    )
+                    replaced += 1
+                    _invalidate(local, by_register, target.name)
+                    continue
+            new_instructions.append(instruction)
+            if target is not None:
+                _invalidate(local, by_register, target.name)
+                # Self-referential computations (x = fma(x, m, c)) must
+                # not be recorded: the expression reads the value the
+                # instruction itself just destroyed.
+                if key is not None and target.name not in _key_registers(
+                    key
+                ):
+                    local[key] = target
+                    for name in _key_registers(key) + [target.name]:
+                        by_register.setdefault(name, []).append(key)
+        block.instructions = new_instructions
+    return replaced
+
+
+def _invalidate(
+    local: Dict[tuple, VirtualRegister],
+    by_register: Dict[str, List[tuple]],
+    name: str,
+) -> None:
+    for key in by_register.pop(name, []):
+        local.pop(key, None)
+    # Also drop expressions whose *result* register is being renamed.
+    stale = [key for key, reg in local.items() if reg.name == name]
+    for key in stale:
+        local.pop(key, None)
+
+
+def _domtree_preorder(
+    dominators: DominatorTree, function: IRFunction
+) -> List[str]:
+    children: Dict[str, List[str]] = {}
+    entry = function.entry_label
+    for label in function.blocks:
+        parent = dominators.immediate_dominator(label)
+        if parent is not None and parent != label:
+            children.setdefault(parent, []).append(label)
+    order: List[str] = []
+    stack = [entry]
+    seen = set()
+    while stack:
+        label = stack.pop()
+        if label in seen:
+            continue
+        seen.add(label)
+        order.append(label)
+        stack.extend(reversed(children.get(label, [])))
+    # Unreachable blocks still get a local pass.
+    for label in function.blocks:
+        if label not in seen:
+            order.append(label)
+    return order

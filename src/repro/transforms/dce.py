@@ -1,0 +1,80 @@
+"""Dead-code elimination.
+
+The paper relies on "a subsequent dead-code elimination pass" to remove
+the pack/unpack instructions that explicit replication leaves unused
+(§4, Non-vectorizable Instructions). This is a liveness-driven,
+per-block backward sweep: an instruction is dead when it has no side
+effects and its destination is not read before being overwritten (or
+the block ends and the register is not live-out).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..ir.function import IRFunction
+from ..ir.instructions import (
+    AtomicRMW,
+    ContextWrite,
+    Load,
+    Store,
+    VectorStore,
+)
+from ..ir.liveness import LivenessInfo
+from ..ir.values import VirtualRegister
+
+#: Instructions that must be preserved regardless of use.
+_SIDE_EFFECTS = (Store, VectorStore, AtomicRMW, ContextWrite)
+
+
+def _has_side_effects(instruction) -> bool:
+    if isinstance(instruction, _SIDE_EFFECTS):
+        return True
+    if isinstance(instruction, Load) and instruction.volatile:
+        return True
+    return False
+
+
+def eliminate_dead_code(function: IRFunction) -> int:
+    """Remove dead instructions. Returns the number removed.
+
+    Iterates to a fixed point because removing one dead instruction can
+    make its operands' definitions dead too.
+    """
+    total_removed = 0
+    while True:
+        removed = _sweep_once(function)
+        total_removed += removed
+        if removed == 0:
+            return total_removed
+
+
+def _sweep_once(function: IRFunction) -> int:
+    liveness = LivenessInfo(function)
+    removed = 0
+    for block in function.ordered_blocks():
+        live: Set[str] = set(liveness.live_out[block.label])
+        if block.terminator is not None:
+            for value in block.terminator.uses():
+                if isinstance(value, VirtualRegister):
+                    live.add(value.name)
+        kept = []
+        for instruction in reversed(block.instructions):
+            target = instruction.defined()
+            dead = (
+                target is not None
+                and target.name not in live
+                and not _has_side_effects(instruction)
+            )
+            if dead:
+                removed += 1
+                continue
+            kept.append(instruction)
+            if target is not None:
+                live.discard(target.name)
+            for value in instruction.uses():
+                if isinstance(value, VirtualRegister):
+                    live.add(value.name)
+        kept.reverse()
+        block.instructions = kept
+    return removed

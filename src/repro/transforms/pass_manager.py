@@ -1,0 +1,98 @@
+"""Pass manager: ordered application of IR transforms with statistics.
+
+The dynamic translation cache composes a pipeline per specialization
+request (§5.1): vectorize, then the traditional cleanups (constant
+folding, CSE, DCE, block fusion), then verify.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..ir.cfg import remove_unreachable_blocks
+from ..ir.function import IRFunction
+from ..ir.verifier import verify_function
+from .block_merge import merge_blocks
+from .constant_folding import fold_constants
+from .cse import eliminate_common_subexpressions
+from .dce import eliminate_dead_code
+
+
+@dataclass
+class PassResult:
+    name: str
+    changes: int
+    seconds: float
+
+
+@dataclass
+class PassStatistics:
+    """Accumulated record of every pass application."""
+
+    results: List[PassResult] = field(default_factory=list)
+
+    def total_changes(self, name: Optional[str] = None) -> int:
+        return sum(
+            r.changes
+            for r in self.results
+            if name is None or r.name == name
+        )
+
+    def report(self) -> str:
+        lines = ["pass                      changes   seconds"]
+        for result in self.results:
+            lines.append(
+                f"{result.name:<25} {result.changes:>7} "
+                f"{result.seconds:>9.4f}"
+            )
+        return "\n".join(lines)
+
+
+class PassManager:
+    """Runs named function passes in order."""
+
+    def __init__(self, verify: bool = True):
+        self.verify = verify
+        self.statistics = PassStatistics()
+        self._passes: List[tuple] = []
+
+    def add(
+        self, name: str, function_pass: Callable[[IRFunction], int]
+    ) -> "PassManager":
+        self._passes.append((name, function_pass))
+        return self
+
+    def run(self, function: IRFunction) -> IRFunction:
+        for name, function_pass in self._passes:
+            start = time.perf_counter()
+            changes = function_pass(function) or 0
+            elapsed = time.perf_counter() - start
+            self.statistics.results.append(
+                PassResult(name=name, changes=changes, seconds=elapsed)
+            )
+        if self.verify:
+            verify_function(function)
+        return function
+
+
+def standard_cleanup_pipeline(verify: bool = True) -> PassManager:
+    """The post-vectorization cleanup pipeline the translation cache
+    applies (constant folding -> CSE -> DCE -> block fusion)."""
+    manager = PassManager(verify=verify)
+    manager.add("constant-folding", fold_constants)
+    manager.add("cse", eliminate_common_subexpressions)
+    manager.add("dce", eliminate_dead_code)
+    manager.add("block-merge", merge_blocks)
+    manager.add("unreachable-elim", remove_unreachable_blocks)
+    return manager
+
+
+DEFAULT_PASSES: Dict[str, Callable[[IRFunction], int]] = {
+    "constant-folding": fold_constants,
+    "cse": eliminate_common_subexpressions,
+    "dce": eliminate_dead_code,
+    "block-merge": merge_blocks,
+    "unreachable-elim": remove_unreachable_blocks,
+}

@@ -1,0 +1,919 @@
+"""Vectorization of data-parallel scalar kernels (§4, Algorithms 1-4).
+
+Given the scalar IR translation of a PTX kernel, produce a
+specialization for warp size ``ws`` in which one execution of each
+basic block is computationally equivalent to ``ws`` threads executing
+the scalar block:
+
+- **Algorithm 1** (``Vectorize(i, ws)``): vectorizable instructions
+  (element-wise arithmetic, compares, selects, conversions,
+  transcendental intrinsics) are promoted to vector-typed operators.
+  Non-vectorizable instructions (loads, stores, atomics, context
+  accesses) are replicated once per lane, with ``extractelement`` /
+  ``insertelement`` packing at the scalar/vector boundary (Fig. 3).
+- **Algorithm 2**: conditional branches become a predicate *sum* plus a
+  three-way switch: uniformly not-taken, uniformly taken, or divergent
+  — the divergent case enters a compiler-inserted exit handler.
+- **Algorithm 3** (``CreateScheduler``): a scheduler block switches on
+  the warp's entry ID and jumps to per-entry handlers that restore live
+  state from thread-local memory.
+- **Algorithm 4** (``CreateExits``): exit handlers spill live values to
+  thread-local memory, write each thread's resume point (a conditional
+  select over the branch targets), and yield to the execution manager
+  with a resume status (branch / barrier / exit).
+
+Thread-invariant expression elimination (§6.2) plugs in here: with
+``thread_invariant_elimination`` enabled, registers proven uniform by
+:mod:`repro.transforms.uniformity` stay scalar (width 1) and their
+defining bundles collapse to a single instruction; under static warp
+formation the per-lane ``tid.x`` reads are rewritten as ``lane0 + i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..errors import VectorizationError
+from ..ir.basicblock import BasicBlock
+from ..ir.function import IRFunction
+from ..ir.instructions import (
+    AtomicRMW,
+    BarrierTerm,
+    BinaryOp,
+    Branch,
+    Broadcast,
+    Compare,
+    CondBranch,
+    ContextRead,
+    ContextWrite,
+    Convert,
+    Exit,
+    ExtractElement,
+    FusedMultiplyAdd,
+    InsertElement,
+    Intrinsic,
+    Load,
+    Reduce,
+    ResumeStatus,
+    Select,
+    Store,
+    Switch,
+    UnaryOp,
+    VectorLoad,
+    VectorStore,
+    Yield,
+)
+from ..ir.liveness import LivenessInfo
+from ..ir.values import Constant, VirtualRegister
+from ..ptx.types import AddressSpace, DataType
+from .uniformity import UniformityInfo, analyze_affine, analyze_uniformity
+
+_VECTORIZABLE_TYPES = (
+    BinaryOp,
+    UnaryOp,
+    FusedMultiplyAdd,
+    Compare,
+    Select,
+    Convert,
+    Intrinsic,
+)
+
+
+@dataclass
+class VectorizeOptions:
+    """Configuration of one specialization.
+
+    Attributes
+    ----------
+    warp_size:
+        Number of threads interleaved into the produced function.
+    yield_at_branches:
+        If True, every (formerly conditional) branch yields to the
+        execution manager so threads can re-form wider warps — the
+        behaviour of the scalar specialization in Fig. 4(b). If False,
+        uniform branches stay inside the kernel and only divergence
+        yields (Algorithm 2's switch).
+    static_warps:
+        Warps are consecutive ``tid.x`` threads from one CTA (§6.2),
+        enabling the affine thread-ID rewrite.
+    thread_invariant_elimination:
+        Keep provably uniform registers scalar (§6.2).
+    """
+
+    warp_size: int = 4
+    yield_at_branches: bool = False
+    static_warps: bool = False
+    thread_invariant_elimination: bool = False
+    #: Replace replicated loads/stores whose addresses are provably
+    #: contiguous across the warp (affine stride == element size) with
+    #: single vector memory operations — the paper's §4 future work.
+    #: Requires static warp formation for the tid.x affinity.
+    vector_memory: bool = False
+
+
+def compute_entry_points(scalar_function: IRFunction) -> Dict[str, int]:
+    """Assign resume-point IDs to blocks of the scalar function.
+
+    The numbering must be identical for every specialization of a
+    kernel (a thread may yield from the 4-wide kernel and resume in the
+    scalar one), so it is derived purely from the scalar function:
+    entry block is 0; then, in layout order, the successors of
+    conditional branches and of barriers.
+    """
+    entry_points: Dict[str, int] = {scalar_function.entry_label: 0}
+
+    def add(label: str) -> None:
+        if label not in entry_points:
+            entry_points[label] = len(entry_points)
+
+    for block in scalar_function.ordered_blocks():
+        terminator = block.terminator
+        if isinstance(terminator, CondBranch):
+            add(terminator.taken)
+            add(terminator.fallthrough)
+        elif isinstance(terminator, BarrierTerm):
+            add(terminator.successor)
+    return entry_points
+
+
+def assign_spill_slots(scalar_function: IRFunction) -> Dict[str, int]:
+    """Byte offsets (within the per-thread spill area) for every
+    register, in deterministic name order, aligned to the value size."""
+    slots: Dict[str, int] = {}
+    offset = 0
+    registers = sorted(scalar_function.registers(), key=lambda r: r.name)
+    for register in registers:
+        size = register.dtype.size
+        remainder = offset % size
+        if remainder:
+            offset += size - remainder
+        slots[register.name] = offset
+        offset += size
+    return slots, offset
+
+
+class Vectorizer:
+    """Produces one specialization of a scalar kernel function."""
+
+    def __init__(
+        self, scalar_function: IRFunction, options: VectorizeOptions
+    ):
+        self.scalar = scalar_function
+        self.options = options
+        self.ws = options.warp_size
+        if self.ws < 1:
+            raise VectorizationError(
+                f"invalid warp size {self.ws}"
+            )
+        self.liveness = LivenessInfo(scalar_function)
+        if options.thread_invariant_elimination:
+            self.uniformity = analyze_uniformity(
+                scalar_function, static_warps=options.static_warps
+            )
+        else:
+            self.uniformity = UniformityInfo()
+        if options.vector_memory and options.static_warps:
+            affinity_base = (
+                self.uniformity
+                if options.thread_invariant_elimination
+                else analyze_uniformity(scalar_function,
+                                        static_warps=True)
+            )
+            self.affine_strides = analyze_affine(
+                scalar_function, affinity_base
+            )
+        else:
+            self.affine_strides = {}
+        self.entry_ids = compute_entry_points(scalar_function)
+        slots, spill_size = assign_spill_slots(scalar_function)
+        suffix = f"w{self.ws}"
+        if options.static_warps:
+            suffix += ".static"
+        if options.thread_invariant_elimination:
+            suffix += ".tie"
+        if options.vector_memory:
+            suffix += ".vmem"
+        base = scalar_function.name
+        if base.endswith(".scalar"):
+            base = base[: -len(".scalar")]
+        self.out = IRFunction(name=f"{base}.{suffix}", warp_size=self.ws)
+        self.out.source_kernel = scalar_function.source_kernel
+        self.out.spill_slots = slots
+        self.out.spill_size = spill_size
+        self.out.local_segment_size = scalar_function.local_segment_size
+        #: scalar register name -> specialized register
+        self.register_map: Dict[str, VirtualRegister] = {}
+        #: per-block memo of extracted lanes: name -> [lane scalars]
+        self._lane_cache: Dict[str, List[VirtualRegister]] = {}
+        #: labels whose instructions are yield overhead (Fig. 9)
+        self._overhead_blocks: Set[str] = set()
+        self.block: Optional[BasicBlock] = None
+
+    # -- register mapping --------------------------------------------------
+
+    def _is_uniform_register(self, register: VirtualRegister) -> bool:
+        return register.name in self.uniformity.uniform_registers
+
+    def map_register(self, register: VirtualRegister) -> VirtualRegister:
+        mapped = self.register_map.get(register.name)
+        if mapped is None:
+            width = (
+                1 if self._is_uniform_register(register) else self.ws
+            )
+            mapped = VirtualRegister(
+                name=register.name, dtype=register.dtype, width=width
+            )
+            self.register_map[register.name] = mapped
+        return mapped
+
+    def map_value(self, value):
+        if isinstance(value, VirtualRegister):
+            return self.map_register(value)
+        return value
+
+    def _temp(self, dtype: DataType, width: int = 1) -> VirtualRegister:
+        return self.out.fresh_register(dtype, width=width, hint="v")
+
+    # -- lane access (the memoized mapping of Algorithm 1) ----------------
+
+    def lane_value(self, value, lane: int):
+        """Scalar view of ``value`` for one lane, emitting (and
+        memoizing) an extractelement when the value is a vector."""
+        if isinstance(value, Constant):
+            return value
+        mapped = self.map_value(value)
+        if mapped.width == 1:
+            return mapped
+        cached = self._lane_cache.get(mapped.name)
+        if cached is not None and cached[lane] is not None:
+            return cached[lane]
+        if cached is None:
+            cached = [None] * self.ws
+            self._lane_cache[mapped.name] = cached
+        scalar = self._temp(mapped.dtype)
+        self.block.append(
+            ExtractElement(dst=scalar, src=mapped, index=lane)
+        )
+        cached[lane] = scalar
+        return scalar
+
+    def _invalidate_lanes(self, register: VirtualRegister) -> None:
+        self._lane_cache.pop(register.name, None)
+
+    def _pack_lanes(
+        self, destination: VirtualRegister, lanes: List[VirtualRegister]
+    ) -> None:
+        """insertelement chain producing ``destination`` from per-lane
+        scalars (Fig. 3's packing)."""
+        if destination.width == 1:
+            raise VectorizationError(
+                f"packing into scalar register {destination}"
+            )
+        current = None
+        for index, scalar in enumerate(lanes):
+            if index == len(lanes) - 1:
+                target = destination
+            else:
+                target = self._temp(destination.dtype, width=self.ws)
+            self.block.append(
+                InsertElement(
+                    dst=target, src=current, scalar=scalar, index=index
+                )
+            )
+            current = target
+        self._invalidate_lanes(destination)
+        # Memoize the lanes we just packed so immediate consumers skip
+        # the round trip through the vector register.
+        self._lane_cache[destination.name] = list(lanes)
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> IRFunction:
+        for block in self.scalar.ordered_blocks():
+            self.block = self.out.add_block(block.label)
+            self._lane_cache = {}
+            for instruction in block.instructions:
+                self._vectorize_instruction(instruction)
+            self._rewrite_terminator(block)
+        self._create_scheduler()
+        self._mark_overhead()
+        return self.out
+
+    # -- Algorithm 1: instruction vectorization -----------------------------
+
+    def _vectorize_instruction(self, instruction) -> None:
+        if isinstance(instruction, _VECTORIZABLE_TYPES):
+            self._promote(instruction)
+        elif isinstance(instruction, ContextRead):
+            self._replicate_context_read(instruction)
+        elif isinstance(instruction, ContextWrite):
+            for lane in range(self.ws):
+                self.block.append(
+                    ContextWrite(
+                        field_name=instruction.field_name,
+                        value=self.lane_value(instruction.value, lane),
+                        lane=lane,
+                    )
+                )
+        elif isinstance(instruction, Load):
+            self._replicate_load(instruction)
+        elif isinstance(instruction, Store):
+            if self._contiguous_across_warp(instruction):
+                self.block.append(
+                    VectorStore(
+                        dtype=instruction.dtype,
+                        space=instruction.space,
+                        base=self.lane_value(instruction.base, 0),
+                        value=self.map_value(instruction.value),
+                        offset=instruction.offset,
+                        lane=0,
+                    )
+                )
+            else:
+                for lane in range(self.ws):
+                    self.block.append(
+                        Store(
+                            dtype=instruction.dtype,
+                            space=instruction.space,
+                            base=self.lane_value(instruction.base, lane),
+                            value=self.lane_value(
+                                instruction.value, lane
+                            ),
+                            offset=instruction.offset,
+                            lane=lane,
+                            volatile=instruction.volatile,
+                        )
+                    )
+        elif isinstance(instruction, AtomicRMW):
+            self._replicate_atomic(instruction)
+        elif isinstance(instruction, Reduce):
+            self._vectorize_vote(instruction)
+        else:
+            raise VectorizationError(
+                f"cannot vectorize {instruction!r}"
+            )
+
+    def _promote(self, instruction) -> None:
+        """Promote a vectorizable instruction (or keep it scalar when
+        its destination is uniform — §6.2's scalarization)."""
+        destination = self.map_register(instruction.defined())
+        if destination.width == 1:
+            # Uniform: single scalar instruction on uniform operands.
+            clone = _clone_with(
+                instruction,
+                destination,
+                [self.map_value(v) for v in instruction.uses()],
+            )
+            self.block.append(clone)
+            return
+        operands = [self.map_value(v) for v in instruction.uses()]
+        clone = _clone_with(instruction, destination, operands)
+        self.block.append(clone)
+        self._invalidate_lanes(destination)
+
+    def _replicate_context_read(self, instruction: ContextRead) -> None:
+        destination = self.map_register(instruction.defined())
+        field = instruction.field_name
+        if destination.width == 1:
+            self.block.append(
+                ContextRead(
+                    field_name=field,
+                    dtype=instruction.dtype,
+                    dst=destination,
+                    lane=0,
+                )
+            )
+            return
+        lanes: List[VirtualRegister] = []
+        if field == "laneid":
+            # The lane index is a compile-time constant per lane.
+            for lane in range(self.ws):
+                scalar = self._temp(instruction.dtype)
+                self.block.append(
+                    UnaryOp(
+                        op="mov",
+                        dtype=instruction.dtype,
+                        dst=scalar,
+                        a=Constant(lane, instruction.dtype),
+                    )
+                )
+                lanes.append(scalar)
+        elif (
+            field == "tid.x"
+            and self.options.static_warps
+            and self.options.thread_invariant_elimination
+        ):
+            # Affine rewrite: lane i's tid.x = lane 0's tid.x + i.
+            base = self._temp(instruction.dtype)
+            self.block.append(
+                ContextRead(
+                    field_name=field,
+                    dtype=instruction.dtype,
+                    dst=base,
+                    lane=0,
+                )
+            )
+            lanes.append(base)
+            for lane in range(1, self.ws):
+                scalar = self._temp(instruction.dtype)
+                self.block.append(
+                    BinaryOp(
+                        op="add",
+                        dtype=instruction.dtype,
+                        dst=scalar,
+                        a=base,
+                        b=Constant(lane, instruction.dtype),
+                    )
+                )
+                lanes.append(scalar)
+        else:
+            for lane in range(self.ws):
+                scalar = self._temp(instruction.dtype)
+                self.block.append(
+                    ContextRead(
+                        field_name=field,
+                        dtype=instruction.dtype,
+                        dst=scalar,
+                        lane=lane,
+                    )
+                )
+                lanes.append(scalar)
+        self._pack_lanes(destination, lanes)
+
+    def _contiguous_across_warp(self, instruction) -> bool:
+        """True when the access's per-lane addresses are provably
+        ``lane0 + i * element_size`` (affine analysis, §4 future
+        work), so one vector memory operation services the warp."""
+        if self.ws == 1 or not self.affine_strides:
+            return False
+        if instruction.space not in (
+            AddressSpace.global_,
+            AddressSpace.shared,
+        ):
+            return False
+        base = instruction.base
+        if not isinstance(base, VirtualRegister):
+            return False
+        stride = self.affine_strides.get(base.name)
+        return stride == instruction.dtype.size
+
+    def _replicate_load(self, instruction: Load) -> None:
+        destination = self.map_register(instruction.defined())
+        if destination.width > 1 and self._contiguous_across_warp(
+            instruction
+        ):
+            self.block.append(
+                VectorLoad(
+                    dtype=instruction.dtype,
+                    dst=destination,
+                    space=instruction.space,
+                    base=self.lane_value(instruction.base, 0),
+                    offset=instruction.offset,
+                    lane=0,
+                )
+            )
+            self._invalidate_lanes(destination)
+            return
+        if destination.width == 1:
+            self.block.append(
+                Load(
+                    dtype=instruction.dtype,
+                    dst=destination,
+                    space=instruction.space,
+                    base=self.map_value(instruction.base),
+                    offset=instruction.offset,
+                    lane=0,
+                    volatile=instruction.volatile,
+                )
+            )
+            return
+        lanes = []
+        for lane in range(self.ws):
+            scalar = self._temp(instruction.dtype)
+            self.block.append(
+                Load(
+                    dtype=instruction.dtype,
+                    dst=scalar,
+                    space=instruction.space,
+                    base=self.lane_value(instruction.base, lane),
+                    offset=instruction.offset,
+                    lane=lane,
+                    volatile=instruction.volatile,
+                )
+            )
+            lanes.append(scalar)
+        self._pack_lanes(destination, lanes)
+
+    def _replicate_atomic(self, instruction: AtomicRMW) -> None:
+        destination = (
+            self.map_register(instruction.dst)
+            if instruction.dst is not None
+            else None
+        )
+        lanes = []
+        for lane in range(self.ws):
+            scalar = (
+                self._temp(instruction.dtype)
+                if destination is not None
+                else None
+            )
+            self.block.append(
+                AtomicRMW(
+                    op=instruction.op,
+                    dtype=instruction.dtype,
+                    dst=scalar,
+                    space=instruction.space,
+                    base=self.lane_value(instruction.base, lane),
+                    value=self.lane_value(instruction.value, lane),
+                    compare=(
+                        self.lane_value(instruction.compare, lane)
+                        if instruction.compare is not None
+                        else None
+                    ),
+                    offset=instruction.offset,
+                    lane=lane,
+                )
+            )
+            if scalar is not None:
+                lanes.append(scalar)
+        if destination is not None:
+            if destination.width == 1:
+                if self.ws != 1:
+                    raise VectorizationError(
+                        "atomic destination cannot be uniform"
+                    )
+                # Width-1 specialization: the single lane's result is
+                # the register itself.
+                self.block.instructions[-1].dst = destination
+            else:
+                self._pack_lanes(destination, lanes)
+
+    def _vectorize_vote(self, instruction: Reduce) -> None:
+        source = self.map_value(instruction.src)
+        destination = self.map_register(instruction.defined())
+        if self.ws == 1 and destination.width == 1:
+            self.block.append(
+                Reduce(op=instruction.op, dst=destination, src=source)
+            )
+            return
+        scalar = self._temp(destination.dtype)
+        self.block.append(
+            Reduce(op=instruction.op, dst=scalar, src=source)
+        )
+        if destination.width == 1:
+            self.block.append(
+                UnaryOp(
+                    op="mov",
+                    dtype=destination.dtype,
+                    dst=destination,
+                    a=scalar,
+                )
+            )
+        else:
+            self.block.append(Broadcast(dst=destination, src=scalar))
+            self._invalidate_lanes(destination)
+
+    # -- Algorithms 2 & 4: divergence detection and exit handlers ----------
+
+    def _rewrite_terminator(self, scalar_block: BasicBlock) -> None:
+        terminator = scalar_block.terminator
+        if isinstance(terminator, Branch):
+            self.block.append(Branch(terminator.target))
+        elif isinstance(terminator, Exit):
+            self.block.append(Yield(status=ResumeStatus.THREAD_EXIT))
+        elif isinstance(terminator, BarrierTerm):
+            self._emit_barrier_exit(scalar_block, terminator)
+        elif isinstance(terminator, CondBranch):
+            self._emit_branch_checks(scalar_block, terminator)
+        elif isinstance(terminator, Switch):
+            raise VectorizationError(
+                "switch terminators cannot appear in scalar kernels"
+            )
+        else:
+            raise VectorizationError(
+                f"unsupported terminator {terminator!r}"
+            )
+
+    def _spill_address(self, register: VirtualRegister) -> int:
+        """Absolute offset of a register's spill slot within each
+        thread's local memory (user .local variables come first)."""
+        return (
+            self.out.local_segment_size
+            + self.out.spill_slots[register.name]
+        )
+
+    def _spill_live_out(self, scalar_block: BasicBlock) -> None:
+        """Store live-out values to each thread's local spill area
+        (Algorithm 4's first step)."""
+        for register in self.liveness.live_out_registers(
+            scalar_block.label
+        ):
+            mapped = self.map_register(register)
+            slot = Constant(self._spill_address(register), DataType.u64)
+            for lane in range(self.ws):
+                value = (
+                    mapped
+                    if mapped.width == 1
+                    else self.lane_value(register, lane)
+                )
+                self.block.append(
+                    Store(
+                        dtype=register.dtype,
+                        space=AddressSpace.local,
+                        base=slot,
+                        value=value,
+                        lane=lane,
+                    )
+                )
+
+    def _set_resume_points(self, value_per_lane) -> None:
+        for lane in range(self.ws):
+            self.block.append(
+                ContextWrite(
+                    field_name="resume_point",
+                    value=value_per_lane(lane),
+                    lane=lane,
+                )
+            )
+
+    def _emit_barrier_exit(
+        self, scalar_block: BasicBlock, terminator: BarrierTerm
+    ) -> None:
+        successor_id = self.entry_ids[terminator.successor]
+        start = len(self.block.instructions)
+        self._spill_live_out(scalar_block)
+        self._set_resume_points(
+            lambda lane: Constant(successor_id, DataType.u32)
+        )
+        self.block.append(Yield(status=ResumeStatus.THREAD_BARRIER))
+        self._flag_overhead(self.block, start)
+
+    def _emit_branch_checks(
+        self, scalar_block: BasicBlock, terminator: CondBranch
+    ) -> None:
+        predicate = self.map_value(terminator.predicate)
+        taken_id = self.entry_ids[terminator.taken]
+        fall_id = self.entry_ids[terminator.fallthrough]
+
+        if self.options.yield_at_branches:
+            # Scalar-specialization policy (Fig. 4b): always return to
+            # the execution manager so warps can re-form.
+            start = len(self.block.instructions)
+            self._emit_divergent_exit(
+                scalar_block, predicate, taken_id, fall_id, inline=True
+            )
+            self._flag_overhead(self.block, start)
+            return
+
+        uniform_predicate = (
+            not isinstance(predicate, VirtualRegister)
+            or predicate.width == 1
+        )
+        if self.ws == 1 or uniform_predicate:
+            # A single thread cannot diverge, and a thread-invariant
+            # predicate (§6.2) sends every lane the same way: keep the
+            # direct conditional branch.
+            self.block.append(
+                CondBranch(
+                    predicate=predicate,
+                    taken=terminator.taken,
+                    fallthrough=terminator.fallthrough,
+                )
+            )
+            return
+
+        # sum(predicates): 0 = uniformly not taken, ws = uniformly
+        # taken, otherwise divergent -> exit handler.
+        sum_register = self._temp(DataType.s32)
+        self.block.append(
+            Reduce(op="add", dst=sum_register, src=predicate)
+        )
+        exit_label = self.out.fresh_label(f"{scalar_block.label}_exit")
+        self.block.append(
+            Switch(
+                value=sum_register,
+                cases={
+                    0: terminator.fallthrough,
+                    self.ws: terminator.taken,
+                },
+                default=exit_label,
+            )
+        )
+        saved = self.block
+        saved_cache = self._lane_cache
+        self.block = self.out.add_block(exit_label)
+        self._lane_cache = {}
+        self._emit_divergent_exit(
+            scalar_block, predicate, taken_id, fall_id, inline=False
+        )
+        self._overhead_blocks.add(exit_label)
+        self.block = saved
+        self._lane_cache = saved_cache
+
+    def _emit_divergent_exit(
+        self,
+        scalar_block: BasicBlock,
+        predicate,
+        taken_id: int,
+        fall_id: int,
+        inline: bool,
+    ) -> None:
+        """Algorithm 4 body for a (potentially) divergent branch."""
+        self._spill_live_out(scalar_block)
+        if isinstance(predicate, VirtualRegister) and predicate.width > 1:
+            selected = self._temp(DataType.u32, width=self.ws)
+            self.block.append(
+                Select(
+                    dtype=DataType.u32,
+                    dst=selected,
+                    a=Constant(taken_id, DataType.u32),
+                    b=Constant(fall_id, DataType.u32),
+                    predicate=predicate,
+                )
+            )
+            self._set_resume_points(
+                lambda lane: self.lane_value(selected, lane)
+            )
+        else:
+            selected = self._temp(DataType.u32)
+            self.block.append(
+                Select(
+                    dtype=DataType.u32,
+                    dst=selected,
+                    a=Constant(taken_id, DataType.u32),
+                    b=Constant(fall_id, DataType.u32),
+                    predicate=predicate,
+                )
+            )
+            self._set_resume_points(lambda lane: selected)
+        self.block.append(Yield(status=ResumeStatus.THREAD_BRANCH))
+
+    # -- Algorithm 3: scheduler and entry handlers --------------------------
+
+    def _create_scheduler(self) -> None:
+        handler_labels: Dict[int, str] = {}
+        for label, entry_id in self.entry_ids.items():
+            if entry_id == 0:
+                handler_labels[0] = label
+                self.out.entry_points[0] = label
+                self.out.restore_counts[0] = 0
+                continue
+            handler_label = self.out.fresh_label(f"{label}_entry")
+            handler = self.out.add_block(handler_label)
+            self.block = handler
+            self._lane_cache = {}
+            self._emit_restores(label)
+            handler.append(Branch(label))
+            handler_labels[entry_id] = handler_label
+            self.out.entry_points[entry_id] = handler_label
+            self.out.restore_counts[entry_id] = len(
+                self.liveness.live_in[label]
+            )
+            self._overhead_blocks.add(handler_label)
+
+        scheduler = self.out.prepend_block(
+            self.out.fresh_label("scheduler")
+        )
+        self._overhead_blocks.add(scheduler.label)
+        self.block = scheduler
+        entry_value = self._temp(DataType.u32)
+        scheduler.append(
+            ContextRead(
+                field_name="resume_point",
+                dtype=DataType.u32,
+                dst=entry_value,
+                lane=0,
+            )
+        )
+        scheduler.append(
+            Switch(
+                value=entry_value,
+                cases={
+                    entry_id: label
+                    for entry_id, label in handler_labels.items()
+                },
+                default=handler_labels[0],
+            )
+        )
+
+    def _flag_overhead(self, block: BasicBlock, start: int) -> None:
+        for instruction in block.instructions[start:]:
+            instruction.overhead = True
+        if block.terminator is not None:
+            block.terminator.overhead = True
+
+    def _mark_overhead(self) -> None:
+        """Flag every instruction belonging to yield machinery so the
+        cost model can attribute its cycles separately (Fig. 9)."""
+        for label in self._overhead_blocks:
+            block = self.out.blocks[label]
+            self._flag_overhead(block, 0)
+
+    def _emit_restores(self, label: str) -> None:
+        """Loads reconstructing the live-in registers of ``label`` from
+        each lane's spill area."""
+        for register in self.liveness.live_in_registers(label):
+            mapped = self.map_register(register)
+            slot = Constant(self._spill_address(register), DataType.u64)
+            if mapped.width == 1:
+                self.block.append(
+                    Load(
+                        dtype=register.dtype,
+                        dst=mapped,
+                        space=AddressSpace.local,
+                        base=slot,
+                        lane=0,
+                    )
+                )
+                continue
+            lanes = []
+            for lane in range(self.ws):
+                scalar = self._temp(register.dtype)
+                self.block.append(
+                    Load(
+                        dtype=register.dtype,
+                        dst=scalar,
+                        space=AddressSpace.local,
+                        base=slot,
+                        lane=lane,
+                    )
+                )
+                lanes.append(scalar)
+            self._pack_lanes(mapped, lanes)
+
+
+def _clone_with(instruction, destination, operands):
+    """Copy a vectorizable instruction with new destination/operands."""
+    if isinstance(instruction, BinaryOp):
+        return BinaryOp(
+            op=instruction.op,
+            dtype=instruction.dtype,
+            dst=destination,
+            a=operands[0],
+            b=operands[1],
+        )
+    if isinstance(instruction, UnaryOp):
+        return UnaryOp(
+            op=instruction.op,
+            dtype=instruction.dtype,
+            dst=destination,
+            a=operands[0],
+        )
+    if isinstance(instruction, FusedMultiplyAdd):
+        return FusedMultiplyAdd(
+            dtype=instruction.dtype,
+            dst=destination,
+            a=operands[0],
+            b=operands[1],
+            c=operands[2],
+        )
+    if isinstance(instruction, Compare):
+        return Compare(
+            op=instruction.op,
+            dtype=instruction.dtype,
+            dst=destination,
+            a=operands[0],
+            b=operands[1],
+        )
+    if isinstance(instruction, Select):
+        return Select(
+            dtype=instruction.dtype,
+            dst=destination,
+            a=operands[0],
+            b=operands[1],
+            predicate=operands[2],
+        )
+    if isinstance(instruction, Convert):
+        return Convert(
+            dst_type=instruction.dst_type,
+            src_type=instruction.src_type,
+            dst=destination,
+            src=operands[0],
+            rounding=instruction.rounding,
+        )
+    if isinstance(instruction, Intrinsic):
+        return Intrinsic(
+            name=instruction.name,
+            dtype=instruction.dtype,
+            dst=destination,
+            args=list(operands),
+        )
+    raise VectorizationError(f"cannot clone {instruction!r}")
+
+
+def vectorize_kernel(
+    scalar_function: IRFunction, options: VectorizeOptions
+) -> IRFunction:
+    """Produce the ``options.warp_size`` specialization of a scalar
+    kernel function."""
+    return Vectorizer(scalar_function, options).run()
+
+
+__all__ = [
+    "VectorizeOptions",
+    "Vectorizer",
+    "assign_spill_slots",
+    "compute_entry_points",
+    "vectorize_kernel",
+]

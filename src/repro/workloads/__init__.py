@@ -1,0 +1,17 @@
+"""Benchmark workload suite modeled on the paper's evaluation sets
+(CUDA SDK 2.2 + Parboil). Every workload verifies device output
+against a NumPy reference."""
+
+from .base import Category, Workload, WorkloadRun, grid_for
+from .registry import all_workloads, get_workload, register, workload_names
+
+__all__ = [
+    "Category",
+    "Workload",
+    "WorkloadRun",
+    "all_workloads",
+    "get_workload",
+    "grid_for",
+    "register",
+    "workload_names",
+]

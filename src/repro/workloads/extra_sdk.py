@@ -1,0 +1,563 @@
+"""Additional CUDA SDK applications: AsyncAPI, Histogram256,
+TransposeNew, RecursiveGaussian, BicubicTexture, ScanLargeArray.
+
+ScanLargeArray is the suite's multi-launch workload: a block-level
+scan, a scan of the block sums, and an offset-add kernel — three
+dependent launches through the same translation cache, like the SDK
+sample's kernel pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Category, Workload, grid_for
+from .registry import register
+
+_ASYNC_PTX = r"""
+.version 2.3
+.target sim
+.entry incrementKernel (.param .u64 data, .param .u32 value,
+                        .param .u32 n)
+{
+  .reg .u32 %r<8>;
+  .reg .u64 %rd<4>;
+  .reg .pred %p<2>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  ld.param.u32 %r5, [n];
+  setp.ge.u32 %p1, %r4, %r5;
+  @%p1 bra DONE;
+  mul.wide.u32 %rd1, %r4, 4;
+  ld.param.u64 %rd2, [data];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.u32 %r6, [%rd3];
+  ld.param.u32 %r7, [value];
+  add.u32 %r6, %r6, %r7;
+  st.global.u32 [%rd3], %r6;
+DONE:
+  exit;
+}
+"""
+
+
+@register
+class AsyncAPI(Workload):
+    """SDK ``asyncAPI``: the increment kernel (the async machinery is
+    host-side; the device work is this memory-bound sweep)."""
+
+    name = "AsyncAPI"
+    category = Category.MEMORY_BOUND
+    description = "in-place integer increment sweep"
+
+    def module_source(self) -> str:
+        return _ASYNC_PTX
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        n = max(128, int(512 * scale))
+        data = self.rng().integers(0, 1 << 20, n).astype(np.uint32)
+        buffer = device.upload(data)
+        block = 64
+        result = device.launch(
+            "incrementKernel",
+            grid=(grid_for(n, block), 1, 1),
+            block=(block, 1, 1),
+            args=[buffer, 26, n],
+        )
+        correct = None
+        if check:
+            correct = np.array_equal(
+                buffer.read(np.uint32, n), data + 26
+            )
+        return self._finish([result], correct, check)
+
+
+_HISTOGRAM256_PTX = r"""
+.version 2.3
+.target sim
+.entry histogram256 (.param .u64 data, .param .u64 bins,
+                     .param .u32 n)
+{
+  .reg .u32 %r<14>;
+  .reg .u64 %rd<8>;
+  .reg .pred %p<4>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  ld.param.u32 %r5, [n];
+  setp.ge.u32 %p1, %r4, %r5;
+  @%p1 bra DONE;
+  mul.wide.u32 %rd1, %r4, 4;
+  ld.param.u64 %rd2, [data];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.u32 %r6, [%rd3];
+  and.b32 %r7, %r6, 255;
+  mul.wide.u32 %rd4, %r7, 4;
+  ld.param.u64 %rd5, [bins];
+  add.u64 %rd6, %rd5, %rd4;
+  red.global.add.u32 [%rd6], 1;
+DONE:
+  exit;
+}
+"""
+
+
+@register
+class Histogram256(Workload):
+    """SDK ``histogram256``: straight global-atomic binning (the
+    64-bin variant stages through shared memory; this one contends on
+    the global array directly)."""
+
+    name = "Histogram256"
+    category = Category.ATOMIC
+    description = "256-bin histogram with global atomics"
+
+    def module_source(self) -> str:
+        return _HISTOGRAM256_PTX
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        n = max(256, int(512 * scale))
+        data = self.rng().integers(0, 1 << 24, n).astype(np.uint32)
+        src = device.upload(data)
+        bins = device.malloc(256 * 4)
+        device.memset(bins, 0)
+        block = 64
+        result = device.launch(
+            "histogram256",
+            grid=(grid_for(n, block), 1, 1),
+            block=(block, 1, 1),
+            args=[src, bins, n],
+        )
+        correct = None
+        if check:
+            expected = np.bincount(
+                (data & 255).astype(np.int64), minlength=256
+            ).astype(np.uint32)
+            correct = np.array_equal(
+                bins.read(np.uint32, 256), expected
+            )
+        return self._finish([result], correct, check)
+
+
+_TRANSPOSE_NAIVE_PTX = r"""
+.version 2.3
+.target sim
+.entry transposeNaive (.param .u64 in, .param .u64 out,
+                       .param .u32 width, .param .u32 height)
+{
+  .reg .u32 %r<12>;
+  .reg .u64 %rd<8>;
+  .reg .f32 %f<2>;
+  .reg .pred %p<2>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  ld.param.u32 %r5, [width];
+  ld.param.u32 %r6, [height];
+  mul.lo.u32 %r7, %r5, %r6;
+  setp.ge.u32 %p1, %r4, %r7;
+  @%p1 bra DONE;
+  div.u32 %r8, %r4, %r5;
+  mul.lo.u32 %r9, %r8, %r5;
+  sub.u32 %r10, %r4, %r9;
+  mul.wide.u32 %rd1, %r4, 4;
+  ld.param.u64 %rd2, [in];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.f32 %f1, [%rd3];
+  mad.lo.u32 %r11, %r10, %r6, %r8;
+  mul.wide.u32 %rd4, %r11, 4;
+  ld.param.u64 %rd5, [out];
+  add.u64 %rd6, %rd5, %rd4;
+  st.global.f32 [%rd6], %f1;
+DONE:
+  exit;
+}
+"""
+
+
+@register
+class TransposeNew(Workload):
+    """SDK ``transposeNew``'s naive variant: no shared-memory tile, no
+    barriers — contrasts with the tiled ``Transpose`` workload."""
+
+    name = "TransposeNew"
+    category = Category.MEMORY_BOUND
+    description = "naive (untiled) matrix transpose"
+
+    def module_source(self) -> str:
+        return _TRANSPOSE_NAIVE_PTX
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        size = max(16, int(32 * scale))
+        matrix = (
+            self.rng()
+            .standard_normal(size * size)
+            .astype(np.float32)
+            .reshape(size, size)
+        )
+        src = device.upload(matrix)
+        dst = device.malloc(size * size * 4)
+        block = 64
+        result = device.launch(
+            "transposeNaive",
+            grid=(grid_for(size * size, block), 1, 1),
+            block=(block, 1, 1),
+            args=[src, dst, size, size],
+        )
+        correct = None
+        if check:
+            got = dst.read(np.float32, size * size)
+            correct = np.array_equal(
+                got.reshape(size, size), matrix.T
+            )
+        return self._finish([result], correct, check)
+
+
+_RECURSIVE_GAUSSIAN_PTX = r"""
+.version 2.3
+.target sim
+.entry recursiveGaussian (.param .u64 in, .param .u64 out,
+                          .param .u32 width, .param .u32 rows)
+{
+  .reg .u32 %r<12>;
+  .reg .u64 %rd<10>;
+  .reg .f32 %f<8>;
+  .reg .pred %p<4>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  ld.param.u32 %r5, [rows];
+  setp.ge.u32 %p1, %r4, %r5;
+  @%p1 bra DONE;
+  ld.param.u32 %r6, [width];
+  mul.lo.u32 %r7, %r4, %r6;         // row base index
+  // forward IIR pass: y[i] = a*x[i] + (1-a)*y[i-1]
+  mov.f32 %f1, 0.0;                 // y[-1]
+  mov.u32 %r8, 0;
+LOOP:
+  add.u32 %r9, %r7, %r8;
+  mul.wide.u32 %rd1, %r9, 4;
+  ld.param.u64 %rd2, [in];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.f32 %f2, [%rd3];
+  mul.f32 %f3, %f2, 0.25;
+  fma.rn.f32 %f1, %f1, 0.75, %f3;
+  ld.param.u64 %rd4, [out];
+  add.u64 %rd5, %rd4, %rd1;
+  st.global.f32 [%rd5], %f1;
+  add.u32 %r8, %r8, 1;
+  setp.lt.u32 %p2, %r8, %r6;
+  @%p2 bra LOOP;
+DONE:
+  exit;
+}
+"""
+
+
+@register
+class RecursiveGaussian(Workload):
+    """SDK ``recursiveGaussian``: a causal IIR smoothing pass, one row
+    per thread (loop-carried dependence -> purely thread-serial work,
+    uniform across threads)."""
+
+    name = "RecursiveGaussian"
+    category = Category.COMPUTE_UNIFORM
+    description = "recursive (IIR) Gaussian row filter"
+
+    WIDTH = 32
+
+    def module_source(self) -> str:
+        return _RECURSIVE_GAUSSIAN_PTX
+
+    def reference(self, image: np.ndarray) -> np.ndarray:
+        rows, width = image.shape
+        out = np.zeros_like(image)
+        state = np.zeros(rows, dtype=np.float32)
+        for column in range(width):
+            state = (
+                state * np.float32(0.75)
+                + image[:, column] * np.float32(0.25)
+            ).astype(np.float32)
+            out[:, column] = state
+        return out
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        rows = max(64, int(128 * scale))
+        image = (
+            self.rng()
+            .standard_normal(rows * self.WIDTH)
+            .astype(np.float32)
+            .reshape(rows, self.WIDTH)
+        )
+        src = device.upload(image)
+        dst = device.malloc(rows * self.WIDTH * 4)
+        block = 64
+        result = device.launch(
+            "recursiveGaussian",
+            grid=(grid_for(rows, block), 1, 1),
+            block=(block, 1, 1),
+            args=[src, dst, self.WIDTH, rows],
+        )
+        correct = None
+        if check:
+            got = dst.read(np.float32, rows * self.WIDTH)
+            correct = np.allclose(
+                got.reshape(rows, self.WIDTH),
+                self.reference(image),
+                rtol=1e-4,
+                atol=1e-5,
+            )
+        return self._finish([result], correct, check)
+
+
+_BICUBIC_PTX = r"""
+.version 2.3
+.target sim
+.entry bilinearSample (.param .u64 texture, .param .u64 out,
+                       .param .u32 texsize, .param .u32 n)
+{
+  .reg .u32 %r<14>;
+  .reg .u64 %rd<10>;
+  .reg .f32 %f<16>;
+  .reg .pred %p<2>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  ld.param.u32 %r5, [n];
+  setp.ge.u32 %p1, %r4, %r5;
+  @%p1 bra DONE;
+  // sample coordinate: u = gid * 0.37 (fractional texel position)
+  cvt.rn.f32.u32 %f1, %r4;
+  mul.f32 %f2, %f1, 0.37;
+  cvt.rzi.u32.f32 %r6, %f2;          // floor(u)
+  cvt.rn.f32.u32 %f3, %r6;
+  sub.f32 %f4, %f2, %f3;             // frac
+  // clamp indices to the texture
+  ld.param.u32 %r7, [texsize];
+  sub.u32 %r8, %r7, 1;
+  min.u32 %r9, %r6, %r8;
+  add.u32 %r10, %r9, 1;
+  min.u32 %r10, %r10, %r8;
+  // fetch the two texels (a gather: not contiguous across lanes)
+  ld.param.u64 %rd1, [texture];
+  mul.wide.u32 %rd2, %r9, 4;
+  add.u64 %rd3, %rd1, %rd2;
+  ld.global.f32 %f5, [%rd3];
+  mul.wide.u32 %rd4, %r10, 4;
+  add.u64 %rd5, %rd1, %rd4;
+  ld.global.f32 %f6, [%rd5];
+  // lerp
+  sub.f32 %f7, %f6, %f5;
+  fma.rn.f32 %f8, %f7, %f4, %f5;
+  mul.wide.u32 %rd6, %r4, 4;
+  ld.param.u64 %rd7, [out];
+  add.u64 %rd8, %rd7, %rd6;
+  st.global.f32 [%rd8], %f8;
+DONE:
+  exit;
+}
+"""
+
+
+@register
+class BicubicTexture(Workload):
+    """SDK ``bicubicTexture`` stand-in: software bilinear texture
+    sampling (gathers + interpolation arithmetic)."""
+
+    name = "BicubicTexture"
+    category = Category.MEMORY_BOUND
+    description = "software bilinear texture sampling"
+
+    TEXSIZE = 128
+
+    def module_source(self) -> str:
+        return _BICUBIC_PTX
+
+    def reference(self, texture: np.ndarray, n: int) -> np.ndarray:
+        gid = np.arange(n, dtype=np.uint32).astype(np.float32)
+        u = gid * np.float32(0.37)
+        i0 = np.minimum(
+            np.trunc(u).astype(np.uint32), self.TEXSIZE - 1
+        )
+        frac = u - i0.astype(np.float32)
+        i1 = np.minimum(i0 + 1, self.TEXSIZE - 1)
+        a = texture[i0]
+        b = texture[i1]
+        return (a + (b - a) * frac).astype(np.float32)
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        n = max(128, int(256 * scale))
+        texture = (
+            self.rng().standard_normal(self.TEXSIZE).astype(np.float32)
+        )
+        tex_buffer = device.upload(texture)
+        out = device.malloc(n * 4)
+        block = 64
+        result = device.launch(
+            "bilinearSample",
+            grid=(grid_for(n, block), 1, 1),
+            block=(block, 1, 1),
+            args=[tex_buffer, out, self.TEXSIZE, n],
+        )
+        correct = None
+        if check:
+            got = out.read(np.float32, n)
+            correct = np.allclose(
+                got, self.reference(texture, n), rtol=1e-4, atol=1e-5
+            )
+        return self._finish([result], correct, check)
+
+
+_SCAN_LARGE_PTX = r"""
+.version 2.3
+.target sim
+.entry scanBlock (.param .u64 src, .param .u64 dst, .param .u64 sums)
+{
+  .reg .u32 %r<12>;
+  .reg .u64 %rd<10>;
+  .reg .f32 %f<6>;
+  .reg .pred %p<6>;
+  .shared .f32 sdata[@BLOCK@];
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  mul.wide.u32 %rd1, %r4, 4;
+  ld.param.u64 %rd2, [src];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.f32 %f1, [%rd3];
+  mov.u32 %r5, sdata;
+  shl.b32 %r6, %r1, 2;
+  add.u32 %r7, %r5, %r6;
+  st.shared.f32 [%r7], %f1;
+  bar.sync 0;
+  mov.u32 %r8, 1;
+SLOOP:
+  setp.lt.u32 %p1, %r1, %r8;
+  mov.f32 %f2, 0.0;
+  @%p1 bra NOREAD;
+  shl.b32 %r9, %r8, 2;
+  sub.u32 %r10, %r7, %r9;
+  ld.shared.f32 %f2, [%r10];
+NOREAD:
+  bar.sync 0;
+  setp.lt.u32 %p2, %r1, %r8;
+  @%p2 bra NOWRITE;
+  ld.shared.f32 %f3, [%r7];
+  add.f32 %f3, %f3, %f2;
+  st.shared.f32 [%r7], %f3;
+NOWRITE:
+  bar.sync 0;
+  shl.b32 %r8, %r8, 1;
+  setp.lt.u32 %p3, %r8, @BLOCK@;
+  @%p3 bra SLOOP;
+  ld.shared.f32 %f4, [%r7];
+  ld.param.u64 %rd4, [dst];
+  add.u64 %rd5, %rd4, %rd1;
+  st.global.f32 [%rd5], %f4;
+  // last thread publishes the block total
+  setp.ne.u32 %p4, %r1, @LAST@;
+  @%p4 bra DONE;
+  ld.param.u64 %rd6, [sums];
+  mul.wide.u32 %rd7, %r3, 4;
+  add.u64 %rd8, %rd6, %rd7;
+  st.global.f32 [%rd8], %f4;
+DONE:
+  exit;
+}
+
+.entry addOffsets (.param .u64 data, .param .u64 offsets)
+{
+  .reg .u32 %r<8>;
+  .reg .u64 %rd<10>;
+  .reg .f32 %f<4>;
+  .reg .pred %p<2>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  setp.eq.u32 %p1, %r3, 0;
+  @%p1 bra DONE;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  // exclusive offset: scanned sums of preceding blocks
+  sub.u32 %r5, %r3, 1;
+  mul.wide.u32 %rd1, %r5, 4;
+  ld.param.u64 %rd2, [offsets];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.f32 %f1, [%rd3];
+  mul.wide.u32 %rd4, %r4, 4;
+  ld.param.u64 %rd5, [data];
+  add.u64 %rd6, %rd5, %rd4;
+  ld.global.f32 %f2, [%rd6];
+  add.f32 %f2, %f2, %f1;
+  st.global.f32 [%rd6], %f2;
+DONE:
+  exit;
+}
+"""
+
+
+@register
+class ScanLargeArray(Workload):
+    """SDK ``scanLargeArray``: three dependent launches — per-block
+    inclusive scans, a scan of the block sums, then an offset add."""
+
+    name = "ScanLargeArray"
+    category = Category.BARRIER_HEAVY
+    description = "multi-kernel scan: block scans + sums scan + offsets"
+
+    BLOCK = 32
+
+    def module_source(self) -> str:
+        return _SCAN_LARGE_PTX.replace(
+            "@BLOCK@", str(self.BLOCK)
+        ).replace("@LAST@", str(self.BLOCK - 1))
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        blocks = max(4, int(8 * scale))
+        if blocks > self.BLOCK:
+            blocks = self.BLOCK  # sums must fit one scan block
+        n = blocks * self.BLOCK
+        data = self.rng().standard_normal(n).astype(np.float32)
+        src = device.upload(data)
+        dst = device.malloc(n * 4)
+        sums = device.upload(np.zeros(self.BLOCK, dtype=np.float32))
+        scanned_sums = device.malloc(self.BLOCK * 4)
+        launches = [
+            device.launch(
+                "scanBlock",
+                grid=(blocks, 1, 1),
+                block=(self.BLOCK, 1, 1),
+                args=[src, dst, sums],
+            ),
+            device.launch(
+                "scanBlock",
+                grid=(1, 1, 1),
+                block=(self.BLOCK, 1, 1),
+                args=[sums, scanned_sums, sums],
+            ),
+            device.launch(
+                "addOffsets",
+                grid=(blocks, 1, 1),
+                block=(self.BLOCK, 1, 1),
+                args=[dst, scanned_sums],
+            ),
+        ]
+        correct = None
+        if check:
+            got = dst.read(np.float32, n)
+            expected = np.cumsum(data, dtype=np.float32)
+            correct = np.allclose(got, expected, rtol=1e-3, atol=1e-3)
+        return self._finish(launches, correct, check)

@@ -1,0 +1,443 @@
+"""Computational-finance workloads: BlackScholes, BinomialOptions,
+MonteCarlo.
+
+These are the compute-bound, control-uniform applications for which
+the paper reports the strongest vectorization gains (Fig. 6:
+BinomialOptions 2.25x).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Category, Workload, grid_for
+from .registry import register
+
+_LN2 = 0.6931471805599453
+_LOG2E = 1.4426950408889634
+
+
+@register
+class BlackScholes(Workload):
+    """SDK ``BlackScholes``: European option pricing via the closed
+    form with a polynomial cumulative normal distribution."""
+
+    name = "BlackScholes"
+    category = Category.COMPUTE_UNIFORM
+    description = "Black-Scholes call pricing, selp-based CND"
+
+    RISKFREE = 0.02
+    VOLATILITY = 0.30
+
+    def module_source(self) -> str:
+        r = self.RISKFREE
+        v = self.VOLATILITY
+        return f"""
+.version 2.3
+.target sim
+.entry blackScholes (.param .u64 price, .param .u64 strike,
+                     .param .u64 years, .param .u64 call,
+                     .param .u32 n)
+{{
+  .reg .u32 %r<8>;
+  .reg .u64 %rd<12>;
+  .reg .f32 %f<40>;
+  .reg .pred %p<4>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  ld.param.u32 %r5, [n];
+  setp.ge.u32 %p1, %r4, %r5;
+  @%p1 bra DONE;
+  mul.wide.u32 %rd1, %r4, 4;
+  ld.param.u64 %rd2, [price];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.f32 %f1, [%rd3];          // S
+  ld.param.u64 %rd4, [strike];
+  add.u64 %rd5, %rd4, %rd1;
+  ld.global.f32 %f2, [%rd5];          // X
+  ld.param.u64 %rd6, [years];
+  add.u64 %rd7, %rd6, %rd1;
+  ld.global.f32 %f3, [%rd7];          // T
+
+  sqrt.approx.f32 %f4, %f3;           // sqrt(T)
+  div.full.f32 %f5, %f1, %f2;         // S/X
+  lg2.approx.f32 %f6, %f5;
+  mul.f32 %f6, %f6, {_LN2};           // ln(S/X)
+  mov.f32 %f7, {r + 0.5 * v * v};
+  fma.rn.f32 %f8, %f7, %f3, %f6;      // ln(S/X)+(r+v^2/2)T
+  mul.f32 %f9, %f4, {v};              // v*sqrt(T)
+  div.full.f32 %f10, %f8, %f9;        // d1
+  sub.f32 %f11, %f10, %f9;            // d2
+
+  // CND(d1) -> f20, CND(d2) -> f21
+  abs.f32 %f12, %f10;
+  fma.rn.f32 %f13, %f12, 0.2316419, 1.0;
+  rcp.approx.f32 %f13, %f13;          // K
+  mov.f32 %f14, 1.330274429;
+  fma.rn.f32 %f14, %f14, %f13, -1.821255978;
+  fma.rn.f32 %f14, %f14, %f13, 1.781477937;
+  fma.rn.f32 %f14, %f14, %f13, -0.356563782;
+  fma.rn.f32 %f14, %f14, %f13, 0.31938153;
+  mul.f32 %f14, %f14, %f13;
+  mul.f32 %f15, %f10, %f10;
+  mul.f32 %f15, %f15, -0.5;
+  mul.f32 %f15, %f15, {_LOG2E};
+  ex2.approx.f32 %f15, %f15;
+  mul.f32 %f15, %f15, 0.39894228;
+  mul.f32 %f20, %f15, %f14;
+  sub.f32 %f16, 1.0, %f20;
+  setp.gt.f32 %p2, %f10, 0.0;
+  selp.f32 %f20, %f16, %f20, %p2;
+
+  abs.f32 %f12, %f11;
+  fma.rn.f32 %f13, %f12, 0.2316419, 1.0;
+  rcp.approx.f32 %f13, %f13;
+  mov.f32 %f14, 1.330274429;
+  fma.rn.f32 %f14, %f14, %f13, -1.821255978;
+  fma.rn.f32 %f14, %f14, %f13, 1.781477937;
+  fma.rn.f32 %f14, %f14, %f13, -0.356563782;
+  fma.rn.f32 %f14, %f14, %f13, 0.31938153;
+  mul.f32 %f14, %f14, %f13;
+  mul.f32 %f15, %f11, %f11;
+  mul.f32 %f15, %f15, -0.5;
+  mul.f32 %f15, %f15, {_LOG2E};
+  ex2.approx.f32 %f15, %f15;
+  mul.f32 %f15, %f15, 0.39894228;
+  mul.f32 %f21, %f15, %f14;
+  sub.f32 %f16, 1.0, %f21;
+  setp.gt.f32 %p3, %f11, 0.0;
+  selp.f32 %f21, %f16, %f21, %p3;
+
+  // call = S*CND(d1) - X*exp(-rT)*CND(d2)
+  mul.f32 %f22, %f3, {-r * _LOG2E};
+  ex2.approx.f32 %f22, %f22;          // exp(-rT)
+  mul.f32 %f23, %f2, %f22;
+  mul.f32 %f24, %f1, %f20;
+  mul.f32 %f25, %f23, %f21;
+  sub.f32 %f26, %f24, %f25;
+  ld.param.u64 %rd8, [call];
+  add.u64 %rd9, %rd8, %rd1;
+  st.global.f32 [%rd9], %f26;
+DONE:
+  exit;
+}}
+"""
+
+    def reference(self, S, X, T):
+        S = S.astype(np.float64)
+        X = X.astype(np.float64)
+        T = T.astype(np.float64)
+        r, v = self.RISKFREE, self.VOLATILITY
+
+        def cnd(d):
+            K = 1.0 / (1.0 + 0.2316419 * np.abs(d))
+            poly = K * (
+                0.31938153
+                + K
+                * (
+                    -0.356563782
+                    + K
+                    * (
+                        1.781477937
+                        + K * (-1.821255978 + K * 1.330274429)
+                    )
+                )
+            )
+            c = 0.39894228 * np.exp(-0.5 * d * d) * poly
+            return np.where(d > 0, 1.0 - c, c)
+
+        sqrtT = np.sqrt(T)
+        d1 = (np.log(S / X) + (r + 0.5 * v * v) * T) / (v * sqrtT)
+        d2 = d1 - v * sqrtT
+        return S * cnd(d1) - X * np.exp(-r * T) * cnd(d2)
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        n = max(128, int(512 * scale))
+        rng = self.rng()
+        S = rng.uniform(5.0, 30.0, n).astype(np.float32)
+        X = rng.uniform(1.0, 100.0, n).astype(np.float32)
+        T = rng.uniform(0.25, 10.0, n).astype(np.float32)
+        buffers = [device.upload(a) for a in (S, X, T)]
+        call = device.malloc(n * 4)
+        block = 128
+        result = device.launch(
+            "blackScholes",
+            grid=(grid_for(n, block), 1, 1),
+            block=(block, 1, 1),
+            args=buffers + [call, n],
+        )
+        correct = None
+        if check:
+            got = call.read(np.float32, n)
+            correct = np.allclose(
+                got, self.reference(S, X, T), rtol=2e-2, atol=2e-2
+            )
+        return self._finish([result], correct, check)
+
+
+@register
+class BinomialOptions(Workload):
+    """SDK ``binomialOptions``: one option per CTA, backward induction
+    over the binomial tree in shared memory with a barrier per step —
+    uniform control flow, compute-heavy (Fig. 6 reports 2.25x)."""
+
+    name = "BinomialOptions"
+    category = Category.BARRIER_HEAVY
+    description = "binomial tree option pricing, one option per CTA"
+
+    STEPS = 24
+    RISKFREE = 0.02
+    VOLATILITY = 0.30
+
+    def module_source(self) -> str:
+        steps = self.STEPS
+        dt = 1.0 / steps
+        v_sdt = self.VOLATILITY * (dt ** 0.5)
+        growth = float(np.exp(self.RISKFREE * dt))
+        u = float(np.exp(v_sdt))
+        d = float(np.exp(-v_sdt))
+        pu = (growth - d) / (u - d)
+        pd = 1.0 - pu
+        df = float(np.exp(-self.RISKFREE * dt))
+        shared = steps + 1
+        return f"""
+.version 2.3
+.target sim
+.entry binomialOptions (.param .u64 price, .param .u64 strike,
+                        .param .u64 out)
+{{
+  .reg .u32 %r<16>;
+  .reg .u64 %rd<10>;
+  .reg .f32 %f<16>;
+  .reg .pred %p<6>;
+  .shared .f32 vals[{shared}];
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ctaid.x;
+  mul.wide.u32 %rd1, %r2, 4;
+  ld.param.u64 %rd2, [price];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.f32 %f1, [%rd3];           // S
+  ld.param.u64 %rd4, [strike];
+  add.u64 %rd5, %rd4, %rd1;
+  ld.global.f32 %f2, [%rd5];           // X
+
+  // leaf value for index tid: max(S*u^tid*d^(STEPS-tid) - X, 0)
+  setp.gt.u32 %p1, %r1, {steps};
+  @%p1 bra SYNC0;
+  cvt.rn.f32.u32 %f3, %r1;
+  mul.f32 %f4, %f3, {2.0 * v_sdt};
+  add.f32 %f4, %f4, {-steps * v_sdt};
+  mul.f32 %f4, %f4, {_LOG2E};
+  ex2.approx.f32 %f4, %f4;             // u^i d^(S-i)
+  mul.f32 %f5, %f1, %f4;
+  sub.f32 %f6, %f5, %f2;
+  max.f32 %f6, %f6, 0.0;
+  mov.u32 %r3, vals;
+  shl.b32 %r4, %r1, 2;
+  add.u32 %r5, %r3, %r4;
+  st.shared.f32 [%r5], %f6;
+SYNC0:
+  bar.sync 0;
+
+  // backward induction: STEPS rounds. Only tid and the step counter
+  // stay live across the barriers; everything else is recomputed
+  // (keeps the yield spill/restore footprint small, like the SDK
+  // kernel's register-resident layout).
+  mov.u32 %r6, {steps};
+RLOOP:
+  setp.ge.u32 %p2, %r1, %r6;
+  @%p2 bra SKIP;
+  mov.u32 %r3, vals;
+  shl.b32 %r4, %r1, 2;
+  add.u32 %r5, %r3, %r4;
+  ld.shared.f32 %f7, [%r5];            // v[i]
+  ld.shared.f32 %f8, [%r5+4];          // v[i+1]
+  mul.f32 %f9, %f8, {pu};
+  fma.rn.f32 %f9, %f7, {pd}, %f9;
+  mul.f32 %f9, %f9, {df};
+SKIP:
+  bar.sync 0;
+  setp.ge.u32 %p3, %r1, %r6;
+  @%p3 bra SKIP2;
+  mov.u32 %r3, vals;
+  shl.b32 %r4, %r1, 2;
+  add.u32 %r5, %r3, %r4;
+  st.shared.f32 [%r5], %f9;
+SKIP2:
+  bar.sync 0;
+  sub.u32 %r6, %r6, 1;
+  setp.gt.u32 %p4, %r6, 0;
+  @%p4 bra RLOOP;
+
+  setp.ne.u32 %p5, %r1, 0;
+  @%p5 bra DONE;
+  mov.u32 %r3, vals;
+  ld.shared.f32 %f10, [%r3];
+  mov.u32 %r7, %ctaid.x;
+  mul.wide.u32 %rd6, %r7, 4;
+  ld.param.u64 %rd7, [out];
+  add.u64 %rd8, %rd7, %rd6;
+  st.global.f32 [%rd8], %f10;
+DONE:
+  exit;
+}}
+"""
+
+    def reference(self, S, X):
+        steps = self.STEPS
+        dt = 1.0 / steps
+        v_sdt = self.VOLATILITY * np.sqrt(dt)
+        u = np.exp(v_sdt)
+        d = np.exp(-v_sdt)
+        growth = np.exp(self.RISKFREE * dt)
+        pu = (growth - d) / (u - d)
+        pd = 1.0 - pu
+        df = np.exp(-self.RISKFREE * dt)
+        out = np.zeros(len(S))
+        for option in range(len(S)):
+            i = np.arange(steps + 1)
+            values = np.maximum(
+                S[option] * np.exp((2 * i - steps) * v_sdt) - X[option],
+                0.0,
+            )
+            for step in range(steps, 0, -1):
+                values = (
+                    pu * values[1 : step + 1] + pd * values[:step]
+                ) * df
+            out[option] = values[0]
+        return out
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        options = max(4, int(8 * scale))
+        rng = self.rng()
+        S = rng.uniform(5.0, 30.0, options).astype(np.float32)
+        X = rng.uniform(1.0, 100.0, options).astype(np.float32)
+        price = device.upload(S)
+        strike = device.upload(X)
+        out = device.malloc(options * 4)
+        block = 32
+        result = device.launch(
+            "binomialOptions",
+            grid=(options, 1, 1),
+            block=(block, 1, 1),
+            args=[price, strike, out],
+        )
+        correct = None
+        if check:
+            got = out.read(np.float32, options)
+            correct = np.allclose(
+                got, self.reference(S, X), rtol=5e-3, atol=5e-3
+            )
+        return self._finish([result], correct, check)
+
+
+@register
+class MonteCarlo(Workload):
+    """SDK ``MonteCarlo``: per-thread path simulation with an integer
+    LCG and exponential path pricing — uniform and compute-bound."""
+
+    name = "MonteCarlo"
+    category = Category.COMPUTE_UNIFORM
+    description = "LCG-driven Monte Carlo option payoff sums"
+
+    PATHS = 32
+
+    def module_source(self) -> str:
+        return f"""
+.version 2.3
+.target sim
+.entry monteCarlo (.param .u64 out, .param .u32 n,
+                   .param .f32 price, .param .f32 strike)
+{{
+  .reg .u32 %r<16>;
+  .reg .u64 %rd<6>;
+  .reg .f32 %f<16>;
+  .reg .pred %p<4>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  ld.param.u32 %r5, [n];
+  setp.ge.u32 %p1, %r4, %r5;
+  @%p1 bra DONE;
+  ld.param.f32 %f1, [price];
+  ld.param.f32 %f2, [strike];
+  // seed = gid * 2654435761 + 12345
+  mul.lo.u32 %r6, %r4, 2654435761;
+  add.u32 %r6, %r6, 12345;
+  mov.f32 %f3, 0.0;                    // payoff accumulator
+  mov.u32 %r7, 0;
+PATH:
+  // LCG step
+  mul.lo.u32 %r6, %r6, 1664525;
+  add.u32 %r6, %r6, 1013904223;
+  shr.u32 %r8, %r6, 9;
+  cvt.rn.f32.u32 %f4, %r8;
+  mul.f32 %f4, %f4, 0.00000011920929;  // [0,1)
+  // z in [-1,1), crude shock
+  fma.rn.f32 %f5, %f4, 2.0, -1.0;
+  // S_T = S * exp(0.2*z - 0.02)
+  fma.rn.f32 %f6, %f5, 0.2, -0.02;
+  mul.f32 %f6, %f6, {_LOG2E};
+  ex2.approx.f32 %f6, %f6;
+  mul.f32 %f7, %f1, %f6;
+  sub.f32 %f8, %f7, %f2;
+  max.f32 %f8, %f8, 0.0;
+  add.f32 %f3, %f3, %f8;
+  add.u32 %r7, %r7, 1;
+  setp.lt.u32 %p2, %r7, {self.PATHS};
+  @%p2 bra PATH;
+  div.full.f32 %f9, %f3, {float(self.PATHS)};
+  mul.wide.u32 %rd1, %r4, 4;
+  ld.param.u64 %rd2, [out];
+  add.u64 %rd3, %rd2, %rd1;
+  st.global.f32 [%rd3], %f9;
+DONE:
+  exit;
+}}
+"""
+
+    def reference(self, n: int, price: float, strike: float):
+        gid = np.arange(n, dtype=np.uint32)
+        seed = gid * np.uint32(2654435761) + np.uint32(12345)
+        payoff = np.zeros(n, dtype=np.float32)
+        for _ in range(self.PATHS):
+            seed = seed * np.uint32(1664525) + np.uint32(1013904223)
+            bits = (seed >> np.uint32(9)).astype(np.float32)
+            uniform = bits * np.float32(0.00000011920929)
+            shock = uniform * np.float32(2.0) + np.float32(-1.0)
+            exponent = shock * np.float32(0.2) + np.float32(-0.02)
+            terminal = np.float32(price) * np.exp2(
+                exponent * np.float32(_LOG2E)
+            ).astype(np.float32)
+            payoff += np.maximum(
+                terminal - np.float32(strike), np.float32(0.0)
+            )
+        return payoff / np.float32(self.PATHS)
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        n = max(128, int(256 * scale))
+        price, strike = 25.0, 20.0
+        out = device.malloc(n * 4)
+        block = 64
+        result = device.launch(
+            "monteCarlo",
+            grid=(grid_for(n, block), 1, 1),
+            block=(block, 1, 1),
+            args=[out, n, price, strike],
+        )
+        correct = None
+        if check:
+            got = out.read(np.float32, n)
+            correct = np.allclose(
+                got,
+                self.reference(n, price, strike),
+                rtol=1e-3,
+                atol=1e-3,
+            )
+        return self._finish([result], correct, check)

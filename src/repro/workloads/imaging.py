@@ -1,0 +1,289 @@
+"""Imaging workloads: SobelFilter and ImageDenoising.
+
+SobelFilter is a stencil (memory-heavy, uniform). ImageDenoising is a
+weighted-window filter with exponential weights — compute-heavy with
+``selp``-based conditional accumulation, so control flow stays uniform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Category, Workload
+from .registry import register
+
+_SOBEL_PTX = r"""
+.version 2.3
+.target sim
+.entry sobelFilter (.param .u64 in, .param .u64 out,
+                    .param .u32 width, .param .u32 height)
+{
+  .reg .u32 %r<20>;
+  .reg .u64 %rd<10>;
+  .reg .f32 %f<20>;
+  .reg .pred %p<6>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  ld.param.u32 %r5, [width];
+  ld.param.u32 %r6, [height];
+  mul.lo.u32 %r7, %r5, %r6;
+  setp.ge.u32 %p1, %r4, %r7;
+  @%p1 bra DONE;
+  div.u32 %r8, %r4, %r5;      // y
+  mul.lo.u32 %r9, %r8, %r5;
+  sub.u32 %r10, %r4, %r9;     // x
+  // interior test
+  setp.eq.u32 %p2, %r10, 0;
+  sub.u32 %r11, %r5, 1;
+  setp.eq.u32 %p3, %r10, %r11;
+  or.pred %p2, %p2, %p3;
+  setp.eq.u32 %p4, %r8, 0;
+  or.pred %p2, %p2, %p4;
+  sub.u32 %r12, %r6, 1;
+  setp.eq.u32 %p5, %r8, %r12;
+  or.pred %p2, %p2, %p5;
+  @%p2 bra ZERO;
+  // 3x3 neighbourhood
+  ld.param.u64 %rd1, [in];
+  sub.u32 %r13, %r4, %r5;
+  sub.u32 %r14, %r13, 1;
+  mul.wide.u32 %rd2, %r14, 4;
+  add.u64 %rd3, %rd1, %rd2;
+  ld.global.f32 %f1, [%rd3];      // NW
+  ld.global.f32 %f2, [%rd3+4];    // N
+  ld.global.f32 %f3, [%rd3+8];    // NE
+  sub.u32 %r15, %r4, 1;
+  mul.wide.u32 %rd4, %r15, 4;
+  add.u64 %rd5, %rd1, %rd4;
+  ld.global.f32 %f4, [%rd5];      // W
+  ld.global.f32 %f5, [%rd5+8];    // E
+  add.u32 %r16, %r4, %r5;
+  sub.u32 %r17, %r16, 1;
+  mul.wide.u32 %rd6, %r17, 4;
+  add.u64 %rd7, %rd1, %rd6;
+  ld.global.f32 %f6, [%rd7];      // SW
+  ld.global.f32 %f7, [%rd7+4];    // S
+  ld.global.f32 %f8, [%rd7+8];    // SE
+  // gx = (NE + 2E + SE) - (NW + 2W + SW)
+  fma.rn.f32 %f9, %f5, 2.0, %f3;
+  add.f32 %f9, %f9, %f8;
+  fma.rn.f32 %f10, %f4, 2.0, %f1;
+  add.f32 %f10, %f10, %f6;
+  sub.f32 %f11, %f9, %f10;
+  // gy = (SW + 2S + SE) - (NW + 2N + NE)
+  fma.rn.f32 %f12, %f7, 2.0, %f6;
+  add.f32 %f12, %f12, %f8;
+  fma.rn.f32 %f13, %f2, 2.0, %f1;
+  add.f32 %f13, %f13, %f3;
+  sub.f32 %f14, %f12, %f13;
+  mul.f32 %f15, %f11, %f11;
+  fma.rn.f32 %f15, %f14, %f14, %f15;
+  sqrt.approx.f32 %f16, %f15;
+  bra STORE;
+ZERO:
+  mov.f32 %f16, 0.0;
+STORE:
+  mul.wide.u32 %rd8, %r4, 4;
+  ld.param.u64 %rd1, [out];
+  add.u64 %rd3, %rd1, %rd8;
+  st.global.f32 [%rd3], %f16;
+DONE:
+  exit;
+}
+"""
+
+
+@register
+class SobelFilter(Workload):
+    """SDK ``SobelFilter``: gradient-magnitude edge detection."""
+
+    name = "SobelFilter"
+    category = Category.MEMORY_BOUND
+    description = "3x3 Sobel gradient magnitude over an image"
+
+    WIDTH = 32
+
+    def module_source(self) -> str:
+        return _SOBEL_PTX
+
+    def reference(self, image: np.ndarray) -> np.ndarray:
+        height, width = image.shape
+        out = np.zeros_like(image)
+        gx = (
+            image[:-2, 2:] + 2 * image[1:-1, 2:] + image[2:, 2:]
+        ) - (image[:-2, :-2] + 2 * image[1:-1, :-2] + image[2:, :-2])
+        gy = (
+            image[2:, :-2] + 2 * image[2:, 1:-1] + image[2:, 2:]
+        ) - (image[:-2, :-2] + 2 * image[:-2, 1:-1] + image[:-2, 2:])
+        out[1:-1, 1:-1] = np.sqrt(gx * gx + gy * gy)
+        return out.astype(np.float32)
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        width = self.WIDTH
+        height = max(8, int(16 * scale))
+        n = width * height
+        image = (
+            self.rng()
+            .uniform(0, 1, n)
+            .astype(np.float32)
+            .reshape(height, width)
+        )
+        source = device.upload(image)
+        destination = device.malloc(n * 4)
+        block = 64
+        result = device.launch(
+            "sobelFilter",
+            grid=(-(-n // block), 1, 1),
+            block=(block, 1, 1),
+            args=[source, destination, width, height],
+        )
+        correct = None
+        if check:
+            got = destination.read(np.float32, n).reshape(height, width)
+            correct = np.allclose(
+                got, self.reference(image), rtol=1e-3, atol=1e-4
+            )
+        return self._finish([result], correct, check)
+
+
+_DENOISE_PTX = r"""
+.version 2.3
+.target sim
+.entry imageDenoise (.param .u64 in, .param .u64 out,
+                     .param .u32 width, .param .u32 height)
+{
+  .reg .u32 %r<20>;
+  .reg .u64 %rd<8>;
+  .reg .f32 %f<20>;
+  .reg .pred %p<6>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  ld.param.u32 %r5, [width];
+  ld.param.u32 %r6, [height];
+  mul.lo.u32 %r7, %r5, %r6;
+  setp.ge.u32 %p1, %r4, %r7;
+  @%p1 bra DONE;
+  div.u32 %r8, %r4, %r5;      // y
+  mul.lo.u32 %r9, %r8, %r5;
+  sub.u32 %r10, %r4, %r9;     // x
+  mul.wide.u32 %rd1, %r4, 4;
+  ld.param.u64 %rd2, [in];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.f32 %f1, [%rd3];  // centre value
+  mov.f32 %f2, 0.0;           // weighted sum
+  mov.f32 %f3, 0.0;           // weight sum
+  mov.u32 %r11, 0;            // window index 0..24
+WLOOP:
+  // neighbour coordinates (clamped 5x5 window)
+  div.u32 %r12, %r11, 5;
+  mul.lo.u32 %r13, %r12, 5;
+  sub.u32 %r14, %r11, %r13;
+  add.u32 %r15, %r10, %r14;
+  sub.u32 %r15, %r15, 2;
+  max.s32 %r15, %r15, 0;
+  sub.u32 %r16, %r5, 1;
+  min.u32 %r15, %r15, %r16;
+  add.u32 %r17, %r8, %r12;
+  sub.u32 %r17, %r17, 2;
+  max.s32 %r17, %r17, 0;
+  sub.u32 %r18, %r6, 1;
+  min.u32 %r17, %r17, %r18;
+  mad.lo.u32 %r19, %r17, %r5, %r15;
+  mul.wide.u32 %rd4, %r19, 4;
+  add.u64 %rd5, %rd2, %rd4;
+  ld.global.f32 %f4, [%rd5];
+  // weight = exp2(-8 * (v - centre)^2)
+  sub.f32 %f5, %f4, %f1;
+  mul.f32 %f6, %f5, %f5;
+  mul.f32 %f7, %f6, -8.0;
+  ex2.approx.f32 %f8, %f7;
+  // conditional accumulation via selp keeps control flow uniform
+  setp.gt.f32 %p2, %f8, 0.1;
+  selp.f32 %f9, %f8, 0.0, %p2;
+  fma.rn.f32 %f2, %f4, %f9, %f2;
+  add.f32 %f3, %f3, %f9;
+  add.u32 %r11, %r11, 1;
+  setp.lt.u32 %p3, %r11, 25;
+  @%p3 bra WLOOP;
+  div.full.f32 %f10, %f2, %f3;
+  ld.param.u64 %rd6, [out];
+  add.u64 %rd7, %rd6, %rd1;
+  st.global.f32 [%rd7], %f10;
+DONE:
+  exit;
+}
+"""
+
+
+@register
+class ImageDenoising(Workload):
+    """SDK ``imageDenoising``: NLM-flavoured weighted window average
+    with exponential similarity weights."""
+
+    name = "ImageDenoising"
+    category = Category.COMPUTE_UNIFORM
+    description = "5x5 similarity-weighted smoothing with ex2 weights"
+
+    WIDTH = 32
+
+    def module_source(self) -> str:
+        return _DENOISE_PTX
+
+    def reference(self, image: np.ndarray) -> np.ndarray:
+        height, width = image.shape
+        out = np.zeros_like(image)
+        for y in range(height):
+            for x in range(width):
+                centre = image[y, x]
+                weighted = np.float32(0.0)
+                total = np.float32(0.0)
+                for wy in range(5):
+                    for wx in range(5):
+                        ny = min(max(y + wy - 2, 0), height - 1)
+                        nx = min(max(x + wx - 2, 0), width - 1)
+                        value = image[ny, nx]
+                        diff = np.float32(value - centre)
+                        weight = np.exp2(
+                            np.float32(-8.0) * diff * diff
+                        ).astype(np.float32)
+                        if not weight > np.float32(0.1):
+                            weight = np.float32(0.0)
+                        weighted = np.float32(
+                            weighted + value * weight
+                        )
+                        total = np.float32(total + weight)
+                out[y, x] = weighted / total
+        return out
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        width = self.WIDTH
+        height = max(4, int(8 * scale))
+        n = width * height
+        image = (
+            self.rng()
+            .uniform(0, 1, n)
+            .astype(np.float32)
+            .reshape(height, width)
+        )
+        source = device.upload(image)
+        destination = device.malloc(n * 4)
+        block = 64
+        result = device.launch(
+            "imageDenoise",
+            grid=(-(-n // block), 1, 1),
+            block=(block, 1, 1),
+            args=[source, destination, width, height],
+        )
+        correct = None
+        if check:
+            got = destination.read(np.float32, n).reshape(height, width)
+            correct = np.allclose(
+                got, self.reference(image), rtol=1e-2, atol=1e-3
+            )
+        return self._finish([result], correct, check)

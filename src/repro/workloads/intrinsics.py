@@ -1,0 +1,169 @@
+"""Intrinsic-exercising samples: SimpleAtomicIntrinsics and
+SimpleVoteIntrinsics.
+
+``SimpleVoteIntrinsics`` launches with two-thread CTAs, so the
+execution manager can never assemble more than two threads per warp —
+reproducing Fig. 7's observation that it "is only ever able to form
+warps of 2 threads at most".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Category, Workload, grid_for
+from .registry import register
+
+_ATOMIC_PTX = r"""
+.version 2.3
+.target sim
+.entry simpleAtomics (.param .u64 counters, .param .u32 n)
+{
+  .reg .u32 %r<12>;
+  .reg .u64 %rd<4>;
+  .reg .pred %p<2>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  ld.param.u32 %r5, [n];
+  setp.ge.u32 %p1, %r4, %r5;
+  @%p1 bra DONE;
+  ld.param.u64 %rd1, [counters];
+  // counters[0] += 1
+  atom.global.add.u32 %r6, [%rd1], 1;
+  // counters[1] = max(counters[1], gid)
+  atom.global.max.u32 %r7, [%rd1+4], %r4;
+  // counters[2] = min(counters[2], gid)
+  atom.global.min.u32 %r8, [%rd1+8], %r4;
+  // counters[3] &= mask-of-low-bits
+  and.b32 %r9, %r4, 255;
+  atom.global.and.b32 %r10, [%rd1+12], %r9;
+  // counters[4] |= bits
+  atom.global.or.b32 %r11, [%rd1+16], %r9;
+DONE:
+  exit;
+}
+"""
+
+
+@register
+class SimpleAtomicIntrinsics(Workload):
+    """SDK ``simpleAtomicIntrinsics``: every atomic operator against a
+    small set of global counters."""
+
+    name = "SimpleAtomicIntrinsics"
+    category = Category.ATOMIC
+    description = "add/max/min/and/or atomics on global counters"
+
+    def module_source(self) -> str:
+        return _ATOMIC_PTX
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        n = max(64, int(128 * scale))
+        counters = device.malloc(5 * 4)
+        initial = np.array(
+            [0, 0, 0xFFFFFFFF, 0xFFFFFFFF, 0], dtype=np.uint32
+        )
+        counters.write(initial)
+        block = 32
+        result = device.launch(
+            "simpleAtomics",
+            grid=(grid_for(n, block), 1, 1),
+            block=(block, 1, 1),
+            args=[counters, n],
+        )
+        correct = None
+        if check:
+            got = counters.read(np.uint32, 5)
+            gids = np.arange(n, dtype=np.uint32)
+            masks = gids & np.uint32(255)
+            expected_and = np.uint32(0xFFFFFFFF)
+            expected_or = np.uint32(0)
+            for mask in masks:
+                expected_and &= mask
+                expected_or |= mask
+            expected = np.array(
+                [n, n - 1, 0, expected_and, expected_or],
+                dtype=np.uint32,
+            )
+            correct = np.array_equal(got, expected)
+        return self._finish([result], correct, check)
+
+
+_VOTE_PTX = r"""
+.version 2.3
+.target sim
+.entry simpleVote (.param .u64 values, .param .u64 results,
+                   .param .u32 threshold, .param .u32 n)
+{
+  .reg .u32 %r<12>;
+  .reg .u64 %rd<8>;
+  .reg .pred %p<6>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  ld.param.u32 %r5, [n];
+  setp.ge.u32 %p1, %r4, %r5;
+  @%p1 bra DONE;
+  mul.wide.u32 %rd1, %r4, 4;
+  ld.param.u64 %rd2, [values];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.u32 %r6, [%rd3];
+  ld.param.u32 %r7, [threshold];
+  // uniform predicate: every thread compares the same CTA-wide value
+  setp.ge.u32 %p2, %r6, %r7;
+  vote.all.pred %p3, %p2;
+  vote.any.pred %p4, %p2;
+  selp.u32 %r8, 1, 0, %p3;
+  selp.u32 %r9, 2, 0, %p4;
+  or.b32 %r10, %r8, %r9;
+  ld.param.u64 %rd4, [results];
+  add.u64 %rd5, %rd4, %rd1;
+  st.global.u32 [%rd5], %r10;
+DONE:
+  exit;
+}
+"""
+
+
+@register
+class SimpleVoteIntrinsics(Workload):
+    """SDK ``simpleVoteIntrinsics``: warp-wide vote.all/vote.any over
+    a (deterministically uniform) predicate. Two-thread CTAs on a
+    single CTA grid cap warp formation at 2."""
+
+    name = "SimpleVoteIntrinsics"
+    category = Category.MICRO
+    description = "vote.all / vote.any over two-thread CTAs"
+
+    def module_source(self) -> str:
+        return _VOTE_PTX
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        ctas = max(2, int(4 * scale))
+        block = 2
+        n = ctas * block
+        threshold = 100
+        # All threads of a CTA load the same value, so the vote result
+        # is independent of how warps are formed.
+        per_cta = self.rng().integers(0, 200, ctas).astype(np.uint32)
+        values = np.repeat(per_cta, block).astype(np.uint32)
+        value_buffer = device.upload(values)
+        results = device.malloc(n * 4)
+        result = device.launch(
+            "simpleVote",
+            grid=(ctas, 1, 1),
+            block=(block, 1, 1),
+            args=[value_buffer, results, threshold, n],
+        )
+        correct = None
+        if check:
+            got = results.read(np.uint32, n)
+            passed = values >= threshold
+            expected = np.where(passed, 3, 0).astype(np.uint32)
+            correct = np.array_equal(got, expected)
+        return self._finish([result], correct, check)

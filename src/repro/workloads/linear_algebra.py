@@ -1,0 +1,247 @@
+"""Linear-algebra workloads: MatrixMul (shared-memory tiled GEMM) and
+ScalarProd (batched dot products with a shared-memory reduction).
+
+Both synchronize frequently; ScalarProd is additionally memory-bound,
+which is why the paper measures ~1.0x for it (Fig. 6) — the loads
+dominate and cannot be vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Category, Workload
+from .registry import register
+
+
+@register
+class MatrixMul(Workload):
+    """SDK ``matrixMul``: C = A x B with 8x8 shared-memory tiles."""
+
+    name = "MatrixMul"
+    category = Category.BARRIER_HEAVY
+    description = "tiled matrix multiply, two barriers per tile step"
+
+    TILE = 8
+
+    def module_source(self) -> str:
+        return r"""
+.version 2.3
+.target sim
+.entry matrixMul (.param .u64 a, .param .u64 b, .param .u64 c,
+                  .param .u32 k)
+{
+  .reg .u32 %r<28>;
+  .reg .u64 %rd<12>;
+  .reg .f32 %f<8>;
+  .reg .pred %p<4>;
+  .shared .f32 tileA[64];
+  .shared .f32 tileB[64];
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %tid.y;
+  mov.u32 %r3, %ctaid.x;
+  mov.u32 %r4, %ctaid.y;
+  ld.param.u32 %r5, [k];
+  shl.b32 %r6, %r3, 3;
+  add.u32 %r7, %r6, %r1;
+  shl.b32 %r8, %r4, 3;
+  add.u32 %r9, %r8, %r2;
+  mov.f32 %f1, 0.0;
+  mov.u32 %r10, 0;
+TILELOOP:
+  shl.b32 %r11, %r10, 3;
+  add.u32 %r12, %r11, %r1;
+  mad.lo.u32 %r13, %r9, %r5, %r12;
+  mul.wide.u32 %rd1, %r13, 4;
+  ld.param.u64 %rd2, [a];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.f32 %f2, [%rd3];
+  shl.b32 %r14, %r2, 3;
+  add.u32 %r15, %r14, %r1;
+  shl.b32 %r16, %r15, 2;
+  mov.u32 %r17, tileA;
+  add.u32 %r18, %r17, %r16;
+  st.shared.f32 [%r18], %f2;
+  add.u32 %r19, %r11, %r2;
+  mad.lo.u32 %r20, %r19, %r5, %r7;
+  mul.wide.u32 %rd4, %r20, 4;
+  ld.param.u64 %rd5, [b];
+  add.u64 %rd6, %rd5, %rd4;
+  ld.global.f32 %f3, [%rd6];
+  mov.u32 %r21, tileB;
+  add.u32 %r22, %r21, %r16;
+  st.shared.f32 [%r22], %f3;
+  bar.sync 0;
+  mov.u32 %r23, 0;
+INNER:
+  shl.b32 %r24, %r2, 3;
+  add.u32 %r24, %r24, %r23;
+  shl.b32 %r24, %r24, 2;
+  add.u32 %r24, %r17, %r24;
+  ld.shared.f32 %f4, [%r24];
+  shl.b32 %r25, %r23, 3;
+  add.u32 %r25, %r25, %r1;
+  shl.b32 %r25, %r25, 2;
+  add.u32 %r25, %r21, %r25;
+  ld.shared.f32 %f5, [%r25];
+  fma.rn.f32 %f1, %f4, %f5, %f1;
+  add.u32 %r23, %r23, 1;
+  setp.lt.u32 %p1, %r23, 8;
+  @%p1 bra INNER;
+  bar.sync 0;
+  add.u32 %r10, %r10, 1;
+  shr.u32 %r26, %r5, 3;
+  setp.lt.u32 %p2, %r10, %r26;
+  @%p2 bra TILELOOP;
+  mad.lo.u32 %r27, %r9, %r5, %r7;
+  mul.wide.u32 %rd7, %r27, 4;
+  ld.param.u64 %rd8, [c];
+  add.u64 %rd9, %rd8, %rd7;
+  st.global.f32 [%rd9], %f1;
+  exit;
+}
+"""
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        tiles = max(2, int(2 * scale))
+        n = tiles * self.TILE
+        rng = self.rng()
+        A = rng.standard_normal((n, n)).astype(np.float32)
+        B = rng.standard_normal((n, n)).astype(np.float32)
+        a = device.upload(A)
+        b = device.upload(B)
+        c = device.malloc(n * n * 4)
+        result = device.launch(
+            "matrixMul",
+            grid=(tiles, tiles, 1),
+            block=(self.TILE, self.TILE, 1),
+            args=[a, b, c, n],
+        )
+        correct = None
+        if check:
+            got = c.read(np.float32, n * n).reshape(n, n)
+            correct = np.allclose(got, A @ B, rtol=1e-3, atol=1e-4)
+        return self._finish([result], correct, check)
+
+
+_SCALARPROD_PTX = r"""
+.version 2.3
+.target sim
+.entry scalarProd (.param .u64 a, .param .u64 b, .param .u64 out,
+                   .param .u32 elements)
+{
+  .reg .u32 %r<16>;
+  .reg .u64 %rd<10>;
+  .reg .f32 %f<8>;
+  .reg .pred %p<6>;
+  .shared .f32 partial[@BLOCK@];
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ctaid.x;
+  ld.param.u32 %r3, [elements];
+  mul.lo.u32 %r4, %r2, %r3;
+  mov.f32 %f1, 0.0;
+  mov.u32 %r5, %r1;
+ACC:
+  setp.ge.u32 %p1, %r5, %r3;
+  @%p1 bra ACCDONE;
+  add.u32 %r6, %r4, %r5;
+  mul.wide.u32 %rd1, %r6, 4;
+  ld.param.u64 %rd2, [a];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.f32 %f2, [%rd3];
+  ld.param.u64 %rd4, [b];
+  add.u64 %rd5, %rd4, %rd1;
+  ld.global.f32 %f3, [%rd5];
+  fma.rn.f32 %f1, %f2, %f3, %f1;
+  add.u32 %r5, %r5, @BLOCK@;
+  bra ACC;
+ACCDONE:
+  mov.u32 %r7, partial;
+  shl.b32 %r8, %r1, 2;
+  add.u32 %r9, %r7, %r8;
+  st.shared.f32 [%r9], %f1;
+  bar.sync 0;
+  mov.u32 %r10, @HALF@;
+RED:
+  setp.ge.u32 %p2, %r1, %r10;
+  @%p2 bra SKIP;
+  shl.b32 %r11, %r10, 2;
+  add.u32 %r12, %r9, %r11;
+  ld.shared.f32 %f4, [%r9];
+  ld.shared.f32 %f5, [%r12];
+  add.f32 %f4, %f4, %f5;
+  st.shared.f32 [%r9], %f4;
+SKIP:
+  bar.sync 0;
+  shr.u32 %r10, %r10, 1;
+  setp.gt.u32 %p3, %r10, 0;
+  @%p3 bra RED;
+  setp.ne.u32 %p4, %r1, 0;
+  @%p4 bra DONE;
+  ld.shared.f32 %f6, [%r7];
+  mul.wide.u32 %rd6, %r2, 4;
+  ld.param.u64 %rd7, [out];
+  add.u64 %rd8, %rd7, %rd6;
+  st.global.f32 [%rd8], %f6;
+DONE:
+  exit;
+}
+"""
+
+
+@register
+class ScalarProd(Workload):
+    """SDK ``scalarProd``: one CTA per vector pair; strided partial
+    sums reduced through shared memory with a barrier per step."""
+
+    name = "ScalarProd"
+    category = Category.MEMORY_BOUND
+    description = "batched dot products with shared-memory reduction"
+
+    BLOCK = 32
+    ELEMENTS = 128
+
+    def module_source(self) -> str:
+        return _SCALARPROD_PTX.replace(
+            "@BLOCK@", str(self.BLOCK)
+        ).replace("@HALF@", str(self.BLOCK // 2))
+
+    def reference(self, A, B, pairs, elements):
+        """Strided float32 accumulation matching the kernel's order."""
+        a = A.reshape(pairs, elements)
+        b = B.reshape(pairs, elements)
+        partial = np.zeros((pairs, self.BLOCK), dtype=np.float32)
+        for start in range(0, elements, self.BLOCK):
+            partial += (
+                a[:, start : start + self.BLOCK]
+                * b[:, start : start + self.BLOCK]
+            )
+        stride = self.BLOCK // 2
+        while stride > 0:
+            partial[:, :stride] += partial[:, stride : 2 * stride]
+            stride //= 2
+        return partial[:, 0]
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        pairs = max(4, int(8 * scale))
+        elements = self.ELEMENTS
+        rng = self.rng()
+        A = rng.standard_normal(pairs * elements).astype(np.float32)
+        B = rng.standard_normal(pairs * elements).astype(np.float32)
+        a = device.upload(A)
+        b = device.upload(B)
+        out = device.malloc(pairs * 4)
+        result = device.launch(
+            "scalarProd",
+            grid=(pairs, 1, 1),
+            block=(self.BLOCK, 1, 1),
+            args=[a, b, out, elements],
+        )
+        correct = None
+        if check:
+            got = out.read(np.float32, pairs)
+            expected = self.reference(A, B, pairs, elements)
+            correct = np.allclose(got, expected, rtol=1e-3, atol=1e-4)
+        return self._finish([result], correct, check)

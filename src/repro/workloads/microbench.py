@@ -1,0 +1,213 @@
+"""Microbenchmarks.
+
+``throughput`` is the Table 1 microbenchmark: "back-to-back floating
+point multiply and adds within a heavily unrolled loop launched over
+576 threads" (§6). Ten independent FMA chains keep the FPU saturated
+while staying inside the 16-entry vector register file at the machine
+width — and overflowing it at twice the machine width, which is the
+paper's explanation for the warp-size-8 cliff.
+
+``Clock`` mirrors the SDK's trivial cycle-counter sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ptx.types import DataType
+from .base import Category, Workload, WorkloadRun
+from .registry import register
+
+_CHAINS = 10
+_UNROLL = 16
+#: FMA chain constants (arbitrary, fixed).
+_MULTIPLIER = 0.9995
+_ADDENDS = [0.001 + 0.0001 * k for k in range(_CHAINS)]
+
+
+def _throughput_ptx() -> str:
+    lines = [
+        ".version 2.3",
+        ".target sim",
+        "",
+        ".entry throughput (.param .u64 out, .param .u32 iters)",
+        "{",
+        "  .reg .u32 %r<8>;",
+        "  .reg .u64 %rd<4>;",
+        f"  .reg .f32 %acc<{_CHAINS}>;",
+        "  .reg .f32 %f<4>;",
+        "  .reg .pred %p<2>;",
+        "",
+        "  mov.u32 %r1, %tid.x;",
+        "  mov.u32 %r2, %ntid.x;",
+        "  mov.u32 %r3, %ctaid.x;",
+        "  mad.lo.u32 %r4, %r3, %r2, %r1;",
+        "  cvt.rn.f32.u32 %f1, %r4;",
+    ]
+    for k in range(_CHAINS):
+        lines.append(
+            f"  add.f32 %acc{k}, %f1, {float(k)};"
+        )
+    lines += [
+        "  mov.u32 %r5, 0;",
+        "  ld.param.u32 %r6, [iters];",
+        "LOOP:",
+    ]
+    for _ in range(_UNROLL):
+        for k in range(_CHAINS):
+            lines.append(
+                f"  fma.rn.f32 %acc{k}, %acc{k}, {_MULTIPLIER}, "
+                f"{_ADDENDS[k]};"
+            )
+    lines += [
+        "  add.u32 %r5, %r5, 1;",
+        "  setp.lt.u32 %p1, %r5, %r6;",
+        "  @%p1 bra LOOP;",
+        "  mov.f32 %f2, 0.0;",
+    ]
+    for k in range(_CHAINS):
+        lines.append(f"  add.f32 %f2, %f2, %acc{k};")
+    lines += [
+        "  mul.wide.u32 %rd1, %r4, 4;",
+        "  ld.param.u64 %rd2, [out];",
+        "  add.u64 %rd3, %rd2, %rd1;",
+        "  st.global.f32 [%rd3], %f2;",
+        "  exit;",
+        "}",
+    ]
+    return "\n".join(lines)
+
+
+@register
+class Throughput(Workload):
+    """Peak-FLOP microbenchmark (Table 1)."""
+
+    name = "throughput"
+    category = Category.MICRO
+    description = (
+        "heavily unrolled independent FMA chains over 576 threads"
+    )
+
+    #: Matches the paper's 576 threads on the 4-core machine (the
+    #: grid scales with the core count so wider machines stay fed).
+    CTAS_PER_CORE = 2
+    BLOCK = 72
+    ITERATIONS = 12
+
+    def module_source(self) -> str:
+        return _throughput_ptx()
+
+    def reference(self, iterations: int, threads: int) -> np.ndarray:
+        gid = np.arange(threads, dtype=np.float32)
+        accumulators = [
+            (gid + np.float32(k)).astype(np.float32)
+            for k in range(_CHAINS)
+        ]
+        multiplier = np.float32(_MULTIPLIER)
+        addends = [np.float32(a) for a in _ADDENDS]
+        for _ in range(iterations * _UNROLL):
+            for k in range(_CHAINS):
+                accumulators[k] = (
+                    accumulators[k] * multiplier + addends[k]
+                ).astype(np.float32)
+        total = np.zeros(threads, dtype=np.float32)
+        for k in range(_CHAINS):
+            total = (total + accumulators[k]).astype(np.float32)
+        return total
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        iterations = max(1, int(self.ITERATIONS * scale))
+        grid = self.CTAS_PER_CORE * device.machine.cores
+        # The paper's 72-thread CTAs divide evenly into warps up to
+        # width 8; on wider machines use a block that keeps every warp
+        # full (a ragged remainder warp would yield at each branch).
+        block = self.BLOCK
+        max_ws = device.config.max_warp_size
+        if block % max_ws:
+            block = (block // max_ws) * max_ws or max_ws
+        threads = grid * block
+        out = device.malloc(threads * 4)
+        result = device.launch(
+            "throughput",
+            grid=(grid, 1, 1),
+            block=(block, 1, 1),
+            args=[out, iterations],
+        )
+        correct = None
+        if check:
+            measured = out.read(np.float32, threads)
+            correct = np.allclose(
+                measured, self.reference(iterations, threads),
+                rtol=1e-4,
+            )
+        return self._finish([result], correct, check)
+
+
+@register
+class Clock(Workload):
+    """SDK ``clock`` sample: record the cycle counter per CTA."""
+
+    name = "Clock"
+    category = Category.MICRO
+    description = "read the cycle counter at CTA start and end"
+
+    def module_source(self) -> str:
+        return r"""
+.version 2.3
+.target sim
+.entry clockKernel (.param .u64 timers, .param .u64 data, .param .u32 n)
+{
+  .reg .u32 %r<10>;
+  .reg .u64 %rd<8>;
+  .reg .f32 %f<4>;
+  .reg .pred %p<4>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ctaid.x;
+  mov.u32 %r3, %clock;
+  mov.u32 %r4, %ntid.x;
+  mad.lo.u32 %r5, %r2, %r4, %r1;
+  ld.param.u32 %r6, [n];
+  setp.ge.u32 %p1, %r5, %r6;
+  @%p1 bra SKIP;
+  mul.wide.u32 %rd1, %r5, 4;
+  ld.param.u64 %rd2, [data];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.f32 %f1, [%rd3];
+  mul.f32 %f1, %f1, 2.0;
+  st.global.f32 [%rd3], %f1;
+SKIP:
+  mov.u32 %r7, %clock;
+  sub.u32 %r8, %r7, %r3;
+  setp.ne.u32 %p2, %r1, 0;
+  @%p2 bra DONE;
+  mul.wide.u32 %rd4, %r2, 4;
+  ld.param.u64 %rd5, [timers];
+  add.u64 %rd6, %rd5, %rd4;
+  st.global.u32 [%rd6], %r8;
+DONE:
+  exit;
+}
+"""
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        n = max(32, int(128 * scale))
+        block = 32
+        grid = -(-n // block)
+        data = self.rng().standard_normal(n).astype(np.float32)
+        data_buffer = device.upload(data)
+        timers = device.malloc(grid * 4)
+        result = device.launch(
+            "clockKernel",
+            grid=(grid, 1, 1),
+            block=(block, 1, 1),
+            args=[timers, data_buffer, n],
+        )
+        correct = None
+        if check:
+            doubled = data_buffer.read(np.float32, n)
+            elapsed = timers.read(np.uint32, grid)
+            correct = np.allclose(doubled, data * 2) and bool(
+                (elapsed >= 0).all()
+            )
+        return self._finish([result], correct, check)

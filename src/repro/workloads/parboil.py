@@ -1,0 +1,302 @@
+"""Parboil workloads: cp (coulombic potential), mri-q, mri-fhd.
+
+``cp`` is the paper's best case (3.9x, Fig. 6): a fully unrolled inner
+loop over a fixed atom set — pure floating-point work with almost no
+memory traffic. The MRI kernels are transcendental-heavy but carry a
+data-dependent sample filter, giving them the uncorrelated divergence
+that makes them *lose* performance under dynamic warp formation in the
+paper's measurements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Category, Workload, grid_for
+from .registry import register
+
+_ATOMS = 16
+
+
+def _cp_atoms() -> np.ndarray:
+    rng = np.random.default_rng(99)
+    atoms = np.zeros((_ATOMS, 4), dtype=np.float32)
+    atoms[:, 0] = rng.uniform(0, 16, _ATOMS)  # x
+    atoms[:, 1] = rng.uniform(0, 16, _ATOMS)  # y
+    atoms[:, 2] = rng.uniform(0.5, 2.0, _ATOMS)  # z (above the plane)
+    atoms[:, 3] = rng.uniform(-1.0, 1.0, _ATOMS)  # charge
+    return atoms
+
+
+def _cp_ptx() -> str:
+    """Generate the unrolled cp kernel with atom data baked in
+    (mirrors Parboil's fully unrolled constant-memory inner loop)."""
+    atoms = _cp_atoms()
+    lines = [
+        ".version 2.3",
+        ".target sim",
+        "",
+        ".entry cpEnergy (.param .u64 grid_out, .param .u32 width,"
+        " .param .u32 n)",
+        "{",
+        "  .reg .u32 %r<10>;",
+        "  .reg .u64 %rd<6>;",
+        "  .reg .f32 %f<16>;",
+        "  .reg .pred %p<2>;",
+        "",
+        "  mov.u32 %r1, %tid.x;",
+        "  mov.u32 %r2, %ntid.x;",
+        "  mov.u32 %r3, %ctaid.x;",
+        "  mad.lo.u32 %r4, %r3, %r2, %r1;",
+        "  ld.param.u32 %r5, [n];",
+        "  setp.ge.u32 %p1, %r4, %r5;",
+        "  @%p1 bra DONE;",
+        "  ld.param.u32 %r6, [width];",
+        "  div.u32 %r7, %r4, %r6;",
+        "  mul.lo.u32 %r8, %r7, %r6;",
+        "  sub.u32 %r9, %r4, %r8;",
+        "  cvt.rn.f32.u32 %f1, %r9;",  # px
+        "  cvt.rn.f32.u32 %f2, %r7;",  # py
+        "  mov.f32 %f3, 0.0;",  # energy
+    ]
+    for ax, ay, az, charge in atoms:
+        z2 = float(az) * float(az)
+        lines += [
+            f"  sub.f32 %f4, %f1, {float(ax)};",
+            f"  sub.f32 %f5, %f2, {float(ay)};",
+            "  mul.f32 %f6, %f4, %f4;",
+            "  fma.rn.f32 %f6, %f5, %f5, %f6;",
+            f"  add.f32 %f6, %f6, {z2};",
+            "  rsqrt.approx.f32 %f7, %f6;",
+            f"  fma.rn.f32 %f3, %f7, {float(charge)}, %f3;",
+        ]
+    lines += [
+        "  mul.wide.u32 %rd1, %r4, 4;",
+        "  ld.param.u64 %rd2, [grid_out];",
+        "  add.u64 %rd3, %rd2, %rd1;",
+        "  st.global.f32 [%rd3], %f3;",
+        "DONE:",
+        "  exit;",
+        "}",
+    ]
+    return "\n".join(lines)
+
+
+@register
+class CoulombicPotential(Workload):
+    """Parboil ``cp``: electrostatic potential over a 2D grid from a
+    fixed atom set, inner loop fully unrolled."""
+
+    name = "cp"
+    category = Category.COMPUTE_UNIFORM
+    description = "coulombic potential map, unrolled atom loop"
+
+    WIDTH = 32
+
+    def module_source(self) -> str:
+        return _cp_ptx()
+
+    def reference(self, n: int) -> np.ndarray:
+        atoms = _cp_atoms()
+        gid = np.arange(n, dtype=np.uint32)
+        px = (gid % self.WIDTH).astype(np.float32)
+        py = (gid // self.WIDTH).astype(np.float32)
+        energy = np.zeros(n, dtype=np.float32)
+        for ax, ay, az, charge in atoms:
+            dx = px - np.float32(ax)
+            dy = py - np.float32(ay)
+            r2 = dx * dx + dy * dy + np.float32(float(az) * float(az))
+            inv = (1.0 / np.sqrt(r2)).astype(np.float32)
+            energy = energy + inv * np.float32(charge)
+        return energy
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        rows = max(4, int(8 * scale))
+        n = rows * self.WIDTH
+        out = device.malloc(n * 4)
+        block = 64
+        result = device.launch(
+            "cpEnergy",
+            grid=(grid_for(n, block), 1, 1),
+            block=(block, 1, 1),
+            args=[out, self.WIDTH, n],
+        )
+        correct = None
+        if check:
+            got = out.read(np.float32, n)
+            correct = np.allclose(
+                got, self.reference(n), rtol=1e-3, atol=1e-3
+            )
+        return self._finish([result], correct, check)
+
+
+_MRIQ_PTX = r"""
+.version 2.3
+.target sim
+.entry mriQ (.param .u64 kspace, .param .u64 coords, .param .u64 outR,
+             .param .u64 outI, .param .u32 samples, .param .u32 n)
+{
+  .reg .u32 %r<12>;
+  .reg .u64 %rd<14>;
+  .reg .f32 %f<20>;
+  .reg .pred %p<6>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  ld.param.u32 %r5, [n];
+  setp.ge.u32 %p1, %r4, %r5;
+  @%p1 bra DONE;
+  // voxel coordinate
+  mul.wide.u32 %rd1, %r4, 4;
+  ld.param.u64 %rd2, [coords];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.f32 %f1, [%rd3];
+  mov.f32 %f2, 0.0;          // Qr
+  mov.f32 %f3, 0.0;          // Qi
+  ld.param.u32 %r6, [samples];
+  mov.u32 %r7, 0;
+SAMPLE:
+  // k-space sample: (k, magnitude) pairs
+  shl.b32 %r8, %r7, 3;
+  cvt.u64.u32 %rd4, %r8;
+  ld.param.u64 %rd5, [kspace];
+  add.u64 %rd6, %rd5, %rd4;
+  ld.global.f32 %f4, [%rd6];     // k value
+  ld.global.f32 %f5, [%rd6+4];   // magnitude
+  // data-dependent sample filter: skip weak magnitudes whose
+  // threshold depends on the voxel -> uncorrelated divergence
+  mul.f32 %f6, %f1, 0.3;
+  abs.f32 %f6, %f6;
+  abs.f32 %f7, %f5;
+  setp.lt.f32 %p2, %f7, %f6;
+  @%p2 bra NEXT;
+  mul.f32 %f8, %f4, %f1;
+  mul.f32 %f8, %f8, 6.2831853;
+  sin.approx.f32 %f9, %f8;
+  cos.approx.f32 %f10, %f8;
+  fma.rn.f32 %f2, %f5, %f10, %f2;
+  fma.rn.f32 %f3, %f5, %f9, %f3;
+NEXT:
+  add.u32 %r7, %r7, 1;
+  setp.lt.u32 %p3, %r7, %r6;
+  @%p3 bra SAMPLE;
+  ld.param.u64 %rd7, [outR];
+  add.u64 %rd8, %rd7, %rd1;
+  st.global.f32 [%rd8], %f2;
+  ld.param.u64 %rd9, [outI];
+  add.u64 %rd10, %rd9, %rd1;
+  st.global.f32 [%rd10], %f3;
+DONE:
+  exit;
+}
+"""
+
+
+class _MriBase(Workload):
+    """Shared host logic of the two MRI kernels."""
+
+    SAMPLES = 24
+
+    def _inputs(self, n: int):
+        rng = self.rng()
+        kvals = rng.uniform(-0.5, 0.5, self.SAMPLES).astype(np.float32)
+        mags = rng.uniform(0.0, 1.0, self.SAMPLES).astype(np.float32)
+        kspace = np.empty(self.SAMPLES * 2, dtype=np.float32)
+        kspace[0::2] = kvals
+        kspace[1::2] = mags
+        coords = rng.uniform(-1.0, 1.0, n).astype(np.float32)
+        return kspace, kvals, mags, coords
+
+    def reference(self, kvals, mags, coords):
+        n = len(coords)
+        Qr = np.zeros(n, dtype=np.float32)
+        Qi = np.zeros(n, dtype=np.float32)
+        threshold = np.abs(coords * np.float32(0.3))
+        for k, mag in zip(kvals, mags):
+            keep = np.abs(np.float32(mag)) >= threshold
+            phase = (
+                np.float32(k) * coords * np.float32(6.2831853)
+            ).astype(np.float32)
+            Qr = np.where(
+                keep,
+                Qr + np.float32(mag) * np.cos(phase, dtype=np.float32),
+                Qr,
+            ).astype(np.float32)
+            Qi = np.where(
+                keep,
+                Qi + np.float32(mag) * np.sin(phase, dtype=np.float32),
+                Qi,
+            ).astype(np.float32)
+        return Qr, Qi
+
+    def _run(self, device, kernel: str, scale: float, check: bool):
+        n = max(64, int(128 * scale))
+        kspace, kvals, mags, coords = self._inputs(n)
+        kspace_buffer = device.upload(kspace)
+        coords_buffer = device.upload(coords)
+        out_r = device.malloc(n * 4)
+        out_i = device.malloc(n * 4)
+        block = 64
+        result = device.launch(
+            kernel,
+            grid=(grid_for(n, block), 1, 1),
+            block=(block, 1, 1),
+            args=[
+                kspace_buffer,
+                coords_buffer,
+                out_r,
+                out_i,
+                self.SAMPLES,
+                n,
+            ],
+        )
+        correct = None
+        if check:
+            Qr, Qi = self.reference(kvals, mags, coords)
+            correct = np.allclose(
+                out_r.read(np.float32, n), Qr, rtol=1e-3, atol=1e-3
+            ) and np.allclose(
+                out_i.read(np.float32, n), Qi, rtol=1e-3, atol=1e-3
+            )
+        return self._finish([result], correct, check)
+
+
+@register
+class MriQ(_MriBase):
+    """Parboil ``mri-q``: Q-matrix computation with a per-voxel
+    sample filter."""
+
+    name = "mri-q"
+    category = Category.DIVERGENT
+    description = "MRI Q computation, sin/cos with divergent filter"
+
+    def module_source(self) -> str:
+        return _MRIQ_PTX
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        return self._run(device, "mriQ", scale, check)
+
+
+@register
+class MriFhd(_MriBase):
+    """Parboil ``mri-fhd``: F^H d computation; same loop structure as
+    mri-q with the conjugate accumulation."""
+
+    name = "mri-fhd"
+    category = Category.DIVERGENT
+    description = "MRI FHd computation, sin/cos with divergent filter"
+
+    def module_source(self) -> str:
+        return _MRIQ_PTX.replace("mriQ", "mriFhd").replace(
+            "fma.rn.f32 %f3, %f5, %f9, %f3;",
+            "neg.f32 %f11, %f9;\n  fma.rn.f32 %f3, %f5, %f11, %f3;",
+        )
+
+    def reference(self, kvals, mags, coords):
+        Qr, Qi = super().reference(kvals, mags, coords)
+        return Qr, (-Qi).astype(np.float32)
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        return self._run(device, "mriFhd", scale, check)

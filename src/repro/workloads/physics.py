@@ -1,0 +1,243 @@
+"""Physics / numerical workloads: Nbody and Eigenvalues.
+
+Nbody is the canonical compute-bound uniform kernel (high speedup,
+nearly all cycles in the subkernel — Fig. 9). Eigenvalues uses
+per-thread bisection whose iteration count is data-dependent, giving
+sustained divergence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Category, Workload, grid_for
+from .registry import register
+
+_NBODY_PTX = r"""
+.version 2.3
+.target sim
+.entry nbodyForces (.param .u64 bodies, .param .u64 accel,
+                    .param .u32 n)
+{
+  .reg .u32 %r<12>;
+  .reg .u64 %rd<10>;
+  .reg .f32 %f<24>;
+  .reg .pred %p<4>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  ld.param.u32 %r5, [n];
+  setp.ge.u32 %p1, %r4, %r5;
+  @%p1 bra DONE;
+  // my position
+  shl.b32 %r6, %r4, 4;
+  cvt.u64.u32 %rd1, %r6;
+  ld.param.u64 %rd2, [bodies];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.f32 %f1, [%rd3];      // x
+  ld.global.f32 %f2, [%rd3+4];    // y
+  ld.global.f32 %f3, [%rd3+8];    // z
+  mov.f32 %f4, 0.0;               // ax
+  mov.f32 %f5, 0.0;               // ay
+  mov.f32 %f6, 0.0;               // az
+  mov.u32 %r7, 0;
+BODYLOOP:
+  shl.b32 %r8, %r7, 4;
+  cvt.u64.u32 %rd4, %r8;
+  add.u64 %rd5, %rd2, %rd4;
+  ld.global.f32 %f7, [%rd5];
+  ld.global.f32 %f8, [%rd5+4];
+  ld.global.f32 %f9, [%rd5+8];
+  ld.global.f32 %f10, [%rd5+12];  // mass
+  sub.f32 %f11, %f7, %f1;
+  sub.f32 %f12, %f8, %f2;
+  sub.f32 %f13, %f9, %f3;
+  mul.f32 %f14, %f11, %f11;
+  fma.rn.f32 %f14, %f12, %f12, %f14;
+  fma.rn.f32 %f14, %f13, %f13, %f14;
+  add.f32 %f14, %f14, 0.01;       // softening^2
+  rsqrt.approx.f32 %f15, %f14;
+  mul.f32 %f16, %f15, %f15;
+  mul.f32 %f16, %f16, %f15;       // invDist^3
+  mul.f32 %f17, %f10, %f16;       // m * invDist^3
+  fma.rn.f32 %f4, %f11, %f17, %f4;
+  fma.rn.f32 %f5, %f12, %f17, %f5;
+  fma.rn.f32 %f6, %f13, %f17, %f6;
+  add.u32 %r7, %r7, 1;
+  setp.lt.u32 %p2, %r7, %r5;
+  @%p2 bra BODYLOOP;
+  mul.lo.u32 %r9, %r4, 12;
+  cvt.u64.u32 %rd6, %r9;
+  ld.param.u64 %rd7, [accel];
+  add.u64 %rd8, %rd7, %rd6;
+  st.global.f32 [%rd8], %f4;
+  st.global.f32 [%rd8+4], %f5;
+  st.global.f32 [%rd8+8], %f6;
+DONE:
+  exit;
+}
+"""
+
+
+@register
+class Nbody(Workload):
+    """SDK ``nbody``: all-pairs gravitational force accumulation."""
+
+    name = "Nbody"
+    category = Category.COMPUTE_UNIFORM
+    description = "all-pairs n-body force accumulation with rsqrt"
+
+    def module_source(self) -> str:
+        return _NBODY_PTX
+
+    def reference(self, bodies: np.ndarray) -> np.ndarray:
+        position = bodies[:, :3].astype(np.float32)
+        mass = bodies[:, 3].astype(np.float32)
+        n = len(bodies)
+        acceleration = np.zeros((n, 3), dtype=np.float32)
+        for j in range(n):
+            delta = position[j] - position  # (n, 3)
+            dist2 = (
+                (delta * delta).sum(axis=1).astype(np.float32)
+                + np.float32(0.01)
+            )
+            inv = (1.0 / np.sqrt(dist2)).astype(np.float32)
+            inv3 = (inv * inv * inv).astype(np.float32)
+            scale = (mass[j] * inv3).astype(np.float32)
+            acceleration += delta * scale[:, None]
+        return acceleration
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        n = max(32, int(64 * scale))
+        rng = self.rng()
+        bodies = np.zeros((n, 4), dtype=np.float32)
+        bodies[:, :3] = rng.uniform(-1, 1, (n, 3))
+        bodies[:, 3] = rng.uniform(0.1, 1.0, n)
+        body_buffer = device.upload(bodies)
+        accel = device.malloc(n * 12)
+        block = 32
+        result = device.launch(
+            "nbodyForces",
+            grid=(grid_for(n, block), 1, 1),
+            block=(block, 1, 1),
+            args=[body_buffer, accel, n],
+        )
+        correct = None
+        if check:
+            got = accel.read(np.float32, n * 3).reshape(n, 3)
+            correct = np.allclose(
+                got, self.reference(bodies), rtol=1e-2, atol=1e-3
+            )
+        return self._finish([result], correct, check)
+
+
+_EIGEN_PTX = r"""
+.version 2.3
+.target sim
+.entry eigenBisect (.param .u64 a, .param .u64 b, .param .u64 out,
+                    .param .u32 n)
+{
+  .reg .u32 %r<10>;
+  .reg .u64 %rd<10>;
+  .reg .f32 %f<20>;
+  .reg .pred %p<6>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  ld.param.u32 %r5, [n];
+  setp.ge.u32 %p1, %r4, %r5;
+  @%p1 bra DONE;
+  mul.wide.u32 %rd1, %r4, 4;
+  ld.param.u64 %rd2, [a];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.f32 %f1, [%rd3];      // coefficient a
+  ld.param.u64 %rd4, [b];
+  add.u64 %rd5, %rd4, %rd1;
+  ld.global.f32 %f2, [%rd5];      // coefficient b
+  // bisect f(x) = x^3 - a x - b on [0, 8]; f(0) = -b < 0
+  mov.f32 %f3, 0.0;               // lo
+  mov.f32 %f4, 8.0;               // hi
+BISECT:
+  add.f32 %f5, %f3, %f4;
+  mul.f32 %f5, %f5, 0.5;          // mid
+  mul.f32 %f6, %f5, %f5;
+  mul.f32 %f6, %f6, %f5;          // mid^3
+  mul.f32 %f7, %f1, %f5;
+  sub.f32 %f8, %f6, %f7;
+  sub.f32 %f8, %f8, %f2;          // f(mid)
+  setp.gt.f32 %p2, %f8, 0.0;
+  selp.f32 %f4, %f5, %f4, %p2;    // hi = mid if f > 0
+  selp.f32 %f3, %f3, %f5, %p2;    // lo = mid otherwise
+  // data-dependent convergence test (|f(mid)| depends on the local
+  // slope) -> ragged trip counts across threads
+  abs.f32 %f9, %f8;
+  setp.gt.f32 %p3, %f9, 0.001;
+  @%p3 bra BISECT;
+  mul.wide.u32 %rd6, %r4, 4;
+  ld.param.u64 %rd7, [out];
+  add.u64 %rd8, %rd7, %rd6;
+  st.global.f32 [%rd8], %f5;
+DONE:
+  exit;
+}
+"""
+
+
+@register
+class Eigenvalues(Workload):
+    """SDK ``eigenvalues``: bisection refinement with data-dependent
+    iteration counts (divergent, like the SDK's interval bisection)."""
+
+    name = "Eigenvalues"
+    category = Category.DIVERGENT
+    description = "per-thread cubic bisection with ragged trip counts"
+
+    def module_source(self) -> str:
+        return _EIGEN_PTX
+
+    def reference(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        out = np.zeros(len(A), dtype=np.float32)
+        for index, (a, b) in enumerate(zip(A, B)):
+            lo = np.float32(0.0)
+            hi = np.float32(8.0)
+            mid = np.float32(0.0)
+            while True:
+                mid = np.float32((lo + hi) * np.float32(0.5))
+                value = np.float32(
+                    mid * mid * mid - np.float32(a) * mid - np.float32(b)
+                )
+                if value > 0:
+                    hi = mid
+                else:
+                    lo = mid
+                if not abs(value) > np.float32(0.001):
+                    break
+            out[index] = mid
+        return out
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        n = max(64, int(128 * scale))
+        rng = self.rng()
+        A = rng.uniform(0.5, 4.0, n).astype(np.float32)
+        B = rng.uniform(0.5, 4.0, n).astype(np.float32)
+        a = device.upload(A)
+        b = device.upload(B)
+        out = device.malloc(n * 4)
+        block = 64
+        result = device.launch(
+            "eigenBisect",
+            grid=(grid_for(n, block), 1, 1),
+            block=(block, 1, 1),
+            args=[a, b, out, n],
+        )
+        correct = None
+        if check:
+            got = out.read(np.float32, n)
+            correct = np.allclose(
+                got, self.reference(A, B), rtol=1e-3, atol=1e-3
+            )
+        return self._finish([result], correct, check)

@@ -1,0 +1,312 @@
+"""Random / quasirandom number workloads: SobolQRNG,
+QuasirandomGenerator, MersenneTwister.
+
+``MersenneTwister`` models the paper's observation that generators with
+uncorrelated, data-dependent control flow *lose* performance under
+dynamic warp formation (Fig. 6 shows a slowdown; Fig. 10 shows static
+formation recovering it): its rejection-sampling loop diverges at
+nearly every branch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Category, Workload, grid_for
+from .registry import register
+
+_SOBOL_PTX = r"""
+.version 2.3
+.target sim
+.entry sobolQRNG (.param .u64 directions, .param .u64 out,
+                  .param .u32 n)
+{
+  .reg .u32 %r<16>;
+  .reg .u64 %rd<8>;
+  .reg .f32 %f<4>;
+  .reg .pred %p<4>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  ld.param.u32 %r5, [n];
+  setp.ge.u32 %p1, %r4, %r5;
+  @%p1 bra DONE;
+  // gray code of the point index
+  shr.u32 %r6, %r4, 1;
+  xor.b32 %r7, %r4, %r6;
+  mov.u32 %r8, 0;          // accumulator
+  mov.u32 %r9, 0;          // bit index
+BITLOOP:
+  and.b32 %r10, %r7, 1;
+  mul.wide.u32 %rd1, %r9, 4;
+  ld.param.u64 %rd2, [directions];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.u32 %r11, [%rd3];
+  // conditional data flow (selp) keeps the loop convergent
+  setp.ne.u32 %p2, %r10, 0;
+  selp.u32 %r12, %r11, 0, %p2;
+  xor.b32 %r8, %r8, %r12;
+  shr.u32 %r7, %r7, 1;
+  add.u32 %r9, %r9, 1;
+  setp.lt.u32 %p3, %r9, 20;
+  @%p3 bra BITLOOP;
+  cvt.rn.f32.u32 %f1, %r8;
+  mul.f32 %f2, %f1, 0.00000000023283064;
+  mul.wide.u32 %rd4, %r4, 4;
+  ld.param.u64 %rd5, [out];
+  add.u64 %rd6, %rd5, %rd4;
+  st.global.f32 [%rd6], %f2;
+DONE:
+  exit;
+}
+"""
+
+
+@register
+class SobolQRNG(Workload):
+    """SDK ``SobolQRNG``: Sobol sequence via gray-code XOR of
+    direction vectors — short data-dependent loop, memory-light."""
+
+    name = "SobolQRNG"
+    category = Category.MEMORY_BOUND
+    description = "Sobol quasirandom points from direction vectors"
+
+    def module_source(self) -> str:
+        return _SOBOL_PTX
+
+    def directions(self) -> np.ndarray:
+        # Standard first-dimension Sobol direction numbers: v_j = 2^(31-j)
+        return (np.uint32(1) << (31 - np.arange(32, dtype=np.uint32)))
+
+    def reference(self, n: int) -> np.ndarray:
+        directions = self.directions()
+        indices = np.arange(n, dtype=np.uint32)
+        gray = indices ^ (indices >> np.uint32(1))
+        acc = np.zeros(n, dtype=np.uint32)
+        for bit in range(20):
+            mask = ((gray >> np.uint32(bit)) & np.uint32(1)).astype(bool)
+            acc[mask] ^= directions[bit]
+        return acc.astype(np.float32) * np.float32(0.00000000023283064)
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        n = max(128, int(512 * scale))
+        directions = device.upload(self.directions())
+        out = device.malloc(n * 4)
+        block = 64
+        result = device.launch(
+            "sobolQRNG",
+            grid=(grid_for(n, block), 1, 1),
+            block=(block, 1, 1),
+            args=[directions, out, n],
+        )
+        correct = None
+        if check:
+            got = out.read(np.float32, n)
+            correct = np.allclose(got, self.reference(n), rtol=1e-5)
+        return self._finish([result], correct, check)
+
+
+_QRNG_PTX = r"""
+.version 2.3
+.target sim
+.entry quasirandom (.param .u64 table, .param .u64 out, .param .u32 n)
+{
+  .reg .u32 %r<16>;
+  .reg .u64 %rd<8>;
+  .reg .f32 %f<4>;
+  .reg .pred %p<4>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  ld.param.u32 %r5, [n];
+  setp.ge.u32 %p1, %r4, %r5;
+  @%p1 bra DONE;
+  mov.u32 %r6, %r4;
+  mov.u32 %r7, 0;          // accumulator
+  mov.u32 %r8, 0;          // bit index (fixed 20-iteration loop)
+BITLOOP:
+  and.b32 %r9, %r6, 1;
+  mul.wide.u32 %rd1, %r8, 4;
+  ld.param.u64 %rd2, [table];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.u32 %r10, [%rd3];
+  // selp keeps control flow uniform (conditional data flow)
+  setp.ne.u32 %p2, %r9, 0;
+  selp.u32 %r11, %r10, 0, %p2;
+  xor.b32 %r7, %r7, %r11;
+  shr.u32 %r6, %r6, 1;
+  add.u32 %r8, %r8, 1;
+  setp.lt.u32 %p3, %r8, 20;
+  @%p3 bra BITLOOP;
+  cvt.rn.f32.u32 %f1, %r7;
+  mul.f32 %f2, %f1, 0.00000000023283064;
+  mul.wide.u32 %rd4, %r4, 4;
+  ld.param.u64 %rd5, [out];
+  add.u64 %rd6, %rd5, %rd4;
+  st.global.f32 [%rd6], %f2;
+DONE:
+  exit;
+}
+"""
+
+
+@register
+class QuasirandomGenerator(Workload):
+    """SDK ``quasirandomGenerator``: Niederreiter-style table XOR with
+    a fixed-trip loop and selp — fully uniform control flow."""
+
+    name = "QuasirandomGenerator"
+    category = Category.COMPUTE_UNIFORM
+    description = "table-driven quasirandom generator, selp-based"
+
+    BITS = 20
+
+    def table(self) -> np.ndarray:
+        rng = np.random.default_rng(7)
+        return rng.integers(0, 1 << 32, self.BITS, dtype=np.uint32)
+
+    def module_source(self) -> str:
+        return _QRNG_PTX
+
+    def reference(self, n: int) -> np.ndarray:
+        table = self.table()
+        indices = np.arange(n, dtype=np.uint32)
+        acc = np.zeros(n, dtype=np.uint32)
+        for bit in range(self.BITS):
+            mask = ((indices >> np.uint32(bit)) & np.uint32(1)).astype(
+                bool
+            )
+            acc[mask] ^= table[bit]
+        return acc.astype(np.float32) * np.float32(0.00000000023283064)
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        n = max(128, int(512 * scale))
+        table = device.upload(self.table())
+        out = device.malloc(n * 4)
+        block = 64
+        result = device.launch(
+            "quasirandom",
+            grid=(grid_for(n, block), 1, 1),
+            block=(block, 1, 1),
+            args=[table, out, n],
+        )
+        correct = None
+        if check:
+            got = out.read(np.float32, n)
+            correct = np.allclose(got, self.reference(n), rtol=1e-5)
+        return self._finish([result], correct, check)
+
+
+_MT_PTX = r"""
+.version 2.3
+.target sim
+.entry mersenneTwister (.param .u64 out, .param .u64 counts,
+                        .param .u32 n)
+{
+  .reg .u32 %r<16>;
+  .reg .u64 %rd<8>;
+  .reg .f32 %f<6>;
+  .reg .pred %p<4>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  ld.param.u32 %r5, [n];
+  setp.ge.u32 %p1, %r4, %r5;
+  @%p1 bra DONE;
+  // per-thread twisted seed
+  mul.lo.u32 %r6, %r4, 1812433253;
+  add.u32 %r6, %r6, 1;
+  mov.u32 %r7, 0;          // rejection count
+REJECT:
+  // xorshift step (MT-flavoured tempering)
+  shl.b32 %r8, %r6, 13;
+  xor.b32 %r6, %r6, %r8;
+  shr.u32 %r8, %r6, 17;
+  xor.b32 %r6, %r6, %r8;
+  shl.b32 %r8, %r6, 5;
+  xor.b32 %r6, %r6, %r8;
+  add.u32 %r7, %r7, 1;
+  // accept only samples whose low bits clear a data-dependent test:
+  // uncorrelated across threads -> divergence at nearly every branch
+  and.b32 %r9, %r6, 3;
+  setp.ne.u32 %p2, %r9, 0;
+  @%p2 bra REJECT;
+  cvt.rn.f32.u32 %f1, %r6;
+  mul.f32 %f2, %f1, 0.00000000023283064;
+  mul.wide.u32 %rd1, %r4, 4;
+  ld.param.u64 %rd2, [out];
+  add.u64 %rd3, %rd2, %rd1;
+  st.global.f32 [%rd3], %f2;
+  ld.param.u64 %rd4, [counts];
+  add.u64 %rd5, %rd4, %rd1;
+  st.global.u32 [%rd5], %r7;
+DONE:
+  exit;
+}
+"""
+
+
+@register
+class MersenneTwister(Workload):
+    """SDK ``MersenneTwister`` stand-in: per-thread tempered xorshift
+    with rejection sampling. The accept/reject loop is uncorrelated
+    across threads — the irregular-control-flow case for which the
+    paper measures a slowdown under dynamic warp formation."""
+
+    name = "MersenneTwister"
+    category = Category.DIVERGENT
+    description = "rejection-sampling RNG with uncorrelated divergence"
+
+    def module_source(self) -> str:
+        return _MT_PTX
+
+    def reference(self, n: int):
+        state = (
+            np.arange(n, dtype=np.uint32) * np.uint32(1812433253)
+            + np.uint32(1)
+        )
+        counts = np.zeros(n, dtype=np.uint32)
+        pending = np.ones(n, dtype=bool)
+        values = np.zeros(n, dtype=np.uint32)
+        while pending.any():
+            s = state[pending]
+            s = s ^ (s << np.uint32(13))
+            s = s ^ (s >> np.uint32(17))
+            s = s ^ (s << np.uint32(5))
+            state[pending] = s
+            counts[pending] += 1
+            accepted = (s & np.uint32(3)) == 0
+            indices = np.flatnonzero(pending)[accepted]
+            values[indices] = s[accepted]
+            pending[indices] = False
+        floats = values.astype(np.float32) * np.float32(
+            0.00000000023283064
+        )
+        return floats, counts
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        n = max(128, int(256 * scale))
+        out = device.malloc(n * 4)
+        counts = device.malloc(n * 4)
+        block = 64
+        result = device.launch(
+            "mersenneTwister",
+            grid=(grid_for(n, block), 1, 1),
+            block=(block, 1, 1),
+            args=[out, counts, n],
+        )
+        correct = None
+        if check:
+            expected_values, expected_counts = self.reference(n)
+            correct = np.allclose(
+                out.read(np.float32, n), expected_values, rtol=1e-5
+            ) and np.array_equal(
+                counts.read(np.uint32, n), expected_counts
+            )
+        return self._finish([result], correct, check)

@@ -1,0 +1,387 @@
+"""Reduction-style workloads: Reduction, Scan, Histogram64,
+ThreadFenceReduction.
+
+Tree reductions and scans interleave short compute phases with CTA
+barriers and mildly divergent guards (the shrinking active set), so the
+execution manager is entered often — the behaviour Fig. 9 shows for
+synchronization-intensive applications.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Category, Workload, grid_for
+from .registry import register
+
+_REDUCTION_PTX = r"""
+.version 2.3
+.target sim
+.entry reduceKernel (.param .u64 src, .param .u64 dst)
+{
+  .reg .u32 %r<12>;
+  .reg .u64 %rd<8>;
+  .reg .f32 %f<4>;
+  .reg .pred %p<4>;
+  .shared .f32 sdata[@BLOCK@];
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  mul.wide.u32 %rd1, %r4, 4;
+  ld.param.u64 %rd2, [src];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.f32 %f1, [%rd3];
+  mov.u32 %r5, sdata;
+  shl.b32 %r6, %r1, 2;
+  add.u32 %r7, %r5, %r6;
+  st.shared.f32 [%r7], %f1;
+  bar.sync 0;
+  mov.u32 %r8, @HALF@;
+RLOOP:
+  setp.ge.u32 %p1, %r1, %r8;
+  @%p1 bra SKIP;
+  shl.b32 %r9, %r8, 2;
+  add.u32 %r10, %r7, %r9;
+  ld.shared.f32 %f2, [%r7];
+  ld.shared.f32 %f3, [%r10];
+  add.f32 %f2, %f2, %f3;
+  st.shared.f32 [%r7], %f2;
+SKIP:
+  bar.sync 0;
+  shr.u32 %r8, %r8, 1;
+  setp.gt.u32 %p2, %r8, 0;
+  @%p2 bra RLOOP;
+  setp.ne.u32 %p3, %r1, 0;
+  @%p3 bra DONE;
+  ld.shared.f32 %f2, [%r5];
+  ld.param.u64 %rd4, [dst];
+  mul.wide.u32 %rd5, %r3, 4;
+  add.u64 %rd6, %rd4, %rd5;
+  st.global.f32 [%rd6], %f2;
+DONE:
+  exit;
+}
+"""
+
+
+@register
+class Reduction(Workload):
+    """SDK ``reduction``: shared-memory tree sum, one partial per CTA."""
+
+    name = "Reduction"
+    category = Category.BARRIER_HEAVY
+    description = "shared-memory tree reduction with per-step barriers"
+
+    BLOCK = 64
+
+    def module_source(self) -> str:
+        return _REDUCTION_PTX.replace("@BLOCK@", str(self.BLOCK)).replace(
+            "@HALF@", str(self.BLOCK // 2)
+        )
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        ctas = max(4, int(8 * scale))
+        n = ctas * self.BLOCK
+        data = self.rng().standard_normal(n).astype(np.float32)
+        src = device.upload(data)
+        dst = device.malloc(ctas * 4)
+        result = device.launch(
+            "reduceKernel",
+            grid=(ctas, 1, 1),
+            block=(self.BLOCK, 1, 1),
+            args=[src, dst],
+        )
+        correct = None
+        if check:
+            got = dst.read(np.float32, ctas)
+            expected = data.reshape(ctas, self.BLOCK).sum(axis=1)
+            correct = np.allclose(got, expected, rtol=1e-4, atol=1e-4)
+        return self._finish([result], correct, check)
+
+
+_SCAN_PTX = r"""
+.version 2.3
+.target sim
+.entry scanKernel (.param .u64 src, .param .u64 dst)
+{
+  .reg .u32 %r<12>;
+  .reg .u64 %rd<8>;
+  .reg .f32 %f<6>;
+  .reg .pred %p<6>;
+  .shared .f32 sdata[@BLOCK@];
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  mul.wide.u32 %rd1, %r4, 4;
+  ld.param.u64 %rd2, [src];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.f32 %f1, [%rd3];
+  mov.u32 %r5, sdata;
+  shl.b32 %r6, %r1, 2;
+  add.u32 %r7, %r5, %r6;
+  st.shared.f32 [%r7], %f1;
+  bar.sync 0;
+  mov.u32 %r8, 1;
+SLOOP:
+  setp.lt.u32 %p1, %r1, %r8;
+  mov.f32 %f2, 0.0;
+  @%p1 bra NOREAD;
+  shl.b32 %r9, %r8, 2;
+  sub.u32 %r10, %r7, %r9;
+  ld.shared.f32 %f2, [%r10];
+NOREAD:
+  bar.sync 0;
+  setp.lt.u32 %p2, %r1, %r8;
+  @%p2 bra NOWRITE;
+  ld.shared.f32 %f3, [%r7];
+  add.f32 %f3, %f3, %f2;
+  st.shared.f32 [%r7], %f3;
+NOWRITE:
+  bar.sync 0;
+  shl.b32 %r8, %r8, 1;
+  setp.lt.u32 %p3, %r8, @BLOCK@;
+  @%p3 bra SLOOP;
+  ld.shared.f32 %f4, [%r7];
+  ld.param.u64 %rd4, [dst];
+  add.u64 %rd5, %rd4, %rd1;
+  st.global.f32 [%rd5], %f4;
+  exit;
+}
+"""
+
+
+@register
+class Scan(Workload):
+    """SDK ``scan``: Hillis-Steele inclusive prefix sum per CTA."""
+
+    name = "Scan"
+    category = Category.BARRIER_HEAVY
+    description = "Hillis-Steele inclusive scan, two barriers per step"
+
+    BLOCK = 64
+
+    def module_source(self) -> str:
+        return _SCAN_PTX.replace("@BLOCK@", str(self.BLOCK))
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        ctas = max(2, int(4 * scale))
+        n = ctas * self.BLOCK
+        data = self.rng().standard_normal(n).astype(np.float32)
+        src = device.upload(data)
+        dst = device.malloc(n * 4)
+        result = device.launch(
+            "scanKernel",
+            grid=(ctas, 1, 1),
+            block=(self.BLOCK, 1, 1),
+            args=[src, dst],
+        )
+        correct = None
+        if check:
+            got = dst.read(np.float32, n)
+            expected = np.concatenate(
+                [
+                    np.cumsum(chunk, dtype=np.float32)
+                    for chunk in data.reshape(ctas, self.BLOCK)
+                ]
+            )
+            correct = np.allclose(got, expected, rtol=1e-3, atol=1e-3)
+        return self._finish([result], correct, check)
+
+
+_HISTOGRAM_PTX = r"""
+.version 2.3
+.target sim
+.entry histogram64 (.param .u64 data, .param .u64 bins, .param .u32 n)
+{
+  .reg .u32 %r<14>;
+  .reg .u64 %rd<10>;
+  .reg .pred %p<4>;
+  .shared .u32 sbins[64];
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  // zero this thread's shared bin (BLOCK == 64 bins)
+  mov.u32 %r5, sbins;
+  shl.b32 %r6, %r1, 2;
+  add.u32 %r7, %r5, %r6;
+  mov.u32 %r8, 0;
+  st.shared.u32 [%r7], %r8;
+  bar.sync 0;
+  ld.param.u32 %r9, [n];
+  setp.ge.u32 %p1, %r4, %r9;
+  @%p1 bra MERGE;
+  mul.wide.u32 %rd1, %r4, 4;
+  ld.param.u64 %rd2, [data];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.u32 %r10, [%rd3];
+  and.b32 %r11, %r10, 63;
+  shl.b32 %r12, %r11, 2;
+  add.u32 %r13, %r5, %r12;
+  atom.shared.add.u32 %r8, [%r13], 1;
+MERGE:
+  bar.sync 0;
+  // merge shared bins into the global histogram
+  ld.shared.u32 %r10, [%r7];
+  setp.eq.u32 %p2, %r10, 0;
+  @%p2 bra DONE;
+  ld.param.u64 %rd4, [bins];
+  mul.wide.u32 %rd5, %r1, 4;
+  add.u64 %rd6, %rd4, %rd5;
+  red.global.add.u32 [%rd6], %r10;
+DONE:
+  exit;
+}
+"""
+
+
+@register
+class Histogram64(Workload):
+    """SDK ``histogram64``: shared-memory bins updated with atomics,
+    merged into a global histogram."""
+
+    name = "Histogram64"
+    category = Category.ATOMIC
+    description = "64-bin histogram via shared + global atomics"
+
+    BLOCK = 64
+
+    def module_source(self) -> str:
+        return _HISTOGRAM_PTX
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        n = max(256, int(512 * scale))
+        data = self.rng().integers(0, 1 << 16, n).astype(np.uint32)
+        src = device.upload(data)
+        bins = device.malloc(64 * 4)
+        device.memset(bins, 0)
+        result = device.launch(
+            "histogram64",
+            grid=(grid_for(n, self.BLOCK), 1, 1),
+            block=(self.BLOCK, 1, 1),
+            args=[src, bins, n],
+        )
+        correct = None
+        if check:
+            got = bins.read(np.uint32, 64)
+            expected = np.bincount(
+                (data & 63).astype(np.int64), minlength=64
+            ).astype(np.uint32)
+            correct = np.array_equal(got, expected)
+        return self._finish([result], correct, check)
+
+
+_TFR_PTX = r"""
+.version 2.3
+.target sim
+.entry threadFenceReduce (.param .u64 src, .param .u64 total,
+                          .param .u32 n)
+{
+  .reg .u32 %r<12>;
+  .reg .u64 %rd<8>;
+  .reg .f32 %f<6>;
+  .reg .s32 %s<4>;
+  .reg .pred %p<4>;
+  .shared .f32 sdata[@BLOCK@];
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  ld.param.u32 %r5, [n];
+  mov.f32 %f1, 0.0;
+  setp.ge.u32 %p1, %r4, %r5;
+  @%p1 bra STORE;
+  mul.wide.u32 %rd1, %r4, 4;
+  ld.param.u64 %rd2, [src];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.f32 %f1, [%rd3];
+STORE:
+  mov.u32 %r6, sdata;
+  shl.b32 %r7, %r1, 2;
+  add.u32 %r8, %r6, %r7;
+  st.shared.f32 [%r8], %f1;
+  bar.sync 0;
+  mov.u32 %r9, @HALF@;
+RLOOP:
+  setp.ge.u32 %p2, %r1, %r9;
+  @%p2 bra SKIP;
+  shl.b32 %r10, %r9, 2;
+  add.u32 %r11, %r8, %r10;
+  ld.shared.f32 %f2, [%r8];
+  ld.shared.f32 %f3, [%r11];
+  add.f32 %f2, %f2, %f3;
+  st.shared.f32 [%r8], %f2;
+SKIP:
+  bar.sync 0;
+  shr.u32 %r9, %r9, 1;
+  setp.gt.u32 %p3, %r9, 0;
+  @%p3 bra RLOOP;
+  setp.ne.u32 %p1, %r1, 0;
+  @%p1 bra DONE;
+  // publish the CTA partial with a fence + scaled integer atomic
+  ld.shared.f32 %f4, [%r6];
+  membar.gl;
+  mul.f32 %f5, %f4, 65536.0;
+  cvt.rni.s32.f32 %s1, %f5;
+  ld.param.u64 %rd4, [total];
+  red.global.add.s32 [%rd4], %s1;
+DONE:
+  exit;
+}
+"""
+
+
+@register
+class ThreadFenceReduction(Workload):
+    """SDK ``threadFenceReduction``: single-kernel global sum —
+    per-CTA tree reduction, then a fence and a global atomic add of
+    the (fixed-point scaled) partial."""
+
+    name = "ThreadFenceReduction"
+    category = Category.ATOMIC
+    description = "tree reduction + membar + global atomic accumulate"
+
+    BLOCK = 64
+
+    def module_source(self) -> str:
+        return _TFR_PTX.replace("@BLOCK@", str(self.BLOCK)).replace(
+            "@HALF@", str(self.BLOCK // 2)
+        )
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        ctas = max(4, int(8 * scale))
+        n = ctas * self.BLOCK - 17  # ragged tail exercises the guard
+        data = (
+            self.rng().uniform(-1.0, 1.0, n).astype(np.float32)
+        )
+        src = device.upload(data)
+        total = device.malloc(4)
+        device.memset(total, 0)
+        result = device.launch(
+            "threadFenceReduce",
+            grid=(ctas, 1, 1),
+            block=(self.BLOCK, 1, 1),
+            args=[src, total, n],
+        )
+        correct = None
+        if check:
+            got = total.read(np.int32, 1)[0] / 65536.0
+            # Fixed-point rounding of each CTA partial bounds the error.
+            expected = 0.0
+            padded = np.zeros(ctas * self.BLOCK, dtype=np.float32)
+            padded[:n] = data
+            for chunk in padded.reshape(ctas, self.BLOCK):
+                stride = self.BLOCK // 2
+                values = chunk.copy()
+                while stride > 0:
+                    values[:stride] += values[stride : 2 * stride]
+                    stride //= 2
+                expected += np.rint(values[0] * 65536.0) / 65536.0
+            correct = abs(got - expected) < 1e-3
+        return self._finish([result], correct, check)

@@ -1,0 +1,78 @@
+"""Workload registry.
+
+Workload classes self-register via the :func:`register` decorator; the
+benchmark harness iterates :func:`all_workloads` to reproduce the
+paper's figures over the full suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from .base import Workload
+
+_REGISTRY: Dict[str, Workload] = {}
+
+
+def register(cls: Type[Workload]) -> Type[Workload]:
+    """Class decorator adding one instance of ``cls`` to the registry."""
+    instance = cls()
+    if not instance.name:
+        raise ValueError(f"workload class {cls.__name__} has no name")
+    if instance.name in _REGISTRY:
+        raise ValueError(f"duplicate workload {instance.name!r}")
+    _REGISTRY[instance.name] = instance
+    return cls
+
+
+def get_workload(name: str) -> Workload:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; have {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_workloads(category: Optional[str] = None) -> List[Workload]:
+    _ensure_loaded()
+    workloads = sorted(_REGISTRY.values(), key=lambda w: w.name)
+    if category is not None:
+        workloads = [w for w in workloads if w.category == category]
+    return workloads
+
+
+def workload_names() -> List[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+_LOADED = False
+
+#: Submodules containing @register-ed workloads.
+_WORKLOAD_MODULES = (
+    "microbench",
+    "simple",
+    "finance",
+    "linear_algebra",
+    "reductions",
+    "signal",
+    "random_numbers",
+    "imaging",
+    "physics",
+    "parboil",
+    "intrinsics",
+    "extra_sdk",
+)
+
+
+def _ensure_loaded() -> None:
+    global _LOADED
+    if _LOADED:
+        return
+    import importlib
+
+    for module_name in _WORKLOAD_MODULES:
+        importlib.import_module(f"{__package__}.{module_name}")
+    _LOADED = True

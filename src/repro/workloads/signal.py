@@ -1,0 +1,279 @@
+"""Signal-processing workloads: FastWalshTransform, DwtHaar1D,
+BitonicSort — butterfly-structured kernels with per-stage barriers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Category, Workload
+from .registry import register
+
+_FWT_PTX = r"""
+.version 2.3
+.target sim
+.entry fwtKernel (.param .u64 data)
+{
+  .reg .u32 %r<16>;
+  .reg .u64 %rd<6>;
+  .reg .f32 %f<8>;
+  .reg .pred %p<4>;
+  .shared .f32 sdata[@BLOCK@];
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  mul.wide.u32 %rd1, %r4, 4;
+  ld.param.u64 %rd2, [data];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.f32 %f1, [%rd3];
+  mov.u32 %r5, sdata;
+  shl.b32 %r6, %r1, 2;
+  add.u32 %r7, %r5, %r6;
+  st.shared.f32 [%r7], %f1;
+  bar.sync 0;
+  mov.u32 %r8, 1;
+WLOOP:
+  // partner = tid ^ stride; butterfly on the lower index
+  xor.b32 %r9, %r1, %r8;
+  and.b32 %r10, %r1, %r8;
+  setp.ne.u32 %p1, %r10, 0;
+  @%p1 bra SKIP;
+  shl.b32 %r11, %r9, 2;
+  add.u32 %r12, %r5, %r11;
+  ld.shared.f32 %f2, [%r7];
+  ld.shared.f32 %f3, [%r12];
+  add.f32 %f4, %f2, %f3;
+  sub.f32 %f5, %f2, %f3;
+  st.shared.f32 [%r7], %f4;
+  st.shared.f32 [%r12], %f5;
+SKIP:
+  bar.sync 0;
+  shl.b32 %r8, %r8, 1;
+  setp.lt.u32 %p2, %r8, @BLOCK@;
+  @%p2 bra WLOOP;
+  ld.shared.f32 %f6, [%r7];
+  st.global.f32 [%rd3], %f6;
+  exit;
+}
+"""
+
+
+@register
+class FastWalshTransform(Workload):
+    """SDK ``fastWalshTransform``: per-CTA Walsh-Hadamard butterfly."""
+
+    name = "FastWalshTransform"
+    category = Category.BARRIER_HEAVY
+    description = "Walsh-Hadamard butterflies with per-stage barriers"
+
+    BLOCK = 64
+
+    def module_source(self) -> str:
+        return _FWT_PTX.replace("@BLOCK@", str(self.BLOCK))
+
+    def reference(self, data: np.ndarray) -> np.ndarray:
+        out = data.reshape(-1, self.BLOCK).astype(np.float32).copy()
+        stride = 1
+        while stride < self.BLOCK:
+            for base in range(0, self.BLOCK, 2 * stride):
+                for index in range(base, base + stride):
+                    a = out[:, index].copy()
+                    b = out[:, index + stride].copy()
+                    out[:, index] = a + b
+                    out[:, index + stride] = a - b
+            stride *= 2
+        return out.reshape(-1)
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        ctas = max(2, int(4 * scale))
+        n = ctas * self.BLOCK
+        data = self.rng().standard_normal(n).astype(np.float32)
+        buffer = device.upload(data)
+        result = device.launch(
+            "fwtKernel",
+            grid=(ctas, 1, 1),
+            block=(self.BLOCK, 1, 1),
+            args=[buffer],
+        )
+        correct = None
+        if check:
+            got = buffer.read(np.float32, n)
+            correct = np.allclose(
+                got, self.reference(data), rtol=1e-3, atol=1e-3
+            )
+        return self._finish([result], correct, check)
+
+
+_DWT_PTX = r"""
+.version 2.3
+.target sim
+.entry dwtHaar1D (.param .u64 in, .param .u64 approx, .param .u64 detail)
+{
+  .reg .u32 %r<10>;
+  .reg .u64 %rd<12>;
+  .reg .f32 %f<8>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  shl.b32 %r5, %r4, 1;
+  mul.wide.u32 %rd1, %r5, 4;
+  ld.param.u64 %rd2, [in];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.f32 %f1, [%rd3];
+  ld.global.f32 %f2, [%rd3+4];
+  add.f32 %f3, %f1, %f2;
+  mul.f32 %f3, %f3, 0.70710678;
+  sub.f32 %f4, %f1, %f2;
+  mul.f32 %f4, %f4, 0.70710678;
+  mul.wide.u32 %rd4, %r4, 4;
+  ld.param.u64 %rd5, [approx];
+  add.u64 %rd6, %rd5, %rd4;
+  st.global.f32 [%rd6], %f3;
+  ld.param.u64 %rd7, [detail];
+  add.u64 %rd8, %rd7, %rd4;
+  st.global.f32 [%rd8], %f4;
+  exit;
+}
+"""
+
+
+@register
+class DwtHaar1D(Workload):
+    """SDK ``dwtHaar1D``: one level of the Haar wavelet transform."""
+
+    name = "DwtHaar1D"
+    category = Category.MEMORY_BOUND
+    description = "single-level Haar wavelet decomposition"
+
+    def module_source(self) -> str:
+        return _DWT_PTX
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        pairs = max(128, int(256 * scale))
+        n = pairs * 2
+        data = self.rng().standard_normal(n).astype(np.float32)
+        source = device.upload(data)
+        approx = device.malloc(pairs * 4)
+        detail = device.malloc(pairs * 4)
+        block = 64
+        result = device.launch(
+            "dwtHaar1D",
+            grid=(-(-pairs // block), 1, 1),
+            block=(block, 1, 1),
+            args=[source, approx, detail],
+        )
+        correct = None
+        if check:
+            inv_sqrt2 = np.float32(0.70710678)
+            even = data[0::2]
+            odd = data[1::2]
+            correct = np.allclose(
+                approx.read(np.float32, pairs),
+                (even + odd) * inv_sqrt2,
+                rtol=1e-4,
+            ) and np.allclose(
+                detail.read(np.float32, pairs),
+                (even - odd) * inv_sqrt2,
+                rtol=1e-4,
+            )
+        return self._finish([result], correct, check)
+
+
+_BITONIC_PTX = r"""
+.version 2.3
+.target sim
+.entry bitonicSort (.param .u64 data)
+{
+  .reg .u32 %r<20>;
+  .reg .u64 %rd<6>;
+  .reg .pred %p<6>;
+  .shared .u32 svals[@BLOCK@];
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  mul.wide.u32 %rd1, %r4, 4;
+  ld.param.u64 %rd2, [data];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.u32 %r5, [%rd3];
+  mov.u32 %r6, svals;
+  shl.b32 %r7, %r1, 2;
+  add.u32 %r8, %r6, %r7;
+  st.shared.u32 [%r8], %r5;
+  bar.sync 0;
+  mov.u32 %r9, 2;
+KLOOP:
+  shr.u32 %r10, %r9, 1;
+JLOOP:
+  xor.b32 %r11, %r1, %r10;
+  setp.le.u32 %p1, %r11, %r1;
+  @%p1 bra SKIP;
+  // load both elements
+  shl.b32 %r12, %r11, 2;
+  add.u32 %r13, %r6, %r12;
+  ld.shared.u32 %r14, [%r8];
+  ld.shared.u32 %r15, [%r13];
+  // ascending if (tid & k) == 0; selp-based compare-exchange keeps
+  // the comparator convergent (conditional data flow)
+  and.b32 %r16, %r1, %r9;
+  setp.eq.u32 %p2, %r16, 0;
+  setp.gt.u32 %p3, %r14, %r15;
+  // p4 true -> values already ordered for this direction
+  xor.pred %p4, %p2, %p3;
+  selp.u32 %r18, %r14, %r15, %p4;
+  selp.u32 %r19, %r15, %r14, %p4;
+  st.shared.u32 [%r8], %r18;
+  st.shared.u32 [%r13], %r19;
+SKIP:
+  bar.sync 0;
+  shr.u32 %r10, %r10, 1;
+  setp.gt.u32 %p1, %r10, 0;
+  @%p1 bra JLOOP;
+  shl.b32 %r9, %r9, 1;
+  setp.le.u32 %p1, %r9, @BLOCK@;
+  @%p1 bra KLOOP;
+  ld.shared.u32 %r17, [%r8];
+  st.global.u32 [%rd3], %r17;
+  exit;
+}
+"""
+
+
+@register
+class BitonicSort(Workload):
+    """SDK ``bitonic``: in-shared-memory bitonic sort of one CTA's
+    elements, exchanging through predicated compare-and-swap."""
+
+    name = "BitonicSort"
+    category = Category.DIVERGENT
+    description = "bitonic sorting network per CTA"
+
+    BLOCK = 32
+
+    def module_source(self) -> str:
+        return _BITONIC_PTX.replace("@BLOCK@", str(self.BLOCK))
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        ctas = max(2, int(4 * scale))
+        n = ctas * self.BLOCK
+        data = self.rng().integers(0, 1 << 30, n).astype(np.uint32)
+        buffer = device.upload(data)
+        result = device.launch(
+            "bitonicSort",
+            grid=(ctas, 1, 1),
+            block=(self.BLOCK, 1, 1),
+            args=[buffer],
+        )
+        correct = None
+        if check:
+            got = buffer.read(np.uint32, n).reshape(ctas, self.BLOCK)
+            expected = np.sort(
+                data.reshape(ctas, self.BLOCK), axis=1
+            )
+            correct = np.array_equal(got, expected)
+        return self._finish([result], correct, check)

@@ -1,0 +1,422 @@
+"""Memory-movement workloads of the CUDA SDK suite: Template,
+AlignedTypes, Transpose, BoxFilter, ConvolutionSeparable.
+
+These are the memory-bound applications: their kernels are dominated
+by loads/stores, which the vectorizer must replicate per lane (§4
+Non-vectorizable Instructions), so the paper reports speedups near
+1.0x for this class (Fig. 6: BoxFilter, etc.).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Category, Workload, grid_for
+from .registry import register
+
+
+@register
+class Template(Workload):
+    """SDK ``template``: the minimal data-parallel kernel."""
+
+    name = "Template"
+    category = Category.MEMORY_BOUND
+    description = "out[i] = 2 * in[i] guarded copy"
+
+    def module_source(self) -> str:
+        return r"""
+.version 2.3
+.target sim
+.entry templateKernel (.param .u64 in, .param .u64 out, .param .u32 n)
+{
+  .reg .u32 %r<8>;
+  .reg .u64 %rd<8>;
+  .reg .f32 %f<4>;
+  .reg .pred %p<2>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  ld.param.u32 %r5, [n];
+  setp.ge.u32 %p1, %r4, %r5;
+  @%p1 bra DONE;
+  mul.wide.u32 %rd1, %r4, 4;
+  ld.param.u64 %rd2, [in];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.f32 %f1, [%rd3];
+  add.f32 %f2, %f1, %f1;
+  ld.param.u64 %rd4, [out];
+  add.u64 %rd5, %rd4, %rd1;
+  st.global.f32 [%rd5], %f2;
+DONE:
+  exit;
+}
+"""
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        n = max(64, int(1024 * scale))
+        block = 64
+        data = self.rng().standard_normal(n).astype(np.float32)
+        source = device.upload(data)
+        destination = device.malloc(n * 4)
+        result = device.launch(
+            "templateKernel",
+            grid=(grid_for(n, block), 1, 1),
+            block=(block, 1, 1),
+            args=[source, destination, n],
+        )
+        correct = None
+        if check:
+            correct = np.allclose(
+                destination.read(np.float32, n), data * 2
+            )
+        return self._finish([result], correct, check)
+
+
+@register
+class AlignedTypes(Workload):
+    """SDK ``alignedTypes``: bulk copies through vector-typed
+    (``ld.v4``/``st.v4``) memory accesses."""
+
+    name = "AlignedTypes"
+    category = Category.MEMORY_BOUND
+    description = "vector-typed (v4) aligned structure copies"
+
+    def module_source(self) -> str:
+        return r"""
+.version 2.3
+.target sim
+.entry copyV4 (.param .u64 in, .param .u64 out, .param .u32 vecs)
+{
+  .reg .u32 %r<8>;
+  .reg .u64 %rd<8>;
+  .reg .f32 %f<6>;
+  .reg .pred %p<2>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  ld.param.u32 %r5, [vecs];
+  setp.ge.u32 %p1, %r4, %r5;
+  @%p1 bra DONE;
+  mul.wide.u32 %rd1, %r4, 16;
+  ld.param.u64 %rd2, [in];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.v4.f32 {%f1, %f2, %f3, %f4}, [%rd3];
+  ld.param.u64 %rd4, [out];
+  add.u64 %rd5, %rd4, %rd1;
+  st.global.v4.f32 [%rd5], {%f1, %f2, %f3, %f4};
+DONE:
+  exit;
+}
+"""
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        vectors = max(64, int(512 * scale))
+        n = vectors * 4
+        block = 64
+        data = self.rng().standard_normal(n).astype(np.float32)
+        source = device.upload(data)
+        destination = device.malloc(n * 4)
+        result = device.launch(
+            "copyV4",
+            grid=(grid_for(vectors, block), 1, 1),
+            block=(block, 1, 1),
+            args=[source, destination, vectors],
+        )
+        correct = None
+        if check:
+            correct = np.array_equal(
+                destination.read(np.float32, n), data
+            )
+        return self._finish([result], correct, check)
+
+
+@register
+class Transpose(Workload):
+    """SDK ``transpose``: shared-memory tiled matrix transpose."""
+
+    name = "Transpose"
+    category = Category.BARRIER_HEAVY
+    description = "8x8 shared-tile matrix transpose with barriers"
+
+    TILE = 8
+
+    def module_source(self) -> str:
+        return r"""
+.version 2.3
+.target sim
+.entry transposeTiled (.param .u64 in, .param .u64 out,
+                       .param .u32 width, .param .u32 height)
+{
+  .reg .u32 %r<24>;
+  .reg .u64 %rd<10>;
+  .reg .f32 %f<4>;
+  .reg .pred %p<2>;
+  .shared .f32 tile[64];
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %tid.y;
+  mov.u32 %r3, %ctaid.x;
+  mov.u32 %r4, %ctaid.y;
+  shl.b32 %r5, %r3, 3;
+  add.u32 %r6, %r5, %r1;
+  shl.b32 %r7, %r4, 3;
+  add.u32 %r8, %r7, %r2;
+  ld.param.u32 %r9, [width];
+  mad.lo.u32 %r10, %r8, %r9, %r6;
+  mul.wide.u32 %rd1, %r10, 4;
+  ld.param.u64 %rd2, [in];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.f32 %f1, [%rd3];
+  shl.b32 %r11, %r2, 3;
+  add.u32 %r12, %r11, %r1;
+  shl.b32 %r13, %r12, 2;
+  mov.u32 %r14, tile;
+  add.u32 %r15, %r14, %r13;
+  st.shared.f32 [%r15], %f1;
+  bar.sync 0;
+  shl.b32 %r16, %r1, 3;
+  add.u32 %r17, %r16, %r2;
+  shl.b32 %r18, %r17, 2;
+  add.u32 %r19, %r14, %r18;
+  ld.shared.f32 %f2, [%r19];
+  add.u32 %r20, %r7, %r1;
+  add.u32 %r21, %r5, %r2;
+  ld.param.u32 %r22, [height];
+  mad.lo.u32 %r23, %r21, %r22, %r20;
+  mul.wide.u32 %rd4, %r23, 4;
+  ld.param.u64 %rd5, [out];
+  add.u64 %rd6, %rd5, %rd4;
+  st.global.f32 [%rd6], %f2;
+  exit;
+}
+"""
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        tiles = max(2, int(4 * scale))
+        width = height = tiles * self.TILE
+        matrix = (
+            self.rng()
+            .standard_normal(width * height)
+            .astype(np.float32)
+            .reshape(height, width)
+        )
+        source = device.upload(matrix)
+        destination = device.malloc(width * height * 4)
+        result = device.launch(
+            "transposeTiled",
+            grid=(tiles, tiles, 1),
+            block=(self.TILE, self.TILE, 1),
+            args=[source, destination, width, height],
+        )
+        correct = None
+        if check:
+            out = destination.read(np.float32, width * height)
+            correct = np.array_equal(
+                out.reshape(width, height), matrix.T
+            )
+        return self._finish([result], correct, check)
+
+
+@register
+class BoxFilter(Workload):
+    """SDK ``boxFilter``: sliding-window average along rows —
+    memory-bound with a uniform inner loop (Fig. 6 reports ~1.0x)."""
+
+    name = "BoxFilter"
+    category = Category.MEMORY_BOUND
+    description = "1D box filter (radius 4) over image rows"
+
+    RADIUS = 4
+
+    def module_source(self) -> str:
+        return r"""
+.version 2.3
+.target sim
+.entry boxFilterRow (.param .u64 in, .param .u64 out,
+                     .param .u32 width, .param .u32 n)
+{
+  .reg .u32 %r<16>;
+  .reg .u64 %rd<8>;
+  .reg .f32 %f<6>;
+  .reg .pred %p<4>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  ld.param.u32 %r5, [n];
+  setp.ge.u32 %p1, %r4, %r5;
+  @%p1 bra DONE;
+  ld.param.u32 %r6, [width];
+  div.u32 %r7, %r4, %r6;
+  mul.lo.u32 %r8, %r7, %r6;
+  sub.u32 %r9, %r4, %r8;
+  mov.f32 %f1, 0.0;
+  mov.u32 %r10, 0;
+LOOP:
+  add.u32 %r11, %r9, %r10;
+  sub.u32 %r12, %r11, 4;
+  max.s32 %r12, %r12, 0;
+  sub.u32 %r13, %r6, 1;
+  min.u32 %r12, %r12, %r13;
+  add.u32 %r14, %r8, %r12;
+  mul.wide.u32 %rd1, %r14, 4;
+  ld.param.u64 %rd2, [in];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.f32 %f2, [%rd3];
+  add.f32 %f1, %f1, %f2;
+  add.u32 %r10, %r10, 1;
+  setp.lt.u32 %p2, %r10, 9;
+  @%p2 bra LOOP;
+  div.full.f32 %f3, %f1, 9.0;
+  mul.wide.u32 %rd4, %r4, 4;
+  ld.param.u64 %rd5, [out];
+  add.u64 %rd6, %rd5, %rd4;
+  st.global.f32 [%rd6], %f3;
+DONE:
+  exit;
+}
+"""
+
+    def reference(self, image: np.ndarray) -> np.ndarray:
+        height, width = image.shape
+        out = np.zeros_like(image)
+        for offset in range(-self.RADIUS, self.RADIUS + 1):
+            columns = np.clip(
+                np.arange(width) + offset, 0, width - 1
+            )
+            out += image[:, columns]
+        return (out / np.float32(9.0)).astype(np.float32)
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        width = 64
+        height = max(4, int(8 * scale))
+        n = width * height
+        image = (
+            self.rng()
+            .standard_normal(n)
+            .astype(np.float32)
+            .reshape(height, width)
+        )
+        source = device.upload(image)
+        destination = device.malloc(n * 4)
+        block = 64
+        result = device.launch(
+            "boxFilterRow",
+            grid=(grid_for(n, block), 1, 1),
+            block=(block, 1, 1),
+            args=[source, destination, width, n],
+        )
+        correct = None
+        if check:
+            out = destination.read(np.float32, n).reshape(height, width)
+            correct = np.allclose(out, self.reference(image), rtol=1e-4)
+        return self._finish([result], correct, check)
+
+
+@register
+class ConvolutionSeparable(Workload):
+    """SDK ``convolutionSeparable``: row convolution with the filter
+    taps in constant memory."""
+
+    name = "ConvolutionSeparable"
+    category = Category.MEMORY_BOUND
+    description = "radius-2 row convolution, taps in .const memory"
+
+    TAPS = [0.0625, 0.25, 0.375, 0.25, 0.0625]
+
+    def module_source(self) -> str:
+        taps = ", ".join(str(t) for t in self.TAPS)
+        return f"""
+.version 2.3
+.target sim
+.const .f32 convKernel[5] = {{ {taps} }};
+
+.entry convolutionRow (.param .u64 in, .param .u64 out,
+                       .param .u32 width, .param .u32 n)
+{{
+  .reg .u32 %r<16>;
+  .reg .u64 %rd<10>;
+  .reg .f32 %f<6>;
+  .reg .pred %p<4>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  ld.param.u32 %r5, [n];
+  setp.ge.u32 %p1, %r4, %r5;
+  @%p1 bra DONE;
+  ld.param.u32 %r6, [width];
+  div.u32 %r7, %r4, %r6;
+  mul.lo.u32 %r8, %r7, %r6;
+  sub.u32 %r9, %r4, %r8;
+  mov.f32 %f1, 0.0;
+  mov.u32 %r10, 0;
+LOOP:
+  add.u32 %r11, %r9, %r10;
+  sub.u32 %r12, %r11, 2;
+  max.s32 %r12, %r12, 0;
+  sub.u32 %r13, %r6, 1;
+  min.u32 %r12, %r12, %r13;
+  add.u32 %r14, %r8, %r12;
+  mul.wide.u32 %rd1, %r14, 4;
+  ld.param.u64 %rd2, [in];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.f32 %f2, [%rd3];
+  mov.u64 %rd4, convKernel;
+  mul.wide.u32 %rd5, %r10, 4;
+  add.u64 %rd6, %rd4, %rd5;
+  ld.const.f32 %f3, [%rd6];
+  fma.rn.f32 %f1, %f2, %f3, %f1;
+  add.u32 %r10, %r10, 1;
+  setp.lt.u32 %p2, %r10, 5;
+  @%p2 bra LOOP;
+  mul.wide.u32 %rd7, %r4, 4;
+  ld.param.u64 %rd8, [out];
+  add.u64 %rd9, %rd8, %rd7;
+  st.global.f32 [%rd9], %f1;
+DONE:
+  exit;
+}}
+"""
+
+    def reference(self, image: np.ndarray) -> np.ndarray:
+        height, width = image.shape
+        out = np.zeros_like(image)
+        taps = np.array(self.TAPS, dtype=np.float32)
+        for tap_index, tap in enumerate(taps):
+            columns = np.clip(
+                np.arange(width) + tap_index - 2, 0, width - 1
+            )
+            out = (out + image[:, columns] * tap).astype(np.float32)
+        return out
+
+    def execute(self, device, scale: float = 1.0, check: bool = True):
+        width = 64
+        height = max(4, int(8 * scale))
+        n = width * height
+        image = (
+            self.rng()
+            .standard_normal(n)
+            .astype(np.float32)
+            .reshape(height, width)
+        )
+        source = device.upload(image)
+        destination = device.malloc(n * 4)
+        block = 64
+        result = device.launch(
+            "convolutionRow",
+            grid=(grid_for(n, block), 1, 1),
+            block=(block, 1, 1),
+            args=[source, destination, width, n],
+        )
+        correct = None
+        if check:
+            out = destination.read(np.float32, n).reshape(height, width)
+            correct = np.allclose(out, self.reference(image), rtol=1e-3)
+        return self._finish([result], correct, check)

@@ -1,0 +1,95 @@
+"""Error hierarchy and PTX type-system tests."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.ptx.types import AddressSpace, DataType
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "PTXSyntaxError",
+            "PTXValidationError",
+            "TranslationError",
+            "IRVerificationError",
+            "VectorizationError",
+            "ExecutionError",
+            "MemoryFault",
+            "LaunchError",
+            "TranslationCacheError",
+        ):
+            assert issubclass(
+                getattr(errors, name), errors.ReproError
+            ), name
+
+    def test_memory_fault_is_execution_error(self):
+        assert issubclass(errors.MemoryFault, errors.ExecutionError)
+
+    def test_syntax_error_formats_location(self):
+        error = errors.PTXSyntaxError("bad token", line=3, column=7)
+        assert "line 3" in str(error)
+        assert "column 7" in str(error)
+        assert error.line == 3
+
+    def test_syntax_error_without_location(self):
+        error = errors.PTXSyntaxError("bad token")
+        assert "line" not in str(error)
+
+    def test_memory_fault_formats_address(self):
+        fault = errors.MemoryFault(0xBEEF, 4)
+        assert "0xbeef" in str(fault)
+        assert fault.size == 4
+
+
+class TestDataTypes:
+    def test_sizes(self):
+        expected = {
+            DataType.u8: 1, DataType.s16: 2, DataType.u32: 4,
+            DataType.f32: 4, DataType.u64: 8, DataType.f64: 8,
+            DataType.pred: 1, DataType.b64: 8,
+        }
+        for dtype, size in expected.items():
+            assert dtype.size == size
+
+    def test_classification(self):
+        assert DataType.f32.is_float
+        assert not DataType.f32.is_integer
+        assert DataType.s32.is_signed
+        assert DataType.u32.is_unsigned
+        assert DataType.b32.is_untyped_bits
+        assert DataType.b32.is_integer
+        assert DataType.pred.is_predicate
+
+    def test_numpy_dtypes_roundtrip_sizes(self):
+        for dtype in DataType:
+            assert dtype.numpy_dtype.itemsize == dtype.size or (
+                dtype is DataType.pred
+            )
+
+    def test_parse_with_and_without_dot(self):
+        assert DataType.parse(".f32") is DataType.f32
+        assert DataType.parse("u64") is DataType.u64
+
+    def test_str_has_leading_dot(self):
+        assert str(DataType.f32) == ".f32"
+
+    def test_signed_numpy_mapping(self):
+        assert DataType.s8.numpy_dtype == np.dtype(np.int8)
+        assert DataType.u64.numpy_dtype == np.dtype(np.uint64)
+
+
+class TestAddressSpace:
+    def test_parse_global_alias(self):
+        assert AddressSpace.parse("global") is AddressSpace.global_
+        assert AddressSpace.parse(".global") is AddressSpace.global_
+
+    def test_parse_others(self):
+        assert AddressSpace.parse("shared") is AddressSpace.shared
+        assert AddressSpace.parse(".local") is AddressSpace.local
+        assert AddressSpace.parse("param") is AddressSpace.param
+
+    def test_str(self):
+        assert str(AddressSpace.shared) == ".shared"
+        assert str(AddressSpace.global_) == ".global"

@@ -1,0 +1,185 @@
+"""CFG, dominance and liveness analysis tests."""
+
+import pytest
+
+from repro.ir import (
+    BinaryOp,
+    Branch,
+    CondBranch,
+    Constant,
+    ControlFlowGraph,
+    DominatorTree,
+    Exit,
+    IRFunction,
+    LivenessInfo,
+    UnaryOp,
+    VirtualRegister,
+    remove_unreachable_blocks,
+)
+from repro.ptx.types import DataType
+
+
+def reg(name, dtype=DataType.u32):
+    return VirtualRegister(name=name, dtype=dtype)
+
+
+def mov(dst, value):
+    return UnaryOp(
+        op="mov", dtype=DataType.u32, dst=dst,
+        a=Constant(value, DataType.u32),
+    )
+
+
+def diamond():
+    """entry -> (left | right) -> join -> exit"""
+    function = IRFunction("diamond")
+    entry = function.add_block("entry")
+    entry.append(mov(reg("p_src"), 1))
+    entry.append(
+        CondBranch(
+            predicate=VirtualRegister("p", DataType.pred),
+            taken="left",
+            fallthrough="right",
+        )
+    )
+    left = function.add_block("left")
+    left.append(mov(reg("x"), 1))
+    left.append(Branch("join"))
+    right = function.add_block("right")
+    right.append(mov(reg("x"), 2))
+    right.append(Branch("join"))
+    join = function.add_block("join")
+    join.append(
+        BinaryOp(
+            op="add", dtype=DataType.u32, dst=reg("y"),
+            a=reg("x"), b=Constant(1, DataType.u32),
+        )
+    )
+    join.append(Exit())
+    return function
+
+
+def loop():
+    """entry -> header <-> body; header -> exit"""
+    function = IRFunction("loop")
+    entry = function.add_block("entry")
+    entry.append(mov(reg("i"), 0))
+    entry.append(Branch("header"))
+    header = function.add_block("header")
+    header.append(
+        CondBranch(
+            predicate=VirtualRegister("p", DataType.pred),
+            taken="body",
+            fallthrough="done",
+        )
+    )
+    body = function.add_block("body")
+    body.append(
+        BinaryOp(
+            op="add", dtype=DataType.u32, dst=reg("i"),
+            a=reg("i"), b=Constant(1, DataType.u32),
+        )
+    )
+    body.append(Branch("header"))
+    function.add_block("done").append(Exit())
+    return function
+
+
+class TestCFG:
+    def test_diamond_edges(self):
+        cfg = ControlFlowGraph(diamond())
+        assert sorted(cfg.successors["entry"]) == ["left", "right"]
+        assert sorted(cfg.predecessors["join"]) == ["left", "right"]
+
+    def test_reachability(self):
+        function = diamond()
+        function.add_block("orphan").append(Exit())
+        cfg = ControlFlowGraph(function)
+        assert "orphan" not in cfg.reachable()
+
+    def test_reverse_postorder_entry_first(self):
+        order = ControlFlowGraph(diamond()).reverse_postorder()
+        assert order[0] == "entry"
+        assert order.index("join") > order.index("left")
+        assert order.index("join") > order.index("right")
+
+    def test_back_edges_in_loop(self):
+        edges = ControlFlowGraph(loop()).back_edges()
+        assert ("body", "header") in edges
+
+    def test_no_back_edges_in_diamond(self):
+        assert ControlFlowGraph(diamond()).back_edges() == []
+
+    def test_remove_unreachable(self):
+        function = diamond()
+        function.add_block("orphan").append(Exit())
+        removed = remove_unreachable_blocks(function)
+        assert removed == 1
+        assert "orphan" not in function.blocks
+
+    def test_remove_keeps_entry_point_roots(self):
+        function = diamond()
+        island = function.add_block("island")
+        island.append(Exit())
+        function.add_entry_point("island")
+        assert remove_unreachable_blocks(function) == 0
+
+
+class TestDominance:
+    def test_entry_dominates_all(self):
+        tree = DominatorTree(diamond())
+        for label in ("left", "right", "join"):
+            assert tree.dominates("entry", label)
+
+    def test_branches_do_not_dominate_join(self):
+        tree = DominatorTree(diamond())
+        assert not tree.dominates("left", "join")
+        assert tree.immediate_dominator("join") == "entry"
+
+    def test_loop_header_dominates_body(self):
+        tree = DominatorTree(loop())
+        assert tree.dominates("header", "body")
+        assert tree.immediate_dominator("body") == "header"
+
+    def test_dominance_frontier_of_branch_arms(self):
+        frontier = DominatorTree(diamond()).dominance_frontier()
+        assert frontier["left"] == {"join"}
+        assert frontier["right"] == {"join"}
+
+    def test_self_domination(self):
+        tree = DominatorTree(diamond())
+        assert tree.dominates("join", "join")
+
+
+class TestLiveness:
+    def test_value_live_across_diamond(self):
+        liveness = LivenessInfo(diamond())
+        assert "x" in liveness.live_in["join"]
+        assert "x" in liveness.live_out["left"]
+
+    def test_dead_after_last_use(self):
+        liveness = LivenessInfo(diamond())
+        assert "x" not in liveness.live_out["join"]
+
+    def test_loop_carried_value_live_around_backedge(self):
+        liveness = LivenessInfo(loop())
+        assert "i" in liveness.live_in["header"]
+        assert "i" in liveness.live_out["body"]
+
+    def test_predicate_live_into_branch(self):
+        liveness = LivenessInfo(diamond())
+        assert "p" in liveness.live_in["entry"]
+
+    def test_live_in_registers_sorted(self, reduce_scalar_ir):
+        liveness = LivenessInfo(reduce_scalar_ir)
+        for label in reduce_scalar_ir.blocks:
+            names = [r.name for r in liveness.live_in_registers(label)]
+            assert names == sorted(names)
+
+    def test_max_live_counts_boundary_pressure(self, vecadd_scalar_ir):
+        # Only the guard-computed global index survives the entry
+        # block boundary in vecAdd.
+        assert LivenessInfo(vecadd_scalar_ir).max_live() == 1
+
+    def test_max_live_sees_loop_carried_state(self, reduce_scalar_ir):
+        assert LivenessInfo(reduce_scalar_ir).max_live() >= 3

@@ -1,0 +1,141 @@
+"""KernelBuilder tests: programmatically built kernels must be
+equivalent to parsed ones and executable end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro import Device, vectorized_config
+from repro.errors import PTXValidationError
+from repro.ptx import (
+    AddressSpace,
+    AtomicOp,
+    CompareOp,
+    DataType,
+    KernelBuilder,
+    Module,
+    validate_kernel,
+)
+
+
+def build_saxpy():
+    """y[i] = a*x[i] + y[i] for i < n, via the builder API."""
+    b = KernelBuilder("saxpy")
+    b.param("x", DataType.u64)
+    b.param("y", DataType.u64)
+    b.param("a", DataType.f32)
+    b.param("n", DataType.u32)
+
+    tid = b.special(DataType.u32, "tid", "x")
+    ntid = b.special(DataType.u32, "ntid", "x")
+    ctaid = b.special(DataType.u32, "ctaid", "x")
+    gid = b.mad(DataType.u32, ctaid, ntid, tid)
+    n = b.load_param(DataType.u32, "n")
+    oob = b.setp(CompareOp.ge, DataType.u32, gid, n)
+    b.branch("DONE", predicate=oob)
+    offset = b.cvt(DataType.u64, DataType.u32, gid)
+    offset4 = b.mul(DataType.u64, offset, 4)
+    x_ptr = b.load_param(DataType.u64, "x")
+    x_addr = b.add(DataType.u64, x_ptr, offset4)
+    x = b.load(AddressSpace.global_, DataType.f32, x_addr)
+    y_ptr = b.load_param(DataType.u64, "y")
+    y_addr = b.add(DataType.u64, y_ptr, offset4)
+    y = b.load(AddressSpace.global_, DataType.f32, y_addr)
+    a = b.load_param(DataType.f32, "a")
+    result = b.fma(DataType.f32, a, x, y)
+    b.store(AddressSpace.global_, DataType.f32, y_addr, result)
+    b.label("DONE")
+    b.exit()
+    return b.kernel
+
+
+class TestBuilderConstruction:
+    def test_registers_are_unique(self):
+        b = KernelBuilder("k")
+        r1 = b.reg(DataType.u32)
+        r2 = b.reg(DataType.u32)
+        assert r1.name != r2.name
+
+    def test_param_layout(self):
+        kernel = build_saxpy()
+        offsets = [p.offset for p in kernel.parameters]
+        assert offsets == [0, 8, 16, 20]
+
+    def test_validates(self):
+        validate_kernel(build_saxpy())
+
+    def test_mul_wide_widens_destination(self):
+        from repro.ptx.instructions import MulMode
+
+        b = KernelBuilder("k")
+        r = b.reg(DataType.u32)
+        wide = b.mul(DataType.u32, r, 4, mode=MulMode.wide)
+        assert wide.dtype is DataType.u64
+
+    def test_shared_declaration(self):
+        b = KernelBuilder("k")
+        b.shared("tile", DataType.f32, 64)
+        assert b.kernel.shared_size == 256
+
+    def test_guarded_context_manager(self):
+        b = KernelBuilder("k")
+        pred = b.reg(DataType.pred)
+        with b.guarded(pred):
+            inst = b.emit_probe = b.add(DataType.u32, 1, 2)
+        guarded = b.kernel.instructions[-1]
+        assert guarded.guard is pred
+        b.add(DataType.u32, 1, 2)
+        assert b.kernel.instructions[-1].guard is None
+
+    def test_atom_helper(self):
+        b = KernelBuilder("k")
+        address = b.reg(DataType.u64)
+        old = b.atom(
+            AddressSpace.global_, AtomicOp.add, DataType.u32, address, 1
+        )
+        assert old.dtype is DataType.u32
+
+    def test_duplicate_param_rejected(self):
+        b = KernelBuilder("k")
+        b.param("n", DataType.u32)
+        with pytest.raises(PTXValidationError):
+            b.param("n", DataType.u32)
+
+    def test_vote_helper_types(self):
+        from repro.ptx.instructions import VoteMode
+
+        b = KernelBuilder("k")
+        pred = b.reg(DataType.pred)
+        assert b.vote(VoteMode.any, pred).dtype is DataType.pred
+        assert b.vote(VoteMode.ballot, pred).dtype is DataType.b32
+
+
+class TestBuilderExecution:
+    @pytest.mark.parametrize("n", [100, 256])
+    def test_saxpy_runs_correctly(self, n, any_config, rng):
+        module = Module("built")
+        module.add_kernel(build_saxpy())
+        device = Device(config=any_config)
+        device.register_module(module)
+        x = rng.standard_normal(n).astype(np.float32)
+        y = rng.standard_normal(n).astype(np.float32)
+        x_buffer = device.upload(x)
+        y_buffer = device.upload(y)
+        device.launch(
+            "saxpy",
+            grid=(-(-n // 64), 1, 1),
+            block=(64, 1, 1),
+            args=[x_buffer, y_buffer, 2.5, n],
+        )
+        got = y_buffer.read(np.float32, n)
+        expected = np.float32(2.5) * x + y
+        assert np.allclose(got, expected, rtol=1e-5)
+
+    def test_builder_kernel_round_trips_through_text(self):
+        from repro.ptx import parse
+
+        module = Module("built")
+        module.add_kernel(build_saxpy())
+        reparsed = parse(str(module))
+        assert len(reparsed.kernel("saxpy").instructions) == len(
+            build_saxpy().instructions
+        )

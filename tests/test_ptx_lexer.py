@@ -1,0 +1,136 @@
+"""Tokenizer unit tests."""
+
+import pytest
+
+from repro.errors import PTXSyntaxError
+from repro.ptx.lexer import Token, TokenKind, TokenStream, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def values(source):
+    return [t.value for t in tokenize(source)][:-1]
+
+
+class TestBasicTokens:
+    def test_directive(self):
+        (token,) = tokenize(".version")[:-1]
+        assert token.kind is TokenKind.DIRECTIVE
+        assert token.value == "version"
+
+    def test_register(self):
+        (token,) = tokenize("%r1")[:-1]
+        assert token.kind is TokenKind.REGISTER
+        assert token.value == "r1"
+
+    def test_identifier(self):
+        (token,) = tokenize("vecAdd")[:-1]
+        assert token.kind is TokenKind.IDENT
+
+    def test_punct_stream(self):
+        assert values("{ } [ ] ( ) , ; : @ ! < >") == list(
+            "{}[](),;:@!<>"
+        )
+
+    def test_opcode_with_modifiers_splits(self):
+        tokens = tokenize("add.f32")[:-1]
+        assert [t.kind for t in tokens] == [
+            TokenKind.IDENT,
+            TokenKind.DIRECTIVE,
+        ]
+
+    def test_eof_terminates(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+
+
+class TestNumbers:
+    def test_decimal_integer(self):
+        assert values("42") == [42]
+
+    def test_negative_integer(self):
+        assert values("-7") == [-7]
+
+    def test_hex_integer(self):
+        assert values("0x1F") == [31]
+
+    def test_unsigned_suffix(self):
+        assert values("42U") == [42]
+
+    def test_float_simple(self):
+        assert values("1.5") == [1.5]
+
+    def test_float_exponent(self):
+        assert values("2.5e3") == [2500.0]
+
+    def test_float_no_leading_digit(self):
+        assert values(".5") == [0.5]
+
+    def test_float_f_suffix(self):
+        assert values("1.0f") == [1.0]
+
+    def test_hex_float32(self):
+        # 0x3F800000 is 1.0f
+        assert values("0f3F800000") == [1.0]
+
+    def test_hex_float64(self):
+        # 0x3FF0000000000000 is 1.0
+        assert values("0d3FF0000000000000") == [1.0]
+
+    def test_signed_offset_folds_sign(self):
+        tokens = tokenize("[%rd1+4]")[:-1]
+        assert tokens[-2].kind is TokenKind.INTEGER
+        assert tokens[-2].value == 4
+
+
+class TestCommentsAndLines:
+    def test_line_comment_skipped(self):
+        assert values("add // comment\nsub") == ["add", "sub"]
+
+    def test_block_comment_skipped(self):
+        assert values("add /* x\ny */ sub") == ["add", "sub"]
+
+    def test_line_numbers_advance(self):
+        tokens = tokenize("a\nb\n\nc")[:-1]
+        assert [t.line for t in tokens] == [1, 2, 4]
+
+    def test_column_tracked(self):
+        tokens = tokenize("  add")[:-1]
+        assert tokens[0].column == 3
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(PTXSyntaxError) as excinfo:
+            tokenize("add `")
+        assert "line 1" in str(excinfo.value)
+
+    def test_error_carries_line(self):
+        with pytest.raises(PTXSyntaxError) as excinfo:
+            tokenize("ok\nok\n ~")
+        assert excinfo.value.line == 3
+
+
+class TestTokenStream:
+    def test_accept_returns_none_on_mismatch(self):
+        stream = TokenStream(tokenize("add"))
+        assert stream.accept(TokenKind.DIRECTIVE) is None
+        assert stream.accept(TokenKind.IDENT).text == "add"
+
+    def test_expect_raises_with_location(self):
+        stream = TokenStream(tokenize("add"))
+        with pytest.raises(PTXSyntaxError):
+            stream.expect(TokenKind.PUNCT, ";")
+
+    def test_peek_does_not_advance(self):
+        stream = TokenStream(tokenize("a b"))
+        assert stream.peek().text == "b"
+        assert stream.current.text == "a"
+
+    def test_advance_stops_at_eof(self):
+        stream = TokenStream(tokenize("a"))
+        stream.advance()
+        eof = stream.advance()
+        assert eof.kind is TokenKind.EOF
+        assert stream.advance().kind is TokenKind.EOF

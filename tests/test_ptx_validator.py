@@ -1,0 +1,125 @@
+"""Validator tests: structural errors the frontend must reject."""
+
+import pytest
+
+from repro.errors import PTXValidationError
+from repro.ptx import parse, validate_module
+
+HEADER = ".version 2.3\n.target sim\n"
+
+
+def validate(source):
+    validate_module(parse(HEADER + source))
+
+
+class TestLabels:
+    def test_branch_to_undefined_label(self):
+        with pytest.raises(PTXValidationError) as excinfo:
+            validate(
+                ".entry k () {\n  .reg .pred %p<2>;\n"
+                "  bra NOWHERE;\n}"
+            )
+        assert "undefined label" in str(excinfo.value)
+
+    def test_duplicate_label(self):
+        with pytest.raises(PTXValidationError):
+            validate(".entry k () {\nL:\nL:\n  exit;\n}")
+
+
+class TestTermination:
+    def test_empty_body_rejected(self):
+        with pytest.raises(PTXValidationError):
+            validate(".entry k () {\n}")
+
+    def test_fallthrough_end_rejected(self):
+        with pytest.raises(PTXValidationError) as excinfo:
+            validate(
+                ".entry k () {\n  .reg .u32 %r<2>;\n"
+                "  add.u32 %r0, %r1, 1;\n}"
+            )
+        assert "falls off the end" in str(excinfo.value)
+
+    def test_trailing_label_rejected(self):
+        with pytest.raises(PTXValidationError):
+            validate(".entry k () {\n  exit;\nEND:\n}")
+
+    def test_unconditional_branch_end_accepted(self):
+        validate(".entry k () {\nL:\n  bra L;\n}")
+
+    def test_guarded_branch_end_rejected(self):
+        with pytest.raises(PTXValidationError):
+            validate(
+                ".entry k () {\n  .reg .pred %p<2>;\nL:\n"
+                "  @%p0 bra L;\n}"
+            )
+
+
+class TestOperands:
+    def test_arity_mismatch(self):
+        with pytest.raises(PTXValidationError) as excinfo:
+            validate(
+                ".entry k () {\n  .reg .u32 %r<4>;\n"
+                "  add.u32 %r0, %r1;\n  exit;\n}"
+            )
+        assert "expects 3 operands" in str(excinfo.value)
+
+    def test_memory_without_space(self):
+        with pytest.raises(Exception):
+            validate(
+                ".entry k () {\n  .reg .u32 %r<2>;\n"
+                "  .reg .u64 %rd<2>;\n"
+                "  ld.u32 %r0, [%rd0];\n  exit;\n}"
+            )
+
+    def test_undeclared_symbol(self):
+        with pytest.raises(PTXValidationError) as excinfo:
+            validate(
+                ".entry k () {\n  .reg .u32 %r<2>;\n"
+                "  ld.param.u32 %r0, [nope];\n  exit;\n}"
+            )
+        assert "undeclared symbol" in str(excinfo.value)
+
+    def test_setp_destination_must_be_predicate(self):
+        with pytest.raises(PTXValidationError):
+            validate(
+                ".entry k () {\n  .reg .u32 %r<4>;\n"
+                "  setp.eq.u32 %r0, %r1, %r2;\n  exit;\n}"
+            )
+
+    def test_guard_must_be_predicate(self):
+        # The parser itself rejects non-pred guards via register_type,
+        # so construct through the builder path instead.
+        from repro.ptx import (
+            DataType,
+            Kernel,
+            Opcode,
+            PTXInstruction,
+            RegisterOperand,
+        )
+        from repro.ptx.module import RegisterDeclaration
+        from repro.ptx.validator import validate_kernel
+
+        kernel = Kernel("k")
+        kernel.declare_registers(
+            RegisterDeclaration(prefix="r0", dtype=DataType.u32)
+        )
+        kernel.append(
+            PTXInstruction(
+                opcode=Opcode.exit,
+                guard=RegisterOperand("r0", DataType.u32),
+            )
+        )
+        kernel.append(PTXInstruction(opcode=Opcode.exit))
+        with pytest.raises(PTXValidationError):
+            validate_kernel(kernel)
+
+    def test_valid_kernel_passes(self, vecadd_module):
+        validate_module(vecadd_module)
+
+    def test_shared_symbol_reference_accepted(self):
+        validate(
+            ".entry k () {\n  .reg .u32 %r<4>;\n  .reg .f32 %f<2>;\n"
+            "  .shared .f32 tile[8];\n"
+            "  mov.u32 %r0, tile;\n"
+            "  st.shared.f32 [tile+4], %f0;\n  exit;\n}"
+        )

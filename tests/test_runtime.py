@@ -1,0 +1,349 @@
+"""Runtime tests: config, contexts, warp formation, barriers,
+translation cache, launcher partitioning, statistics."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Device,
+    ExecutionConfig,
+    baseline_config,
+    static_tie_config,
+    vectorized_config,
+)
+from repro.errors import LaunchError, TranslationCacheError
+from repro.ir import ResumeStatus
+from repro.runtime import (
+    LaunchGeometry,
+    LaunchStatistics,
+    ThreadContext,
+    Warp,
+    partition_ctas,
+)
+from tests.conftest import REDUCE_PTX, VECADD_PTX
+
+
+class TestExecutionConfig:
+    def test_default_matches_paper(self):
+        config = ExecutionConfig()
+        assert config.warp_sizes == (1, 2, 4)
+        assert config.max_warp_size == 4
+
+    def test_requires_scalar_specialization(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(warp_sizes=(2, 4))
+
+    def test_requires_ascending_sizes(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(warp_sizes=(4, 1))
+
+    def test_baseline_never_yields_at_branches(self):
+        config = baseline_config()
+        assert not config.yields_at_branches(1)
+        assert not config.vectorized
+
+    def test_dynamic_sub_maximal_yields(self):
+        config = vectorized_config(4)
+        assert config.yields_at_branches(1)
+        assert config.yields_at_branches(2)
+        assert not config.yields_at_branches(4)
+
+    def test_static_formation_never_chases_reformation(self):
+        config = static_tie_config(4)
+        assert not config.yields_at_branches(1)
+        assert not config.yields_at_branches(2)
+
+
+class TestGeometry:
+    def test_counts(self):
+        geometry = LaunchGeometry(grid=(2, 3, 1), block=(8, 4, 1))
+        assert geometry.cta_count == 6
+        assert geometry.threads_per_cta == 32
+        assert geometry.total_threads == 192
+
+    def test_coordinate_roundtrip(self):
+        geometry = LaunchGeometry(grid=(3, 2, 2), block=(4, 2, 2))
+        seen = set()
+        for linear in range(geometry.cta_count):
+            seen.add(geometry.cta_coordinates(linear))
+        assert len(seen) == 12
+
+    def test_thread_coordinates(self):
+        geometry = LaunchGeometry(grid=(1, 1, 1), block=(4, 2, 1))
+        assert geometry.thread_coordinates(0) == (0, 0, 0)
+        assert geometry.thread_coordinates(5) == (1, 1, 0)
+
+
+class TestContexts:
+    def test_linear_ids(self):
+        context = ThreadContext(
+            tid=(1, 2, 0), ntid=(4, 4, 1),
+            ctaid=(1, 0, 0), nctaid=(2, 1, 1),
+        )
+        assert context.linear_tid == 9
+        assert context.linear_ctaid == 1
+        assert context.global_linear_id == 16 + 9
+
+    def test_warp_validation(self):
+        contexts = [
+            ThreadContext(tid=(i, 0, 0), ntid=(4, 1, 1),
+                          ctaid=(0, 0, 0), nctaid=(1, 1, 1))
+            for i in range(2)
+        ]
+        warp = Warp(contexts=contexts)
+        assert warp.validate()
+        contexts[1].resume_point = 3
+        assert not warp.validate()
+
+
+class TestPartitioning:
+    def test_even_partition(self):
+        parts = partition_ctas(8, 4)
+        assert [len(p) for p in parts] == [2, 2, 2, 2]
+
+    def test_remainder_spread(self):
+        parts = partition_ctas(10, 4)
+        assert [len(p) for p in parts] == [3, 3, 2, 2]
+
+    def test_fewer_ctas_than_workers(self):
+        parts = partition_ctas(2, 4)
+        assert [len(p) for p in parts] == [1, 1, 0, 0]
+
+    def test_contiguous_coverage(self):
+        parts = partition_ctas(7, 3)
+        flattened = [cta for part in parts for cta in part]
+        assert flattened == list(range(7))
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(LaunchError):
+            partition_ctas(4, 0)
+
+
+class TestTranslationCache:
+    def _device(self):
+        device = Device(config=vectorized_config(4))
+        device.register_module(VECADD_PTX)
+        return device
+
+    def test_lazy_translation(self):
+        device = self._device()
+        assert device.cache.statistics.translations == 0
+        device.cache.get("vecAdd", 4)
+        assert device.cache.statistics.translations == 1
+
+    def test_cache_hits(self):
+        device = self._device()
+        first = device.cache.get("vecAdd", 4)
+        second = device.cache.get("vecAdd", 4)
+        assert first is second
+        assert device.cache.statistics.hits == 1
+
+    def test_unconfigured_width_rejected(self):
+        device = self._device()
+        with pytest.raises(TranslationCacheError):
+            device.cache.get("vecAdd", 8)
+
+    def test_unknown_kernel_rejected(self):
+        device = self._device()
+        with pytest.raises(TranslationCacheError):
+            device.cache.get("nope", 4)
+
+    def test_specialization_for(self):
+        device = self._device()
+        assert device.cache.specialization_for(1) == 1
+        assert device.cache.specialization_for(3) == 2
+        assert device.cache.specialization_for(4) == 4
+        assert device.cache.specialization_for(100) == 4
+
+    def test_scalar_ir_shared_across_widths(self):
+        device = self._device()
+        first = device.cache.scalar_ir("vecAdd")
+        device.cache.get("vecAdd", 2)
+        device.cache.get("vecAdd", 4)
+        assert device.cache.scalar_ir("vecAdd") is first
+
+    def test_instruction_counts_recorded(self):
+        device = self._device()
+        count = device.cache.instruction_count("vecAdd", 4)
+        assert count > 0
+
+
+class TestWarpFormationStatistics:
+    def test_full_warps_when_block_multiple_of_width(self):
+        device = Device(config=vectorized_config(4))
+        device.register_module(VECADD_PTX)
+        n = 256
+        a = device.upload(np.zeros(n, dtype=np.float32))
+        b = device.upload(np.zeros(n, dtype=np.float32))
+        c = device.malloc(n * 4)
+        result = device.launch(
+            "vecAdd", grid=(4, 1, 1), block=(64, 1, 1),
+            args=[a, b, c, n],
+        )
+        fractions = result.statistics.warp_size_fractions()
+        assert fractions == {4: 1.0}
+
+    def test_small_cta_caps_warp_size(self):
+        device = Device(config=vectorized_config(4))
+        device.register_module(VECADD_PTX)
+        n = 8
+        a = device.upload(np.zeros(n, dtype=np.float32))
+        b = device.upload(np.zeros(n, dtype=np.float32))
+        c = device.malloc(n * 4)
+        result = device.launch(
+            "vecAdd", grid=(4, 1, 1), block=(2, 1, 1),
+            args=[a, b, c, n],
+        )
+        # CTAs of 2 threads -> warps of at most 2 (same-CTA formation)
+        assert max(result.statistics.warp_size_histogram) == 2
+
+    def test_barrier_yields_counted(self):
+        device = Device(config=vectorized_config(4))
+        device.register_module(REDUCE_PTX)
+        data = np.random.default_rng(0).standard_normal(
+            2 * 64
+        ).astype(np.float32)
+        src = device.upload(data)
+        dst = device.malloc(2 * 4)
+        result = device.launch(
+            "reduceK", grid=(2, 1, 1), block=(64, 1, 1),
+            args=[src, dst],
+        )
+        statistics = result.statistics
+        assert statistics.barrier_yields > 0
+        assert (
+            statistics.yields_by_status[ResumeStatus.THREAD_EXIT] > 0
+        )
+
+    def test_threads_launched_counted(self):
+        device = Device(config=baseline_config())
+        device.register_module(VECADD_PTX)
+        a = device.upload(np.zeros(64, dtype=np.float32))
+        b = device.upload(np.zeros(64, dtype=np.float32))
+        c = device.malloc(64 * 4)
+        result = device.launch(
+            "vecAdd", grid=(2, 1, 1), block=(32, 1, 1),
+            args=[a, b, c, 64],
+        )
+        assert result.statistics.threads_launched == 64
+
+
+class TestLaunchStatistics:
+    def test_merge(self):
+        first = LaunchStatistics(kernel_cycles=10, em_cycles=5)
+        first.warp_size_histogram[4] = 3
+        second = LaunchStatistics(kernel_cycles=20, yield_cycles=2)
+        second.warp_size_histogram[4] = 1
+        second.warp_size_histogram[1] = 2
+        first.merge(second)
+        assert first.kernel_cycles == 30
+        assert first.warp_size_histogram == {4: 4, 1: 2}
+
+    def test_cycle_fractions_sum_to_one(self):
+        statistics = LaunchStatistics(
+            kernel_cycles=50, yield_cycles=25, em_cycles=25
+        )
+        fractions = statistics.cycle_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_elapsed_is_max_worker(self):
+        statistics = LaunchStatistics()
+        statistics.worker_cycles = {0: 100, 1: 250, 2: 50}
+        assert statistics.elapsed_cycles == 250
+
+    def test_gflops(self):
+        statistics = LaunchStatistics(flops=1000)
+        statistics.worker_cycles = {0: 1000}
+        assert statistics.gflops(1e9) == pytest.approx(1.0)
+
+    def test_empty_statistics_are_safe(self):
+        statistics = LaunchStatistics()
+        assert statistics.average_warp_size == 0.0
+        assert statistics.average_values_restored == 0.0
+        assert statistics.warp_size_fractions() == {}
+
+
+class TestLaunchErrors:
+    def test_wrong_argument_count(self):
+        device = Device()
+        device.register_module(VECADD_PTX)
+        with pytest.raises(LaunchError):
+            device.launch("vecAdd", grid=1, block=32, args=[1, 2])
+
+    def test_empty_grid_rejected(self):
+        device = Device()
+        device.register_module(VECADD_PTX)
+        with pytest.raises(LaunchError):
+            device.launch(
+                "vecAdd", grid=0, block=32, args=[0, 0, 0, 0]
+            )
+
+
+class TestBarrierDeadlock:
+    def test_partial_barrier_deadlock_detected(self):
+        # Half the CTA exits before the barrier -> the other half can
+        # never be released. With live-count tracking this would hang;
+        # we require a LaunchError... unless live_counts releases them.
+        source = """
+.version 2.3
+.target sim
+.entry bad (.param .u32 unused)
+{
+  .reg .u32 %r<4>;
+  .reg .pred %p<2>;
+  mov.u32 %r1, %tid.x;
+  setp.lt.u32 %p1, %r1, 16;
+  @%p1 bra WAIT;
+  exit;
+WAIT:
+  bar.sync 0;
+  exit;
+}
+"""
+        device = Device(config=baseline_config())
+        device.register_module(source)
+        # Threads 0-15 wait; 16-31 exit. live_counts drops to 16 and
+        # the barrier releases — CUDA leaves this undefined, we choose
+        # the forgiving semantics. The launch must terminate.
+        result = device.launch("bad", grid=1, block=32, args=[0])
+        assert result.statistics.threads_launched == 32
+
+
+class TestTracing:
+    def test_trace_receives_warp_and_yield_events(self, rng):
+        from repro import Device, vectorized_config
+        import numpy as np
+
+        device = Device(config=vectorized_config(4))
+        device.register_module(REDUCE_PTX)
+        events = []
+        device.launcher.trace = lambda kind, payload: events.append(
+            (kind, payload)
+        )
+        data = rng.standard_normal(64).astype(np.float32)
+        src = device.upload(data)
+        dst = device.malloc(4)
+        device.launch(
+            "reduceK", grid=(1, 1, 1), block=(64, 1, 1),
+            args=[src, dst],
+        )
+        kinds = {kind for kind, _ in events}
+        assert kinds == {"warp", "yield", "barrier_release"}
+        warp_events = [p for k, p in events if k == "warp"]
+        assert all(p["kernel"] == "reduceK" for p in warp_events)
+        assert any(p["size"] == 4 for p in warp_events)
+        yields = [p for k, p in events if k == "yield"]
+        assert any(p["status"] == "barrier" for p in yields)
+
+    def test_trace_disabled_by_default(self, rng):
+        from repro import Device, baseline_config
+        import numpy as np
+
+        device = Device(config=baseline_config())
+        device.register_module(VECADD_PTX)
+        a = device.upload(np.zeros(32, dtype=np.float32))
+        b = device.upload(np.zeros(32, dtype=np.float32))
+        c = device.malloc(32 * 4)
+        # No trace set: must simply not crash and keep trace None.
+        device.launch("vecAdd", grid=1, block=32, args=[a, b, c, 32])
+        assert device.launcher.trace is None

@@ -1,0 +1,376 @@
+"""DCE / CSE / constant-folding / block-merge pass tests."""
+
+import pytest
+
+from repro.ir import (
+    BinaryOp,
+    Branch,
+    Compare,
+    CondBranch,
+    Constant,
+    ContextRead,
+    Exit,
+    IRFunction,
+    Intrinsic,
+    Load,
+    Select,
+    Store,
+    UnaryOp,
+    VirtualRegister,
+    verify_function,
+)
+from repro.ptx.types import AddressSpace, DataType
+from repro.transforms import (
+    eliminate_common_subexpressions,
+    eliminate_dead_code,
+    fold_constants,
+    merge_blocks,
+    standard_cleanup_pipeline,
+)
+
+
+def reg(name, dtype=DataType.u32):
+    return VirtualRegister(name=name, dtype=dtype)
+
+
+def const(value, dtype=DataType.u32):
+    return Constant(value, dtype)
+
+
+def add(dst, a, b, dtype=DataType.u32):
+    return BinaryOp(op="add", dtype=dtype, dst=dst, a=a, b=b)
+
+
+def single_block(*instructions):
+    function = IRFunction("f")
+    block = function.add_block("entry")
+    for instruction in instructions:
+        block.append(instruction)
+    if not block.is_terminated:
+        block.append(Exit())
+    return function
+
+
+class TestDCE:
+    def test_removes_unused_pure_instruction(self):
+        function = single_block(add(reg("dead"), const(1), const(2)))
+        assert eliminate_dead_code(function) == 1
+        assert function.instruction_count() == 1
+
+    def test_keeps_stores(self):
+        function = single_block(
+            Store(
+                dtype=DataType.u32,
+                space=AddressSpace.global_,
+                base=const(0x100, DataType.u64),
+                value=const(1),
+            )
+        )
+        assert eliminate_dead_code(function) == 0
+
+    def test_removes_chains_transitively(self):
+        function = single_block(
+            add(reg("a"), const(1), const(2)),
+            add(reg("b"), reg("a"), const(3)),
+        )
+        assert eliminate_dead_code(function) == 2
+
+    def test_keeps_values_used_by_terminator(self):
+        function = IRFunction("f")
+        entry = function.add_block("entry")
+        entry.append(
+            Compare(
+                op="eq", dtype=DataType.u32, dst=reg("p", DataType.pred),
+                a=const(1), b=const(1),
+            )
+        )
+        entry.append(
+            CondBranch(
+                predicate=reg("p", DataType.pred),
+                taken="a", fallthrough="b",
+            )
+        )
+        function.add_block("a").append(Exit())
+        function.add_block("b").append(Exit())
+        assert eliminate_dead_code(function) == 0
+
+    def test_keeps_value_live_across_blocks(self):
+        function = IRFunction("f")
+        entry = function.add_block("entry")
+        entry.append(add(reg("x"), const(1), const(2)))
+        entry.append(Branch("next"))
+        next_block = function.add_block("next")
+        next_block.append(
+            Store(
+                dtype=DataType.u32,
+                space=AddressSpace.global_,
+                base=const(0x100, DataType.u64),
+                value=reg("x"),
+            )
+        )
+        next_block.append(Exit())
+        assert eliminate_dead_code(function) == 0
+
+    def test_redefined_before_use_is_dead(self):
+        function = single_block(
+            add(reg("x"), const(1), const(2)),  # dead: overwritten
+            add(reg("x"), const(3), const(4)),
+            Store(
+                dtype=DataType.u32,
+                space=AddressSpace.global_,
+                base=const(0x100, DataType.u64),
+                value=reg("x"),
+            ),
+        )
+        assert eliminate_dead_code(function) == 1
+
+    def test_volatile_load_kept(self):
+        function = single_block(
+            Load(
+                dtype=DataType.u32, dst=reg("x"),
+                space=AddressSpace.global_,
+                base=const(0x100, DataType.u64), volatile=True,
+            )
+        )
+        assert eliminate_dead_code(function) == 0
+
+
+class TestCSE:
+    def _store(self, value):
+        return Store(
+            dtype=DataType.u32,
+            space=AddressSpace.global_,
+            base=const(0x100, DataType.u64),
+            value=value,
+        )
+
+    def test_identical_expression_reused(self):
+        function = single_block(
+            add(reg("a"), reg("x"), const(1)),
+            add(reg("b"), reg("x"), const(1)),
+            self._store(reg("a")),
+            self._store(reg("b")),
+        )
+        # provide a definition of x so the verifier is happy
+        function.blocks["entry"].instructions.insert(
+            0,
+            UnaryOp(op="mov", dtype=DataType.u32, dst=reg("x"),
+                    a=const(7)),
+        )
+        assert eliminate_common_subexpressions(function) == 1
+        verify_function(function)
+
+    def test_commutative_operands_normalized(self):
+        function = single_block(
+            UnaryOp(op="mov", dtype=DataType.u32, dst=reg("x"),
+                    a=const(7)),
+            UnaryOp(op="mov", dtype=DataType.u32, dst=reg("y"),
+                    a=const(9)),
+            add(reg("a"), reg("x"), reg("y")),
+            add(reg("b"), reg("y"), reg("x")),
+            self._store(reg("a")),
+            self._store(reg("b")),
+        )
+        assert eliminate_common_subexpressions(function) == 1
+
+    def test_redefinition_invalidates(self):
+        function = single_block(
+            UnaryOp(op="mov", dtype=DataType.u32, dst=reg("x"),
+                    a=const(7)),
+            add(reg("a"), reg("x"), const(1)),
+            UnaryOp(op="mov", dtype=DataType.u32, dst=reg("x"),
+                    a=const(8)),
+            add(reg("b"), reg("x"), const(1)),
+            self._store(reg("a")),
+            self._store(reg("b")),
+        )
+        assert eliminate_common_subexpressions(function) == 0
+
+    def test_self_referential_not_recorded(self):
+        # acc = acc + 1 twice must NOT collapse (the fma-chain bug).
+        function = single_block(
+            UnaryOp(op="mov", dtype=DataType.u32, dst=reg("acc"),
+                    a=const(0)),
+            add(reg("acc"), reg("acc"), const(1)),
+            add(reg("acc"), reg("acc"), const(1)),
+            self._store(reg("acc")),
+        )
+        assert eliminate_common_subexpressions(function) == 0
+
+    def test_context_reads_cse(self):
+        function = single_block(
+            ContextRead(field_name="tid.x", dtype=DataType.u32,
+                        dst=reg("a")),
+            ContextRead(field_name="tid.x", dtype=DataType.u32,
+                        dst=reg("b")),
+            self._store(reg("a")),
+            self._store(reg("b")),
+        )
+        assert eliminate_common_subexpressions(function) == 1
+
+    def test_loads_never_cse(self):
+        function = single_block(
+            Load(dtype=DataType.u32, dst=reg("a"),
+                 space=AddressSpace.global_,
+                 base=const(0x100, DataType.u64)),
+            Load(dtype=DataType.u32, dst=reg("b"),
+                 space=AddressSpace.global_,
+                 base=const(0x100, DataType.u64)),
+            self._store(reg("a")),
+            self._store(reg("b")),
+        )
+        assert eliminate_common_subexpressions(function) == 0
+
+    def test_dominating_block_expression_reused(self):
+        function = IRFunction("f")
+        entry = function.add_block("entry")
+        entry.append(
+            UnaryOp(op="mov", dtype=DataType.u32, dst=reg("x"),
+                    a=const(7))
+        )
+        entry.append(add(reg("a"), reg("x"), const(1)))
+        entry.append(Branch("next"))
+        next_block = function.add_block("next")
+        next_block.append(add(reg("b"), reg("x"), const(1)))
+        next_block.append(self._store(reg("a")))
+        next_block.append(self._store(reg("b")))
+        next_block.append(Exit())
+        assert eliminate_common_subexpressions(function) == 1
+
+
+class TestConstantFolding:
+    def _fold_single(self, instruction):
+        function = single_block(instruction)
+        folds = fold_constants(function)
+        return folds, function.blocks["entry"].instructions[0]
+
+    def test_folds_integer_add(self):
+        folds, folded = self._fold_single(
+            add(reg("a"), const(2), const(3))
+        )
+        assert folds == 1
+        assert folded.a.value == 5
+
+    def test_wraps_to_type_domain(self):
+        folds, folded = self._fold_single(
+            add(reg("a"), const(0xFFFFFFFF), const(1))
+        )
+        assert folded.a.value == 0
+
+    def test_folds_compare(self):
+        folds, folded = self._fold_single(
+            Compare(op="lt", dtype=DataType.u32,
+                    dst=reg("p", DataType.pred),
+                    a=const(1), b=const(2))
+        )
+        assert folds == 1
+        assert folded.a.value is True
+
+    def test_folds_select_with_constant_predicate(self):
+        folds, folded = self._fold_single(
+            Select(dtype=DataType.u32, dst=reg("a"),
+                   a=const(10), b=const(20),
+                   predicate=Constant(True, DataType.pred))
+        )
+        assert folds == 1
+        assert folded.a.value == 10
+
+    def test_folds_intrinsic(self):
+        folds, folded = self._fold_single(
+            Intrinsic(name="sqrt", dtype=DataType.f32,
+                      dst=reg("a", DataType.f32),
+                      args=[const(4.0, DataType.f32)])
+        )
+        assert folds == 1
+        assert folded.a.value == 2.0
+
+    def test_identity_add_zero(self):
+        function = single_block(
+            UnaryOp(op="mov", dtype=DataType.u32, dst=reg("x"),
+                    a=const(7)),
+            add(reg("a"), reg("x"), const(0)),
+        )
+        assert fold_constants(function) == 1
+        simplified = function.blocks["entry"].instructions[1]
+        assert isinstance(simplified, UnaryOp)
+        assert simplified.a == reg("x")
+
+    def test_multiply_by_zero(self):
+        function = single_block(
+            UnaryOp(op="mov", dtype=DataType.u32, dst=reg("x"),
+                    a=const(7)),
+            BinaryOp(op="mul", dtype=DataType.u32, dst=reg("a"),
+                     a=reg("x"), b=const(0)),
+        )
+        assert fold_constants(function) == 1
+
+    def test_division_by_zero_not_folded(self):
+        folds, _ = self._fold_single(
+            BinaryOp(op="div", dtype=DataType.u32, dst=reg("a"),
+                     a=const(5), b=const(0))
+        )
+        assert folds == 0
+
+    def test_vector_destinations_untouched(self):
+        function = single_block(
+            BinaryOp(op="add", dtype=DataType.u32,
+                     dst=VirtualRegister("v", DataType.u32, width=4),
+                     a=const(1), b=const(2))
+        )
+        function.warp_size = 4
+        assert fold_constants(function) == 0
+
+
+class TestBlockMerge:
+    def test_merges_linear_chain(self):
+        function = IRFunction("f")
+        entry = function.add_block("entry")
+        entry.append(add(reg("a"), const(1), const(2)))
+        entry.append(Branch("tail"))
+        tail = function.add_block("tail")
+        tail.append(add(reg("b"), const(3), const(4)))
+        tail.append(Exit())
+        assert merge_blocks(function) == 1
+        assert "tail" not in function.blocks
+        assert len(function.blocks["entry"].instructions) == 2
+
+    def test_does_not_merge_shared_successor(self):
+        function = IRFunction("f")
+        entry = function.add_block("entry")
+        entry.append(
+            CondBranch(predicate=Constant(True, DataType.pred),
+                       taken="a", fallthrough="b")
+        )
+        a = function.add_block("a")
+        a.append(Branch("join"))
+        b = function.add_block("b")
+        b.append(Branch("join"))
+        function.add_block("join").append(Exit())
+        assert merge_blocks(function) == 0
+
+    def test_does_not_merge_entry_point_targets(self):
+        function = IRFunction("f")
+        entry = function.add_block("entry")
+        entry.append(Branch("resume"))
+        function.add_block("resume").append(Exit())
+        function.add_entry_point("resume")
+        assert merge_blocks(function) == 0
+
+    def test_self_loop_not_merged(self):
+        function = IRFunction("f")
+        function.add_block("entry").append(Branch("entry"))
+        assert merge_blocks(function) == 0
+
+
+class TestPipeline:
+    def test_pipeline_runs_and_verifies(self, vecadd_scalar_ir):
+        pipeline = standard_cleanup_pipeline()
+        pipeline.run(vecadd_scalar_ir)
+        report = pipeline.statistics.report()
+        assert "dce" in report
+
+    def test_pipeline_statistics_accumulate(self, vecadd_scalar_ir):
+        pipeline = standard_cleanup_pipeline()
+        pipeline.run(vecadd_scalar_ir)
+        assert pipeline.statistics.total_changes() >= 0
+        assert len(pipeline.statistics.results) == 5

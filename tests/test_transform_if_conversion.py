@@ -1,0 +1,218 @@
+"""If-conversion pass tests (predication-style conditional data flow,
+the paper's §7 contrast)."""
+
+import numpy as np
+import pytest
+
+from repro import Device, ExecutionConfig, vectorized_config
+from repro.frontend import translate_kernel
+from repro.ir import (
+    Branch,
+    CondBranch,
+    Select,
+    Store,
+    verify_function,
+)
+from repro.ptx import parse
+from repro.transforms import if_convert
+from tests.conftest import COLLATZ_PTX, collatz_steps
+
+HEADER = ".version 2.3\n.target sim\n"
+
+
+def scalar_of(source, name="k"):
+    return translate_kernel(parse(HEADER + source).kernel(name))
+
+
+DIAMOND = """
+.entry k (.param .u64 out)
+{
+  .reg .u32 %r<8>;
+  .reg .u64 %rd<4>;
+  .reg .pred %p<2>;
+  mov.u32 %r1, %tid.x;
+  and.b32 %r2, %r1, 1;
+  setp.eq.u32 %p1, %r2, 0;
+  @%p1 bra EVEN;
+  mul.lo.u32 %r3, %r1, 3;
+  add.u32 %r3, %r3, 1;
+  bra JOIN;
+EVEN:
+  shr.u32 %r3, %r1, 1;
+JOIN:
+  mul.wide.u32 %rd1, %r1, 4;
+  ld.param.u64 %rd2, [out];
+  add.u64 %rd3, %rd2, %rd1;
+  st.global.u32 [%rd3], %r3;
+  exit;
+}
+"""
+
+TRIANGLE = """
+.entry k (.param .u64 out)
+{
+  .reg .u32 %r<8>;
+  .reg .u64 %rd<4>;
+  .reg .pred %p<2>;
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r3, 7;
+  setp.lt.u32 %p1, %r1, 16;
+  @%p1 bra JOIN;
+  add.u32 %r3, %r1, 100;
+JOIN:
+  mul.wide.u32 %rd1, %r1, 4;
+  ld.param.u64 %rd2, [out];
+  add.u64 %rd3, %rd2, %rd1;
+  st.global.u32 [%rd3], %r3;
+  exit;
+}
+"""
+
+MEMORY_ARM = """
+.entry k (.param .u64 out)
+{
+  .reg .u32 %r<8>;
+  .reg .u64 %rd<4>;
+  .reg .pred %p<2>;
+  mov.u32 %r1, %tid.x;
+  setp.lt.u32 %p1, %r1, 16;
+  mul.wide.u32 %rd1, %r1, 4;
+  ld.param.u64 %rd2, [out];
+  add.u64 %rd3, %rd2, %rd1;
+  @%p1 bra JOIN;
+  st.global.u32 [%rd3], %r1;
+JOIN:
+  st.global.u32 [%rd3], %r1;
+  exit;
+}
+"""
+
+
+def count(function, kind):
+    return sum(
+        1 for i in function.instructions() if isinstance(i, kind)
+    )
+
+
+class TestPatternMatching:
+    def test_diamond_converted(self):
+        function = scalar_of(DIAMOND)
+        before = count(function, CondBranch)
+        assert if_convert(function) == 1
+        verify_function(function)
+        assert count(function, CondBranch) == before - 1
+        assert count(function, Select) >= 1
+
+    def test_triangle_converted(self):
+        function = scalar_of(TRIANGLE)
+        assert if_convert(function) == 1
+        verify_function(function)
+        assert count(function, CondBranch) == 0
+
+    def test_memory_arm_not_converted(self):
+        function = scalar_of(MEMORY_ARM)
+        assert if_convert(function) == 0
+        assert count(function, CondBranch) == 1
+
+    def test_arm_size_limit(self):
+        function = scalar_of(DIAMOND)
+        assert if_convert(function, max_arm_instructions=1) == 0
+
+    def test_loop_exit_branch_survives(self):
+        function = scalar_of(
+            """
+.entry k ()
+{
+  .reg .u32 %r<4>;
+  .reg .pred %p<2>;
+  mov.u32 %r1, 0;
+LOOP:
+  add.u32 %r1, %r1, 1;
+  setp.lt.u32 %p1, %r1, 10;
+  @%p1 bra LOOP;
+  exit;
+}
+"""
+        )
+        assert if_convert(function) == 0
+
+    def test_collatz_inner_diamond_removed(self):
+        function = translate_kernel(
+            parse(COLLATZ_PTX).kernel("collatz")
+        )
+        branches_before = count(function, CondBranch)
+        converted = if_convert(function)
+        verify_function(function)
+        assert converted >= 1
+        assert count(function, CondBranch) < branches_before
+
+
+class TestSemantics:
+    def _run(self, source, config, n=64):
+        device = Device(config=config)
+        device.register_module(HEADER + source)
+        out = device.malloc(n * 4)
+        device.launch("k", grid=(2, 1, 1), block=(32, 1, 1),
+                      args=[out])
+        return out.read(np.uint32, n)
+
+    @pytest.mark.parametrize("source", [DIAMOND, TRIANGLE],
+                             ids=["diamond", "triangle"])
+    def test_results_unchanged(self, source):
+        plain = self._run(source, vectorized_config(4))
+        converted = self._run(
+            source,
+            ExecutionConfig(warp_sizes=(1, 2, 4), if_conversion=True),
+        )
+        assert np.array_equal(plain, converted)
+
+    def test_collatz_end_to_end(self, rng):
+        n = 128
+        values = rng.integers(1, 1000, n).astype(np.uint32)
+        expected = np.array(
+            [collatz_steps(int(v)) for v in values], dtype=np.uint32
+        )
+        device = Device(
+            config=ExecutionConfig(
+                warp_sizes=(1, 2, 4), if_conversion=True
+            )
+        )
+        device.register_module(COLLATZ_PTX)
+        src = device.upload(values)
+        dst = device.malloc(n * 4)
+        result = device.launch(
+            "collatz", grid=(2, 1, 1), block=(64, 1, 1),
+            args=[src, dst, n],
+        )
+        assert np.array_equal(dst.read(np.uint32, n), expected)
+
+    def test_reduces_divergence_on_collatz(self, rng):
+        n = 256
+        values = rng.integers(1, 2000, n).astype(np.uint32)
+
+        def yields(config):
+            device = Device(config=config)
+            device.register_module(COLLATZ_PTX)
+            src = device.upload(values)
+            dst = device.malloc(n * 4)
+            result = device.launch(
+                "collatz", grid=(4, 1, 1), block=(64, 1, 1),
+                args=[src, dst, n],
+            )
+            return result.statistics.divergent_yields
+
+        plain = yields(vectorized_config(4))
+        converted = yields(
+            ExecutionConfig(warp_sizes=(1, 2, 4), if_conversion=True)
+        )
+        assert converted < plain / 2
+
+    def test_whole_suite_correct_with_if_conversion(self):
+        from repro.workloads import all_workloads
+
+        config = ExecutionConfig(
+            warp_sizes=(1, 2, 4), if_conversion=True
+        )
+        for workload in all_workloads():
+            run = workload.run_on(config, scale=0.25, check=True)
+            assert run.correct, workload.name

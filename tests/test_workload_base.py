@@ -1,0 +1,111 @@
+"""Workload infrastructure tests: WorkloadRun aggregation, grid math,
+deterministic inputs, failure signalling."""
+
+import numpy as np
+import pytest
+
+from repro import Device, baseline_config
+from repro.runtime.launcher import LaunchResult
+from repro.runtime.execution_manager import LaunchGeometry
+from repro.runtime.statistics import LaunchStatistics
+from repro.workloads import Category, Workload, WorkloadRun, grid_for
+from repro.workloads.registry import get_workload
+
+
+class TestGridFor:
+    def test_exact(self):
+        assert grid_for(128, 64) == 2
+
+    def test_rounds_up(self):
+        assert grid_for(129, 64) == 3
+
+    def test_single(self):
+        assert grid_for(1, 64) == 1
+
+
+class TestWorkloadRun:
+    def _launch(self, kernel_cycles, worker_cycles):
+        statistics = LaunchStatistics(kernel_cycles=kernel_cycles)
+        statistics.worker_cycles = worker_cycles
+        return LaunchResult(
+            kernel_name="k",
+            geometry=LaunchGeometry(grid=(1, 1, 1), block=(1, 1, 1)),
+            statistics=statistics,
+            clock_hz=1e9,
+        )
+
+    def test_elapsed_sums_sequential_launches(self):
+        run = WorkloadRun(
+            workload="w",
+            launches=[
+                self._launch(10, {0: 100}),
+                self._launch(20, {0: 50, 1: 70}),
+            ],
+        )
+        assert run.elapsed_cycles == 170
+        assert run.elapsed_seconds(1e9) == pytest.approx(170e-9)
+
+    def test_statistics_merge_worker_cycles(self):
+        run = WorkloadRun(
+            workload="w",
+            launches=[
+                self._launch(10, {0: 100, 1: 40}),
+                self._launch(20, {0: 60, 1: 90}),
+            ],
+        )
+        merged = run.statistics
+        assert merged.worker_cycles == {0: 160, 1: 130}
+        assert merged.kernel_cycles == 30
+
+
+class TestWorkloadContract:
+    def test_rng_is_deterministic(self):
+        workload = get_workload("BlackScholes")
+        first = workload.rng().integers(0, 1000, 8)
+        second = workload.rng().integers(0, 1000, 8)
+        assert np.array_equal(first, second)
+
+    def test_same_results_across_runs(self):
+        workload = get_workload("Template")
+        first = workload.run_on(baseline_config(), scale=0.25)
+        second = workload.run_on(baseline_config(), scale=0.25)
+        assert (
+            first.statistics.total_cycles
+            == second.statistics.total_cycles
+        )
+
+    def test_incorrect_result_raises(self):
+        class Broken(Workload):
+            name = "broken"
+            category = Category.MICRO
+
+            def module_source(self):
+                return (
+                    ".version 2.3\n.target sim\n"
+                    ".entry nop () { exit; }"
+                )
+
+            def execute(self, device, scale=1.0, check=True):
+                result = device.launch(
+                    "nop", grid=1, block=1, args=[]
+                )
+                return self._finish(
+                    [result], correct=False, check=check,
+                    notes="intentional",
+                )
+
+        workload = Broken()
+        device = Device(config=baseline_config())
+        workload.prepare(device)
+        with pytest.raises(AssertionError):
+            workload.execute(device)
+        # check=False suppresses verification
+        run = workload.execute(device, check=False)
+        assert not run.checked
+
+    def test_descriptions_present(self):
+        from repro.workloads import all_workloads
+
+        for workload in all_workloads():
+            assert workload.description, workload.name
+            assert workload.category, workload.name

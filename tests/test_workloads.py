@@ -1,0 +1,138 @@
+"""Workload suite tests: every registered application must verify its
+device results against the NumPy host reference under every standard
+configuration — the benchmark harness therefore doubles as a large
+integration surface."""
+
+import numpy as np
+import pytest
+
+from repro import baseline_config, static_tie_config, vectorized_config
+from repro.workloads import (
+    Category,
+    all_workloads,
+    get_workload,
+    workload_names,
+)
+
+CONFIGS = [
+    ("baseline", baseline_config()),
+    ("vec4", vectorized_config(4)),
+    ("static-tie", static_tie_config(4)),
+]
+
+#: Small scale keeps the full matrix fast while still exercising the
+#: guard/divergence paths of every kernel.
+SCALE = 0.25
+
+
+class TestRegistry:
+    def test_suite_size_matches_design(self):
+        # ~30 applications plus the Table 1 microbenchmark
+        assert len(workload_names()) >= 30
+
+    def test_names_are_unique_and_sorted_access_works(self):
+        names = workload_names()
+        assert len(names) == len(set(names))
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("not-a-workload")
+
+    def test_every_category_represented(self):
+        categories = {w.category for w in all_workloads()}
+        assert Category.COMPUTE_UNIFORM in categories
+        assert Category.MEMORY_BOUND in categories
+        assert Category.BARRIER_HEAVY in categories
+        assert Category.DIVERGENT in categories
+        assert Category.ATOMIC in categories
+
+    def test_paper_named_applications_present(self):
+        names = set(workload_names())
+        for required in (
+            "BinomialOptions",
+            "BlackScholes",
+            "BoxFilter",
+            "MersenneTwister",
+            "Nbody",
+            "ScalarProd",
+            "SobolQRNG",
+            "cp",
+            "mri-q",
+            "mri-fhd",
+            "throughput",
+        ):
+            assert required in names
+
+    def test_module_sources_parse(self):
+        from repro.ptx import parse, validate_module
+
+        for workload in all_workloads():
+            validate_module(parse(workload.module_source()))
+
+
+@pytest.mark.parametrize(
+    "workload", all_workloads(), ids=lambda w: w.name
+)
+@pytest.mark.parametrize("label,config", CONFIGS)
+class TestSuiteCorrectness:
+    def test_verifies_against_reference(self, workload, label, config):
+        run = workload.run_on(config, scale=SCALE, check=True)
+        assert run.correct
+        assert run.checked
+        statistics = run.statistics
+        assert statistics.threads_launched > 0
+        assert statistics.total_cycles > 0
+
+
+class TestBehaviouralShape:
+    """The category-level behaviours Figures 6-9 rely on."""
+
+    def test_divergent_apps_yield_divergently(self):
+        workload = get_workload("MersenneTwister")
+        run = workload.run_on(vectorized_config(4), scale=SCALE)
+        assert run.statistics.divergent_yields > 0
+
+    def test_uniform_apps_do_not_diverge(self):
+        workload = get_workload("BlackScholes")
+        run = workload.run_on(vectorized_config(4), scale=SCALE)
+        assert run.statistics.divergent_yields == 0
+
+    def test_barrier_apps_yield_at_barriers(self):
+        workload = get_workload("Reduction")
+        run = workload.run_on(vectorized_config(4), scale=SCALE)
+        assert run.statistics.barrier_yields > 0
+
+    def test_compute_bound_app_speeds_up(self):
+        workload = get_workload("cp")
+        base = workload.run_on(baseline_config(), scale=SCALE)
+        vec = workload.run_on(vectorized_config(4), scale=SCALE)
+        assert base.elapsed_cycles / vec.elapsed_cycles > 2.0
+
+    def test_divergent_app_slows_down(self):
+        workload = get_workload("MersenneTwister")
+        base = workload.run_on(baseline_config(), scale=SCALE)
+        vec = workload.run_on(vectorized_config(4), scale=SCALE)
+        assert base.elapsed_cycles / vec.elapsed_cycles < 1.0
+
+    def test_static_formation_recovers_mri(self):
+        workload = get_workload("mri-q")
+        dynamic = workload.run_on(vectorized_config(4), scale=SCALE)
+        static = workload.run_on(static_tie_config(4), scale=SCALE)
+        assert static.elapsed_cycles < dynamic.elapsed_cycles
+
+    def test_vote_workload_caps_warp_size(self):
+        workload = get_workload("SimpleVoteIntrinsics")
+        run = workload.run_on(vectorized_config(4), scale=1.0)
+        assert max(run.statistics.warp_size_histogram) <= 2
+
+    def test_kernel_dominated_app(self):
+        workload = get_workload("Nbody")
+        run = workload.run_on(vectorized_config(4), scale=SCALE)
+        fractions = run.statistics.cycle_fractions()
+        assert fractions["kernel"] > 0.9
+
+    def test_throughput_flops_counted(self):
+        workload = get_workload("throughput")
+        run = workload.run_on(vectorized_config(4), scale=0.25)
+        assert run.statistics.flops > 0
+        assert run.statistics.gflops(3.4e9) > 50.0
