@@ -19,6 +19,7 @@ Quick start::
 """
 
 from .api.device import Device
+from .runtime.cache_store import CacheStore
 from .machine.descriptor import (
     MachineDescription,
     avx_machine,
@@ -35,6 +36,7 @@ from .runtime.config import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CacheStore",
     "Device",
     "ExecutionConfig",
     "MachineDescription",

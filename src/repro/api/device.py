@@ -28,6 +28,7 @@ from ..ptx.module import Module
 from ..ptx.parser import parse
 from ..ptx.types import DataType
 from ..ptx.validator import validate_module
+from ..runtime.cache_store import CacheStore
 from ..runtime.config import ExecutionConfig
 from ..runtime.launcher import KernelLauncher, LaunchResult
 from ..runtime.translation_cache import TranslationCache
@@ -67,13 +68,14 @@ class Device:
         machine: Optional[MachineDescription] = None,
         config: Optional[ExecutionConfig] = None,
         memory_size: int = 1 << 26,
+        cache_store: Optional[CacheStore] = None,
     ):
         self.machine = machine or sandybridge()
         self.config = config or ExecutionConfig()
         self.memory = MemorySystem(size=memory_size)
         self.interpreter = Interpreter(self.machine, self.memory)
         self.cache = TranslationCache(
-            self.machine, self.interpreter, self.config
+            self.machine, self.interpreter, self.config, store=cache_store
         )
         self.launcher = KernelLauncher(
             self.machine,
@@ -146,6 +148,14 @@ class Device:
     def memset(self, allocation: Allocation, byte: int = 0) -> None:
         self.memory.fill(allocation.address, allocation.size, byte)
 
+    def free(self, allocation: Allocation) -> None:
+        """Return a buffer's arena region for reuse (cudaFree)."""
+        allocation.free()
+        try:
+            self._allocations.remove(allocation)
+        except ValueError:
+            pass
+
     # -- launches --------------------------------------------------------
 
     def launch(
@@ -169,15 +179,21 @@ class Device:
                 f"{kernel_name} expects {len(parameters)} arguments "
                 f"({[p.name for p in parameters]}), got {len(args)}"
             )
-        param_base = self.memory.allocate(max(kernel.param_size, 1))
+        param_size = max(kernel.param_size, 1)
+        param_base = self.memory.allocate(param_size)
         for parameter, value in zip(parameters, args):
             self._write_parameter(param_base, parameter, value)
-        return self.launcher.launch(
-            kernel_name,
-            _normalize_dim(grid),
-            _normalize_dim(block),
-            param_base,
-        )
+        try:
+            return self.launcher.launch(
+                kernel_name,
+                _normalize_dim(grid),
+                _normalize_dim(block),
+                param_base,
+            )
+        finally:
+            # Launches are synchronous; the parameter segment can be
+            # reclaimed immediately so repeated launches don't leak.
+            self.memory.free(param_base, param_size)
 
     def _write_parameter(self, base: int, parameter, value) -> None:
         fmt = _PACK_FORMATS.get(parameter.dtype)
@@ -205,6 +221,21 @@ class Device:
                 np.frombuffer(raw, dtype=np.uint8),
             )
 
+    # -- warm-up ---------------------------------------------------------
+
+    def warm(
+        self,
+        kernel_name: Optional[str] = None,
+        warp_sizes: Optional[Sequence[int]] = None,
+    ) -> Dict[Tuple[str, int], float]:
+        """Compile-ahead (§5.1 without the laziness): materialize
+        specializations of ``kernel_name`` (default: every registered
+        kernel) for ``warp_sizes`` (default: all configured widths)
+        before the first launch. With the persistent cache enabled this
+        also populates the disk tier. Returns per-specialization
+        compile seconds (0.0 for already-cached entries)."""
+        return self.cache.warm(kernel_name, warp_sizes)
+
     # -- introspection -------------------------------------------------------
 
     def statistics_report(self) -> str:
@@ -213,5 +244,8 @@ class Device:
             f"modules={len(self.modules)} "
             f"translations={cache.translations} "
             f"cache hits={cache.hits} misses={cache.misses} "
+            f"invalidations={cache.invalidations} "
+            f"disk hits={cache.disk_hits} misses={cache.disk_misses} "
+            f"errors={cache.disk_errors} evictions={cache.evictions} "
             f"translation time={cache.translation_seconds:.3f}s"
         )

@@ -18,6 +18,7 @@ from .figures import (
 )
 from .harness import SuiteRunner
 from .reporting import (
+    format_cache_statistics,
     format_figure6,
     format_figure7,
     format_figure8,
@@ -82,6 +83,10 @@ def main(argv=None) -> int:
     if wants("instructions"):
         sections.append(
             format_instruction_reduction(run_instruction_reduction())
+        )
+    if runner is not None:
+        sections.append(
+            format_cache_statistics(runner.cache_statistics())
         )
 
     print(join_sections(sections))

@@ -122,6 +122,21 @@ class SuiteRunner:
                 return workload.category
         return Category.COMPUTE_UNIFORM
 
+    def cache_statistics(self):
+        """Translation-cache activity aggregated over every run this
+        harness has executed (None before the first run). With the
+        persistent tier enabled, disk hits show up here."""
+        merged = None
+        for run in self._cache.values():
+            cache = run.statistics.cache
+            if cache is None:
+                continue
+            if merged is None:
+                merged = cache.snapshot()
+            else:
+                merged.merge(cache)
+        return merged
+
 
 def average(values) -> float:
     values = list(values)

@@ -3,8 +3,9 @@ reports), used by the benchmark suite and ``python -m repro.bench``."""
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
+from ..runtime.translation_cache import CacheStatistics
 from . import paper_reference as paper
 from .figures import (
     Figure6Result,
@@ -147,6 +148,41 @@ def format_instruction_reduction(
         f"(Collange et al.: ~{paper.THREAD_INVARIANT_OPERAND_FRACTION:.0%}"
         f" of operands)"
     )
+    return "\n".join(lines)
+
+
+def format_cache_statistics(
+    stats: Optional[CacheStatistics],
+    title: str = "Translation-cache activity",
+    slowest: int = 8,
+) -> str:
+    """Render the cache counters plus the slowest specializations
+    (compile-time hot spots). Accepts ``None`` (no launches yet)."""
+    lines = [title, _rule()]
+    if stats is None:
+        lines.append("  (no cache activity recorded)")
+        return "\n".join(lines)
+    lines.append(
+        f"  memory: {stats.hits} hits / {stats.misses} misses, "
+        f"{stats.translations} translations, "
+        f"{stats.invalidations} invalidations"
+    )
+    lines.append(
+        f"  disk:   {stats.disk_hits} hits / {stats.disk_misses} misses, "
+        f"{stats.disk_errors} errors, {stats.evictions} evictions"
+    )
+    lines.append(
+        f"  translation time: {stats.translation_seconds * 1e3:.1f} ms"
+    )
+    timed = sorted(
+        stats.compile_seconds.items(), key=lambda item: -item[1]
+    )[:slowest]
+    for (kernel, warp_size), seconds in timed:
+        if seconds <= 0.0:
+            continue
+        lines.append(
+            f"    {kernel:<28} ws={warp_size}  {seconds * 1e3:7.2f} ms"
+        )
     return "\n".join(lines)
 
 

@@ -13,7 +13,7 @@ Address 0 is reserved so that a null pointer always faults.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -31,6 +31,8 @@ class MemorySystem:
         self.size = size
         self.data = np.zeros(size, dtype=np.uint8)
         self._brk = _NULL_GUARD
+        #: Freed regions available for reuse: (address, size) pairs.
+        self._free_blocks: List[Tuple[int, int]] = []
         #: Number of loads/stores serviced (machine-level statistic).
         self.load_count = 0
         self.store_count = 0
@@ -38,9 +40,26 @@ class MemorySystem:
     # -- allocation ----------------------------------------------------------
 
     def allocate(self, size: int, align: int = 16) -> int:
-        """Reserve ``size`` bytes and return the base address."""
+        """Reserve ``size`` bytes and return the base address.
+
+        Freed regions (see :meth:`free`) are reused first (first fit,
+        honouring ``align``); otherwise the bump pointer grows.
+        Returned memory is always zeroed.
+        """
         if size < 0:
             raise MemoryFault(self._brk, size, "negative allocation")
+        for index, (address, block_size) in enumerate(self._free_blocks):
+            aligned = address + (-address % align)
+            waste = aligned - address
+            if block_size - waste >= size:
+                del self._free_blocks[index]
+                if waste:
+                    self._free_blocks.append((address, waste))
+                tail = block_size - waste - size
+                if tail:
+                    self._free_blocks.append((aligned + size, tail))
+                self.data[aligned : aligned + size] = 0
+                return aligned
         remainder = self._brk % align
         if remainder:
             self._brk += align - remainder
@@ -50,10 +69,33 @@ class MemorySystem:
         self._brk += size
         return base
 
+    def free(self, address: int, size: int) -> None:
+        """Return a previously allocated region to the arena. Regions
+        at the top of the arena lower the bump pointer; interior
+        regions go on the free list for reuse by :meth:`allocate`."""
+        if size <= 0:
+            return
+        self._check(address, size)
+        if address + size >= self._brk:
+            self._brk = address
+            # Keep absorbing free blocks that now touch the top.
+            absorbed = True
+            while absorbed:
+                absorbed = False
+                for index, (base, length) in enumerate(self._free_blocks):
+                    if base + length >= self._brk:
+                        self._brk = min(self._brk, base)
+                        del self._free_blocks[index]
+                        absorbed = True
+                        break
+            return
+        self._free_blocks.append((address, size))
+
     def reset(self) -> None:
         """Free everything (used between benchmark iterations)."""
         self.data[:] = 0
         self._brk = _NULL_GUARD
+        self._free_blocks = []
         self.load_count = 0
         self.store_count = 0
 
@@ -136,6 +178,10 @@ class Allocation:
 
     def write(self, array: np.ndarray) -> None:
         self.memory.write_array(self.address, array)
+
+    def free(self) -> None:
+        """Return this buffer's arena region for reuse."""
+        self.memory.free(self.address, self.size)
 
     def read(self, dtype, count: int) -> np.ndarray:
         return self.memory.read_array(self.address, dtype, count)

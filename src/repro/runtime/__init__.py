@@ -1,6 +1,7 @@
 """Runtime: thread contexts, dynamic execution manager, warp formation,
 translation cache, launcher and statistics (§3, §5)."""
 
+from .cache_store import SCHEMA_VERSION, CacheStore
 from .config import (
     ExecutionConfig,
     baseline_config,
@@ -15,6 +16,8 @@ from .translation_cache import CacheStatistics, TranslationCache
 
 __all__ = [
     "CacheStatistics",
+    "CacheStore",
+    "SCHEMA_VERSION",
     "ExecutionConfig",
     "ExecutionManager",
     "KernelLauncher",

@@ -56,6 +56,13 @@ class ExecutionConfig:
     #: (the predication-style conditional data flow of Karrenberg/Shin,
     #: §7) — trades both-arms execution for fewer divergence yields.
     if_conversion: bool = False
+    #: Opt into the persistent translation-cache tier: vectorized IR is
+    #: pickled on disk so cold processes skip translation. Can also be
+    #: force-enabled with ``REPRO_CACHE=1`` in the environment.
+    persistent_cache: bool = False
+    #: Directory of the persistent tier. ``None`` falls back to
+    #: ``$REPRO_CACHE_DIR``, then ``~/.cache/repro``.
+    cache_dir: Optional[str] = None
 
     def __post_init__(self):
         if not self.warp_sizes:
@@ -98,6 +105,12 @@ class ExecutionConfig:
         return True
 
     def cache_key(self) -> tuple:
+        """The axes that change generated code. Part of every
+        specialization digest, so two configs differing in any of these
+        can never exchange cache entries. ``persistent_cache`` /
+        ``cache_dir`` / ``cta_window`` / ``allow_cross_cta_warps`` are
+        deliberately absent: they affect where code is stored or how
+        warps are formed at runtime, not the code itself."""
         return (
             self.warp_sizes,
             self.static_warps,

@@ -190,18 +190,25 @@ class ExecutionManager:
         local_bytes: int,
         threads_per_cta: int,
     ) -> None:
-        """Reuse previously reserved shared/local slabs across launches
-        (growing them when a kernel needs more)."""
-        if (
-            len(self._shared_slabs) < window
-            or self._shared_slab_bytes < shared_bytes
-        ):
-            self._shared_slabs = [
-                self.memory.allocate(shared_bytes) for _ in range(window)
-            ]
+        """Reuse previously reserved shared/local slabs across launches.
+
+        When a kernel needs wider slabs the old ones are returned to
+        the arena before reallocating; when it only needs *more* slabs
+        the existing ones are kept and the shortfall appended — so
+        repeated launches never grow the arena unboundedly."""
+        if shared_bytes > self._shared_slab_bytes:
+            for slab in self._shared_slabs:
+                self.memory.free(slab, self._shared_slab_bytes)
+            self._shared_slabs = []
             self._shared_slab_bytes = shared_bytes
+        while len(self._shared_slabs) < window:
+            self._shared_slabs.append(
+                self.memory.allocate(self._shared_slab_bytes)
+            )
         total_local = max(local_bytes * threads_per_cta * window, 16)
         if self._local_slab is None or self._local_slab_bytes < total_local:
+            if self._local_slab is not None:
+                self.memory.free(self._local_slab, self._local_slab_bytes)
             self._local_slab = self.memory.allocate(total_local)
             self._local_slab_bytes = total_local
 
@@ -222,10 +229,15 @@ class ExecutionManager:
         cta_of: Dict[int, int] = {}
         threads_per_cta = geometry.threads_per_cta
 
-        # Clear the reused slabs (shared memory starts zeroed).
-        for slab in self._shared_slabs:
+        # Clear only the regions this window will actually use (the
+        # slabs may be larger than the kernel's footprint and reserved
+        # for a wider window): shared memory starts zeroed per CTA,
+        # local memory per live thread.
+        for slab in self._shared_slabs[: len(cta_ids)]:
             self.memory.fill(slab, shared_bytes, 0)
-        self.memory.fill(self._local_slab, self._local_slab_bytes, 0)
+        live_local = local_bytes * threads_per_cta * len(cta_ids)
+        if live_local:
+            self.memory.fill(self._local_slab, live_local, 0)
 
         local_cursor = self._local_slab
         for slot, cta_linear in enumerate(cta_ids):

@@ -112,6 +112,7 @@ class KernelLauncher:
         )
         for manager in self.managers:
             manager.trace = self.trace
+        cache_before = self.cache.statistics.snapshot()
         total = LaunchStatistics()
         for manager, cta_ids in zip(self.managers, partitions):
             if not cta_ids:
@@ -125,6 +126,7 @@ class KernelLauncher:
                 + worker_stats.yield_cycles
                 + worker_stats.em_cycles
             )
+        total.cache = self.cache.statistics.delta(cache_before)
         return LaunchResult(
             kernel_name=kernel_name,
             geometry=geometry,

@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..ir.instructions import ResumeStatus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .translation_cache import CacheStatistics
 
 
 @dataclass
@@ -38,6 +41,10 @@ class LaunchStatistics:
     threads_launched: int = 0
     #: per-worker total cycles (kernel + yield + em)
     worker_cycles: Dict[int, int] = field(default_factory=dict)
+    #: translation-cache activity attributed to this launch (the delta
+    #: of the device cache's counters over the launch, attached by the
+    #: KernelLauncher); None until attached
+    cache: Optional["CacheStatistics"] = None
 
     # -- accumulation ------------------------------------------------------
 
@@ -78,6 +85,11 @@ class LaunchStatistics:
             self.worker_cycles[key] = (
                 self.worker_cycles.get(key, 0) + value
             )
+        if other.cache is not None:
+            if self.cache is None:
+                self.cache = other.cache.snapshot()
+            else:
+                self.cache.merge(other.cache)
 
     # -- derived metrics -----------------------------------------------------
 
@@ -146,20 +158,35 @@ class LaunchStatistics:
 
     def report(self, clock_hz: float = 3.4e9) -> str:
         fractions = self.cycle_fractions()
-        return "\n".join(
-            [
-                f"threads launched     {self.threads_launched}",
-                f"warp executions      {self.warp_executions}",
-                f"average warp size    {self.average_warp_size:.2f}",
-                f"avg values restored  "
-                f"{self.average_values_restored:.2f}",
-                f"cycles (EM/yld/krn)  {self.em_cycles}/"
-                f"{self.yield_cycles}/{self.kernel_cycles}",
-                f"cycle fractions      em={fractions['em']:.2%} "
-                f"yield={fractions['yield']:.2%} "
-                f"kernel={fractions['kernel']:.2%}",
-                f"elapsed              "
-                f"{self.elapsed_seconds(clock_hz) * 1e3:.3f} ms "
-                f"({self.gflops(clock_hz):.1f} GFLOP/s)",
-            ]
-        )
+        lines = [
+            f"threads launched     {self.threads_launched}",
+            f"warp executions      {self.warp_executions}",
+            f"average warp size    {self.average_warp_size:.2f}",
+            f"avg values restored  "
+            f"{self.average_values_restored:.2f}",
+            f"cycles (EM/yld/krn)  {self.em_cycles}/"
+            f"{self.yield_cycles}/{self.kernel_cycles}",
+            f"cycle fractions      em={fractions['em']:.2%} "
+            f"yield={fractions['yield']:.2%} "
+            f"kernel={fractions['kernel']:.2%}",
+            f"elapsed              "
+            f"{self.elapsed_seconds(clock_hz) * 1e3:.3f} ms "
+            f"({self.gflops(clock_hz):.1f} GFLOP/s)",
+        ]
+        if self.cache is not None:
+            cache = self.cache
+            lines.extend(
+                [
+                    f"cache                hits={cache.hits} "
+                    f"misses={cache.misses} "
+                    f"translations={cache.translations} "
+                    f"invalidations={cache.invalidations}",
+                    f"cache disk           hits={cache.disk_hits} "
+                    f"misses={cache.disk_misses} "
+                    f"errors={cache.disk_errors} "
+                    f"evictions={cache.evictions}",
+                    f"translation time     "
+                    f"{cache.translation_seconds * 1e3:.3f} ms",
+                ]
+            )
+        return "\n".join(lines)

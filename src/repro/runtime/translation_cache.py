@@ -3,16 +3,40 @@
 Responsible for producing executable specializations of each kernel:
 PTX -> scalar IR (translation), vectorization for the requested warp
 size, the traditional cleanup passes, and lowering for the machine
-("JIT compilation"). Results are memoized; execution managers query by
-(kernel, warp size) exactly as the paper describes, and translations
-happen lazily on first request.
+("JIT compilation"). Execution managers query by (kernel, warp size)
+exactly as the paper describes, and translations happen lazily on
+first request.
+
+Beyond the paper's in-memory memoization the cache is:
+
+- **Content-addressed.** Every specialization is identified by a
+  SHA-256 digest over the kernel's PTX body, the arena addresses of
+  the module-scope symbols it references, ``ExecutionConfig.
+  cache_key()``, the warp size, and the machine descriptor. Distinct
+  configs/devices can therefore share one persistent store without
+  ever exchanging incompatible code.
+- **Precisely invalidated.** Re-registering a kernel whose body or
+  referenced global symbols changed bumps its *generation* and drops
+  the stale scalar IR and specializations; re-registering identical
+  content keeps everything. :meth:`invalidate` forces the same drop
+  explicitly.
+- **Optionally persistent.** With a :class:`~repro.runtime.cache_store.
+  CacheStore` attached, misses consult the disk tier (pickled
+  vectorized IR) before compiling, and fresh compilations are written
+  back — cold processes skip translation entirely.
+- **Observable.** :class:`CacheStatistics` counts hits, misses,
+  invalidations, disk hits/misses/errors, evictions, and records
+  per-specialization compile times; the launcher attaches per-launch
+  deltas to :class:`~repro.runtime.statistics.LaunchStatistics`.
 """
 
 from __future__ import annotations
 
+import hashlib
+import re
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import astuple, dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..errors import TranslationCacheError
 from ..frontend.translator import translate_kernel
@@ -23,41 +47,153 @@ from ..ptx.module import Kernel, Module
 from ..transforms.if_conversion import if_convert
 from ..transforms.pass_manager import standard_cleanup_pipeline
 from ..transforms.vectorize import VectorizeOptions, vectorize_kernel
+from .cache_store import SCHEMA_VERSION, CacheStore
 from .config import ExecutionConfig
 
 
 @dataclass
 class CacheStatistics:
+    """Observable cache activity (cumulative per cache; the launcher
+    derives per-launch deltas with :meth:`snapshot`/:meth:`delta`)."""
+
+    #: specializations compiled from scratch
     translations: int = 0
+    #: in-memory specialization hits
     hits: int = 0
+    #: in-memory specialization misses (before the disk tier is tried)
     misses: int = 0
+    #: cached artifacts (scalar IR or specializations) dropped by
+    #: invalidation (re-registration, symbol updates, or explicit)
+    invalidations: int = 0
+    #: specializations loaded from the persistent tier
+    disk_hits: int = 0
+    #: persistent-tier lookups that found nothing
+    disk_misses: int = 0
+    #: corrupt/incompatible/unwritable persistent entries encountered
+    disk_errors: int = 0
+    #: persistent entries evicted by the size bound
+    evictions: int = 0
+    #: wall seconds spent translating (excludes disk-hit loads)
     translation_seconds: float = 0.0
     #: per-specialization static instruction counts (for §6.2's
     #: instruction-reduction measurement)
     instruction_counts: Dict[Tuple[str, int], int] = field(
         default_factory=dict
     )
+    #: per-specialization compile seconds (0.0 for disk hits)
+    compile_seconds: Dict[Tuple[str, int], float] = field(
+        default_factory=dict
+    )
+
+    _COUNTERS = (
+        "translations",
+        "hits",
+        "misses",
+        "invalidations",
+        "disk_hits",
+        "disk_misses",
+        "disk_errors",
+        "evictions",
+    )
+
+    def snapshot(self) -> "CacheStatistics":
+        """An independent copy (for before/after deltas)."""
+        copy = CacheStatistics()
+        for name in self._COUNTERS:
+            setattr(copy, name, getattr(self, name))
+        copy.translation_seconds = self.translation_seconds
+        copy.instruction_counts = dict(self.instruction_counts)
+        copy.compile_seconds = dict(self.compile_seconds)
+        return copy
+
+    def delta(self, before: "CacheStatistics") -> "CacheStatistics":
+        """Activity since ``before`` (a prior :meth:`snapshot`)."""
+        diff = CacheStatistics()
+        for name in self._COUNTERS:
+            setattr(
+                diff, name, getattr(self, name) - getattr(before, name)
+            )
+        diff.translation_seconds = (
+            self.translation_seconds - before.translation_seconds
+        )
+        diff.instruction_counts = {
+            key: count
+            for key, count in self.instruction_counts.items()
+            if before.instruction_counts.get(key) != count
+        }
+        diff.compile_seconds = {
+            key: seconds
+            for key, seconds in self.compile_seconds.items()
+            if key not in before.compile_seconds
+        }
+        return diff
+
+    def merge(self, other: "CacheStatistics") -> None:
+        for name in self._COUNTERS:
+            setattr(
+                self, name, getattr(self, name) + getattr(other, name)
+            )
+        self.translation_seconds += other.translation_seconds
+        self.instruction_counts.update(other.instruction_counts)
+        self.compile_seconds.update(other.compile_seconds)
+
+    def counters(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self._COUNTERS}
+
+
+@dataclass
+class _Specialization:
+    """One cached executable plus the digest it was built under."""
+
+    digest: str
+    executable: ExecutableFunction
 
 
 class TranslationCache:
-    """Kernel-name + warp-size keyed cache of lowered functions."""
+    """Content-addressed cache of lowered kernel specializations."""
 
     def __init__(
         self,
         machine: MachineDescription,
         interpreter: Interpreter,
         config: ExecutionConfig,
+        store: Optional[CacheStore] = None,
     ):
         self.machine = machine
         self.interpreter = interpreter
         self.config = config
         self.statistics = CacheStatistics()
+        #: Persistent tier; None when disabled. Built from the config
+        #: (or the REPRO_CACHE / REPRO_CACHE_DIR environment) unless an
+        #: explicit store is supplied.
+        self.store = store if store is not None else CacheStore.from_config(
+            config
+        )
         self._kernels: Dict[str, Kernel] = {}
         self._global_symbols: Dict[str, int] = {}
-        self._scalar_ir: Dict[str, IRFunction] = {}
-        self._specializations: Dict[
-            Tuple[str, int], ExecutableFunction
-        ] = {}
+        #: Rendered PTX body per kernel (fingerprint + symbol-reference
+        #: scanning input).
+        self._kernel_text: Dict[str, str] = {}
+        #: Content fingerprint per kernel: PTX body + referenced
+        #: global-symbol addresses.
+        self._fingerprints: Dict[str, str] = {}
+        #: Monotonic generation per kernel, bumped by every
+        #: invalidation (observability + staleness assertions).
+        self._generations: Dict[str, int] = {}
+        self._scalar_ir: Dict[str, Tuple[str, IRFunction]] = {}
+        self._specializations: Dict[Tuple[str, int], _Specialization] = {}
+        self._digest_memo: Dict[Tuple[str, int], str] = {}
+        #: Digest material shared by every kernel of this cache:
+        #: schema + execution config + machine descriptor.
+        self._environment_digest = hashlib.sha256(
+            "|".join(
+                [
+                    f"schema={SCHEMA_VERSION}",
+                    repr(config.cache_key()),
+                    repr(astuple(machine)),
+                ]
+            ).encode()
+        ).hexdigest()
 
     # -- registration --------------------------------------------------------
 
@@ -66,11 +202,129 @@ class TranslationCache:
     ) -> None:
         """Add a module's kernels. ``global_symbols`` maps module-scope
         .global/.const variable names to arena addresses (assigned by
-        the device at registration)."""
+        the device at registration).
+
+        Re-registering a kernel whose content changed — or updating the
+        address of a global symbol an already-registered kernel
+        references — invalidates the affected scalar IR and
+        specializations so stale code is never served.
+        """
+        changed_symbols = set()
         if global_symbols:
+            for name, address in global_symbols.items():
+                if self._global_symbols.get(name) != address:
+                    changed_symbols.add(name)
             self._global_symbols.update(global_symbols)
+        if changed_symbols:
+            for kernel_name in list(self._kernel_text):
+                if kernel_name in module.kernels:
+                    continue  # refreshed below anyway
+                if self._references_any(
+                    self._kernel_text[kernel_name], changed_symbols
+                ):
+                    self._refresh_fingerprint(kernel_name)
         for kernel in module.kernels.values():
-            self._kernels[kernel.name] = kernel
+            self._register_kernel(kernel)
+
+    def _register_kernel(self, kernel: Kernel) -> None:
+        name = kernel.name
+        text = str(kernel)
+        fingerprint = self._fingerprint_of(text)
+        previous = self._fingerprints.get(name)
+        if previous is not None and previous != fingerprint:
+            self.invalidate(name)
+        self._kernels[name] = kernel
+        self._kernel_text[name] = text
+        self._fingerprints[name] = fingerprint
+        self._generations.setdefault(name, 1)
+
+    def _refresh_fingerprint(self, kernel_name: str) -> None:
+        """Recompute a kernel's fingerprint after a global-symbol
+        change, invalidating its cached code when it differs."""
+        fingerprint = self._fingerprint_of(self._kernel_text[kernel_name])
+        if self._fingerprints.get(kernel_name) != fingerprint:
+            self.invalidate(kernel_name)
+            self._fingerprints[kernel_name] = fingerprint
+
+    # -- fingerprints / digests ---------------------------------------------
+
+    @staticmethod
+    def _references_any(text: str, names: Iterable[str]) -> bool:
+        return any(
+            re.search(rf"\b{re.escape(name)}\b", text) for name in names
+        )
+
+    def _referenced_symbols(self, text: str) -> List[Tuple[str, int]]:
+        """(name, address) of the registered global symbols the kernel
+        body mentions — only these make it into the fingerprint, so an
+        unrelated symbol update cannot invalidate this kernel."""
+        return sorted(
+            (name, address)
+            for name, address in self._global_symbols.items()
+            if re.search(rf"\b{re.escape(name)}\b", text)
+        )
+
+    def _fingerprint_of(self, text: str) -> str:
+        material = text + "|" + repr(self._referenced_symbols(text))
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def fingerprint(self, kernel_name: str) -> str:
+        """Content fingerprint of a registered kernel (PTX body plus
+        referenced global-symbol addresses)."""
+        self.kernel(kernel_name)
+        return self._fingerprints[kernel_name]
+
+    def generation(self, kernel_name: str) -> int:
+        """How many times ``kernel_name`` has been (re)validated: 1 at
+        first registration, +1 per invalidation."""
+        self.kernel(kernel_name)
+        return self._generations[kernel_name]
+
+    def specialization_digest(self, kernel_name: str, warp_size: int) -> str:
+        """Content-addressed key of one specialization: kernel
+        fingerprint x execution config x machine x warp size. This is
+        the persistent tier's file name."""
+        key = (kernel_name, warp_size)
+        digest = self._digest_memo.get(key)
+        if digest is None:
+            material = "|".join(
+                [
+                    self.fingerprint(kernel_name),
+                    self._environment_digest,
+                    f"ws={warp_size}",
+                ]
+            )
+            digest = hashlib.sha256(material.encode()).hexdigest()
+            self._digest_memo[key] = digest
+        return digest
+
+    # -- invalidation --------------------------------------------------------
+
+    def invalidate(self, kernel_name: str) -> int:
+        """Drop every cached artifact of ``kernel_name`` (scalar IR and
+        all specializations) and bump its generation. Returns the
+        number of artifacts dropped. The persistent tier is left
+        untouched: its entries are content-addressed, so stale code is
+        unreachable once the fingerprint moves."""
+        dropped = 0
+        if self._scalar_ir.pop(kernel_name, None) is not None:
+            dropped += 1
+        for key in [
+            key for key in self._specializations if key[0] == kernel_name
+        ]:
+            del self._specializations[key]
+            dropped += 1
+        for key in [
+            key for key in self._digest_memo if key[0] == kernel_name
+        ]:
+            del self._digest_memo[key]
+        self.statistics.invalidations += dropped
+        self._generations[kernel_name] = (
+            self._generations.get(kernel_name, 0) + 1
+        )
+        return dropped
+
+    # -- queries -------------------------------------------------------------
 
     def kernel(self, name: str) -> Kernel:
         try:
@@ -81,43 +335,49 @@ class TranslationCache:
                 f"have {sorted(self._kernels)}"
             ) from None
 
-    # -- queries -------------------------------------------------------------
-
     def scalar_ir(self, kernel_name: str) -> IRFunction:
-        """The scalar IR translation (shared by all specializations)."""
-        cached = self._scalar_ir.get(kernel_name)
-        if cached is None:
-            kernel = self.kernel(kernel_name)
-            cached = translate_kernel(
-                kernel, global_symbols=self._global_symbols
-            )
-            if self.config.if_conversion:
-                # Predication-style conditional data flow (§7): must
-                # happen before entry points are assigned so every
-                # specialization sees the same control structure.
-                if_convert(cached)
-            self._scalar_ir[kernel_name] = cached
-        return cached
+        """The scalar IR translation (shared by all specializations),
+        revalidated against the kernel's current fingerprint."""
+        fingerprint = self.fingerprint(kernel_name)
+        entry = self._scalar_ir.get(kernel_name)
+        if entry is not None and entry[0] == fingerprint:
+            return entry[1]
+        kernel = self.kernel(kernel_name)
+        translated = translate_kernel(
+            kernel, global_symbols=self._global_symbols
+        )
+        if self.config.if_conversion:
+            # Predication-style conditional data flow (§7): must
+            # happen before entry points are assigned so every
+            # specialization sees the same control structure.
+            if_convert(translated)
+        self._scalar_ir[kernel_name] = (fingerprint, translated)
+        return translated
 
     def get(self, kernel_name: str, warp_size: int) -> ExecutableFunction:
         """Executable specialization of ``kernel_name`` for
-        ``warp_size`` threads (translating lazily on first query)."""
+        ``warp_size`` threads. Lookup order: in-memory entry (validated
+        by digest), persistent tier, full translation."""
         if warp_size not in self.config.warp_sizes:
             raise TranslationCacheError(
                 f"no warp-size-{warp_size} specialization configured "
                 f"(have {self.config.warp_sizes})"
             )
         key = (kernel_name, warp_size)
-        cached = self._specializations.get(key)
-        if cached is not None:
-            self.statistics.hits += 1
-            return cached
+        digest = self.specialization_digest(kernel_name, warp_size)
+        entry = self._specializations.get(key)
+        if entry is not None:
+            if entry.digest == digest:
+                self.statistics.hits += 1
+                return entry.executable
+            # Safety net: a stale entry that escaped invalidation.
+            del self._specializations[key]
+            self.statistics.invalidations += 1
         self.statistics.misses += 1
-        start = time.perf_counter()
-        executable = self._translate(kernel_name, warp_size)
-        self.statistics.translation_seconds += time.perf_counter() - start
-        self.statistics.translations += 1
-        self._specializations[key] = executable
+        executable = self._load_from_store(key, digest)
+        if executable is None:
+            executable = self._compile(key, digest)
+        self._specializations[key] = _Specialization(digest, executable)
         return executable
 
     def specialization_for(self, available_threads: int) -> int:
@@ -129,11 +389,90 @@ class TranslationCache:
                 chosen = size
         return chosen
 
+    # -- warm-up -------------------------------------------------------------
+
+    def warm(
+        self,
+        kernel_name: Optional[str] = None,
+        warp_sizes: Optional[Iterable[int]] = None,
+    ) -> Dict[Tuple[str, int], float]:
+        """Compile-ahead: materialize specializations before the first
+        launch (and populate the persistent tier when attached).
+        Returns per-specialization compile seconds (0.0 for entries
+        served from memory or disk)."""
+        names = (
+            [kernel_name] if kernel_name is not None else sorted(self._kernels)
+        )
+        sizes = (
+            tuple(warp_sizes)
+            if warp_sizes is not None
+            else self.config.warp_sizes
+        )
+        compiled: Dict[Tuple[str, int], float] = {}
+        for name in names:
+            for size in sizes:
+                self.get(name, size)
+                compiled[(name, size)] = self.statistics.compile_seconds.get(
+                    (name, size), 0.0
+                )
+        return compiled
+
     # -- pipeline -----------------------------------------------------------
 
-    def _translate(
-        self, kernel_name: str, warp_size: int
+    def _load_from_store(
+        self, key: Tuple[str, int], digest: str
+    ) -> Optional[ExecutableFunction]:
+        if self.store is None:
+            return None
+        payload = self.store.load(digest, statistics=self.statistics)
+        if payload is None:
+            self.statistics.disk_misses += 1
+            return None
+        try:
+            executable = self.interpreter.load_function(payload["function"])
+            instruction_count = int(payload["instruction_count"])
+        except Exception:
+            # Structurally valid pickle, semantically unusable payload.
+            self.store.discard(digest)
+            self.statistics.disk_errors += 1
+            self.statistics.disk_misses += 1
+            return None
+        self.statistics.disk_hits += 1
+        self.statistics.instruction_counts[key] = instruction_count
+        self.statistics.compile_seconds.setdefault(key, 0.0)
+        return executable
+
+    def _compile(
+        self, key: Tuple[str, int], digest: str
     ) -> ExecutableFunction:
+        kernel_name, warp_size = key
+        start = time.perf_counter()
+        function = self._build_specialization(kernel_name, warp_size)
+        elapsed = time.perf_counter() - start
+        self.statistics.translations += 1
+        self.statistics.translation_seconds += elapsed
+        self.statistics.compile_seconds[key] = elapsed
+        instruction_count = function.instruction_count()
+        self.statistics.instruction_counts[key] = instruction_count
+        if self.store is not None:
+            self.store.store(
+                digest,
+                {
+                    "kernel": kernel_name,
+                    "warp_size": warp_size,
+                    "function": function,
+                    "instruction_count": instruction_count,
+                    "compile_seconds": elapsed,
+                },
+                statistics=self.statistics,
+            )
+        return self.interpreter.load_function(function)
+
+    def _build_specialization(
+        self, kernel_name: str, warp_size: int
+    ) -> IRFunction:
+        """The translation pipeline proper: scalar IR -> vectorized,
+        cleaned IR for one warp size (not yet lowered)."""
         scalar = self.scalar_ir(kernel_name)
         options = VectorizeOptions(
             warp_size=warp_size,
@@ -148,10 +487,7 @@ class TranslationCache:
         if self.config.optimize:
             pipeline = standard_cleanup_pipeline(verify=True)
             function = pipeline.run(function)
-        self.statistics.instruction_counts[(kernel_name, warp_size)] = (
-            function.instruction_count()
-        )
-        return self.interpreter.load_function(function)
+        return function
 
     # -- introspection -------------------------------------------------------
 

@@ -127,9 +127,13 @@ class TestTranslationCache:
 
     def test_lazy_translation(self):
         device = self._device()
-        assert device.cache.statistics.translations == 0
+        stats = device.cache.statistics
+        assert stats.translations == 0
+        assert stats.disk_hits == 0
         device.cache.get("vecAdd", 4)
-        assert device.cache.statistics.translations == 1
+        # Exactly one materialization — compiled fresh, or loaded from
+        # the persistent tier when REPRO_CACHE=1 primed it.
+        assert stats.translations + stats.disk_hits == 1
 
     def test_cache_hits(self):
         device = self._device()
