@@ -73,7 +73,11 @@ class Device:
         self.machine = machine or sandybridge()
         self.config = config or ExecutionConfig()
         self.memory = MemorySystem(size=memory_size)
-        self.interpreter = Interpreter(self.machine, self.memory)
+        self.interpreter = Interpreter(
+            self.machine,
+            self.memory,
+            mode=self.config.interpreter_mode,
+        )
         self.cache = TranslationCache(
             self.machine, self.interpreter, self.config, store=cache_store
         )

@@ -4,6 +4,7 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -55,14 +56,60 @@ def main(argv=None) -> int:
         default=None,
         help="regenerate a single experiment",
     )
+    parser.add_argument(
+        "--perf-baseline",
+        metavar="JSON",
+        default=None,
+        help="compare Table-1 host wall-clock against a committed "
+        "baseline JSON; exit non-zero on a >2x regression",
+    )
+    parser.add_argument(
+        "--write-perf-baseline",
+        metavar="JSON",
+        default=None,
+        help="write the measured Table-1 host wall-clock to a "
+        "baseline JSON (for --perf-baseline)",
+    )
     arguments = parser.parse_args(argv)
 
     start = time.time()
     sections = []
+    failures = []
     wants = lambda name: arguments.only in (None, name)  # noqa: E731
 
     if wants("table1"):
-        sections.append(format_table1(run_table1(scale=arguments.scale)))
+        table1 = run_table1(scale=arguments.scale)
+        sections.append(format_table1(table1))
+        if arguments.write_perf_baseline:
+            with open(arguments.write_perf_baseline, "w") as handle:
+                json.dump(
+                    {
+                        "experiment": "table1",
+                        "scale": arguments.scale,
+                        "host_seconds": round(
+                            table1.total_host_seconds, 3
+                        ),
+                    },
+                    handle,
+                    indent=2,
+                )
+                handle.write("\n")
+        if arguments.perf_baseline:
+            with open(arguments.perf_baseline) as handle:
+                baseline = json.load(handle)
+            allowed = 2.0 * float(baseline["host_seconds"])
+            measured = table1.total_host_seconds
+            verdict = "ok" if measured <= allowed else "REGRESSION"
+            sections.append(
+                f"perf smoke: table1 host {measured:.2f}s vs baseline "
+                f"{baseline['host_seconds']:.2f}s "
+                f"(bound {allowed:.2f}s) -> {verdict}"
+            )
+            if measured > allowed:
+                failures.append(
+                    f"table1 host wall-clock {measured:.2f}s exceeds "
+                    f"2x baseline ({allowed:.2f}s)"
+                )
     runner = None
     if any(
         wants(name)
@@ -91,6 +138,10 @@ def main(argv=None) -> int:
 
     print(join_sections(sections))
     print(f"\n[completed in {time.time() - start:.1f}s]")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -35,12 +35,19 @@ class Table1Result:
     paper_gflops: Dict[int, float] = field(
         default_factory=lambda: dict(paper.TABLE1_GFLOPS)
     )
+    #: Host wall-clock seconds per configuration (the real cost of the
+    #: run, next to the modeled GFLOP/s).
+    host_seconds: Dict[int, float] = field(default_factory=dict)
 
     @property
     def fraction_of_peak(self) -> Dict[int, float]:
         return {
             ws: value / self.peak for ws, value in self.gflops.items()
         }
+
+    @property
+    def total_host_seconds(self) -> float:
+        return sum(self.host_seconds.values())
 
 
 def run_table1(
@@ -52,12 +59,18 @@ def run_table1(
     machine = machine or sandybridge()
     workload = get_workload("throughput")
     gflops: Dict[int, float] = {}
+    host_seconds: Dict[int, float] = {}
     for max_ws in warp_sizes:
         sizes = tuple(s for s in (1, 2, 4, 8, 16) if s <= max_ws)
         config = ExecutionConfig(warp_sizes=sizes)
         run = workload.run_on(config, scale=scale, machine=machine)
         gflops[max_ws] = run.statistics.gflops(machine.clock_hz)
-    return Table1Result(gflops=gflops, peak=machine.peak_vector_gflops)
+        host_seconds[max_ws] = run.host_seconds
+    return Table1Result(
+        gflops=gflops,
+        peak=machine.peak_vector_gflops,
+        host_seconds=host_seconds,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -106,6 +106,16 @@ class SuiteRunner:
             for workload in application_workloads()
         }
 
+    def host_seconds(
+        self, config: str = VECTORIZED
+    ) -> Dict[str, float]:
+        """Per-application host wall-clock seconds under ``config``
+        (the real cost of each run, next to the modeled cycles)."""
+        return {
+            workload.name: self.run(workload, config).host_seconds
+            for workload in application_workloads()
+        }
+
     def cycle_fractions(
         self, config: str = VECTORIZED
     ) -> Dict[str, Dict[str, float]]:

@@ -36,9 +36,18 @@ def format_table1(result: Table1Result) -> str:
             f"{result.paper_gflops.get(ws, float('nan')):>10.1f}"
             for ws in sorted(result.gflops)
         ),
-        f"machine peak: {result.peak:.1f} GFLOP/s "
-        f"(paper estimate: {paper.TABLE1_PEAK:.1f})",
     ]
+    if result.host_seconds:
+        lines.append(
+            f"{'host secs':<12}" + "".join(
+                f"{result.host_seconds.get(ws, 0.0):>10.2f}"
+                for ws in sorted(result.gflops)
+            )
+        )
+    lines.append(
+        f"machine peak: {result.peak:.1f} GFLOP/s "
+        f"(paper estimate: {paper.TABLE1_PEAK:.1f})"
+    )
     return "\n".join(lines)
 
 

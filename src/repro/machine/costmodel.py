@@ -102,6 +102,54 @@ class FunctionCostTable:
         return self.costs[id(instruction)]
 
 
+@dataclass(frozen=True)
+class BlockCost:
+    """Aggregated static cost of one basic block (body + terminator).
+
+    The closure-specialized lowering folds per-instruction charges into
+    these per-block sums so the interpreter performs a single statistics
+    update per block executed instead of one per instruction. Kernel and
+    yield cycles are kept apart (the ``overhead`` flag placed by the
+    vectorizer decides which bucket an instruction charges — Fig. 9's
+    categories); ``flops`` covers body instructions only, matching the
+    per-instruction accounting it replaces.
+    """
+
+    kernel_cycles: int
+    yield_cycles: int
+    flops: int
+    #: dynamic instruction count charged per execution of the block
+    #: (body instructions plus the terminator)
+    instructions: int
+
+
+def aggregate_block_cost(block, table: FunctionCostTable) -> BlockCost:
+    """Fold ``table``'s per-instruction charges over ``block``."""
+    kernel_cycles = 0
+    yield_cycles = 0
+    flops = 0
+    for instruction in block.instructions:
+        cost = table.cost_of(instruction)
+        if getattr(instruction, "overhead", False):
+            yield_cycles += cost.cycles
+        else:
+            kernel_cycles += cost.cycles
+        flops += cost.flops
+    terminator = block.terminator
+    if terminator is not None:
+        cost = table.cost_of(terminator)
+        if getattr(terminator, "overhead", False):
+            yield_cycles += cost.cycles
+        else:
+            kernel_cycles += cost.cycles
+    return BlockCost(
+        kernel_cycles=kernel_cycles,
+        yield_cycles=yield_cycles,
+        flops=flops,
+        instructions=len(block.instructions) + 1,
+    )
+
+
 def _width_of(instruction) -> int:
     target = instruction.defined()
     candidates = []

@@ -1,11 +1,23 @@
 """Executable lowering and interpretation of IR functions.
 
-``load_function`` is this simulator's stand-in for JIT code generation:
-it binds every instruction to a handler, pre-converts constants to
-machine values, and attaches the static cost table. ``execute`` then
-runs a warp of thread contexts through the lowered function, starting
-at the scheduler block, until the function yields back to the execution
-manager with a resume status (§3's subkernel execution).
+``load_function`` is this simulator's stand-in for JIT code generation.
+It is a *specializing lowering pass*: every IR instruction is compiled
+once, at load time, into a pre-bound Python closure — the handler is
+resolved per instruction type, operand registers are renumbered to
+integer slots of a flat per-warp register file, constants are
+pre-converted to machine values, and the address-space dispatch of
+memory operations is resolved statically. Per-instruction cycle/flop
+charges are folded into per-block sums (:func:`~repro.machine.
+costmodel.aggregate_block_cost`), so the interpreter inner loop is
+``for op in body: op(state)`` plus one statistics update per block.
+
+``execute`` then runs a warp of thread contexts through the lowered
+function, starting at the scheduler block, until the function yields
+back to the execution manager with a resume status (§3's subkernel
+execution). The pre-lowering dynamic-dispatch interpreter is retained
+as the ``"dispatch"`` mode: it is the executable reference the
+closure path is A/B-tested against (modeled statistics must be
+bit-identical between the two).
 """
 
 from __future__ import annotations
@@ -46,7 +58,11 @@ from ..ir.instructions import (
 )
 from ..ir.values import Constant, VirtualRegister
 from ..ptx.types import AddressSpace, DataType
-from .costmodel import FunctionCostTable, build_cost_table
+from .costmodel import (
+    FunctionCostTable,
+    aggregate_block_cost,
+    build_cost_table,
+)
 from .descriptor import MachineDescription
 from .memory import MemorySystem
 
@@ -71,14 +87,40 @@ class ExecutionStats:
         self.instructions += other.instructions
         self.flops += other.flops
 
+    def reset(self) -> None:
+        """Zero all counters (pooled warp states reuse one instance)."""
+        self.kernel_cycles = 0
+        self.yield_cycles = 0
+        self.instructions = 0
+        self.flops = 0
+
 
 @dataclass
 class ExecutableFunction:
-    """A lowered function: blocks of (instruction, cost, overhead)."""
+    """A lowered function.
+
+    ``blocks`` holds the dynamic-dispatch form consumed by the legacy
+    reference interpreter: per block, a tuple of (instruction, cycles,
+    flops, overhead) records plus the terminator and its cost.
+
+    ``compiled_blocks`` holds the closure-specialized form: per block,
+    ``(ops, kernel_cycles, yield_cycles, flops, instructions,
+    terminator, precise)`` where ``ops`` is a tuple of pre-bound
+    closures taking the warp state, the middle fields are the block's
+    aggregated static cost, ``terminator`` is a closure returning
+    either the next block label (str) or a resume status (int), and
+    ``precise`` marks blocks whose ops carry their own per-instruction
+    accounting (``%clock`` readers).
+    """
 
     function: IRFunction
     cost_table: FunctionCostTable
     blocks: Dict[str, tuple] = field(default_factory=dict)
+    compiled_blocks: Dict[str, tuple] = field(default_factory=dict)
+    #: register name -> slot in the flat per-warp register file
+    register_slots: Dict[str, int] = field(default_factory=dict)
+    register_count: int = 0
+    entry_label: str = ""
 
     @property
     def name(self) -> str:
@@ -89,25 +131,56 @@ class ExecutableFunction:
         return self.function.warp_size
 
 
+#: Lowering/execution strategies of :class:`Interpreter`.
+INTERPRETER_MODES = ("closure", "dispatch")
+
+
 class Interpreter:
-    """Executes lowered IR functions against a memory system."""
+    """Executes lowered IR functions against a memory system.
+
+    ``mode`` selects the execution strategy: ``"closure"`` (default)
+    runs the closure-specialized fast path produced at load time;
+    ``"dispatch"`` runs the legacy per-instruction dynamic-dispatch
+    reference path. Both are lowered by :meth:`load_function` and
+    produce bit-identical modeled statistics and memory effects.
+    """
 
     def __init__(
         self,
         machine: MachineDescription,
         memory: MemorySystem,
         instruction_limit: int = _DEFAULT_INSTRUCTION_LIMIT,
+        mode: str = "closure",
     ):
+        if mode not in INTERPRETER_MODES:
+            raise ValueError(
+                f"unknown interpreter mode {mode!r}; "
+                f"expected one of {INTERPRETER_MODES}"
+            )
         self.machine = machine
         self.memory = memory
         self.instruction_limit = instruction_limit
+        self.mode = mode
 
     # -- lowering ("code generation") ------------------------------------
 
     def load_function(self, function: IRFunction) -> ExecutableFunction:
+        """Lower ``function`` for execution.
+
+        Builds both executable forms (see :class:`ExecutableFunction`):
+        the closure-specialized fast path and the dynamic-dispatch
+        reference path, sharing one static cost table. Lowering happens
+        once per specialization — the translation cache keeps the
+        returned executable, so launches never re-lower.
+        """
         cost_table = build_cost_table(function, self.machine)
+        slots = function.register_slots(refresh=True)
         executable = ExecutableFunction(
-            function=function, cost_table=cost_table
+            function=function,
+            cost_table=cost_table,
+            register_slots=slots,
+            register_count=len(slots),
+            entry_label=function.entry_label,
         )
         for block in function.ordered_blocks():
             body = []
@@ -129,9 +202,18 @@ class Interpreter:
                 terminator_cost.cycles,
                 bool(getattr(terminator, "overhead", False)),
             )
+            executable.compiled_blocks[block.label] = _compile_block(
+                block, cost_table, slots, self.memory
+            )
         return executable
 
     # -- execution ---------------------------------------------------------
+
+    def new_state(self) -> "_WarpState":
+        """A reusable warp-execution state (pool one per execution
+        manager and pass it to :meth:`execute` to avoid per-warp
+        allocation of the register file and statistics)."""
+        return _WarpState(self)
 
     def execute(
         self,
@@ -139,40 +221,86 @@ class Interpreter:
         warp,
         param_base: int,
         stats: Optional[ExecutionStats] = None,
+        state: Optional["_WarpState"] = None,
     ) -> int:
         """Run ``warp`` through ``executable`` from its scheduler block.
 
         Returns the resume status; each context's ``resume_point`` has
         been updated by the exit handlers before a branch/barrier yield.
+        ``state`` may be a pooled :meth:`new_state` instance to reuse
+        across executions; per-warp results are then available on
+        ``state.stats`` (also merged into ``stats`` when given).
         """
-        state = _WarpState(
-            interpreter=self,
-            executable=executable,
-            warp=warp,
-            param_base=param_base,
-        )
-        status = state.run()
+        if state is None:
+            state = _WarpState(self)
+        state.reset(executable, warp, param_base)
+        if self.mode == "closure":
+            status = state.run_compiled()
+        else:
+            status = state.run()
         if stats is not None:
             stats.merge(state.stats)
         return status
 
 
 class _WarpState:
-    """Mutable state of one warp execution."""
+    """Mutable state of one warp execution.
 
-    def __init__(self, interpreter, executable, warp, param_base):
+    Instances are reusable: :meth:`reset` rebinds them to a new
+    (executable, warp) pair, so execution managers pool one state
+    object instead of reallocating registers and statistics per warp.
+    The closure fast path reads/writes ``regs`` (a flat list indexed by
+    the executable's register slots); the dispatch reference path uses
+    the name-keyed ``registers`` dict.
+    """
+
+    __slots__ = (
+        "machine",
+        "memory",
+        "limit",
+        "executable",
+        "function",
+        "warp",
+        "contexts",
+        "param_base",
+        "warp_size",
+        "registers",
+        "regs",
+        "stats",
+        "_constants",
+    )
+
+    def __init__(
+        self, interpreter, executable=None, warp=None, param_base=0
+    ):
         self.machine = interpreter.machine
         self.memory = interpreter.memory
         self.limit = interpreter.instruction_limit
+        self.stats = ExecutionStats()
+        self.registers: Dict[str, object] = {}
+        self.regs: List[object] = []
+        self._constants: Dict[int, object] = {}
+        self.executable = None
+        self.function = None
+        self.warp = None
+        self.contexts = ()
+        self.param_base = 0
+        self.warp_size = 0
+        if executable is not None:
+            self.reset(executable, warp, param_base)
+
+    def reset(self, executable, warp, param_base) -> None:
+        """Rebind this state to a fresh warp execution."""
         self.executable = executable
         self.function = executable.function
         self.warp = warp
         self.contexts = warp.contexts
         self.param_base = param_base
         self.warp_size = executable.warp_size
-        self.registers: Dict[str, object] = {}
-        self.stats = ExecutionStats()
-        self._constants: Dict[int, object] = {}
+        self.stats.reset()
+        self.registers = {}
+        self._constants = {}
+        self.regs = [None] * executable.register_count
         if len(self.contexts) != self.warp_size:
             raise ExecutionError(
                 f"{executable.name}: warp of {len(self.contexts)} threads "
@@ -266,6 +394,53 @@ class _WarpState:
                 stats.instructions = executed
                 return next_label
             label = next_label
+
+    def run_compiled(self) -> int:
+        """The closure fast path: one pre-bound closure per instruction
+        and one statistics update per block executed. Cycle/flop sums
+        accumulate in locals and flush to ``stats`` lazily — before any
+        precise block (whose ops observe the counters mid-block via
+        ``%clock``) and at exit."""
+        blocks = self.executable.compiled_blocks
+        label = self.executable.entry_label
+        executed = 0
+        stats = self.stats
+        limit = self.limit
+        kernel_cycles = yield_cycles = flops = 0
+        while True:
+            (
+                ops,
+                block_kernel_cycles,
+                block_yield_cycles,
+                block_flops,
+                count,
+                terminator,
+                precise,
+            ) = blocks[label]
+            if precise:
+                stats.kernel_cycles += kernel_cycles
+                stats.yield_cycles += yield_cycles
+                stats.flops += flops
+                kernel_cycles = yield_cycles = flops = 0
+            for op in ops:
+                op(self)
+            kernel_cycles += block_kernel_cycles
+            yield_cycles += block_yield_cycles
+            flops += block_flops
+            executed += count
+            if executed > limit:
+                raise ExecutionError(
+                    f"{self.executable.name}: instruction limit exceeded "
+                    f"({limit}); possible infinite loop"
+                )
+            result = terminator(self)
+            if type(result) is int:
+                stats.kernel_cycles += kernel_cycles
+                stats.yield_cycles += yield_cycles
+                stats.flops += flops
+                stats.instructions = executed
+                return result
+            label = result
 
     # -- instruction implementations ---------------------------------------
 
@@ -721,3 +896,1000 @@ _TERMINATORS = {
     Exit: _WarpState._exit,
     BarrierTerm: _WarpState._barrier_term,
 }
+
+
+# ---------------------------------------------------------------------------
+# Closure-specialized lowering (the fast path built by load_function)
+# ---------------------------------------------------------------------------
+#
+# Everything static about an instruction is resolved here, once, at
+# load time: the handler (one compile function per instruction type),
+# operand register slots, machine-value constants, dtype objects, and
+# the address-space dispatch of memory operations. What remains per
+# execution is only what genuinely varies per warp: the register file,
+# the thread contexts, and the parameter segment base.
+
+
+def _machine_constant(value: Constant):
+    """Pre-convert an IR constant to its machine (NumPy) value."""
+    return value.dtype.numpy_dtype.type(value.value)
+
+
+def _typed_constant(value: Constant, dtype: DataType):
+    """A constant as seen through ``fetch_typed``'s bit
+    reinterpretation, computed once at lowering time."""
+    fetched = _machine_constant(value)
+    wanted = dtype.numpy_dtype
+    current = fetched.dtype
+    if current == wanted:
+        return fetched
+    if dtype.is_predicate or current == np.bool_:
+        return fetched
+    if current.itemsize == wanted.itemsize:
+        return fetched.view(wanted)
+    return fetched.astype(wanted)
+
+
+def _raw_reader(value, slots):
+    """Compile an untyped operand accessor: ``read(regs) -> value``."""
+    if isinstance(value, Constant):
+        constant = _machine_constant(value)
+
+        def read(regs, constant=constant):
+            return constant
+
+        return read
+    slot = slots[value.name]
+    if value.width > 1:
+        width = value.width
+        numpy_dtype = value.dtype.numpy_dtype
+
+        def read(regs):
+            current = regs[slot]
+            if current is None:
+                current = regs[slot] = np.zeros(width, dtype=numpy_dtype)
+            return current
+
+    else:
+        zero = value.dtype.numpy_dtype.type(0)
+
+        def read(regs):
+            current = regs[slot]
+            if current is None:
+                current = regs[slot] = zero
+            return current
+
+    return read
+
+
+def _typed_reader(value, slots, dtype: DataType):
+    """Compile a typed operand accessor replicating ``fetch_typed``:
+    registers are untyped bit containers, the instruction's dtype
+    imposes the interpretation. Single-layer closures: the register
+    lookup, lazy default, and bit reinterpretation are one call."""
+    if isinstance(value, Constant):
+        constant = _typed_constant(value, dtype)
+
+        def read(regs, constant=constant):
+            return constant
+
+        return read
+    slot = slots[value.name]
+    wanted = dtype.numpy_dtype
+    predicate = dtype.is_predicate
+    if value.width > 1:
+        width = value.width
+        stored_dtype = value.dtype.numpy_dtype
+
+        def default(regs):
+            fetched = regs[slot] = np.zeros(width, dtype=stored_dtype)
+            return fetched
+
+    else:
+        zero = value.dtype.numpy_dtype.type(0)
+
+        def default(regs):
+            regs[slot] = zero
+            return zero
+
+    def read(regs):
+        fetched = regs[slot]
+        if fetched is None:
+            fetched = default(regs)
+        current = getattr(fetched, "dtype", None)
+        if current is wanted or current is None or current == wanted:
+            return fetched
+        if predicate or current == np.bool_:
+            return fetched
+        if current.itemsize == wanted.itemsize:
+            return fetched.view(wanted)
+        return fetched.astype(wanted)
+
+    return read
+
+
+def _address_reader(inst, slots):
+    """Compile the address computation of a memory instruction with the
+    address-space dispatch resolved statically (and the whole address
+    folded to a constant when the base is one)."""
+    space = inst.space
+    offset = inst.offset
+    lane = inst.lane
+    base = inst.base
+    if isinstance(base, Constant):
+        static = int(_machine_constant(base)) + offset
+        if space is AddressSpace.global_:
+            return lambda state: static
+        if space is AddressSpace.param:
+            return lambda state: state.param_base + static
+        if space is AddressSpace.shared:
+            return lambda state: (
+                state.contexts[lane].shared_base + static
+            )
+        if space is AddressSpace.local:
+            return lambda state: (
+                state.contexts[lane].local_base + static
+            )
+        raise ExecutionError(f"unresolvable address space {space}")
+    read = _raw_reader(base, slots)
+    if space is AddressSpace.global_:
+        return lambda state: int(read(state.regs)) + offset
+    if space is AddressSpace.param:
+        return lambda state: (
+            state.param_base + int(read(state.regs)) + offset
+        )
+    if space is AddressSpace.shared:
+        return lambda state: (
+            state.contexts[lane].shared_base
+            + int(read(state.regs))
+            + offset
+        )
+    if space is AddressSpace.local:
+        return lambda state: (
+            state.contexts[lane].local_base
+            + int(read(state.regs))
+            + offset
+        )
+    raise ExecutionError(f"unresolvable address space {space}")
+
+
+# -- per-type instruction compilers ---------------------------------------
+
+
+def _fused_op(dst, operands, slots, dtype, expr, fallback, extra=None):
+    """Generate a fused fast-path closure for an ALU instruction.
+
+    ``operands`` is a list of ``(varname, value)`` pairs; constants are
+    pre-converted and bound into the generated code's namespace,
+    register operands become inline ``regs[slot]`` reads guarded by a
+    dtype-identity check. On any guard failure (lazy default still
+    ``None``, a reinterpreting read, a Python ``bool`` predicate) the
+    generated code defers to ``fallback``, which routes through the
+    full ``fetch_typed`` readers. Returns ``None`` when no register
+    operand exists to guard (all-constant operands).
+    """
+    namespace = {"wanted": dtype.numpy_dtype, "fallback": fallback}
+    if extra:
+        namespace.update(extra)
+    assigns = []
+    guards = []
+    for varname, value in operands:
+        if isinstance(value, Constant):
+            namespace[f"const_{varname}"] = _typed_constant(
+                value, dtype
+            )
+            assigns.append(f"{varname} = const_{varname}")
+        else:
+            assigns.append(f"{varname} = regs[{slots[value.name]}]")
+            guards.append(f"{varname}.dtype is wanted")
+    if not guards:
+        return None
+    body = "\n        ".join(assigns)
+    guard = " and ".join(guards)
+    source = (
+        "def op(state):\n"
+        "    regs = state.regs\n"
+        "    try:\n"
+        f"        {body}\n"
+        f"        if {guard}:\n"
+        f"            regs[{dst}] = {expr}\n"
+        "            return\n"
+        "    except AttributeError:\n"
+        "        pass\n"
+        "    fallback(state)\n"
+    )
+    exec(compile(source, "<fused-lowering>", "exec"), namespace)
+    return namespace["op"]
+
+
+def _compile_binary(inst: BinaryOp, slots, memory):
+    impl = _BINARY_IMPL[inst.op]
+    dtype = inst.dtype
+    read_a = _typed_reader(inst.a, slots, dtype)
+    read_b = _typed_reader(inst.b, slots, dtype)
+    dst = slots[inst.dst.name]
+
+    def fallback(state):
+        regs = state.regs
+        regs[dst] = impl(read_a(regs), read_b(regs), dtype)
+
+    fused = _fused_op(
+        dst,
+        [("a", inst.a), ("b", inst.b)],
+        slots,
+        dtype,
+        "impl(a, b, dtype)",
+        fallback,
+        extra={"impl": impl, "dtype": dtype},
+    )
+    return fused if fused is not None else fallback
+
+
+def _compile_unary(inst: UnaryOp, slots, memory):
+    dtype = inst.dtype
+    read_a = _typed_reader(inst.a, slots, dtype)
+    dst = slots[inst.dst.name]
+    operation = inst.op
+    if operation == "mov":
+        if inst.dst.width > 1:
+            width = inst.dst.width
+            numpy_dtype = dtype.numpy_dtype
+
+            def op(state):
+                regs = state.regs
+                value = read_a(regs)
+                if not (
+                    isinstance(value, np.ndarray) and value.ndim == 1
+                ):
+                    value = np.full(width, value, dtype=numpy_dtype)
+                regs[dst] = value
+
+        else:
+
+            def op(state):
+                regs = state.regs
+                regs[dst] = read_a(regs)
+
+    elif operation == "neg":
+
+        def op(state):
+            regs = state.regs
+            regs[dst] = np.negative(read_a(regs))
+
+    elif operation == "abs":
+
+        def op(state):
+            regs = state.regs
+            regs[dst] = np.abs(read_a(regs))
+
+    elif operation == "not":
+        invert = np.logical_not if dtype.is_predicate else np.invert
+
+        def op(state):
+            regs = state.regs
+            regs[dst] = invert(read_a(regs))
+
+    elif operation == "cnot":
+        one = dtype.numpy_dtype.type(1)
+        zero = dtype.numpy_dtype.type(0)
+
+        def op(state):
+            regs = state.regs
+            regs[dst] = np.where(read_a(regs) == 0, one, zero)
+
+    else:
+        raise ExecutionError(f"unknown unary op {operation}")
+    return op
+
+
+def _compile_fma(inst: FusedMultiplyAdd, slots, memory):
+    dtype = inst.dtype
+    read_a = _typed_reader(inst.a, slots, dtype)
+    read_b = _typed_reader(inst.b, slots, dtype)
+    read_c = _typed_reader(inst.c, slots, dtype)
+    dst = slots[inst.dst.name]
+
+    def fallback(state):
+        regs = state.regs
+        regs[dst] = read_a(regs) * read_b(regs) + read_c(regs)
+
+    fused = _fused_op(
+        dst,
+        [("a", inst.a), ("b", inst.b), ("c", inst.c)],
+        slots,
+        dtype,
+        "a * b + c",
+        fallback,
+    )
+    return fused if fused is not None else fallback
+
+
+def _compile_compare(inst: Compare, slots, memory):
+    impl = _COMPARE_IMPL[inst.op]
+    read_a = _typed_reader(inst.a, slots, inst.dtype)
+    read_b = _typed_reader(inst.b, slots, inst.dtype)
+    dst = slots[inst.dst.name]
+
+    def fallback(state):
+        regs = state.regs
+        regs[dst] = impl(read_a(regs), read_b(regs))
+
+    fused = _fused_op(
+        dst,
+        [("a", inst.a), ("b", inst.b)],
+        slots,
+        inst.dtype,
+        "impl(a, b)",
+        fallback,
+        extra={"impl": impl},
+    )
+    return fused if fused is not None else fallback
+
+
+def _compile_select(inst: Select, slots, memory):
+    read_predicate = _raw_reader(inst.predicate, slots)
+    read_a = _raw_reader(inst.a, slots)
+    read_b = _raw_reader(inst.b, slots)
+    dst = slots[inst.dst.name]
+    numpy_dtype = inst.dtype.numpy_dtype
+    if inst.dst.width > 1:
+
+        def op(state):
+            regs = state.regs
+            regs[dst] = np.where(
+                read_predicate(regs), read_a(regs), read_b(regs)
+            ).astype(numpy_dtype)
+
+    else:
+        scalar = numpy_dtype.type
+
+        def op(state):
+            regs = state.regs
+            regs[dst] = scalar(
+                read_a(regs)
+                if bool(read_predicate(regs))
+                else read_b(regs)
+            )
+
+    return op
+
+
+def _compile_convert(inst: Convert, slots, memory):
+    read = _typed_reader(inst.src, slots, inst.src_type)
+    numpy_dtype = inst.dst_type.numpy_dtype
+    dst = slots[inst.dst.name]
+    if inst.dst_type.is_float or not inst.src_type.is_float:
+
+        def op(state):
+            regs = state.regs
+            result = np.asarray(read(regs)).astype(numpy_dtype)
+            regs[dst] = result[()] if result.ndim == 0 else result
+
+    else:
+        rounding = inst.rounding or "rzi"
+        round_fn = {
+            "rni": np.rint,
+            "rmi": np.floor,
+            "rpi": np.ceil,
+        }.get(rounding, np.trunc)
+
+        def op(state):
+            regs = state.regs
+            result = np.asarray(round_fn(read(regs))).astype(numpy_dtype)
+            regs[dst] = result[()] if result.ndim == 0 else result
+
+    return op
+
+
+def _rsqrt(argument):
+    return 1.0 / np.sqrt(argument)
+
+
+def _rcp(argument):
+    return 1.0 / np.asarray(argument)
+
+
+_INTRINSIC_IMPL = {
+    "sqrt": np.sqrt,
+    "rsqrt": _rsqrt,
+    "rcp": _rcp,
+    "sin": np.sin,
+    "cos": np.cos,
+    "ex2": np.exp2,
+    "lg2": np.log2,
+}
+
+
+def _compile_intrinsic(inst: Intrinsic, slots, memory):
+    impl = _INTRINSIC_IMPL.get(inst.name)
+    if impl is None:
+        raise ExecutionError(f"unknown intrinsic {inst.name}")
+    read = _raw_reader(inst.args[0], slots)
+    numpy_dtype = inst.dtype.numpy_dtype
+    dst = slots[inst.dst.name]
+
+    def op(state):
+        regs = state.regs
+        result = np.asarray(impl(read(regs))).astype(numpy_dtype)
+        regs[dst] = result[()] if result.ndim == 0 else result
+
+    return op
+
+
+def _compile_load(inst: Load, slots, memory):
+    address = _address_reader(inst, slots)
+    load = memory.load
+    dtype = inst.dtype
+    dst = slots[inst.dst.name]
+
+    def op(state):
+        state.regs[dst] = load(dtype, address(state))
+
+    return op
+
+
+def _compile_store(inst: Store, slots, memory):
+    address = _address_reader(inst, slots)
+    read_value = _raw_reader(inst.value, slots)
+    store = memory.store
+    dtype = inst.dtype
+
+    def op(state):
+        store(dtype, address(state), read_value(state.regs))
+
+    return op
+
+
+def _compile_vector_load(inst: VectorLoad, slots, memory):
+    address = _address_reader(inst, slots)
+    read_array = memory.read_array
+    numpy_dtype = inst.dtype.numpy_dtype
+    width = inst.dst.width
+    dst = slots[inst.dst.name]
+
+    def op(state):
+        state.regs[dst] = read_array(address(state), numpy_dtype, width)
+
+    return op
+
+
+def _compile_vector_store(inst: VectorStore, slots, memory):
+    address = _address_reader(inst, slots)
+    read_value = _raw_reader(inst.value, slots)
+    write_array = memory.write_array
+    numpy_dtype = inst.dtype.numpy_dtype
+
+    def op(state):
+        array = np.asarray(read_value(state.regs), dtype=numpy_dtype)
+        if array.ndim == 0:
+            array = np.full(state.warp_size, array, dtype=numpy_dtype)
+        write_array(address(state), array)
+
+    return op
+
+
+def _compile_atomic(inst: AtomicRMW, slots, memory):
+    address = _address_reader(inst, slots)
+    read_value = _raw_reader(inst.value, slots)
+    load = memory.load
+    store = memory.store
+    dtype = inst.dtype
+    dst = slots[inst.dst.name] if inst.dst is not None else None
+    operation = inst.op
+    if operation == "cas":
+        read_compare = _raw_reader(inst.compare, slots)
+
+        def compute(old, operand, regs):
+            return operand if old == read_compare(regs) else old
+
+    elif operation == "add":
+        def compute(old, operand, regs):
+            return old + operand
+    elif operation == "min":
+        def compute(old, operand, regs):
+            return min(old, operand)
+    elif operation == "max":
+        def compute(old, operand, regs):
+            return max(old, operand)
+    elif operation == "exch":
+        def compute(old, operand, regs):
+            return operand
+    elif operation == "and":
+        def compute(old, operand, regs):
+            return old & operand
+    elif operation == "or":
+        def compute(old, operand, regs):
+            return old | operand
+    elif operation == "xor":
+        def compute(old, operand, regs):
+            return old ^ operand
+    elif operation == "inc":
+        def compute(old, operand, regs):
+            return 0 if old >= operand else old + 1
+    elif operation == "dec":
+        def compute(old, operand, regs):
+            return operand if (old == 0 or old > operand) else old - 1
+    else:
+        raise ExecutionError(f"unknown atomic op {operation}")
+
+    def op(state):
+        regs = state.regs
+        location = address(state)
+        old = load(dtype, location)
+        store(dtype, location, compute(old, read_value(regs), regs))
+        if dst is not None:
+            regs[dst] = old
+
+    return op
+
+
+#: Context fields that read a plain (attribute, axis) coordinate.
+_CONTEXT_COORDINATES = {
+    "tid.x": ("tid", 0),
+    "tid.y": ("tid", 1),
+    "tid.z": ("tid", 2),
+    "ntid.x": ("ntid", 0),
+    "ntid.y": ("ntid", 1),
+    "ntid.z": ("ntid", 2),
+    "ctaid.x": ("ctaid", 0),
+    "ctaid.y": ("ctaid", 1),
+    "ctaid.z": ("ctaid", 2),
+    "nctaid.x": ("nctaid", 0),
+    "nctaid.y": ("nctaid", 1),
+    "nctaid.z": ("nctaid", 2),
+}
+
+
+def _compile_context_read(inst: ContextRead, slots, memory):
+    lane = inst.lane
+    convert = inst.dtype.numpy_dtype.type
+    dst = slots[inst.dst.name]
+    field_name = inst.field_name
+    if field_name == "laneid":
+        value = convert(lane)
+
+        def op(state):
+            state.regs[dst] = value
+
+    elif field_name == "warpid":
+
+        def op(state):
+            state.regs[dst] = convert(state.warp.warp_id)
+
+    elif field_name == "clock":
+
+        def op(state):
+            stats = state.stats
+            state.regs[dst] = convert(
+                stats.kernel_cycles + stats.yield_cycles
+            )
+
+    elif field_name == "resume_point":
+
+        def op(state):
+            state.regs[dst] = convert(
+                state.contexts[lane].resume_point
+            )
+
+    elif field_name in _CONTEXT_COORDINATES:
+        attribute, axis = _CONTEXT_COORDINATES[field_name]
+
+        def op(state):
+            state.regs[dst] = convert(
+                getattr(state.contexts[lane], attribute)[axis]
+            )
+
+    else:
+        raise ExecutionError(f"unknown context field {field_name}")
+    return op
+
+
+def _compile_context_write(inst: ContextWrite, slots, memory):
+    if inst.field_name != "resume_point":
+        raise ExecutionError(
+            f"unwritable context field {inst.field_name}"
+        )
+    lane = inst.lane
+    read = _raw_reader(inst.value, slots)
+
+    def op(state):
+        state.contexts[lane].resume_point = int(read(state.regs))
+
+    return op
+
+
+def _compile_insert(inst: InsertElement, slots, memory):
+    dst = slots[inst.dst.name]
+    numpy_dtype = inst.dst.dtype.numpy_dtype
+    width = inst.dst.width
+    index = inst.index
+    read_scalar = _raw_reader(inst.scalar, slots)
+    if inst.src is None:
+
+        def op(state):
+            regs = state.regs
+            vector = np.zeros(width, dtype=numpy_dtype)
+            vector[index] = read_scalar(regs)
+            regs[dst] = vector
+
+    else:
+        read_src = _raw_reader(inst.src, slots)
+
+        def op(state):
+            regs = state.regs
+            vector = np.array(read_src(regs), dtype=numpy_dtype)
+            if vector.ndim == 0:
+                vector = np.full(width, vector, dtype=numpy_dtype)
+            vector[index] = read_scalar(regs)
+            regs[dst] = vector
+
+    return op
+
+
+def _compile_extract(inst: ExtractElement, slots, memory):
+    read = _raw_reader(inst.src, slots)
+    index = inst.index
+    dst = slots[inst.dst.name]
+
+    def op(state):
+        regs = state.regs
+        vector = read(regs)
+        if isinstance(vector, np.ndarray) and vector.ndim == 1:
+            regs[dst] = vector[index]
+        else:
+            regs[dst] = vector
+
+    return op
+
+
+def _compile_broadcast(inst: Broadcast, slots, memory):
+    read = _raw_reader(inst.src, slots)
+    width = inst.dst.width
+    numpy_dtype = inst.dst.dtype.numpy_dtype
+    dst = slots[inst.dst.name]
+
+    def op(state):
+        regs = state.regs
+        regs[dst] = np.full(width, read(regs), dtype=numpy_dtype)
+
+    return op
+
+
+def _reduce_add(source):
+    if source.dtype == np.bool_:
+        return int(np.count_nonzero(source))
+    return int(source.sum())
+
+
+def _reduce_uni(source):
+    return bool((source == source.flat[0]).all())
+
+
+def _reduce_ballot(source):
+    bits = 0
+    for index, value in enumerate(np.atleast_1d(source)):
+        if value:
+            bits |= 1 << index
+    return bits
+
+
+_REDUCE_IMPL = {
+    "add": _reduce_add,
+    "any": lambda source: bool(source.any()),
+    "all": lambda source: bool(source.all()),
+    "uni": _reduce_uni,
+    "ballot": _reduce_ballot,
+}
+
+
+def _compile_reduce(inst: Reduce, slots, memory):
+    impl = _REDUCE_IMPL.get(inst.op)
+    if impl is None:
+        raise ExecutionError(f"unknown reduction {inst.op}")
+    read = _raw_reader(inst.src, slots)
+    convert = inst.dst.dtype.numpy_dtype.type
+    dst = slots[inst.dst.name]
+
+    def op(state):
+        regs = state.regs
+        regs[dst] = convert(impl(np.asarray(read(regs))))
+
+    return op
+
+
+# -- terminator compilers --------------------------------------------------
+
+
+def _compile_branch(inst: Branch, slots):
+    target = inst.target
+    return lambda state: target
+
+
+def _compile_cond_branch(inst: CondBranch, slots):
+    read = _raw_reader(inst.predicate, slots)
+    taken = inst.taken
+    fallthrough = inst.fallthrough
+    return lambda state: (
+        taken if bool(read(state.regs)) else fallthrough
+    )
+
+
+def _compile_switch(inst: Switch, slots):
+    read = _raw_reader(inst.value, slots)
+    cases = dict(inst.cases)
+    default = inst.default
+    return lambda state: cases.get(int(read(state.regs)), default)
+
+
+def _compile_yield(inst: Yield, slots):
+    status = inst.status
+    return lambda state: status
+
+
+def _compile_exit(inst: Exit, slots):
+    status = ResumeStatus.THREAD_EXIT
+    return lambda state: status
+
+
+def _compile_barrier_term(inst: BarrierTerm, slots):
+    def terminate(state):
+        raise ExecutionError(
+            "raw barrier terminator reached the machine; kernels must "
+            "be specialized through the vectorizer first"
+        )
+
+    return terminate
+
+
+_COMPILERS = {
+    BinaryOp: _compile_binary,
+    UnaryOp: _compile_unary,
+    FusedMultiplyAdd: _compile_fma,
+    Compare: _compile_compare,
+    Select: _compile_select,
+    Convert: _compile_convert,
+    Intrinsic: _compile_intrinsic,
+    Load: _compile_load,
+    Store: _compile_store,
+    VectorLoad: _compile_vector_load,
+    VectorStore: _compile_vector_store,
+    AtomicRMW: _compile_atomic,
+    ContextRead: _compile_context_read,
+    ContextWrite: _compile_context_write,
+    InsertElement: _compile_insert,
+    ExtractElement: _compile_extract,
+    Broadcast: _compile_broadcast,
+    Reduce: _compile_reduce,
+}
+
+_TERMINATOR_COMPILERS = {
+    Branch: _compile_branch,
+    CondBranch: _compile_cond_branch,
+    Switch: _compile_switch,
+    Yield: _compile_yield,
+    Exit: _compile_exit,
+    BarrierTerm: _compile_barrier_term,
+}
+
+
+def _wrap_precise(op, cycles: int, flops: int, overhead: bool):
+    """Per-instruction accounting wrapper for blocks that observe the
+    cycle counter mid-block (``%clock``): the aggregated per-block sums
+    would lag the reference interpreter's view, so such blocks charge
+    each instruction as it executes, exactly like the dispatch path."""
+    if overhead:
+
+        def wrapped(state):
+            op(state)
+            stats = state.stats
+            stats.yield_cycles += cycles
+            stats.flops += flops
+
+    else:
+
+        def wrapped(state):
+            op(state)
+            stats = state.stats
+            stats.kernel_cycles += cycles
+            stats.flops += flops
+
+    return wrapped
+
+
+# -- run fusion ------------------------------------------------------------
+#
+# Consecutive simple ALU instructions (FMA and the pure binary ops whose
+# implementation is a single expression) compile into ONE generated
+# closure per run: values flow through Python locals instead of the
+# register file, dtype guards are hoisted to the run entry (one per
+# upward-exposed register), and the register file is written once per
+# defined register at the end. Any guard failure falls back to the
+# per-instruction closures, which replicate ``fetch_typed`` exactly.
+
+_FUSABLE_BINARY_EXPR = {
+    "add": "{a} + {b}",
+    "sub": "{a} - {b}",
+    "mul": "{a} * {b}",
+    "min": "np.minimum({a}, {b})",
+    "max": "np.maximum({a}, {b})",
+}
+
+
+def _is_fusable(instruction) -> bool:
+    if isinstance(instruction, FusedMultiplyAdd):
+        return True
+    return (
+        isinstance(instruction, BinaryOp)
+        and instruction.op in _FUSABLE_BINARY_EXPR
+    )
+
+
+def _try_fuse_run(run, slots, fallback_ops):
+    """Compile a run of fusable instructions into one closure, or
+    return ``None`` when the run's dataflow cannot be proven
+    dtype-consistent statically (the per-op closures then stay)."""
+    namespace = {"np": np, "fallback_ops": fallback_ops}
+    preload: Dict[int, object] = {}  # slot -> guarded np.dtype
+    written: Dict[int, object] = {}  # slot -> producing np.dtype
+    lines = []
+    counter = 0
+
+    def operand(value, dtype):
+        nonlocal counter
+        if isinstance(value, Constant):
+            name = f"k{counter}"
+            counter += 1
+            namespace[name] = _typed_constant(value, dtype)
+            return name
+        slot = slots[value.name]
+        wanted = dtype.numpy_dtype
+        produced = written.get(slot)
+        if produced is not None:
+            # Defined earlier in the run: the local carries the
+            # producer's dtype; a reinterpreting consumer needs the
+            # full fetch_typed path, so refuse to fuse.
+            return None if produced != wanted else f"v{slot}"
+        guarded = preload.get(slot)
+        if guarded is None:
+            preload[slot] = wanted
+        elif guarded != wanted:
+            return None
+        return f"v{slot}"
+
+    for instruction in run:
+        if isinstance(instruction, FusedMultiplyAdd):
+            dtype = instruction.dtype
+            a = operand(instruction.a, dtype)
+            b = operand(instruction.b, dtype)
+            c = operand(instruction.c, dtype)
+            if a is None or b is None or c is None:
+                return None
+            expression = f"{a} * {b} + {c}"
+        else:
+            dtype = instruction.dtype
+            a = operand(instruction.a, dtype)
+            b = operand(instruction.b, dtype)
+            if a is None or b is None:
+                return None
+            expression = _FUSABLE_BINARY_EXPR[instruction.op].format(
+                a=a, b=b
+            )
+        dst = slots[instruction.dst.name]
+        lines.append(f"v{dst} = {expression}")
+        written[dst] = dtype.numpy_dtype
+
+    loads = []
+    guards = []
+    for slot, wanted in preload.items():
+        loads.append(f"v{slot} = regs[{slot}]")
+        guards.append(f"v{slot}.dtype is w{slot}")
+        namespace[f"w{slot}"] = wanted
+    flush = [f"regs[{slot}] = v{slot}" for slot in written]
+    indent = "\n            "
+    guard = " and ".join(guards) if guards else "True"
+    source = (
+        "def run_ops(state):\n"
+        "    regs = state.regs\n"
+        "    try:\n"
+        f"        {(chr(10) + '        ').join(loads)}\n"
+        f"        if {guard}:\n"
+        f"            {indent.join(lines)}\n"
+        f"            {indent.join(flush)}\n"
+        "            return\n"
+        "    except AttributeError:\n"
+        "        pass\n"
+        "    for op in fallback_ops:\n"
+        "        op(state)\n"
+    )
+    exec(compile(source, "<fused-run>", "exec"), namespace)
+    return namespace["run_ops"]
+
+
+def _fuse_block_ops(block, slots, ops):
+    """Replace runs of >=2 consecutive fusable instruction closures in
+    ``ops`` with single generated run closures. Statistics are per
+    block, so fusion never changes modeled accounting."""
+    fused = []
+    instructions = block.instructions
+    index = 0
+    total = len(instructions)
+    while index < total:
+        if not _is_fusable(instructions[index]):
+            fused.append(ops[index])
+            index += 1
+            continue
+        end = index + 1
+        while end < total and _is_fusable(instructions[end]):
+            end += 1
+        if end - index < 2:
+            fused.append(ops[index])
+        else:
+            run = instructions[index:end]
+            fallback_ops = tuple(ops[index:end])
+            run_op = _try_fuse_run(run, slots, fallback_ops)
+            if run_op is None:
+                fused.extend(fallback_ops)
+            else:
+                fused.append(run_op)
+        index = end
+    return fused
+
+
+def _compile_block(block, cost_table, slots, memory):
+    """Lower one basic block to its compiled tuple (see
+    :class:`ExecutableFunction.compiled_blocks`)."""
+    precise = any(
+        isinstance(instruction, ContextRead)
+        and instruction.field_name == "clock"
+        for instruction in block.instructions
+    )
+    ops = []
+    for instruction in block.instructions:
+        compile_fn = _COMPILERS.get(type(instruction))
+        if compile_fn is None:
+            raise ExecutionError(
+                f"no lowering for instruction {instruction!r}"
+            )
+        op = compile_fn(instruction, slots, memory)
+        if precise:
+            cost = cost_table.cost_of(instruction)
+            op = _wrap_precise(
+                op,
+                cost.cycles,
+                cost.flops,
+                bool(getattr(instruction, "overhead", False)),
+            )
+        ops.append(op)
+    if not precise:
+        # Precise blocks need per-op accounting; every other block may
+        # fuse runs of simple ALU ops into single generated closures.
+        ops = _fuse_block_ops(block, slots, ops)
+    terminator = block.terminator
+    compile_terminator = _TERMINATOR_COMPILERS.get(type(terminator))
+    if compile_terminator is None:
+        raise ExecutionError(
+            f"no lowering for terminator {terminator!r}"
+        )
+    cost = aggregate_block_cost(block, cost_table)
+    if precise:
+        # Body charges were folded into the per-op wrappers; only the
+        # terminator's cycles remain block-level.
+        terminator_cost = cost_table.cost_of(terminator)
+        if getattr(terminator, "overhead", False):
+            kernel_cycles, yield_cycles = 0, terminator_cost.cycles
+        else:
+            kernel_cycles, yield_cycles = terminator_cost.cycles, 0
+        flops = 0
+    else:
+        kernel_cycles = cost.kernel_cycles
+        yield_cycles = cost.yield_cycles
+        flops = cost.flops
+    return (
+        tuple(ops),
+        kernel_cycles,
+        yield_cycles,
+        flops,
+        cost.instructions,
+        compile_terminator(terminator, slots),
+        precise,
+    )

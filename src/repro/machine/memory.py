@@ -62,7 +62,12 @@ class MemorySystem:
                 return aligned
         remainder = self._brk % align
         if remainder:
-            self._brk += align - remainder
+            # The align bump would otherwise leak the padding bytes
+            # forever; keep them reusable (and absorbable when the
+            # break later recedes past them).
+            padding = align - remainder
+            self._free_blocks.append((self._brk, padding))
+            self._brk += padding
         base = self._brk
         if base + size > self.size:
             raise MemoryFault(base, size, "arena exhausted")
@@ -70,21 +75,40 @@ class MemorySystem:
         return base
 
     def free(self, address: int, size: int) -> None:
-        """Return a previously allocated region to the arena. Regions
-        at the top of the arena lower the bump pointer; interior
-        regions go on the free list for reuse by :meth:`allocate`."""
+        """Return a previously allocated region to the arena. The
+        region that ends exactly at the break lowers the bump pointer;
+        interior regions go on the free list for reuse by
+        :meth:`allocate`.
+
+        Frees are validated: a region reaching past the break, or
+        overlapping an already-free block (double free), raises
+        :class:`MemoryFault` instead of silently lowering the break
+        underneath live allocations.
+        """
         if size <= 0:
             return
         self._check(address, size)
-        if address + size >= self._brk:
+        if address + size > self._brk:
+            raise MemoryFault(
+                address, size, "free beyond the allocation break"
+            )
+        for base, length in self._free_blocks:
+            if address < base + length and base < address + size:
+                raise MemoryFault(
+                    address,
+                    size,
+                    "free overlaps an already-free region "
+                    "(double free?)",
+                )
+        if address + size == self._brk:
             self._brk = address
             # Keep absorbing free blocks that now touch the top.
             absorbed = True
             while absorbed:
                 absorbed = False
                 for index, (base, length) in enumerate(self._free_blocks):
-                    if base + length >= self._brk:
-                        self._brk = min(self._brk, base)
+                    if base + length == self._brk:
+                        self._brk = base
                         del self._free_blocks[index]
                         absorbed = True
                         break

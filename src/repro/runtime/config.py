@@ -63,8 +63,18 @@ class ExecutionConfig:
     #: Directory of the persistent tier. ``None`` falls back to
     #: ``$REPRO_CACHE_DIR``, then ``~/.cache/repro``.
     cache_dir: Optional[str] = None
+    #: How the machine executes lowered specializations: ``"closure"``
+    #: (the specializing lowering — pre-bound closures, default) or
+    #: ``"dispatch"`` (the per-instruction reference interpreter, kept
+    #: for A/B validation of modeled statistics).
+    interpreter_mode: str = "closure"
 
     def __post_init__(self):
+        if self.interpreter_mode not in ("closure", "dispatch"):
+            raise ValueError(
+                f"unknown interpreter_mode {self.interpreter_mode!r} "
+                f"(expected 'closure' or 'dispatch')"
+            )
         if not self.warp_sizes:
             raise ValueError("warp_sizes must not be empty")
         if sorted(self.warp_sizes) != list(self.warp_sizes):
@@ -108,9 +118,11 @@ class ExecutionConfig:
         """The axes that change generated code. Part of every
         specialization digest, so two configs differing in any of these
         can never exchange cache entries. ``persistent_cache`` /
-        ``cache_dir`` / ``cta_window`` / ``allow_cross_cta_warps`` are
-        deliberately absent: they affect where code is stored or how
-        warps are formed at runtime, not the code itself."""
+        ``cache_dir`` / ``cta_window`` / ``allow_cross_cta_warps`` /
+        ``interpreter_mode`` are deliberately absent: they affect where
+        code is stored or how warps are formed/executed at runtime, not
+        the code itself (both interpreter modes consume the same
+        vectorized IR and produce bit-identical statistics)."""
         return (
             self.warp_sizes,
             self.static_warps,

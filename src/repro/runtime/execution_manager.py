@@ -28,9 +28,8 @@ from typing import Dict, List, Optional, Tuple
 from ..errors import LaunchError
 from ..ir.instructions import ResumeStatus
 from ..machine.descriptor import MachineDescription
-from ..machine.interpreter import ExecutionStats, Interpreter
+from ..machine.interpreter import Interpreter
 from ..machine.memory import MemorySystem
-from ..transforms.vectorize import assign_spill_slots
 from .config import ExecutionConfig
 from .context import ThreadContext, Warp
 from .statistics import LaunchStatistics
@@ -146,6 +145,9 @@ class ExecutionManager:
         #: Set through KernelLauncher.trace; None disables tracing.
         self.trace = None
         self._warp_counter = 0
+        #: Pooled warp-execution state: one register file + statistics
+        #: instance reused by every warp this manager runs.
+        self._warp_state = interpreter.new_state()
         self._shared_slabs: List[int] = []
         self._shared_slab_bytes = 0
         self._local_slab: Optional[int] = None
@@ -163,7 +165,7 @@ class ExecutionManager:
         """Execute the assigned CTAs to completion."""
         kernel = self.cache.kernel(kernel_name)
         scalar = self.cache.scalar_ir(kernel_name)
-        _, spill_size = assign_spill_slots(scalar)
+        _, spill_size = self.cache.spill_layout(kernel_name)
         local_bytes = _align(scalar.local_segment_size + spill_size, 16)
         shared_bytes = _align(max(kernel.shared_size, 1), 16)
         window = max(1, self.config.cta_window)
@@ -282,10 +284,10 @@ class ExecutionManager:
                         "kernel": kernel_name,
                     },
                 )
-            execution = ExecutionStats()
             status = self.interpreter.execute(
-                executable, warp, param_base, stats=execution
+                executable, warp, param_base, state=self._warp_state
             )
+            execution = self._warp_state.stats
             self.stats.kernel_cycles += execution.kernel_cycles
             self.stats.yield_cycles += execution.yield_cycles
             self.stats.instructions += execution.instructions
@@ -337,9 +339,8 @@ class ExecutionManager:
         group = ready.pop_group(limit * 4)
         anchor = group[0]
         window_base = (anchor.tid[0] // limit) * limit
-        run: List[ThreadContext] = [anchor]
         rest: List[ThreadContext] = []
-        by_x: Dict[int, ThreadContext] = {}
+        by_x: Dict[int, ThreadContext] = {anchor.tid[0]: anchor}
         for candidate in group[1:]:
             same_row = (
                 candidate.ctaid == anchor.ctaid
@@ -353,7 +354,12 @@ class ExecutionManager:
                 by_x[candidate.tid[0]] = candidate
             else:
                 rest.append(candidate)
-        next_x = anchor.tid[0] + 1
+        # The pool order after divergent re-entry is arbitrary, so the
+        # FIFO anchor need not be the lowest thread of its aligned
+        # window: the run starts at the lowest present tid.x, not at
+        # the anchor, or re-formation builds sub-maximal warps.
+        run: List[ThreadContext] = []
+        next_x = min(by_x)
         while next_x in by_x and len(run) < limit:
             run.append(by_x.pop(next_x))
             next_x += 1

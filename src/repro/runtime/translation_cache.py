@@ -46,7 +46,11 @@ from ..machine.interpreter import ExecutableFunction, Interpreter
 from ..ptx.module import Kernel, Module
 from ..transforms.if_conversion import if_convert
 from ..transforms.pass_manager import standard_cleanup_pipeline
-from ..transforms.vectorize import VectorizeOptions, vectorize_kernel
+from ..transforms.vectorize import (
+    VectorizeOptions,
+    assign_spill_slots,
+    vectorize_kernel,
+)
 from .cache_store import SCHEMA_VERSION, CacheStore
 from .config import ExecutionConfig
 
@@ -181,6 +185,13 @@ class TranslationCache:
         #: invalidation (observability + staleness assertions).
         self._generations: Dict[str, int] = {}
         self._scalar_ir: Dict[str, Tuple[str, IRFunction]] = {}
+        #: (fingerprint, (slots, size)) per kernel — the spill-area
+        #: layout is a pure function of the scalar IR, so it is cached
+        #: alongside it instead of being recomputed by every
+        #: ``ExecutionManager.run`` (once per worker per launch).
+        self._spill_layouts: Dict[
+            str, Tuple[str, Tuple[Dict[str, int], int]]
+        ] = {}
         self._specializations: Dict[Tuple[str, int], _Specialization] = {}
         self._digest_memo: Dict[Tuple[str, int], str] = {}
         #: Digest material shared by every kernel of this cache:
@@ -309,6 +320,7 @@ class TranslationCache:
         dropped = 0
         if self._scalar_ir.pop(kernel_name, None) is not None:
             dropped += 1
+        self._spill_layouts.pop(kernel_name, None)
         for key in [
             key for key in self._specializations if key[0] == kernel_name
         ]:
@@ -353,6 +365,19 @@ class TranslationCache:
             if_convert(translated)
         self._scalar_ir[kernel_name] = (fingerprint, translated)
         return translated
+
+    def spill_layout(
+        self, kernel_name: str
+    ) -> Tuple[Dict[str, int], int]:
+        """``(slots, total_bytes)`` of the per-thread spill area,
+        computed once per scalar IR and revalidated by fingerprint."""
+        fingerprint = self.fingerprint(kernel_name)
+        entry = self._spill_layouts.get(kernel_name)
+        if entry is not None and entry[0] == fingerprint:
+            return entry[1]
+        layout = assign_spill_slots(self.scalar_ir(kernel_name))
+        self._spill_layouts[kernel_name] = (fingerprint, layout)
+        return layout
 
     def get(self, kernel_name: str, warp_size: int) -> ExecutableFunction:
         """Executable specialization of ``kernel_name`` for

@@ -32,7 +32,7 @@ formation the per-lane ``tid.x`` reads are rewritten as ``lane0 + i``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import VectorizationError
 from ..ir.basicblock import BasicBlock
@@ -137,9 +137,12 @@ def compute_entry_points(scalar_function: IRFunction) -> Dict[str, int]:
     return entry_points
 
 
-def assign_spill_slots(scalar_function: IRFunction) -> Dict[str, int]:
+def assign_spill_slots(
+    scalar_function: IRFunction,
+) -> Tuple[Dict[str, int], int]:
     """Byte offsets (within the per-thread spill area) for every
-    register, in deterministic name order, aligned to the value size."""
+    register, in deterministic name order, aligned to the value size.
+    Returns ``(slots, total_bytes)``."""
     slots: Dict[str, int] = {}
     offset = 0
     registers = sorted(scalar_function.registers(), key=lambda r: r.name)

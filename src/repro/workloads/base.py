@@ -11,6 +11,7 @@ correctness check.
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -42,6 +43,10 @@ class WorkloadRun:
     correct: bool = True
     checked: bool = False
     notes: str = ""
+    #: Host wall-clock seconds of the whole execution (upload, compile,
+    #: run, verify) — the *real* cost of the run, next to the modeled
+    #: cycle counts. 0.0 when the run was not timed.
+    host_seconds: float = 0.0
 
     @property
     def statistics(self) -> LaunchStatistics:
@@ -105,10 +110,14 @@ class Workload(abc.ABC):
         check: bool = True,
         machine=None,
     ) -> WorkloadRun:
-        """Convenience: build a fresh device with ``config`` and run."""
+        """Convenience: build a fresh device with ``config`` and run.
+        The run is wall-clock timed (``WorkloadRun.host_seconds``)."""
         device = Device(machine=machine, config=config)
         self.prepare(device)
-        return self.execute(device, scale=scale, check=check)
+        start = time.perf_counter()
+        run = self.execute(device, scale=scale, check=check)
+        run.host_seconds = time.perf_counter() - start
+        return run
 
     def _finish(
         self,

@@ -1,0 +1,323 @@
+"""Closure-specialized lowering and runtime correctness regressions.
+
+The interpreter's closure mode (the lowering fast path) must be a pure
+host-side optimization: every *modeled* statistic has to stay
+bit-identical to the legacy dict-dispatch interpreter. These tests pin
+that A/B equivalence on divergent, barrier-heavy and %clock-reading
+workloads, plus the satellite fixes that rode along (static warp
+formation, arena free validation, spill-layout caching, ready-pool
+fairness, warp-size specialization selection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro import Device, ExecutionConfig, vectorized_config
+from repro.errors import MemoryFault
+from repro.machine.interpreter import INTERPRETER_MODES
+from repro.machine.memory import MemorySystem
+from repro.runtime import ThreadContext
+from repro.runtime.config import static_tie_config
+from repro.runtime.execution_manager import ExecutionManager, _ReadyPool
+from repro.workloads.registry import get_workload
+from tests.conftest import VECADD_PTX
+
+
+# ---------------------------------------------------------------------------
+# A/B: closure lowering vs dict dispatch — bit-identical statistics
+# ---------------------------------------------------------------------------
+
+
+def _modeled_statistics(statistics) -> dict:
+    """Every modeled quantity the paper reports. Host wall-clock is
+    deliberately absent — it is the one thing allowed to differ."""
+    return {
+        "kernel_cycles": statistics.kernel_cycles,
+        "yield_cycles": statistics.yield_cycles,
+        "em_cycles": statistics.em_cycles,
+        "instructions": statistics.instructions,
+        "flops": statistics.flops,
+        "warp_size_histogram": dict(statistics.warp_size_histogram),
+        "yields_by_status": dict(statistics.yields_by_status),
+        "thread_entries": statistics.thread_entries,
+        "values_restored": statistics.values_restored,
+        "warp_executions": statistics.warp_executions,
+        "threads_launched": statistics.threads_launched,
+    }
+
+
+class TestInterpreterModeEquivalence:
+    # BitonicSort: data-dependent branching (divergent); Reduction:
+    # bar.sync tree (barrier-heavy); Clock: reads %clock, so every
+    # block runs in precise accounting mode.
+    @pytest.mark.parametrize(
+        "name", ["BitonicSort", "Reduction", "Clock"]
+    )
+    def test_modes_bit_identical(self, name):
+        workload = get_workload(name)
+        observed = {}
+        for mode in INTERPRETER_MODES:
+            config = replace(
+                vectorized_config(4), interpreter_mode=mode
+            )
+            run = workload.run_on(config, scale=0.25)
+            assert run.correct, f"{name} incorrect under {mode}"
+            observed[mode] = _modeled_statistics(run.statistics)
+        assert observed["closure"] == observed["dispatch"]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(interpreter_mode="jit")
+
+    def test_mode_absent_from_cache_key(self):
+        # Both modes execute the same specialization artifacts, so the
+        # persistent cache must be shared between them.
+        base = vectorized_config(4)
+        other = replace(base, interpreter_mode="dispatch")
+        assert base.cache_key() == other.cache_key()
+
+    def test_dispatch_mode_end_to_end(self, rng):
+        config = replace(
+            vectorized_config(4), interpreter_mode="dispatch"
+        )
+        device = Device(config=config)
+        device.register_module(VECADD_PTX)
+        n = 64
+        a = rng.standard_normal(n).astype(np.float32)
+        b = rng.standard_normal(n).astype(np.float32)
+        c = device.malloc(n * 4)
+        device.launch(
+            "vecAdd", grid=(1, 1, 1), block=(64, 1, 1),
+            args=[device.upload(a), device.upload(b), c, n],
+        )
+        np.testing.assert_array_equal(
+            device.memcpy_dtoh(c, np.float32, n), a + b
+        )
+
+
+# ---------------------------------------------------------------------------
+# Satellite: static warp formation forms the full aligned window
+# ---------------------------------------------------------------------------
+
+
+def _context(x: int, y: int = 0, cta=(0, 0, 0)) -> ThreadContext:
+    return ThreadContext(
+        tid=(x, y, 0),
+        ntid=(8, 2, 1),
+        ctaid=cta,
+        nctaid=(1, 1, 1),
+        shared_base=0,
+        local_base=0,
+        resume_point=0,
+    )
+
+
+class TestStaticFormation:
+    def _manager(self) -> ExecutionManager:
+        device = Device(config=static_tie_config(4))
+        return ExecutionManager(
+            worker_id=0,
+            machine=device.machine,
+            memory=device.memory,
+            interpreter=device.interpreter,
+            cache=device.cache,
+            config=device.config,
+        )
+
+    def test_scrambled_pool_forms_full_warp(self):
+        # After divergent re-entry the pool order is arbitrary. A
+        # mid-window anchor (tid.x=2 first) must still produce the
+        # full run [0, 1, 2, 3], not just [2, 3].
+        manager = self._manager()
+        ready = _ReadyPool()
+        for x in (2, 0, 1, 3):
+            ready.push(_context(x))
+        members = manager._form_static(ready, limit=4)
+        assert [m.tid[0] for m in members] == [0, 1, 2, 3]
+        assert ready.size == 0
+
+    def test_run_starts_at_lowest_present_thread(self):
+        # Window [4, 8) with threads {5, 6, 7}: the run is [5, 6, 7]
+        # even though the window base 4 is absent.
+        manager = self._manager()
+        ready = _ReadyPool()
+        for x in (6, 7, 5):
+            ready.push(_context(x))
+        members = manager._form_static(ready, limit=4)
+        # warp_sizes (1, 2, 4): a 3-thread run executes as width 2.
+        assert [m.tid[0] for m in members] == [5, 6]
+        assert ready.size == 1
+
+    def test_gap_splits_the_run(self):
+        manager = self._manager()
+        ready = _ReadyPool()
+        for x in (0, 1, 3):
+            ready.push(_context(x))
+        members = manager._form_static(ready, limit=4)
+        assert [m.tid[0] for m in members] == [0, 1]
+        assert ready.size == 1  # tid.x=3 went back to the pool
+
+
+# ---------------------------------------------------------------------------
+# Satellite: arena free validation
+# ---------------------------------------------------------------------------
+
+
+class TestMemoryFree:
+    def test_free_beyond_break_rejected(self):
+        memory = MemorySystem()
+        base = memory.allocate(64)
+        with pytest.raises(MemoryFault):
+            memory.free(base, 128)
+
+    def test_double_free_rejected(self):
+        memory = MemorySystem()
+        first = memory.allocate(64)
+        memory.allocate(64)  # keep `first` below the break
+        memory.free(first, 64)
+        with pytest.raises(MemoryFault):
+            memory.free(first, 64)
+
+    def test_overlapping_free_rejected(self):
+        memory = MemorySystem()
+        first = memory.allocate(64)
+        memory.allocate(64)
+        memory.free(first, 32)
+        with pytest.raises(MemoryFault):
+            memory.free(first + 16, 32)
+
+    def test_top_of_arena_free_recedes_break(self):
+        memory = MemorySystem()
+        start = memory.bytes_allocated
+        base = memory.allocate(64)
+        memory.free(base, 64)
+        assert memory.bytes_allocated == start
+
+    def test_align_padding_is_not_leaked(self):
+        # allocate(10) leaves the break unaligned; the next aligned
+        # allocation's padding must stay reclaimable so that freeing
+        # everything returns the break to its starting point.
+        memory = MemorySystem()
+        start = memory.bytes_allocated
+        first = memory.allocate(10)
+        second = memory.allocate(16)
+        assert second % 16 == 0
+        memory.free(second, 16)
+        memory.free(first, 10)
+        assert memory.bytes_allocated == start
+
+    def test_padding_is_reusable(self):
+        memory = MemorySystem()
+        first = memory.allocate(10)
+        memory.allocate(16)
+        # The 6 padding bytes between the two live in the free list.
+        padding = memory.allocate(4, align=1)
+        assert first + 10 <= padding < first + 16
+
+
+# ---------------------------------------------------------------------------
+# Satellite: spill layout computed once per kernel
+# ---------------------------------------------------------------------------
+
+
+class TestSpillLayoutCache:
+    def test_computed_once_and_dropped_on_invalidate(self, monkeypatch):
+        from repro.runtime import translation_cache as module
+
+        device = Device()
+        device.register_module(VECADD_PTX)
+        calls = []
+        original = module.assign_spill_slots
+        monkeypatch.setattr(
+            module,
+            "assign_spill_slots",
+            lambda ir: calls.append(ir) or original(ir),
+        )
+        first = device.cache.spill_layout("vecAdd")
+        second = device.cache.spill_layout("vecAdd")
+        assert first == second
+        assert len(calls) == 1
+        device.cache.invalidate("vecAdd")
+        third = device.cache.spill_layout("vecAdd")
+        assert third == first
+        assert len(calls) == 2
+
+    def test_layout_shape(self):
+        device = Device()
+        device.register_module(VECADD_PTX)
+        slots, total = device.cache.spill_layout("vecAdd")
+        assert isinstance(slots, dict)
+        assert isinstance(total, int)
+        assert total >= 0
+
+
+# ---------------------------------------------------------------------------
+# Satellite: ready-pool round-robin fairness
+# ---------------------------------------------------------------------------
+
+
+class TestReadyPoolFairness:
+    def test_entry_points_drain_in_rotation(self):
+        pool = _ReadyPool(cross_cta=True)
+        for entry in (0, 5, 9):
+            for x in range(4):
+                context = _context(x)
+                context.resume_point = entry
+                pool.push(context)
+        seen = []
+        while pool:
+            group = pool.pop_group(2)
+            seen.append(group[0].resume_point)
+        # Three keys, two threads per pop: strict rotation.
+        assert seen == [0, 5, 9, 0, 5, 9]
+
+    def test_pushed_back_extras_do_not_starve_other_keys(self):
+        pool = _ReadyPool(cross_cta=True)
+        for x in range(8):
+            context = _context(x)
+            context.resume_point = 0
+            pool.push(context)
+        straggler = _context(0)
+        straggler.resume_point = 7
+        pool.push(straggler)
+        first = pool.pop_group(4)
+        assert {c.resume_point for c in first} == {0}
+        for extra in first[2:]:  # the warp former returns leftovers
+            pool.push(extra)
+        second = pool.pop_group(4)
+        assert {c.resume_point for c in second} == {7}
+
+
+# ---------------------------------------------------------------------------
+# Satellite: specialization selection below every compiled width
+# ---------------------------------------------------------------------------
+
+
+class TestSpecializationSelection:
+    def test_group_smaller_than_every_vector_width(self):
+        # warp_sizes (1, 4): a 3-thread ready group fits no vector
+        # specialization, so formation must fall back to scalar.
+        device = Device(config=ExecutionConfig(warp_sizes=(1, 4)))
+        assert device.cache.specialization_for(3) == 1
+        assert device.cache.specialization_for(4) == 4
+        assert device.cache.specialization_for(5) == 4
+
+    def test_sub_width_cta_executes_scalar(self, rng):
+        device = Device(config=ExecutionConfig(warp_sizes=(1, 4)))
+        device.register_module(VECADD_PTX)
+        n = 6  # two CTAs of 3 threads: below the only vector width
+        a = rng.standard_normal(n).astype(np.float32)
+        b = rng.standard_normal(n).astype(np.float32)
+        c = device.malloc(n * 4)
+        result = device.launch(
+            "vecAdd", grid=(2, 1, 1), block=(3, 1, 1),
+            args=[device.upload(a), device.upload(b), c, n],
+        )
+        assert set(result.statistics.warp_size_histogram) == {1}
+        np.testing.assert_array_equal(
+            device.memcpy_dtoh(c, np.float32, n), a + b
+        )
