@@ -19,6 +19,7 @@ Quick start::
 """
 
 from .api.device import Device
+from .errors import BarrierDeadlock, KernelTrap, LaunchTimeout
 from .runtime.cache_store import CacheStore
 from .machine.descriptor import (
     MachineDescription,
@@ -32,16 +33,22 @@ from .runtime.config import (
     static_tie_config,
     vectorized_config,
 )
+from .runtime.traps import format_timeout, format_trap
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BarrierDeadlock",
     "CacheStore",
     "Device",
     "ExecutionConfig",
+    "KernelTrap",
+    "LaunchTimeout",
     "MachineDescription",
     "avx_machine",
     "baseline_config",
+    "format_timeout",
+    "format_trap",
     "knights_ferry",
     "sandybridge",
     "static_tie_config",

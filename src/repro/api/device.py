@@ -20,7 +20,13 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..errors import LaunchError
+from ..errors import (
+    BarrierDeadlock,
+    KernelTrap,
+    LaunchError,
+    LaunchTimeout,
+    ReproError,
+)
 from ..machine.descriptor import MachineDescription, sandybridge
 from ..machine.interpreter import Interpreter
 from ..machine.memory import Allocation, MemorySystem
@@ -90,6 +96,12 @@ class Device:
         )
         self.modules: List[Module] = []
         self._allocations: List[Allocation] = []
+        #: CUDA-style sticky error: a contained runtime fault
+        #: (KernelTrap / LaunchTimeout / BarrierDeadlock) is recorded
+        #: here and blocks further launches until :meth:`reset` —
+        #: mirroring how a CUDA context becomes unusable after a
+        #: sticky error until the device is reset.
+        self.last_error: Optional[ReproError] = None
 
     # -- module management ---------------------------------------------------
 
@@ -175,7 +187,16 @@ class Device:
         ``.param`` declarations: :class:`Allocation` / int for pointer
         parameters, Python numbers for scalars, and sequences for array
         parameters.
+
+        A previous launch's contained fault is sticky: launching again
+        before :meth:`reset` re-raises a LaunchError naming it.
         """
+        if self.last_error is not None:
+            raise LaunchError(
+                f"device is in a failed state from a previous launch "
+                f"({type(self.last_error).__name__}: {self.last_error}); "
+                f"call Device.reset() to clear it"
+            )
         kernel = self.cache.kernel(kernel_name)
         parameters = kernel.parameters
         if len(args) != len(parameters):
@@ -194,9 +215,13 @@ class Device:
                 _normalize_dim(block),
                 param_base,
             )
+        except (KernelTrap, LaunchTimeout, BarrierDeadlock) as fault:
+            self.last_error = fault
+            raise
         finally:
             # Launches are synchronous; the parameter segment can be
-            # reclaimed immediately so repeated launches don't leak.
+            # reclaimed immediately so repeated launches don't leak —
+            # including when the launch trapped.
             self.memory.free(param_base, param_size)
 
     def _write_parameter(self, base: int, parameter, value) -> None:
@@ -240,6 +265,20 @@ class Device:
         compile seconds (0.0 for already-cached entries)."""
         return self.cache.warm(kernel_name, warp_sizes)
 
+    # -- fault recovery --------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear a sticky launch fault (the cudaDeviceReset analogue,
+        minus deallocation: buffers survive so a trapped workload can
+        re-launch against the same data).
+
+        The launcher already restored every execution manager's pooled
+        state when the fault was contained; reset re-runs that recovery
+        defensively and clears :attr:`last_error`."""
+        for manager in self.launcher.managers:
+            manager.recover()
+        self.last_error = None
+
     # -- introspection -------------------------------------------------------
 
     def statistics_report(self) -> str:
@@ -249,6 +288,7 @@ class Device:
             f"translations={cache.translations} "
             f"cache hits={cache.hits} misses={cache.misses} "
             f"invalidations={cache.invalidations} "
+            f"degradations={cache.degradations} "
             f"disk hits={cache.disk_hits} misses={cache.disk_misses} "
             f"errors={cache.disk_errors} evictions={cache.evictions} "
             f"translation time={cache.translation_seconds:.3f}s"

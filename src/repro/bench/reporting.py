@@ -180,6 +180,14 @@ def format_cache_statistics(
         f"  disk:   {stats.disk_hits} hits / {stats.disk_misses} misses, "
         f"{stats.disk_errors} errors, {stats.evictions} evictions"
     )
+    if stats.degradations:
+        lines.append(
+            f"  degradations: {stats.degradations}"
+        )
+        for kernel, failed, fallback, reason in stats.degradation_events:
+            lines.append(
+                f"    {kernel:<28} ws={failed} -> ws={fallback}  ({reason})"
+            )
     lines.append(
         f"  translation time: {stats.translation_seconds * 1e3:.1f} ms"
     )

@@ -51,10 +51,63 @@ class MemoryFault(ExecutionError):
         super().__init__(f"{reason}: address=0x{address:x} size={size}")
         self.address = address
         self.size = size
+        self.reason = reason
+
+
+class InstructionLimitExceeded(ExecutionError):
+    """The per-warp-execution instruction budget ran out (either the
+    interpreter's hard backstop or a watchdog budget installed by the
+    execution manager)."""
+
+
+class DeadlineExceeded(ExecutionError):
+    """Internal watchdog signal: the wall-clock deadline passed while a
+    warp was executing. Converted to :class:`LaunchTimeout` (with the
+    full live-thread report) at the warp-execution boundary."""
+
+
+class KernelTrap(ExecutionError):
+    """A runtime fault contained at the warp-execution boundary.
+
+    Wraps the underlying :class:`ExecutionError` (memory fault, bad
+    opcode, type mismatch, ...) with full execution context: kernel
+    name, grid/CTA/thread coordinates of the faulting lanes, the block
+    label and instruction index at the fault, warp composition, and a
+    bounded register snapshot. The structured payload lives on
+    ``info`` (a :class:`repro.runtime.traps.TrapInfo`); render it with
+    :func:`repro.runtime.traps.format_trap`.
+    """
+
+    def __init__(self, message, info=None):
+        super().__init__(message)
+        self.info = info
+
+
+class LaunchTimeout(ReproError):
+    """A launch exceeded its watchdog budget (``max_kernel_cycles`` or
+    ``launch_timeout_s``). ``program_points`` lists every live thread's
+    CTA/thread coordinates, scheduling state, and program point, so
+    barrier livelock and runaway loops are diagnosable instead of
+    hanging the host."""
+
+    def __init__(self, message, kernel=None, program_points=()):
+        super().__init__(message)
+        self.kernel = kernel
+        self.program_points = list(program_points)
 
 
 class LaunchError(ReproError):
     """Raised by the runtime API for invalid launch configurations."""
+
+
+class BarrierDeadlock(LaunchError):
+    """Threads are parked at a barrier that can never be released.
+    ``waiting`` lists a :class:`repro.runtime.traps.ProgramPoint` (CTA
+    and thread coordinates + entry point) for every stranded thread."""
+
+    def __init__(self, message, waiting=()):
+        super().__init__(message)
+        self.waiting = list(waiting)
 
 
 class TranslationCacheError(ReproError):

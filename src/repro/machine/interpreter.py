@@ -22,12 +22,17 @@ bit-identical between the two).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..errors import ExecutionError
+from ..errors import (
+    DeadlineExceeded,
+    ExecutionError,
+    InstructionLimitExceeded,
+)
 from ..ir.function import IRFunction
 from ..ir.instructions import (
     AtomicRMW,
@@ -71,6 +76,24 @@ np.seterr(over="ignore", invalid="ignore", divide="ignore")
 
 _DEFAULT_INSTRUCTION_LIMIT = 200_000_000
 
+#: How many executed instructions may pass between wall-clock deadline
+#: checks (the check itself is one ``time.monotonic`` call).
+_DEADLINE_CHECK_STRIDE = 4096
+
+
+def _annotate_fault(fault, label, index) -> None:
+    """Attach the program counter (block label + instruction index) to
+    an escaping ExecutionError, so the execution manager can build a
+    structured trap. First writer wins (the innermost frame knows the
+    true fault site); exceptions with __slots__ are left unannotated."""
+    if getattr(fault, "trap_label", None) is not None:
+        return
+    try:
+        fault.trap_label = label
+        fault.trap_index = index
+    except (AttributeError, TypeError):  # pragma: no cover
+        pass
+
 
 @dataclass
 class ExecutionStats:
@@ -105,12 +128,14 @@ class ExecutableFunction:
 
     ``compiled_blocks`` holds the closure-specialized form: per block,
     ``(ops, kernel_cycles, yield_cycles, flops, instructions,
-    terminator, precise)`` where ``ops`` is a tuple of pre-bound
-    closures taking the warp state, the middle fields are the block's
-    aggregated static cost, ``terminator`` is a closure returning
-    either the next block label (str) or a resume status (int), and
-    ``precise`` marks blocks whose ops carry their own per-instruction
-    accounting (``%clock`` readers).
+    terminator, precise, op_indices)`` where ``ops`` is a tuple of
+    pre-bound closures taking the warp state, the middle fields are the
+    block's aggregated static cost, ``terminator`` is a closure
+    returning either the next block label (str) or a resume status
+    (int), ``precise`` marks blocks whose ops carry their own
+    per-instruction accounting (``%clock`` readers), and ``op_indices``
+    maps each op back to the block instruction index it starts at (the
+    trap PC — fused runs cover several instructions).
     """
 
     function: IRFunction
@@ -258,6 +283,7 @@ class _WarpState:
         "machine",
         "memory",
         "limit",
+        "deadline",
         "executable",
         "function",
         "warp",
@@ -276,6 +302,11 @@ class _WarpState:
         self.machine = interpreter.machine
         self.memory = interpreter.memory
         self.limit = interpreter.instruction_limit
+        #: Optional wall-clock deadline (``time.monotonic`` value) the
+        #: watchdog installs per launch; checked every few thousand
+        #: executed instructions so a non-yielding loop cannot outlive
+        #: ``ExecutionConfig.launch_timeout_s``.
+        self.deadline = None
         self.stats = ExecutionStats()
         self.registers: Dict[str, object] = {}
         self.regs: List[object] = []
@@ -367,33 +398,53 @@ class _WarpState:
         label = self.function.entry_label
         executed = 0
         stats = self.stats
-        while True:
-            body, terminator, terminator_cycles, terminator_overhead = (
-                blocks[label]
-            )
-            for instruction, cycles, flops, overhead in body:
-                _HANDLERS[type(instruction)](self, instruction)
-                if overhead:
-                    stats.yield_cycles += cycles
-                else:
-                    stats.kernel_cycles += cycles
-                stats.flops += flops
-            executed += len(body) + 1
-            if executed > self.limit:
-                raise ExecutionError(
-                    f"{self.executable.name}: instruction limit exceeded "
-                    f"({self.limit}); possible infinite loop"
+        deadline = self.deadline
+        next_deadline_check = _DEADLINE_CHECK_STRIDE
+        position = -1
+        try:
+            while True:
+                body, terminator, terminator_cycles, terminator_overhead = (
+                    blocks[label]
                 )
-            stats.instructions = executed
-            if terminator_overhead:
-                stats.yield_cycles += terminator_cycles
-            else:
-                stats.kernel_cycles += terminator_cycles
-            next_label = _TERMINATORS[type(terminator)](self, terminator)
-            if isinstance(next_label, int):
+                position = -1
+                for position, (
+                    instruction, cycles, flops, overhead
+                ) in enumerate(body):
+                    _HANDLERS[type(instruction)](self, instruction)
+                    if overhead:
+                        stats.yield_cycles += cycles
+                    else:
+                        stats.kernel_cycles += cycles
+                    stats.flops += flops
+                position = len(body)
+                executed += len(body) + 1
+                if executed > self.limit:
+                    raise InstructionLimitExceeded(
+                        f"{self.executable.name}: instruction limit "
+                        f"exceeded ({self.limit}); possible infinite loop"
+                    )
+                if deadline is not None and executed >= next_deadline_check:
+                    if time.monotonic() > deadline:
+                        raise DeadlineExceeded(
+                            f"{self.executable.name}: wall-clock deadline "
+                            f"exceeded mid-warp"
+                        )
+                    next_deadline_check = executed + _DEADLINE_CHECK_STRIDE
                 stats.instructions = executed
-                return next_label
-            label = next_label
+                if terminator_overhead:
+                    stats.yield_cycles += terminator_cycles
+                else:
+                    stats.kernel_cycles += terminator_cycles
+                next_label = _TERMINATORS[type(terminator)](
+                    self, terminator
+                )
+                if isinstance(next_label, int):
+                    stats.instructions = executed
+                    return next_label
+                label = next_label
+        except ExecutionError as fault:
+            _annotate_fault(fault, label, position)
+            raise
 
     def run_compiled(self) -> int:
         """The closure fast path: one pre-bound closure per instruction
@@ -406,41 +457,78 @@ class _WarpState:
         executed = 0
         stats = self.stats
         limit = self.limit
+        deadline = self.deadline
+        next_deadline_check = _DEADLINE_CHECK_STRIDE
         kernel_cycles = yield_cycles = flops = 0
-        while True:
-            (
-                ops,
-                block_kernel_cycles,
-                block_yield_cycles,
-                block_flops,
-                count,
-                terminator,
-                precise,
-            ) = blocks[label]
-            if precise:
-                stats.kernel_cycles += kernel_cycles
-                stats.yield_cycles += yield_cycles
-                stats.flops += flops
-                kernel_cycles = yield_cycles = flops = 0
-            for op in ops:
-                op(self)
-            kernel_cycles += block_kernel_cycles
-            yield_cycles += block_yield_cycles
-            flops += block_flops
-            executed += count
-            if executed > limit:
-                raise ExecutionError(
-                    f"{self.executable.name}: instruction limit exceeded "
-                    f"({limit}); possible infinite loop"
+        op_position = -1
+        op_indices = ()
+        try:
+            while True:
+                (
+                    ops,
+                    block_kernel_cycles,
+                    block_yield_cycles,
+                    block_flops,
+                    count,
+                    terminator,
+                    precise,
+                    op_indices,
+                ) = blocks[label]
+                if precise:
+                    stats.kernel_cycles += kernel_cycles
+                    stats.yield_cycles += yield_cycles
+                    stats.flops += flops
+                    kernel_cycles = yield_cycles = flops = 0
+                op_position = -1
+                for op_position, op in enumerate(ops):
+                    op(self)
+                op_position = -2  # past the body: faults are in the
+                # terminator (or the bookkeeping) below
+                kernel_cycles += block_kernel_cycles
+                yield_cycles += block_yield_cycles
+                flops += block_flops
+                executed += count
+                if executed > limit:
+                    raise InstructionLimitExceeded(
+                        f"{self.executable.name}: instruction limit "
+                        f"exceeded ({limit}); possible infinite loop"
+                    )
+                if deadline is not None and executed >= next_deadline_check:
+                    if time.monotonic() > deadline:
+                        raise DeadlineExceeded(
+                            f"{self.executable.name}: wall-clock deadline "
+                            f"exceeded mid-warp"
+                        )
+                    next_deadline_check = (
+                        executed + _DEADLINE_CHECK_STRIDE
+                    )
+                result = terminator(self)
+                if type(result) is int:
+                    stats.kernel_cycles += kernel_cycles
+                    stats.yield_cycles += yield_cycles
+                    stats.flops += flops
+                    stats.instructions = executed
+                    return result
+                label = result
+        except ExecutionError as fault:
+            if op_position == -2:
+                block = self.function.blocks.get(label)
+                index = (
+                    len(block.instructions) if block is not None else -1
                 )
-            result = terminator(self)
-            if type(result) is int:
-                stats.kernel_cycles += kernel_cycles
-                stats.yield_cycles += yield_cycles
-                stats.flops += flops
-                stats.instructions = executed
-                return result
-            label = result
+            elif 0 <= op_position < len(op_indices):
+                index = op_indices[op_position]
+            else:
+                index = -1
+            _annotate_fault(fault, label, index)
+            # Counters accumulated in locals would otherwise be lost;
+            # flush them so a trapped launch still reports its partial
+            # cycle/instruction work.
+            stats.kernel_cycles += kernel_cycles
+            stats.yield_cycles += yield_cycles
+            stats.flops += flops
+            stats.instructions = executed
+            raise
 
     # -- instruction implementations ---------------------------------------
 
@@ -1808,14 +1896,19 @@ def _try_fuse_run(run, slots, fallback_ops):
 def _fuse_block_ops(block, slots, ops):
     """Replace runs of >=2 consecutive fusable instruction closures in
     ``ops`` with single generated run closures. Statistics are per
-    block, so fusion never changes modeled accounting."""
+    block, so fusion never changes modeled accounting. Returns
+    ``(fused_ops, op_indices)`` where ``op_indices[i]`` is the block
+    instruction index of the first instruction ``fused_ops[i]`` covers
+    (the trap PC of a fault inside a fused run points at its head)."""
     fused = []
+    indices = []
     instructions = block.instructions
     index = 0
     total = len(instructions)
     while index < total:
         if not _is_fusable(instructions[index]):
             fused.append(ops[index])
+            indices.append(index)
             index += 1
             continue
         end = index + 1
@@ -1823,16 +1916,19 @@ def _fuse_block_ops(block, slots, ops):
             end += 1
         if end - index < 2:
             fused.append(ops[index])
+            indices.append(index)
         else:
             run = instructions[index:end]
             fallback_ops = tuple(ops[index:end])
             run_op = _try_fuse_run(run, slots, fallback_ops)
             if run_op is None:
                 fused.extend(fallback_ops)
+                indices.extend(range(index, end))
             else:
                 fused.append(run_op)
+                indices.append(index)
         index = end
-    return fused
+    return fused, indices
 
 
 def _compile_block(block, cost_table, slots, memory):
@@ -1860,10 +1956,11 @@ def _compile_block(block, cost_table, slots, memory):
                 bool(getattr(instruction, "overhead", False)),
             )
         ops.append(op)
+    op_indices = list(range(len(ops)))
     if not precise:
         # Precise blocks need per-op accounting; every other block may
         # fuse runs of simple ALU ops into single generated closures.
-        ops = _fuse_block_ops(block, slots, ops)
+        ops, op_indices = _fuse_block_ops(block, slots, ops)
     terminator = block.terminator
     compile_terminator = _TERMINATOR_COMPILERS.get(type(terminator))
     if compile_terminator is None:
@@ -1892,4 +1989,5 @@ def _compile_block(block, cost_table, slots, memory):
         cost.instructions,
         compile_terminator(terminator, slots),
         precise,
+        tuple(op_indices),
     )

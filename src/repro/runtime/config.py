@@ -68,6 +68,19 @@ class ExecutionConfig:
     #: ``"dispatch"`` (the per-instruction reference interpreter, kept
     #: for A/B validation of modeled statistics).
     interpreter_mode: str = "closure"
+    #: Watchdog: per-worker modeled-cycle budget for one launch. When a
+    #: launch's kernel+yield+EM cycles exceed this, it is terminated
+    #: with :class:`~repro.errors.LaunchTimeout` naming every live
+    #: thread's program point. Runaway loops that never yield are
+    #: bounded too: the per-warp instruction cap is clamped to the
+    #: remaining cycle budget (every kernel instruction costs at least
+    #: one modeled cycle). ``None`` disables the budget.
+    max_kernel_cycles: Optional[int] = None
+    #: Watchdog: wall-clock deadline (host seconds) for one launch,
+    #: measured from launch entry and shared by all workers. Checked at
+    #: warp boundaries and every few thousand instructions inside
+    #: non-yielding warps. ``None`` disables the deadline.
+    launch_timeout_s: Optional[float] = None
 
     def __post_init__(self):
         if self.interpreter_mode not in ("closure", "dispatch"):
@@ -84,6 +97,10 @@ class ExecutionConfig:
                 "a width-1 specialization is required (threads resume "
                 "scalar execution after divergence)"
             )
+        if self.max_kernel_cycles is not None and self.max_kernel_cycles <= 0:
+            raise ValueError("max_kernel_cycles must be positive")
+        if self.launch_timeout_s is not None and self.launch_timeout_s <= 0:
+            raise ValueError("launch_timeout_s must be positive")
 
     @property
     def max_warp_size(self) -> int:
@@ -119,10 +136,12 @@ class ExecutionConfig:
         specialization digest, so two configs differing in any of these
         can never exchange cache entries. ``persistent_cache`` /
         ``cache_dir`` / ``cta_window`` / ``allow_cross_cta_warps`` /
-        ``interpreter_mode`` are deliberately absent: they affect where
-        code is stored or how warps are formed/executed at runtime, not
-        the code itself (both interpreter modes consume the same
-        vectorized IR and produce bit-identical statistics)."""
+        ``interpreter_mode`` / ``max_kernel_cycles`` /
+        ``launch_timeout_s`` are deliberately absent: they affect where
+        code is stored or how warps are formed/executed/bounded at
+        runtime, not the code itself (both interpreter modes consume
+        the same vectorized IR and produce bit-identical
+        statistics)."""
         return (
             self.warp_sizes,
             self.static_warps,

@@ -17,15 +17,30 @@ local memory, a ready pool, and the warp former. The main loop:
 
 This iterates until all threads of the window have terminated (§3:
 "This process iterates until all threads have terminated").
+
+Fault containment: any :class:`~repro.errors.ExecutionError` escaping a
+warp execution is caught here — the warp-execution boundary — and
+re-raised as a structured :class:`~repro.errors.KernelTrap` built by
+:mod:`repro.runtime.traps`. The watchdog (``max_kernel_cycles`` /
+``launch_timeout_s``) is enforced here too, both between warps and —
+via the interpreter's per-warp instruction cap and wall-clock deadline
+— inside warps that never yield.
 """
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
-from ..errors import LaunchError
+from ..errors import (
+    BarrierDeadlock,
+    DeadlineExceeded,
+    ExecutionError,
+    InstructionLimitExceeded,
+    LaunchError,
+)
 from ..ir.instructions import ResumeStatus
 from ..machine.descriptor import MachineDescription
 from ..machine.interpreter import Interpreter
@@ -34,6 +49,7 @@ from .config import ExecutionConfig
 from .context import ThreadContext, Warp
 from .statistics import LaunchStatistics
 from .translation_cache import TranslationCache
+from .traps import ProgramPoint, build_timeout, build_trap
 
 
 @dataclass(frozen=True)
@@ -117,6 +133,12 @@ class _ReadyPool:
             return members
         return []
 
+    def contexts(self) -> Iterator[ThreadContext]:
+        """All queued contexts (for watchdog/deadlock reports)."""
+        for queue in self._queues.values():
+            for context in queue:
+                yield context
+
     def __bool__(self):
         return self.size > 0
 
@@ -152,6 +174,9 @@ class ExecutionManager:
         self._shared_slab_bytes = 0
         self._local_slab: Optional[int] = None
         self._local_slab_bytes = 0
+        #: Watchdog state of the current launch (installed by run()).
+        self._cycle_budget: Optional[int] = None
+        self._deadline: Optional[float] = None
 
     # -- public --------------------------------------------------------------
 
@@ -161,8 +186,15 @@ class ExecutionManager:
         geometry: LaunchGeometry,
         cta_ids: List[int],
         param_base: int,
+        deadline: Optional[float] = None,
     ) -> LaunchStatistics:
-        """Execute the assigned CTAs to completion."""
+        """Execute the assigned CTAs to completion.
+
+        ``deadline`` is an absolute ``time.monotonic`` value installed
+        by the launcher when ``launch_timeout_s`` is configured; it is
+        shared by all workers of one launch."""
+        self._cycle_budget = self.config.max_kernel_cycles
+        self._deadline = deadline
         kernel = self.cache.kernel(kernel_name)
         scalar = self.cache.scalar_ir(kernel_name)
         _, spill_size = self.cache.spill_layout(kernel_name)
@@ -182,6 +214,18 @@ class ExecutionManager:
                 local_bytes,
             )
         return self.stats
+
+    def recover(self) -> None:
+        """Restore launch-ready invariants after a contained fault.
+
+        The pooled warp state is replaced (its register file may hold
+        the faulted warp's values) and the watchdog disarmed. Reserved
+        shared/local slabs are deliberately kept: they are reset per
+        window by :meth:`_run_window`, and keeping them means a
+        trap-then-relaunch sequence does not grow the arena."""
+        self._warp_state = self.interpreter.new_state()
+        self._cycle_budget = None
+        self._deadline = None
 
     # -- memory slabs ----------------------------------------------------
 
@@ -262,9 +306,23 @@ class ExecutionManager:
                 ready.push(context)
                 self.stats.threads_launched += 1
 
+        entry_labels = self.cache.scalar_ir(kernel_name).entry_points
+
         while ready:
-            warp = self._form_warp(ready)
-            executable = self.cache.get(kernel_name, warp.size)
+            warp = self._form_warp(kernel_name, ready)
+            executable, width = self.cache.get_or_degrade(
+                kernel_name, warp.size
+            )
+            if width < warp.size:
+                # The wider build failed and was degraded mid-launch:
+                # shrink to the width that did build and re-queue the
+                # excess threads for later (narrower) warps.
+                self.stats.degraded_warps += 1
+                for extra in warp.contexts[width:]:
+                    ready.push(extra)
+                warp = Warp(
+                    contexts=warp.contexts[:width], warp_id=warp.warp_id
+                )
             restored = executable.function.restore_counts.get(
                 warp.entry_point, 0
             )
@@ -284,14 +342,17 @@ class ExecutionManager:
                         "kernel": kernel_name,
                     },
                 )
-            status = self.interpreter.execute(
-                executable, warp, param_base, state=self._warp_state
+            status = self._execute_warp(
+                kernel_name,
+                geometry,
+                warp,
+                executable,
+                param_base,
+                entry_labels,
+                ready,
+                barrier_pools,
             )
-            execution = self._warp_state.stats
-            self.stats.kernel_cycles += execution.kernel_cycles
-            self.stats.yield_cycles += execution.yield_cycles
-            self.stats.instructions += execution.instructions
-            self.stats.flops += execution.flops
+            self._absorb_execution(self._warp_state.stats)
             self.stats.record_yield(status)
             if self.trace is not None:
                 self.trace(
@@ -305,25 +366,201 @@ class ExecutionManager:
             self._handle_yield(
                 status, warp, ready, live_counts, barrier_pools, cta_of
             )
-
-        leftovers = [
-            cta for cta, waiting in barrier_pools.items() if waiting
-        ]
-        if leftovers:
-            raise LaunchError(
-                f"deadlock: CTAs {leftovers} have threads waiting at a "
-                f"barrier that can never be released"
+            self._check_watchdog(
+                kernel_name, entry_labels, ready, barrier_pools
             )
+
+        leftovers = {
+            cta: waiting
+            for cta, waiting in barrier_pools.items()
+            if waiting
+        }
+        if leftovers:
+            points = [
+                ProgramPoint(
+                    ctaid=context.ctaid,
+                    tid=context.tid,
+                    entry_point=context.resume_point,
+                    label=entry_labels.get(context.resume_point),
+                    state="barrier",
+                )
+                for waiting in leftovers.values()
+                for context in waiting
+            ]
+            listed = "; ".join(str(point) for point in points[:16])
+            suffix = (
+                f"; ... +{len(points) - 16} more" if len(points) > 16 else ""
+            )
+            raise BarrierDeadlock(
+                f"barrier deadlock in {kernel_name!r}: {len(points)} "
+                f"thread(s) of CTA(s) {sorted(leftovers)} wait at a "
+                f"barrier that can never be released: {listed}{suffix}",
+                waiting=points,
+            )
+
+    # -- warp execution (the fault-containment boundary) ---------------------
+
+    def _absorb_execution(self, execution) -> None:
+        """Fold one warp execution's counters into the launch totals
+        (also called on the partial counters of a trapped warp)."""
+        self.stats.kernel_cycles += execution.kernel_cycles
+        self.stats.yield_cycles += execution.yield_cycles
+        self.stats.instructions += execution.instructions
+        self.stats.flops += execution.flops
+
+    def _execute_warp(
+        self,
+        kernel_name: str,
+        geometry: LaunchGeometry,
+        warp: Warp,
+        executable,
+        param_base: int,
+        entry_labels: Dict[int, str],
+        ready: _ReadyPool,
+        barrier_pools: Dict[int, List[ThreadContext]],
+    ) -> int:
+        """Run one warp with the watchdog armed; any escaping
+        ExecutionError is re-raised as a structured KernelTrap (or a
+        LaunchTimeout when the watchdog fired)."""
+        state = self._warp_state
+        state.deadline = self._deadline
+        state.limit = self.interpreter.instruction_limit
+        budget_clamped = False
+        if self._cycle_budget is not None:
+            # Every kernel instruction costs at least one modeled
+            # cycle, so the remaining cycle budget bounds the
+            # instruction cap of a warp that never yields.
+            remaining = self._cycle_budget - self.total_cycles
+            if remaining < state.limit:
+                state.limit = max(remaining, 1)
+                budget_clamped = True
+        try:
+            return self.interpreter.execute(
+                executable, warp, param_base, state=state
+            )
+        except (DeadlineExceeded, InstructionLimitExceeded) as fault:
+            self._absorb_execution(state.stats)
+            if isinstance(fault, InstructionLimitExceeded) and (
+                not budget_clamped
+            ):
+                # The interpreter's own global runaway cap fired with
+                # no cycle budget configured: contain it as a trap.
+                self.stats.traps += 1
+                raise build_trap(
+                    kernel_name,
+                    geometry,
+                    warp,
+                    executable,
+                    state,
+                    fault,
+                    self.worker_id,
+                ) from fault
+            self.stats.watchdog_timeouts += 1
+            if isinstance(fault, DeadlineExceeded):
+                reason = (
+                    f"wall-clock deadline of "
+                    f"{self.config.launch_timeout_s}s exceeded"
+                )
+            else:
+                reason = (
+                    f"modeled cycle budget of {self._cycle_budget} "
+                    f"cycles exceeded"
+                )
+            points = self._program_points(
+                entry_labels, ready, barrier_pools, running=warp
+            )
+            raise build_timeout(kernel_name, reason, points) from fault
+        except ExecutionError as fault:
+            self._absorb_execution(state.stats)
+            self.stats.traps += 1
+            raise build_trap(
+                kernel_name,
+                geometry,
+                warp,
+                executable,
+                state,
+                fault,
+                self.worker_id,
+            ) from fault
+
+    # -- watchdog ------------------------------------------------------------
+
+    def _check_watchdog(
+        self,
+        kernel_name: str,
+        entry_labels: Dict[int, str],
+        ready: _ReadyPool,
+        barrier_pools: Dict[int, List[ThreadContext]],
+    ) -> None:
+        """Between-warp watchdog: terminate the launch when the modeled
+        cycle budget or the wall-clock deadline has been exhausted and
+        threads are still live."""
+        if not ready and not any(barrier_pools.values()):
+            return
+        reason = None
+        if (
+            self._cycle_budget is not None
+            and self.total_cycles >= self._cycle_budget
+        ):
+            reason = (
+                f"modeled cycle budget of {self._cycle_budget} "
+                f"cycles exceeded"
+            )
+        elif self._deadline is not None and (
+            time.monotonic() > self._deadline
+        ):
+            reason = (
+                f"wall-clock deadline of "
+                f"{self.config.launch_timeout_s}s exceeded"
+            )
+        if reason is None:
+            return
+        self.stats.watchdog_timeouts += 1
+        raise build_timeout(
+            kernel_name,
+            reason,
+            self._program_points(entry_labels, ready, barrier_pools),
+        )
+
+    def _program_points(
+        self,
+        entry_labels: Dict[int, str],
+        ready: _ReadyPool,
+        barrier_pools: Dict[int, List[ThreadContext]],
+        running: Optional[Warp] = None,
+    ) -> List[ProgramPoint]:
+        """Every live thread's program point, for watchdog reports."""
+        points: List[ProgramPoint] = []
+
+        def _collect(contexts, state):
+            for context in contexts:
+                points.append(
+                    ProgramPoint(
+                        ctaid=context.ctaid,
+                        tid=context.tid,
+                        entry_point=context.resume_point,
+                        label=entry_labels.get(context.resume_point),
+                        state=state,
+                    )
+                )
+
+        if running is not None:
+            _collect(running.contexts, "running")
+        _collect(ready.contexts(), "ready")
+        for waiting in barrier_pools.values():
+            _collect(waiting, "barrier")
+        return points
 
     # -- warp formation ------------------------------------------------------
 
-    def _form_warp(self, ready: _ReadyPool) -> Warp:
+    def _form_warp(self, kernel_name: str, ready: _ReadyPool) -> Warp:
         limit = self.config.max_warp_size
+        degraded = self.cache.degraded_widths(kernel_name)
         if self.config.static_warps:
-            members = self._form_static(ready, limit)
+            members = self._form_static(ready, limit, degraded)
         else:
             group = ready.pop_group(limit)
-            size = self.cache.specialization_for(len(group))
+            size = self._choose_width(len(group), degraded)
             members = group[:size]
             for extra in group[size:]:
                 ready.push(extra)
@@ -331,8 +568,16 @@ class ExecutionManager:
         self._warp_counter += 1
         return warp
 
+    def _choose_width(self, available: int, degraded) -> int:
+        """Formation-time width query, skipping degraded widths (and
+        counting the warp as degraded when that changed the answer)."""
+        size = self.cache.specialization_for(available, exclude=degraded)
+        if degraded and size < self.cache.specialization_for(available):
+            self.stats.degraded_warps += 1
+        return size
+
     def _form_static(
-        self, ready: _ReadyPool, limit: int
+        self, ready: _ReadyPool, limit: int, degraded=frozenset()
     ) -> List[ThreadContext]:
         """Static warp formation: a run of consecutively indexed
         ``tid.x`` threads from one CTA row (§6.2)."""
@@ -364,7 +609,7 @@ class ExecutionManager:
             run.append(by_x.pop(next_x))
             next_x += 1
         rest.extend(by_x.values())
-        size = self.cache.specialization_for(len(run))
+        size = self._choose_width(len(run), degraded)
         members = run[:size]
         for extra in run[size:]:
             ready.push(extra)

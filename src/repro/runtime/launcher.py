@@ -12,6 +12,7 @@ measure on real hardware.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -112,20 +113,51 @@ class KernelLauncher:
         )
         for manager in self.managers:
             manager.trace = self.trace
+        deadline = None
+        if self.config.launch_timeout_s is not None:
+            deadline = time.monotonic() + self.config.launch_timeout_s
         cache_before = self.cache.statistics.snapshot()
         total = LaunchStatistics()
-        for manager, cta_ids in zip(self.managers, partitions):
-            if not cta_ids:
-                continue
-            manager.stats = LaunchStatistics()
-            manager.run(kernel_name, geometry, cta_ids, param_base)
-            worker_stats = manager.stats
-            total.merge(worker_stats)
-            total.worker_cycles[manager.worker_id] = (
-                worker_stats.kernel_cycles
-                + worker_stats.yield_cycles
-                + worker_stats.em_cycles
-            )
+        manager = None
+        try:
+            for manager, cta_ids in zip(self.managers, partitions):
+                if not cta_ids:
+                    continue
+                manager.stats = LaunchStatistics()
+                manager.run(
+                    kernel_name,
+                    geometry,
+                    cta_ids,
+                    param_base,
+                    deadline=deadline,
+                )
+                worker_stats = manager.stats
+                total.merge(worker_stats)
+                total.worker_cycles[manager.worker_id] = (
+                    worker_stats.kernel_cycles
+                    + worker_stats.yield_cycles
+                    + worker_stats.em_cycles
+                )
+        except Exception as error:
+            # Containment: the faulting worker's partial statistics
+            # still count (they carry the trap/watchdog tallies), every
+            # manager's pooled state is restored to launch-ready, and
+            # the partial launch statistics ride on the exception.
+            if manager is not None:
+                total.merge(manager.stats)
+                total.worker_cycles[manager.worker_id] = (
+                    manager.stats.kernel_cycles
+                    + manager.stats.yield_cycles
+                    + manager.stats.em_cycles
+                )
+            total.cache = self.cache.statistics.delta(cache_before)
+            for survivor in self.managers:
+                survivor.recover()
+            try:
+                error.statistics = total
+            except (AttributeError, TypeError):  # pragma: no cover
+                pass
+            raise
         total.cache = self.cache.statistics.delta(cache_before)
         return LaunchResult(
             kernel_name=kernel_name,

@@ -41,6 +41,14 @@ class LaunchStatistics:
     threads_launched: int = 0
     #: per-worker total cycles (kernel + yield + em)
     worker_cycles: Dict[int, int] = field(default_factory=dict)
+    #: runtime faults contained as structured KernelTraps (a trapped
+    #: launch raises, but its partial statistics still carry the count)
+    traps: int = 0
+    #: watchdog expiries (cycle budget or wall-clock deadline)
+    watchdog_timeouts: int = 0
+    #: warp executions that ran at a narrower width than configured
+    #: because a wider specialization failed and was degraded
+    degraded_warps: int = 0
     #: translation-cache activity attributed to this launch (the delta
     #: of the device cache's counters over the launch, attached by the
     #: KernelLauncher); None until attached
@@ -73,6 +81,9 @@ class LaunchStatistics:
         self.values_restored += other.values_restored
         self.warp_executions += other.warp_executions
         self.threads_launched += other.threads_launched
+        self.traps += other.traps
+        self.watchdog_timeouts += other.watchdog_timeouts
+        self.degraded_warps += other.degraded_warps
         for key, value in other.warp_size_histogram.items():
             self.warp_size_histogram[key] = (
                 self.warp_size_histogram.get(key, 0) + value
@@ -172,6 +183,9 @@ class LaunchStatistics:
             f"elapsed              "
             f"{self.elapsed_seconds(clock_hz) * 1e3:.3f} ms "
             f"({self.gflops(clock_hz):.1f} GFLOP/s)",
+            f"robustness           traps={self.traps} "
+            f"watchdog={self.watchdog_timeouts} "
+            f"degraded warps={self.degraded_warps}",
         ]
         if self.cache is not None:
             cache = self.cache

@@ -38,7 +38,13 @@ import time
 from dataclasses import astuple, dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..errors import TranslationCacheError
+from ..errors import (
+    ExecutionError,
+    IRVerificationError,
+    TranslationCacheError,
+    TranslationError,
+    VectorizationError,
+)
 from ..frontend.translator import translate_kernel
 from ..ir.function import IRFunction
 from ..machine.descriptor import MachineDescription
@@ -77,8 +83,18 @@ class CacheStatistics:
     disk_errors: int = 0
     #: persistent entries evicted by the size bound
     evictions: int = 0
+    #: specialization widths degraded after a failed build (the
+    #: graceful-degradation ladder: a width whose vectorization or
+    #: lowering fails falls back to a narrower specialization instead
+    #: of failing the launch)
+    degradations: int = 0
     #: wall seconds spent translating (excludes disk-hit loads)
     translation_seconds: float = 0.0
+    #: per-degradation records: (kernel, failed_width, fallback_width,
+    #: reason)
+    degradation_events: List[Tuple[str, int, int, str]] = field(
+        default_factory=list
+    )
     #: per-specialization static instruction counts (for §6.2's
     #: instruction-reduction measurement)
     instruction_counts: Dict[Tuple[str, int], int] = field(
@@ -98,6 +114,7 @@ class CacheStatistics:
         "disk_misses",
         "disk_errors",
         "evictions",
+        "degradations",
     )
 
     def snapshot(self) -> "CacheStatistics":
@@ -108,6 +125,7 @@ class CacheStatistics:
         copy.translation_seconds = self.translation_seconds
         copy.instruction_counts = dict(self.instruction_counts)
         copy.compile_seconds = dict(self.compile_seconds)
+        copy.degradation_events = list(self.degradation_events)
         return copy
 
     def delta(self, before: "CacheStatistics") -> "CacheStatistics":
@@ -130,6 +148,9 @@ class CacheStatistics:
             for key, seconds in self.compile_seconds.items()
             if key not in before.compile_seconds
         }
+        diff.degradation_events = self.degradation_events[
+            len(before.degradation_events):
+        ]
         return diff
 
     def merge(self, other: "CacheStatistics") -> None:
@@ -140,6 +161,7 @@ class CacheStatistics:
         self.translation_seconds += other.translation_seconds
         self.instruction_counts.update(other.instruction_counts)
         self.compile_seconds.update(other.compile_seconds)
+        self.degradation_events.extend(other.degradation_events)
 
     def counters(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self._COUNTERS}
@@ -194,6 +216,10 @@ class TranslationCache:
         ] = {}
         self._specializations: Dict[Tuple[str, int], _Specialization] = {}
         self._digest_memo: Dict[Tuple[str, int], str] = {}
+        #: Per-kernel widths whose build failed and was degraded away;
+        #: warp formation avoids them and :meth:`get_or_degrade` never
+        #: retries them until the kernel is invalidated.
+        self._degraded: Dict[str, set] = {}
         #: Digest material shared by every kernel of this cache:
         #: schema + execution config + machine descriptor.
         self._environment_digest = hashlib.sha256(
@@ -330,6 +356,9 @@ class TranslationCache:
             key for key in self._digest_memo if key[0] == kernel_name
         ]:
             del self._digest_memo[key]
+        # New content may vectorize where the old content failed: give
+        # degraded widths another chance.
+        self._degraded.pop(kernel_name, None)
         self.statistics.invalidations += dropped
         self._generations[kernel_name] = (
             self._generations.get(kernel_name, 0) + 1
@@ -405,14 +434,61 @@ class TranslationCache:
         self._specializations[key] = _Specialization(digest, executable)
         return executable
 
-    def specialization_for(self, available_threads: int) -> int:
+    def specialization_for(
+        self, available_threads: int, exclude: Iterable[int] = ()
+    ) -> int:
         """Largest configured warp size not exceeding
-        ``available_threads`` (§5.2's warp formation query)."""
+        ``available_threads`` (§5.2's warp formation query).
+        ``exclude`` skips widths known to fail (degraded); width 1 is
+        never excluded — it is the guaranteed scalar fallback."""
+        excluded = set(exclude)
         chosen = 1
         for size in self.config.warp_sizes:
-            if size <= available_threads:
+            if size <= available_threads and (
+                size == 1 or size not in excluded
+            ):
                 chosen = size
         return chosen
+
+    # -- graceful degradation ------------------------------------------------
+
+    def degraded_widths(self, kernel_name: str):
+        """Widths of ``kernel_name`` whose build failed and was degraded
+        away. Cleared by :meth:`invalidate`."""
+        return frozenset(self._degraded.get(kernel_name, ()))
+
+    def get_or_degrade(
+        self, kernel_name: str, warp_size: int
+    ) -> Tuple[ExecutableFunction, int]:
+        """Like :meth:`get`, but a failing build falls back down the
+        specialization ladder instead of aborting the launch: a
+        vectorization / translation / verification failure at width
+        ``w`` marks ``w`` degraded, records the event in
+        :class:`CacheStatistics`, and retries at the next narrower
+        configured width. Width 1 is the floor — a scalar build failure
+        propagates (the kernel is unrunnable). Returns
+        ``(executable, actual_width)``."""
+        width = warp_size
+        while True:
+            try:
+                return self.get(kernel_name, width), width
+            except (
+                VectorizationError,
+                TranslationError,
+                IRVerificationError,
+                ExecutionError,
+            ) as error:
+                if width <= 1:
+                    raise
+                marks = self._degraded.setdefault(kernel_name, set())
+                marks.add(width)
+                narrower = self.specialization_for(width - 1, exclude=marks)
+                reason = f"{type(error).__name__}: {error}"
+                self.statistics.degradations += 1
+                self.statistics.degradation_events.append(
+                    (kernel_name, width, narrower, reason)
+                )
+                width = narrower
 
     # -- warm-up -------------------------------------------------------------
 

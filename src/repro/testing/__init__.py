@@ -1,0 +1,6 @@
+"""Test-support utilities: deterministic fault injection for the
+containment runtime (traps, watchdog, degradation, cache recovery)."""
+
+from .fault_injection import FaultInjector, fault_seed
+
+__all__ = ["FaultInjector", "fault_seed"]

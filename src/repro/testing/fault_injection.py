@@ -1,0 +1,242 @@
+"""Seeded, deterministic fault injection for the containment runtime.
+
+A :class:`FaultInjector` patches well-defined *sites* inside one
+:class:`~repro.api.device.Device` so tests (and the CI fault matrix)
+can drive every containment path on demand:
+
+``memory_fault``
+    Simulated loads/stores raise :class:`~repro.errors.MemoryFault`
+    with the armed probability — exercising the KernelTrap boundary.
+``interpreter_error``
+    Warp executions raise a bare :class:`~repro.errors.ExecutionError`
+    before running — a fault with no program counter attached.
+``vectorization_failure``
+    Building the specialization of one warp width raises
+    :class:`~repro.errors.VectorizationError` — exercising the
+    degradation ladder. The device's persistent cache tier is detached
+    while armed (a disk hit would otherwise serve the "failing" width).
+``cache_corruption``
+    Persistent-tier entries are corrupted on disk just before they are
+    read — exercising the store's corrupt-entry recovery path.
+``slow_warp``
+    Warp executions sleep before running — exercising the wall-clock
+    watchdog deterministically.
+``barrier_starvation``
+    Barrier releases are suppressed, stranding arrived threads —
+    exercising :class:`~repro.errors.BarrierDeadlock` reporting.
+
+Determinism: every probabilistic decision comes from one
+``random.Random`` seeded explicitly or from ``$REPRO_FAULT_SEED``
+(default 0), so a failing CI seed reproduces locally bit-for-bit.
+
+Injectors are context managers; on exit every patched site is restored
+to the original bound behavior::
+
+    with FaultInjector(device, seed=7) as inject:
+        inject.arm("memory_fault", probability=0.05)
+        ...
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ExecutionError, MemoryFault, VectorizationError
+
+
+def fault_seed(default: int = 0) -> int:
+    """The fault-injection seed for this process: ``$REPRO_FAULT_SEED``
+    when set, otherwise ``default``."""
+    try:
+        return int(os.environ.get("REPRO_FAULT_SEED", default))
+    except ValueError:
+        return default
+
+
+class FaultInjector:
+    """Patches fault sites on one Device; seeded and restorable."""
+
+    SITES = (
+        "memory_fault",
+        "interpreter_error",
+        "vectorization_failure",
+        "cache_corruption",
+        "slow_warp",
+        "barrier_starvation",
+    )
+
+    def __init__(self, device, seed: Optional[int] = None):
+        self.device = device
+        self.seed = fault_seed() if seed is None else seed
+        self.rng = random.Random(self.seed)
+        #: Per-site count of injections actually fired.
+        self.fired: Dict[str, int] = {}
+        self._restores: List[Tuple[object, str, bool, object]] = []
+        self._armed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "FaultInjector":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.restore()
+
+    def restore(self) -> None:
+        """Undo every patch, most recent first. Also disarms the
+        injector outright: kernels lowered while armed hold pre-bound
+        references to the patched methods, and those must stop firing
+        too."""
+        self._armed = False
+        while self._restores:
+            target, name, had_instance_attr, original = self._restores.pop()
+            if had_instance_attr:
+                setattr(target, name, original)
+            else:
+                try:
+                    delattr(target, name)
+                except AttributeError:  # pragma: no cover - already gone
+                    pass
+
+    # -- arming --------------------------------------------------------------
+
+    def arm(self, site: str, probability: float = 1.0, **options) -> None:
+        """Arm one fault site. ``probability`` is evaluated per call
+        against this injector's seeded RNG."""
+        if site not in self.SITES:
+            raise ValueError(
+                f"unknown fault site {site!r} (have {self.SITES})"
+            )
+        getattr(self, f"_arm_{site}")(probability, **options)
+        self._armed = True
+
+    # -- internals -----------------------------------------------------------
+
+    def _fires(self, site: str, probability: float) -> bool:
+        if not self._armed:
+            return False
+        if self.rng.random() >= probability:
+            return False
+        self.fired[site] = self.fired.get(site, 0) + 1
+        return True
+
+    def _patch(self, target, name: str, wrapper: Callable) -> None:
+        had_instance_attr = name in target.__dict__
+        original = target.__dict__.get(name)
+        setattr(target, name, wrapper)
+        self._restores.append((target, name, had_instance_attr, original))
+
+    def _arm_memory_fault(
+        self, probability: float, kind: str = "both"
+    ) -> None:
+        """``kind``: "load", "store", or "both". Must be armed before
+        the kernel is translated: the lowered closures pre-bind the
+        memory system's load/store methods."""
+        memory = self.device.memory
+        if kind in ("load", "both"):
+            original_load = memory.load
+
+            def load(dtype, address):
+                if self._fires("memory_fault", probability):
+                    raise MemoryFault(
+                        int(address), dtype.size, reason="injected fault"
+                    )
+                return original_load(dtype, address)
+
+            self._patch(memory, "load", load)
+        if kind in ("store", "both"):
+            original_store = memory.store
+
+            def store(dtype, address, value):
+                if self._fires("memory_fault", probability):
+                    raise MemoryFault(
+                        int(address), dtype.size, reason="injected fault"
+                    )
+                return original_store(dtype, address, value)
+
+            self._patch(memory, "store", store)
+
+    def _arm_interpreter_error(self, probability: float) -> None:
+        interpreter = self.device.interpreter
+        original = interpreter.execute
+
+        def execute(*args, **kwargs):
+            if self._fires("interpreter_error", probability):
+                raise ExecutionError("injected interpreter fault")
+            return original(*args, **kwargs)
+
+        self._patch(interpreter, "execute", execute)
+
+    def _arm_vectorization_failure(
+        self, probability: float, width: int = 0
+    ) -> None:
+        """``width`` 0 fails every width > 1 (width 1 is the scalar
+        floor and must stay buildable)."""
+        cache = self.device.cache
+        original = cache._build_specialization
+
+        def build(kernel_name, warp_size):
+            if (
+                warp_size > 1
+                and (width == 0 or warp_size == width)
+                and self._fires("vectorization_failure", probability)
+            ):
+                raise VectorizationError(
+                    f"injected vectorization failure at width {warp_size}"
+                )
+            return original(kernel_name, warp_size)
+
+        self._patch(cache, "_build_specialization", build)
+        # A persistent-tier hit would serve the "failing" width without
+        # ever building it; detach the store while armed.
+        self._patch(cache, "store", None)
+
+    def _arm_cache_corruption(self, probability: float) -> None:
+        store = self.device.cache.store
+        if store is None:
+            raise ValueError(
+                "cache_corruption needs a device with a persistent "
+                "cache store attached"
+            )
+        original = store.load
+
+        def load(digest, statistics=None):
+            if self._fires("cache_corruption", probability):
+                path = store.path(digest)
+                try:
+                    with open(path, "r+b") as handle:
+                        handle.write(b"\x00corrupt\x00")
+                except OSError:
+                    pass
+            return original(digest, statistics=statistics)
+
+        self._patch(store, "load", load)
+
+    def _arm_slow_warp(
+        self, probability: float, delay_s: float = 0.05
+    ) -> None:
+        interpreter = self.device.interpreter
+        original = interpreter.execute
+
+        def execute(*args, **kwargs):
+            if self._fires("slow_warp", probability):
+                time.sleep(delay_s)
+            return original(*args, **kwargs)
+
+        self._patch(interpreter, "execute", execute)
+
+    def _arm_barrier_starvation(self, probability: float) -> None:
+        for manager in self.device.launcher.managers:
+            original = manager._maybe_release_barrier
+
+            def released(
+                cta, ready, live_counts, barrier_pools, _original=original
+            ):
+                if self._fires("barrier_starvation", probability):
+                    return
+                _original(cta, ready, live_counts, barrier_pools)
+
+            self._patch(manager, "_maybe_release_barrier", released)

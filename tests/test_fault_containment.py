@@ -1,0 +1,545 @@
+"""Fault containment: structured traps, sticky errors, the launch
+watchdog, degradation fallbacks, barrier-deadlock reporting, and the
+seeded fault-injection harness."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BarrierDeadlock,
+    Device,
+    ExecutionConfig,
+    KernelTrap,
+    LaunchTimeout,
+    baseline_config,
+    format_timeout,
+    format_trap,
+    vectorized_config,
+)
+from repro.errors import LaunchError, MemoryFault
+from repro.runtime.cache_store import CacheStore
+from repro.runtime.traps import ProgramPoint, TrapInfo
+from repro.testing import FaultInjector, fault_seed
+
+from tests.conftest import REDUCE_PTX, VECADD_PTX
+
+#: Writes tid to out + tid * 64MiB: thread 0 lands in the buffer,
+#: every later thread is past the arena end — a deterministic
+#: out-of-bounds store independent of arena layout.
+OOB_PTX = r"""
+.version 2.3
+.target sim
+.entry oob (.param .u64 out)
+{
+  .reg .u32 %r<4>;
+  .reg .u64 %rd<4>;
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, 67108864;
+  mul.wide.u32 %rd1, %r1, %r2;
+  ld.param.u64 %rd2, [out];
+  add.u64 %rd3, %rd2, %rd1;
+  st.global.u32 [%rd3], %r1;
+  exit;
+}
+"""
+
+#: Counts to n (u32): with n = 0xffffffff the loop is effectively
+#: infinite and only the watchdog can end the launch.
+SPIN_PTX = r"""
+.version 2.3
+.target sim
+.entry spin (.param .u32 n, .param .u64 out)
+{
+  .reg .u32 %r<4>;
+  .reg .u64 %rd<4>;
+  .reg .pred %p<2>;
+  ld.param.u32 %r2, [n];
+  mov.u32 %r1, 0;
+LOOP:
+  add.u32 %r1, %r1, 1;
+  setp.lt.u32 %p1, %r1, %r2;
+  @%p1 bra LOOP;
+  ld.param.u64 %rd1, [out];
+  st.global.u32 [%rd1], %r1;
+  exit;
+}
+"""
+
+FOREVER = 0xFFFFFFFF
+
+
+def _oob_device(config=None):
+    device = Device(config=config or vectorized_config(4))
+    device.register_module(OOB_PTX)
+    return device
+
+
+def _vecadd_launch(device, n=256, grid=2, block=128):
+    a = np.arange(n, dtype=np.float32)
+    b = np.ones(n, dtype=np.float32)
+    da = device.upload(a)
+    db = device.upload(b)
+    dc = device.malloc(n * 4)
+    device.launch("vecAdd", grid=grid, block=block, args=[da, db, dc, n])
+    out = dc.read(np.float32, n)
+    np.testing.assert_allclose(out, a + b)
+    for allocation in (da, db, dc):
+        device.free(allocation)
+
+
+class TestKernelTrap:
+    def test_oob_store_raises_structured_trap(self):
+        device = _oob_device()
+        buffer = device.malloc(16)
+        with pytest.raises(KernelTrap) as excinfo:
+            device.launch("oob", grid=1, block=64, args=[buffer])
+        trap = excinfo.value
+        message = str(trap)
+        assert "oob" in message
+        assert "MemoryFault" in message
+        assert "cta=" in message and "tid=" in message
+        assert "block" in message and "instruction" in message
+        info = trap.info
+        assert isinstance(info, TrapInfo)
+        assert info.kernel == "oob"
+        assert info.block_label is not None
+        assert info.instruction_index >= 0
+        assert info.instruction is not None
+        assert info.faulting_lanes, "no lane marked as faulting"
+        fault = info.faulting_lanes[0]
+        # Thread 0 lands in the buffer; thread 1 is the first to
+        # reach past the arena end.
+        assert fault.tid == (1, 0, 0)
+        assert fault.ctaid == (0, 0, 0)
+        assert info.cause_type == "MemoryFault"
+
+    def test_trap_in_dispatch_mode_matches(self):
+        device = _oob_device(
+            ExecutionConfig(
+                warp_sizes=(1, 2, 4), interpreter_mode="dispatch"
+            )
+        )
+        buffer = device.malloc(16)
+        with pytest.raises(KernelTrap) as excinfo:
+            device.launch("oob", grid=1, block=64, args=[buffer])
+        info = excinfo.value.info
+        assert info.block_label is not None
+        assert info.instruction_index >= 0
+        assert info.faulting_lanes[0].tid == (1, 0, 0)
+
+    def test_format_trap_renders_report(self):
+        device = _oob_device()
+        buffer = device.malloc(16)
+        with pytest.raises(KernelTrap) as excinfo:
+            device.launch("oob", grid=1, block=64, args=[buffer])
+        report = format_trap(excinfo.value)
+        assert "== kernel trap: oob ==" in report
+        assert "cause" in report and "MemoryFault" in report
+        assert "lanes:" in report
+        assert "<- FAULT" in report
+        assert "registers" in report
+        assert "program ctr" in report
+
+    def test_trap_counts_in_statistics(self):
+        device = _oob_device()
+        buffer = device.malloc(16)
+        with pytest.raises(KernelTrap) as excinfo:
+            device.launch("oob", grid=1, block=64, args=[buffer])
+        stats = excinfo.value.statistics
+        assert stats.traps == 1
+        assert "traps=1" in stats.report()
+
+
+class TestStickyErrors:
+    def test_fault_is_sticky_until_reset(self):
+        device = _oob_device()
+        buffer = device.malloc(16)
+        with pytest.raises(KernelTrap):
+            device.launch("oob", grid=1, block=64, args=[buffer])
+        assert isinstance(device.last_error, KernelTrap)
+        with pytest.raises(LaunchError, match="failed state"):
+            device.launch("oob", grid=1, block=4, args=[buffer])
+        device.reset()
+        assert device.last_error is None
+        result = device.launch("oob", grid=1, block=1, args=[buffer])
+        assert result.statistics.threads_launched == 1
+        assert buffer.read(np.uint32, 1)[0] == 0
+
+    def test_trap_reset_relaunch_does_not_grow_arena(self):
+        device = _oob_device()
+        device.register_module(VECADD_PTX)
+        buffer = device.malloc(16)
+        # First cycle reserves slabs; measure after it.
+        with pytest.raises(KernelTrap):
+            device.launch("oob", grid=1, block=64, args=[buffer])
+        device.reset()
+        _vecadd_launch(device)
+        settled = device.memory.bytes_allocated
+        for _ in range(3):
+            with pytest.raises(KernelTrap):
+                device.launch("oob", grid=1, block=64, args=[buffer])
+            device.reset()
+            _vecadd_launch(device)
+            assert device.memory.bytes_allocated == settled
+
+    def test_launch_after_trap_produces_correct_results(self):
+        device = _oob_device()
+        device.register_module(VECADD_PTX)
+        buffer = device.malloc(16)
+        with pytest.raises(KernelTrap):
+            device.launch("oob", grid=1, block=64, args=[buffer])
+        device.reset()
+        # The cache still serves clean specializations and the pooled
+        # warp state holds no residue of the trapped warp.
+        _vecadd_launch(device)
+
+
+class TestWatchdog:
+    def test_cycle_budget_terminates_infinite_kernel(self):
+        device = Device(
+            config=ExecutionConfig(
+                warp_sizes=(1, 2, 4), max_kernel_cycles=50_000
+            )
+        )
+        device.register_module(SPIN_PTX)
+        out = device.malloc(16)
+        with pytest.raises(LaunchTimeout) as excinfo:
+            device.launch("spin", grid=1, block=4, args=[FOREVER, out])
+        timeout = excinfo.value
+        assert "cycle budget" in str(timeout)
+        assert timeout.kernel == "spin"
+        assert timeout.program_points
+        point = timeout.program_points[0]
+        assert isinstance(point, ProgramPoint)
+        assert "cta=" in str(timeout) and "tid=" in str(timeout)
+        assert excinfo.value.statistics.watchdog_timeouts == 1
+        assert "== launch timeout: spin ==" in format_timeout(timeout)
+
+    def test_cycle_budget_is_deterministic(self):
+        def run_once():
+            device = Device(
+                config=ExecutionConfig(
+                    warp_sizes=(1, 2, 4), max_kernel_cycles=50_000
+                )
+            )
+            device.register_module(SPIN_PTX)
+            out = device.malloc(16)
+            with pytest.raises(LaunchTimeout) as excinfo:
+                device.launch(
+                    "spin", grid=1, block=4, args=[FOREVER, out]
+                )
+            return (
+                str(excinfo.value),
+                excinfo.value.statistics.instructions,
+            )
+
+        assert run_once() == run_once()
+
+    def test_wall_clock_deadline_terminates_infinite_kernel(self):
+        device = Device(
+            config=ExecutionConfig(
+                warp_sizes=(1, 2, 4), launch_timeout_s=0.1
+            )
+        )
+        device.register_module(SPIN_PTX)
+        out = device.malloc(16)
+        with pytest.raises(LaunchTimeout) as excinfo:
+            device.launch("spin", grid=1, block=4, args=[FOREVER, out])
+        assert "wall-clock deadline" in str(excinfo.value)
+        assert excinfo.value.program_points
+
+    def test_watchdog_spares_finite_kernels(self):
+        device = Device(
+            config=ExecutionConfig(
+                warp_sizes=(1, 2, 4),
+                max_kernel_cycles=10_000_000,
+                launch_timeout_s=60.0,
+            )
+        )
+        device.register_module(VECADD_PTX)
+        _vecadd_launch(device)
+
+    def test_device_stays_usable_after_timeout(self):
+        device = Device(
+            config=ExecutionConfig(
+                warp_sizes=(1, 2, 4), max_kernel_cycles=50_000
+            )
+        )
+        device.register_module(SPIN_PTX)
+        device.register_module(VECADD_PTX)
+        out = device.malloc(16)
+        with pytest.raises(LaunchTimeout):
+            device.launch("spin", grid=1, block=4, args=[FOREVER, out])
+        assert isinstance(device.last_error, LaunchTimeout)
+        device.reset()
+        _vecadd_launch(device)
+
+
+class TestDegradation:
+    def _degraded_device(self, injector_seed=0, width=8):
+        device = Device(config=vectorized_config(8))
+        device.register_module(VECADD_PTX)
+        injector = FaultInjector(device, seed=injector_seed)
+        injector.arm("vectorization_failure", width=width)
+        return device, injector
+
+    def test_failed_width_falls_back_to_narrower(self):
+        device, injector = self._degraded_device(width=8)
+        with injector:
+            _vecadd_launch(device)
+        cache = device.cache.statistics
+        assert cache.degradations == 1
+        kernel, failed, fallback, reason = cache.degradation_events[0]
+        assert kernel == "vecAdd"
+        assert failed == 8
+        assert fallback == 4
+        assert "injected vectorization failure" in reason
+        assert 8 in device.cache.degraded_widths("vecAdd")
+
+    def test_degraded_warps_counted_in_launch_statistics(self):
+        device, injector = self._degraded_device(width=8)
+        with injector:
+            a = np.arange(256, dtype=np.float32)
+            b = np.ones(256, dtype=np.float32)
+            da, db = device.upload(a), device.upload(b)
+            dc = device.malloc(256 * 4)
+            result = device.launch(
+                "vecAdd", grid=2, block=128, args=[da, db, dc, 256]
+            )
+            np.testing.assert_allclose(
+                dc.read(np.float32, 256), a + b
+            )
+        stats = result.statistics
+        assert stats.degraded_warps > 0
+        assert stats.warp_size_histogram.get(8, 0) == 0
+        assert f"degraded warps={stats.degraded_warps}" in stats.report()
+
+    def test_all_vector_widths_degrade_to_scalar(self):
+        device = Device(config=vectorized_config(4))
+        device.register_module(VECADD_PTX)
+        with FaultInjector(device, seed=0) as injector:
+            injector.arm("vectorization_failure", width=0)
+            _vecadd_launch(device)
+            cache = device.cache.statistics
+            assert cache.degradations == 2  # 4 -> 2 -> 1
+            assert device.cache.degraded_widths("vecAdd") == {4, 2}
+
+    def test_invalidate_clears_degradation_marks(self):
+        device, injector = self._degraded_device(width=8)
+        with injector:
+            _vecadd_launch(device)
+        assert device.cache.degraded_widths("vecAdd")
+        device.cache.invalidate("vecAdd")
+        assert not device.cache.degraded_widths("vecAdd")
+        # With the injector restored, width 8 builds again.
+        _vecadd_launch(device)
+        assert device.cache.statistics.degradations == 1
+
+    def test_scalar_failure_propagates(self):
+        device = Device(config=baseline_config())
+        device.register_module(VECADD_PTX)
+        original = device.cache._build_specialization
+
+        def broken(kernel_name, warp_size):
+            from repro.errors import VectorizationError
+
+            raise VectorizationError("nothing builds")
+
+        device.cache._build_specialization = broken
+        device.cache.store = None
+        with pytest.raises(Exception, match="nothing builds"):
+            _vecadd_launch(device)
+        device.cache._build_specialization = original
+
+
+class TestBarrierDeadlock:
+    def test_starved_barrier_reports_waiting_threads(self):
+        device = Device(config=vectorized_config(4))
+        device.register_module(REDUCE_PTX)
+        src = device.upload(np.ones(64, dtype=np.float32))
+        dst = device.malloc(4)
+        with FaultInjector(device, seed=0) as injector:
+            injector.arm("barrier_starvation")
+            with pytest.raises(BarrierDeadlock) as excinfo:
+                device.launch(
+                    "reduceK", grid=1, block=64, args=[src, dst]
+                )
+        deadlock = excinfo.value
+        message = str(deadlock)
+        assert "barrier deadlock" in message
+        assert "reduceK" in message
+        assert "cta=" in message and "tid=" in message
+        assert "entry=" in message
+        assert deadlock.waiting
+        assert all(
+            point.state == "barrier" for point in deadlock.waiting
+        )
+        assert isinstance(deadlock, LaunchError)  # hierarchy preserved
+
+
+class TestFaultInjection:
+    def test_seed_defaults_to_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_SEED", "1234")
+        assert fault_seed() == 1234
+        device = Device()
+        assert FaultInjector(device).seed == 1234
+        monkeypatch.delenv("REPRO_FAULT_SEED")
+        assert fault_seed() == 0
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultInjector(Device(), seed=0).arm("nonexistent")
+
+    def test_injected_memory_fault_traps(self):
+        device = Device(config=vectorized_config(4))
+        device.register_module(VECADD_PTX)
+        with FaultInjector(device, seed=3) as injector:
+            injector.arm("memory_fault", probability=1.0, kind="store")
+            with pytest.raises(KernelTrap) as excinfo:
+                _vecadd_launch(device)
+            assert injector.fired["memory_fault"] >= 1
+        assert "injected fault" in str(excinfo.value)
+        assert excinfo.value.info.block_label is not None
+        # Restored: the same device computes correctly afterwards.
+        device.reset()
+        _vecadd_launch(device)
+
+    def test_injected_interpreter_error_traps_without_pc(self):
+        device = Device(config=vectorized_config(4))
+        device.register_module(VECADD_PTX)
+        with FaultInjector(device, seed=0) as injector:
+            injector.arm("interpreter_error")
+            with pytest.raises(KernelTrap) as excinfo:
+                _vecadd_launch(device)
+        info = excinfo.value.info
+        assert info.cause == "injected interpreter fault"
+        assert info.block_label is None
+        assert info.instruction_index == -1
+
+    def test_identical_seeds_reproduce_identical_faults(self):
+        def run(seed):
+            device = Device(config=vectorized_config(4))
+            device.register_module(VECADD_PTX)
+            with FaultInjector(device, seed=seed) as injector:
+                injector.arm(
+                    "memory_fault", probability=0.05, kind="both"
+                )
+                try:
+                    _vecadd_launch(device)
+                    outcome = "completed"
+                except KernelTrap as trap:
+                    outcome = str(trap)
+                return outcome, dict(injector.fired)
+
+        first = run(42)
+        second = run(42)
+        different = run(43)
+        assert first == second
+        assert first != different or first[0] == "completed"
+
+    def test_environment_seeded_soak(self):
+        """Runs under any ``$REPRO_FAULT_SEED`` (the CI fault matrix):
+        whatever launches the seed chooses to break, the fault is
+        contained and the device recovers."""
+        device = Device(config=vectorized_config(4))
+        device.register_module(VECADD_PTX)
+        for _ in range(3):
+            with FaultInjector(device) as injector:
+                injector.arm(
+                    "memory_fault", probability=0.01, kind="both"
+                )
+                try:
+                    _vecadd_launch(device)
+                except KernelTrap as trap:
+                    assert trap.info is not None
+                    assert trap.statistics.traps == 1
+            device.reset()
+            device.cache.invalidate("vecAdd")
+            _vecadd_launch(device)
+
+    def test_slow_warp_trips_wall_clock_watchdog(self):
+        device = Device(
+            config=ExecutionConfig(
+                warp_sizes=(1, 2, 4), launch_timeout_s=0.05
+            )
+        )
+        device.register_module(VECADD_PTX)
+        with FaultInjector(device, seed=0) as injector:
+            injector.arm("slow_warp", probability=1.0, delay_s=0.06)
+            with pytest.raises(LaunchTimeout) as excinfo:
+                _vecadd_launch(device)
+        assert "wall-clock deadline" in str(excinfo.value)
+        assert excinfo.value.program_points
+
+    def test_cache_corruption_recovers_by_recompiling(self, tmp_path):
+        store = CacheStore(directory=str(tmp_path))
+        warmup = Device(
+            config=vectorized_config(4), cache_store=store
+        )
+        warmup.register_module(VECADD_PTX)
+        warmup.warm("vecAdd")
+        assert store.entries(), "warm-up wrote no cache entries"
+
+        device = Device(config=vectorized_config(4), cache_store=store)
+        device.register_module(VECADD_PTX)
+        with FaultInjector(device, seed=0) as injector:
+            injector.arm("cache_corruption", probability=1.0)
+            _vecadd_launch(device)
+            assert injector.fired["cache_corruption"] >= 1
+        stats = device.cache.statistics
+        assert stats.disk_errors >= 1
+        assert stats.translations >= 1  # recompiled, not crashed
+
+    def test_cache_corruption_requires_store(self):
+        device = Device(config=vectorized_config(4))
+        device.cache.store = None
+        injector = FaultInjector(device, seed=0)
+        with pytest.raises(ValueError, match="persistent cache store"):
+            injector.arm("cache_corruption")
+
+    def test_restore_reinstates_original_behavior(self):
+        device = Device(config=vectorized_config(4))
+        device.register_module(VECADD_PTX)
+        original_load = device.memory.load
+        original_execute = device.interpreter.execute
+        injector = FaultInjector(device, seed=0)
+        injector.arm("memory_fault", kind="load")
+        injector.arm("interpreter_error", probability=0.0)
+        assert device.memory.load is not original_load
+        injector.restore()
+        assert device.memory.load == original_load
+        assert device.interpreter.execute == original_execute
+        _vecadd_launch(device)
+
+
+class TestRobustnessReporting:
+    def test_device_report_includes_degradations(self):
+        device = Device()
+        assert "degradations=0" in device.statistics_report()
+
+    def test_launch_report_includes_robustness_line(self):
+        device = Device(config=vectorized_config(4))
+        device.register_module(VECADD_PTX)
+        a = np.arange(64, dtype=np.float32)
+        da = device.upload(a)
+        db = device.upload(a)
+        dc = device.malloc(64 * 4)
+        result = device.launch(
+            "vecAdd", grid=1, block=64, args=[da, db, dc, 64]
+        )
+        report = result.statistics.report()
+        assert "robustness" in report
+        assert "traps=0" in report
+        assert "watchdog=0" in report
+
+    def test_bench_report_lists_degradation_events(self):
+        from repro.bench.reporting import format_cache_statistics
+
+        device = Device(config=vectorized_config(8))
+        device.register_module(VECADD_PTX)
+        with FaultInjector(device, seed=0) as injector:
+            injector.arm("vectorization_failure", width=8)
+            _vecadd_launch(device)
+        rendered = format_cache_statistics(device.cache.statistics)
+        assert "degradations: 1" in rendered
+        assert "ws=8 -> ws=4" in rendered

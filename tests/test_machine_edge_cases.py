@@ -227,3 +227,89 @@ DONE:
         device.launch("k", grid=1, block=8, args=[out])
         got = out.read(np.uint32, 8)
         assert list(got) == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+class TestMemorySystemEdgeCases:
+    """Arena allocator corner cases backing the fault-containment
+    guarantees (precise frees, validated double frees, bounded traps)."""
+
+    def _memory(self, size=1 << 16):
+        from repro.machine.memory import MemorySystem
+
+        return MemorySystem(size=size)
+
+    def test_zero_size_allocate_is_valid_and_free(self):
+        memory = self._memory()
+        before = memory.bytes_allocated
+        address = memory.allocate(0)
+        assert address >= 64  # never inside the null guard
+        assert memory.bytes_allocated == before
+        memory.free(address, 0)  # no-op, must not raise
+        assert memory.bytes_allocated == before
+
+    def test_negative_allocation_raises(self):
+        from repro.errors import MemoryFault
+
+        with pytest.raises(MemoryFault, match="negative allocation"):
+            self._memory().allocate(-1)
+
+    def test_free_at_exact_arena_break_lowers_break(self):
+        memory = self._memory()
+        first = memory.allocate(64)
+        second = memory.allocate(64)
+        top = memory.bytes_allocated
+        assert top == second + 64
+        memory.free(second, 64)
+        assert memory.bytes_allocated == second
+        memory.free(first, 64)
+        assert memory.bytes_allocated == first
+
+    def test_interior_free_then_break_free_absorbs_both(self):
+        memory = self._memory()
+        first = memory.allocate(64)
+        second = memory.allocate(64)
+        memory.free(first, 64)  # interior: break unchanged
+        assert memory.bytes_allocated == second + 64
+        memory.free(second, 64)  # at break: absorbs the interior block
+        assert memory.bytes_allocated == first
+
+    def test_overlapping_free_detected(self):
+        from repro.errors import MemoryFault
+
+        memory = self._memory()
+        first = memory.allocate(64)
+        memory.allocate(64)  # keep the break above the freed region
+        memory.free(first, 64)
+        with pytest.raises(MemoryFault, match="double free"):
+            memory.free(first, 64)
+        with pytest.raises(MemoryFault, match="already-free"):
+            memory.free(first + 16, 32)  # partial overlap
+
+    def test_free_beyond_break_detected(self):
+        from repro.errors import MemoryFault
+
+        memory = self._memory()
+        address = memory.allocate(64)
+        with pytest.raises(MemoryFault, match="beyond the allocation"):
+            memory.free(address, 1 << 12)
+
+    def test_null_page_and_arena_end_fault(self):
+        from repro.errors import MemoryFault
+        from repro.ptx.types import DataType
+
+        memory = self._memory()
+        with pytest.raises(MemoryFault):
+            memory.load(DataType.u32, 0)  # null page
+        with pytest.raises(MemoryFault):
+            memory.store(DataType.u32, memory.size - 2, 1)  # past end
+
+    def test_memory_fault_message_and_payload(self):
+        from repro.errors import MemoryFault
+
+        fault = MemoryFault(0x1234, 8, reason="injected fault")
+        assert "injected fault" in str(fault)
+        assert "address=0x1234" in str(fault)
+        assert "size=8" in str(fault)
+        assert fault.address == 0x1234
+        assert fault.size == 8
+        assert fault.reason == "injected fault"
