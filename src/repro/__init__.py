@@ -19,8 +19,18 @@ Quick start::
 """
 
 from .api.device import Device
-from .errors import BarrierDeadlock, KernelTrap, LaunchTimeout
+from .errors import (
+    BarrierDeadlock,
+    KernelTrap,
+    LaunchTimeout,
+    SanitizerError,
+)
 from .runtime.cache_store import CacheStore
+from .sanitizer import (
+    SanitizerReport,
+    format_sanitizer_report,
+    format_sanitizer_reports,
+)
 from .machine.descriptor import (
     MachineDescription,
     avx_machine,
@@ -45,8 +55,12 @@ __all__ = [
     "KernelTrap",
     "LaunchTimeout",
     "MachineDescription",
+    "SanitizerError",
+    "SanitizerReport",
     "avx_machine",
     "baseline_config",
+    "format_sanitizer_report",
+    "format_sanitizer_reports",
     "format_timeout",
     "format_trap",
     "knights_ferry",

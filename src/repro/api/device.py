@@ -36,6 +36,7 @@ from ..ptx.types import DataType
 from ..ptx.validator import validate_module
 from ..runtime.cache_store import CacheStore
 from ..runtime.config import ExecutionConfig
+from ..sanitizer.core import KernelSanitizer, apply_sanitize_env
 from ..runtime.launcher import KernelLauncher, LaunchResult
 from ..runtime.translation_cache import TranslationCache
 
@@ -77,12 +78,25 @@ class Device:
         cache_store: Optional[CacheStore] = None,
     ):
         self.machine = machine or sandybridge()
-        self.config = config or ExecutionConfig()
+        self.config = apply_sanitize_env(config or ExecutionConfig())
         self.memory = MemorySystem(size=memory_size)
+        #: Checked-execution services (``config.sanitize``); None when
+        #: running the unchecked fast path. Must attach to the memory
+        #: system before anything allocates, so every allocation is in
+        #: the registry.
+        self.sanitizer = None
+        if self.config.sanitize_checks:
+            self.sanitizer = KernelSanitizer(
+                self.memory,
+                checks=self.config.sanitize_checks,
+                fatal=self.config.sanitize_fatal,
+            )
+            self.memory.sanitizer = self.sanitizer
         self.interpreter = Interpreter(
             self.machine,
             self.memory,
             mode=self.config.interpreter_mode,
+            sanitizer=self.sanitizer,
         )
         self.cache = TranslationCache(
             self.machine, self.interpreter, self.config, store=cache_store
@@ -128,7 +142,10 @@ class Device:
             if variable.space.value not in ("global", "const"):
                 continue
             address = self.memory.allocate(
-                max(variable.size, 1), align=max(variable.alignment, 1)
+                max(variable.size, 1),
+                align=max(variable.alignment, 1),
+                kind=variable.space.value,
+                label=variable.name,
             )
             addresses[variable.name] = address
             if variable.initializer:
@@ -142,7 +159,7 @@ class Device:
     # -- memory management (the cudaMalloc / cudaMemcpy analogues) ---------
 
     def malloc(self, size: int, label: str = None) -> Allocation:
-        address = self.memory.allocate(size, align=16)
+        address = self.memory.allocate(size, align=16, label=label)
         allocation = Allocation(self.memory, address, size, label=label)
         self._allocations.append(allocation)
         return allocation
@@ -205,7 +222,9 @@ class Device:
                 f"({[p.name for p in parameters]}), got {len(args)}"
             )
         param_size = max(kernel.param_size, 1)
-        param_base = self.memory.allocate(param_size)
+        param_base = self.memory.allocate(
+            param_size, kind="param", label=f"{kernel_name} params"
+        )
         for parameter, value in zip(parameters, args):
             self._write_parameter(param_base, parameter, value)
         try:
@@ -274,10 +293,15 @@ class Device:
 
         The launcher already restored every execution manager's pooled
         state when the fault was contained; reset re-runs that recovery
-        defensively and clears :attr:`last_error`."""
+        defensively and clears :attr:`last_error`. Under checked
+        execution the sanitizer's leak check runs here, recording
+        device buffers that were never freed on
+        ``device.sanitizer.leak_reports``."""
         for manager in self.launcher.managers:
             manager.recover()
         self.last_error = None
+        if self.sanitizer is not None:
+            self.sanitizer.leak_check()
 
     # -- introspection -------------------------------------------------------
 

@@ -54,6 +54,25 @@ class MemoryFault(ExecutionError):
         self.reason = reason
 
 
+class SanitizerError(ExecutionError):
+    """A checked-mode violation detected by the kernel sanitizer
+    (out-of-bounds access into a redzone, use-after-free, read of
+    uninitialized memory, or an unsynchronized shared-memory race).
+
+    Raised inside the checked memory closures when
+    ``ExecutionConfig(sanitize=..., sanitize_fatal=True)``, so it is
+    contained at the warp-execution boundary like any other
+    :class:`ExecutionError` and surfaces as a :class:`KernelTrap`. The
+    structured finding (kind, coordinates, offending allocation,
+    conflicting access) rides on ``report`` (a
+    :class:`repro.sanitizer.SanitizerReport`).
+    """
+
+    def __init__(self, message, report=None):
+        super().__init__(message)
+        self.report = report
+
+
 class InstructionLimitExceeded(ExecutionError):
     """The per-warp-execution instruction budget ran out (either the
     interpreter's hard backstop or a watchdog budget installed by the

@@ -176,16 +176,26 @@ class Interpreter:
         memory: MemorySystem,
         instruction_limit: int = _DEFAULT_INSTRUCTION_LIMIT,
         mode: str = "closure",
+        sanitizer=None,
     ):
         if mode not in INTERPRETER_MODES:
             raise ValueError(
                 f"unknown interpreter mode {mode!r}; "
                 f"expected one of {INTERPRETER_MODES}"
             )
+        if sanitizer is not None and mode != "closure":
+            raise ValueError(
+                "the sanitizer is a closure-lowering variant; "
+                "dispatch mode cannot sanitize"
+            )
         self.machine = machine
         self.memory = memory
         self.instruction_limit = instruction_limit
         self.mode = mode
+        #: Attached :class:`~repro.sanitizer.KernelSanitizer`. When set,
+        #: :meth:`load_function` lowers memory instructions to checked
+        #: closures; ``None`` keeps the fast path untouched.
+        self.sanitizer = sanitizer
 
     # -- lowering ("code generation") ------------------------------------
 
@@ -228,7 +238,7 @@ class Interpreter:
                 bool(getattr(terminator, "overhead", False)),
             )
             executable.compiled_blocks[block.label] = _compile_block(
-                block, cost_table, slots, self.memory
+                block, cost_table, slots, self.memory, self.sanitizer
             )
         return executable
 
@@ -1456,13 +1466,10 @@ def _compile_vector_store(inst: VectorStore, slots, memory):
     return op
 
 
-def _compile_atomic(inst: AtomicRMW, slots, memory):
-    address = _address_reader(inst, slots)
-    read_value = _raw_reader(inst.value, slots)
-    load = memory.load
-    store = memory.store
-    dtype = inst.dtype
-    dst = slots[inst.dst.name] if inst.dst is not None else None
+def _atomic_compute(inst: AtomicRMW, slots):
+    """The read-modify-write combining function of one atomic, shared
+    by the fast and checked lowerings: ``compute(old, operand, regs)``
+    returns the value to store back."""
     operation = inst.op
     if operation == "cas":
         read_compare = _raw_reader(inst.compare, slots)
@@ -1499,12 +1506,137 @@ def _compile_atomic(inst: AtomicRMW, slots, memory):
             return operand if (old == 0 or old > operand) else old - 1
     else:
         raise ExecutionError(f"unknown atomic op {operation}")
+    return compute
+
+
+def _compile_atomic(inst: AtomicRMW, slots, memory):
+    address = _address_reader(inst, slots)
+    read_value = _raw_reader(inst.value, slots)
+    load = memory.load
+    store = memory.store
+    dtype = inst.dtype
+    dst = slots[inst.dst.name] if inst.dst is not None else None
+    compute = _atomic_compute(inst, slots)
 
     def op(state):
         regs = state.regs
         location = address(state)
         old = load(dtype, location)
         store(dtype, location, compute(old, read_value(regs), regs))
+        if dst is not None:
+            regs[dst] = old
+
+    return op
+
+
+# -- checked (sanitized) memory compilers ----------------------------------
+#
+# The sanitizer variant of the memory lowering: identical address
+# computation and register plumbing, but every access routes through
+# the sanitizer's guest_* entry points, which classify it against the
+# shadow state (and feed shared accesses to the race detector) before
+# touching the arena. These compilers are only selected when a
+# sanitizer is attached, so the unchecked fast path above stays
+# byte-for-byte what PR 2 shipped. ``sanitizer.guest_*`` is looked up
+# per call (late binding) so fault-injection harnesses can patch the
+# sanitizer instance even after translation.
+
+
+def _compile_checked_load(inst: Load, slots, memory, sanitizer, label, index):
+    address = _address_reader(inst, slots)
+    dtype = inst.dtype
+    dst = slots[inst.dst.name]
+    lane = inst.lane
+    shared = inst.space is AddressSpace.shared
+
+    def op(state):
+        state.regs[dst] = sanitizer.guest_load(
+            state, lane, address(state), dtype, shared, label, index
+        )
+
+    return op
+
+
+def _compile_checked_store(
+    inst: Store, slots, memory, sanitizer, label, index
+):
+    address = _address_reader(inst, slots)
+    read_value = _raw_reader(inst.value, slots)
+    dtype = inst.dtype
+    lane = inst.lane
+    shared = inst.space is AddressSpace.shared
+
+    def op(state):
+        sanitizer.guest_store(
+            state, lane, address(state), dtype,
+            read_value(state.regs), shared, label, index,
+        )
+
+    return op
+
+
+def _compile_checked_vector_load(
+    inst: VectorLoad, slots, memory, sanitizer, label, index
+):
+    address = _address_reader(inst, slots)
+    numpy_dtype = inst.dtype.numpy_dtype
+    width = inst.dst.width
+    dst = slots[inst.dst.name]
+    lane = getattr(inst, "lane", 0)
+    shared = inst.space is AddressSpace.shared
+
+    def op(state):
+        state.regs[dst] = sanitizer.guest_read_vector(
+            state, lane, address(state), numpy_dtype, width, shared,
+            label, index,
+        )
+
+    return op
+
+
+def _compile_checked_vector_store(
+    inst: VectorStore, slots, memory, sanitizer, label, index
+):
+    address = _address_reader(inst, slots)
+    read_value = _raw_reader(inst.value, slots)
+    numpy_dtype = inst.dtype.numpy_dtype
+    lane = getattr(inst, "lane", 0)
+    shared = inst.space is AddressSpace.shared
+
+    def op(state):
+        array = np.asarray(read_value(state.regs), dtype=numpy_dtype)
+        if array.ndim == 0:
+            array = np.full(state.warp_size, array, dtype=numpy_dtype)
+        sanitizer.guest_write_vector(
+            state, lane, address(state), array, shared, label, index
+        )
+
+    return op
+
+
+def _compile_checked_atomic(
+    inst: AtomicRMW, slots, memory, sanitizer, label, index
+):
+    address = _address_reader(inst, slots)
+    read_value = _raw_reader(inst.value, slots)
+    dtype = inst.dtype
+    dst = slots[inst.dst.name] if inst.dst is not None else None
+    lane = inst.lane
+    shared = inst.space is AddressSpace.shared
+    compute = _atomic_compute(inst, slots)
+
+    def op(state):
+        regs = state.regs
+        location = address(state)
+        old = sanitizer.guest_load(
+            state, lane, location, dtype, shared, label, index,
+            atomic=True,
+        )
+        sanitizer.guest_store(
+            state, lane, location, dtype,
+            compute(old, read_value(regs), regs), shared, label, index,
+            atomic=True,
+        )
         if dst is not None:
             regs[dst] = old
 
@@ -1750,6 +1882,18 @@ _COMPILERS = {
     Reduce: _compile_reduce,
 }
 
+#: The sanitizer-aware lowering variant: memory instructions whose
+#: closures route through the attached sanitizer. Signature
+#: ``(inst, slots, memory, sanitizer, block_label, instruction_index)``
+#: — label/index pin every finding to its exact program point.
+_CHECKED_COMPILERS = {
+    Load: _compile_checked_load,
+    Store: _compile_checked_store,
+    VectorLoad: _compile_checked_vector_load,
+    VectorStore: _compile_checked_vector_store,
+    AtomicRMW: _compile_checked_atomic,
+}
+
 _TERMINATOR_COMPILERS = {
     Branch: _compile_branch,
     CondBranch: _compile_cond_branch,
@@ -1931,22 +2075,35 @@ def _fuse_block_ops(block, slots, ops):
     return fused, indices
 
 
-def _compile_block(block, cost_table, slots, memory):
+def _compile_block(block, cost_table, slots, memory, sanitizer=None):
     """Lower one basic block to its compiled tuple (see
-    :class:`ExecutableFunction.compiled_blocks`)."""
+    :class:`ExecutableFunction.compiled_blocks`). With a ``sanitizer``,
+    memory instructions lower to checked closures instead of the
+    pre-bound fast-path ones."""
     precise = any(
         isinstance(instruction, ContextRead)
         and instruction.field_name == "clock"
         for instruction in block.instructions
     )
     ops = []
-    for instruction in block.instructions:
-        compile_fn = _COMPILERS.get(type(instruction))
-        if compile_fn is None:
-            raise ExecutionError(
-                f"no lowering for instruction {instruction!r}"
+    label = block.label
+    for index, instruction in enumerate(block.instructions):
+        checked_fn = (
+            _CHECKED_COMPILERS.get(type(instruction))
+            if sanitizer is not None
+            else None
+        )
+        if checked_fn is not None:
+            op = checked_fn(
+                instruction, slots, memory, sanitizer, label, index
             )
-        op = compile_fn(instruction, slots, memory)
+        else:
+            compile_fn = _COMPILERS.get(type(instruction))
+            if compile_fn is None:
+                raise ExecutionError(
+                    f"no lowering for instruction {instruction!r}"
+                )
+            op = compile_fn(instruction, slots, memory)
         if precise:
             cost = cost_table.cost_of(instruction)
             op = _wrap_precise(

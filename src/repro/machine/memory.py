@@ -36,16 +36,36 @@ class MemorySystem:
         #: Number of loads/stores serviced (machine-level statistic).
         self.load_count = 0
         self.store_count = 0
+        #: Attached :class:`repro.sanitizer.KernelSanitizer` (checked
+        #: execution): allocation/free route through its shadow layer
+        #: (redzones, registry, quarantine) and host copies update
+        #: per-byte initialization state. ``None`` = unchecked.
+        self.sanitizer = None
 
     # -- allocation ----------------------------------------------------------
 
-    def allocate(self, size: int, align: int = 16) -> int:
+    def allocate(
+        self,
+        size: int,
+        align: int = 16,
+        kind: str = "device",
+        label: Optional[str] = None,
+    ) -> int:
         """Reserve ``size`` bytes and return the base address.
 
-        Freed regions (see :meth:`free`) are reused first (first fit,
-        honouring ``align``); otherwise the bump pointer grows.
-        Returned memory is always zeroed.
+        With a sanitizer attached the region is registered (``kind`` /
+        ``label`` classify it in reports) and wrapped in redzones;
+        otherwise ``kind``/``label`` are ignored.
         """
+        if self.sanitizer is not None:
+            return self.sanitizer.allocate(
+                size, align=align, kind=kind, label=label
+            )
+        return self._arena_allocate(size, align)
+
+    def _arena_allocate(self, size: int, align: int = 16) -> int:
+        """Raw arena reservation (first-fit free list, then the bump
+        pointer; returned memory is always zeroed)."""
         if size < 0:
             raise MemoryFault(self._brk, size, "negative allocation")
         for index, (address, block_size) in enumerate(self._free_blocks):
@@ -75,10 +95,22 @@ class MemorySystem:
         return base
 
     def free(self, address: int, size: int) -> None:
-        """Return a previously allocated region to the arena. The
-        region that ends exactly at the break lowers the bump pointer;
-        interior regions go on the free list for reuse by
-        :meth:`allocate`.
+        """Return a previously allocated region to the arena.
+
+        With a sanitizer attached the region is validated against the
+        allocation registry and quarantined (delayed reuse) instead of
+        being returned immediately. Otherwise the raw arena free runs:
+        the region that ends at the break lowers the bump pointer,
+        interior regions are coalesced with adjacent free blocks and
+        kept for reuse by :meth:`allocate`.
+        """
+        if self.sanitizer is not None:
+            self.sanitizer.free(address, size)
+            return
+        self._arena_free(address, size)
+
+    def _arena_free(self, address: int, size: int) -> None:
+        """Raw arena free (validated; coalescing).
 
         Frees are validated: a region reaching past the break, or
         overlapping an already-free block (double free), raises
@@ -100,18 +132,27 @@ class MemorySystem:
                     "free overlaps an already-free region "
                     "(double free?)",
                 )
+        # Coalesce with adjacent free blocks first, so interior
+        # fragments merge into maximal regions (an interleaved
+        # free(A); free(B) of neighbours can later satisfy one
+        # allocation of len(A)+len(B)).
+        merged = True
+        while merged:
+            merged = False
+            for index, (base, length) in enumerate(self._free_blocks):
+                if base + length == address:
+                    address = base
+                    size += length
+                    del self._free_blocks[index]
+                    merged = True
+                    break
+                if address + size == base:
+                    size += length
+                    del self._free_blocks[index]
+                    merged = True
+                    break
         if address + size == self._brk:
             self._brk = address
-            # Keep absorbing free blocks that now touch the top.
-            absorbed = True
-            while absorbed:
-                absorbed = False
-                for index, (base, length) in enumerate(self._free_blocks):
-                    if base + length == self._brk:
-                        self._brk = base
-                        del self._free_blocks[index]
-                        absorbed = True
-                        break
             return
         self._free_blocks.append((address, size))
 
@@ -122,6 +163,8 @@ class MemorySystem:
         self._free_blocks = []
         self.load_count = 0
         self.store_count = 0
+        if self.sanitizer is not None:
+            self.sanitizer.reset()
 
     @property
     def bytes_allocated(self) -> int:
@@ -167,9 +210,15 @@ class MemorySystem:
     # -- bulk host access (the cudaMemcpy analogues) ----------------------
 
     def write_array(self, address: int, array: np.ndarray) -> None:
-        raw = np.ascontiguousarray(array).view(np.uint8).reshape(-1)
+        source = np.ascontiguousarray(array)
+        raw = source.view(np.uint8).reshape(-1)
         self._check(address, raw.size)
         self.data[address : address + raw.size] = raw
+        # Host-copy traffic counts like scalar traffic: one store per
+        # element written (vector guest stores route through here too).
+        self.store_count += int(source.size)
+        if self.sanitizer is not None:
+            self.sanitizer.note_host_write(address, raw.size)
 
     def read_array(
         self,
@@ -180,12 +229,15 @@ class MemorySystem:
         numpy_dtype = np.dtype(dtype)
         nbytes = numpy_dtype.itemsize * count
         self._check(address, nbytes)
+        self.load_count += int(count)
         raw = self.data[address : address + nbytes]
         return raw.view(numpy_dtype).copy()
 
     def fill(self, address: int, size: int, byte: int = 0) -> None:
         self._check(address, size)
         self.data[address : address + size] = byte
+        if self.sanitizer is not None:
+            self.sanitizer.note_host_write(address, size)
 
 
 class Allocation:

@@ -81,6 +81,20 @@ class ExecutionConfig:
     #: warp boundaries and every few thousand instructions inside
     #: non-yielding warps. ``None`` disables the deadline.
     launch_timeout_s: Optional[float] = None
+    #: Kernel sanitizer (checked execution): ``False`` (off — the
+    #: default, leaving the lowered fast path byte-for-byte untouched),
+    #: ``True`` (all checks), or an iterable drawn from
+    #: ``("memcheck", "racecheck", "initcheck")``. Normalized to a
+    #: tuple of check names. Requires the closure interpreter mode
+    #: (the checked lowering is a closure-path variant). Can also be
+    #: forced from the environment with ``REPRO_SANITIZE=1`` (resolved
+    #: at Device construction).
+    sanitize: object = False
+    #: Fatal sanitizer findings raise
+    #: :class:`~repro.errors.SanitizerError` (contained as a
+    #: KernelTrap); ``False`` accumulates non-fatal
+    #: ``SanitizerReport``s on ``LaunchStatistics.sanitizer`` instead.
+    sanitize_fatal: bool = True
 
     def __post_init__(self):
         if self.interpreter_mode not in ("closure", "dispatch"):
@@ -101,10 +115,24 @@ class ExecutionConfig:
             raise ValueError("max_kernel_cycles must be positive")
         if self.launch_timeout_s is not None and self.launch_timeout_s <= 0:
             raise ValueError("launch_timeout_s must be positive")
+        from ..sanitizer.core import normalize_checks
+
+        checks = normalize_checks(self.sanitize)
+        object.__setattr__(self, "sanitize", checks)
+        if checks and self.interpreter_mode != "closure":
+            raise ValueError(
+                "the sanitizer is a closure-lowering variant; "
+                "interpreter_mode='dispatch' cannot sanitize"
+            )
 
     @property
     def max_warp_size(self) -> int:
         return max(self.warp_sizes)
+
+    @property
+    def sanitize_checks(self) -> Tuple[str, ...]:
+        """The normalized sanitizer check tuple (empty when off)."""
+        return self.sanitize  # normalized by __post_init__
 
     @property
     def vectorized(self) -> bool:
@@ -141,8 +169,12 @@ class ExecutionConfig:
         code is stored or how warps are formed/executed/bounded at
         runtime, not the code itself (both interpreter modes consume
         the same vectorized IR and produce bit-identical
-        statistics)."""
-        return (
+        statistics). ``sanitize`` participates only when ON (checked
+        closures replace the memory closures), as an appended entry —
+        the off-mode key is byte-identical to pre-sanitizer releases so
+        persistent-cache digests stay stable. ``sanitize_fatal`` is
+        runtime report routing, not codegen, and stays out."""
+        key = (
             self.warp_sizes,
             self.static_warps,
             self.thread_invariant_elimination,
@@ -151,6 +183,9 @@ class ExecutionConfig:
             self.vector_memory,
             self.if_conversion,
         )
+        if self.sanitize:
+            key += (("sanitize",) + tuple(self.sanitize),)
+        return key
 
 
 def baseline_config() -> ExecutionConfig:

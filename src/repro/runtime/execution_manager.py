@@ -201,9 +201,28 @@ class ExecutionManager:
         local_bytes = _align(scalar.local_segment_size + spill_size, 16)
         shared_bytes = _align(max(kernel.shared_size, 1), 16)
         window = max(1, self.config.cta_window)
-        self._reserve_slabs(
-            window, shared_bytes, local_bytes, geometry.threads_per_cta
+        sanitizer = self.memory.sanitizer
+        # Checked execution separates the per-thread local segments
+        # with interior redzones so a thread overrunning its local
+        # frame faults instead of corrupting its neighbour's spills.
+        pad = (
+            sanitizer.REDZONE_BYTES
+            if sanitizer is not None and local_bytes
+            else 0
         )
+        local_stride = local_bytes + pad
+        self._reserve_slabs(
+            window, shared_bytes, local_stride, geometry.threads_per_cta
+        )
+        if sanitizer is not None:
+            for slab in self._shared_slabs:
+                sanitizer.shadow.resegment(
+                    slab, shared_bytes, self._shared_slab_bytes
+                )
+            if local_bytes:
+                sanitizer.shadow.resegment(
+                    self._local_slab, local_bytes, local_stride
+                )
         for start in range(0, len(cta_ids), window):
             self._run_window(
                 kernel_name,
@@ -211,7 +230,7 @@ class ExecutionManager:
                 cta_ids[start : start + window],
                 param_base,
                 shared_bytes,
-                local_bytes,
+                local_stride,
             )
         return self.stats
 
@@ -233,7 +252,7 @@ class ExecutionManager:
         self,
         window: int,
         shared_bytes: int,
-        local_bytes: int,
+        local_stride: int,
         threads_per_cta: int,
     ) -> None:
         """Reuse previously reserved shared/local slabs across launches.
@@ -241,7 +260,9 @@ class ExecutionManager:
         When a kernel needs wider slabs the old ones are returned to
         the arena before reallocating; when it only needs *more* slabs
         the existing ones are kept and the shortfall appended — so
-        repeated launches never grow the arena unboundedly."""
+        repeated launches never grow the arena unboundedly.
+        ``local_stride`` is the per-thread local footprint including
+        any sanitizer redzone padding between threads."""
         if shared_bytes > self._shared_slab_bytes:
             for slab in self._shared_slabs:
                 self.memory.free(slab, self._shared_slab_bytes)
@@ -249,13 +270,22 @@ class ExecutionManager:
             self._shared_slab_bytes = shared_bytes
         while len(self._shared_slabs) < window:
             self._shared_slabs.append(
-                self.memory.allocate(self._shared_slab_bytes)
+                self.memory.allocate(
+                    self._shared_slab_bytes,
+                    kind="shared",
+                    label=f"worker {self.worker_id} shared slab "
+                    f"{len(self._shared_slabs)}",
+                )
             )
-        total_local = max(local_bytes * threads_per_cta * window, 16)
+        total_local = max(local_stride * threads_per_cta * window, 16)
         if self._local_slab is None or self._local_slab_bytes < total_local:
             if self._local_slab is not None:
                 self.memory.free(self._local_slab, self._local_slab_bytes)
-            self._local_slab = self.memory.allocate(total_local)
+            self._local_slab = self.memory.allocate(
+                total_local,
+                kind="local",
+                label=f"worker {self.worker_id} local slab",
+            )
             self._local_slab_bytes = total_local
 
     # -- one window of CTAs ------------------------------------------------
@@ -267,7 +297,7 @@ class ExecutionManager:
         cta_ids: List[int],
         param_base: int,
         shared_bytes: int,
-        local_bytes: int,
+        local_stride: int,
     ) -> None:
         ready = _ReadyPool(cross_cta=self.config.allow_cross_cta_warps)
         live_counts: Dict[int, int] = {}
@@ -281,7 +311,7 @@ class ExecutionManager:
         # local memory per live thread.
         for slab in self._shared_slabs[: len(cta_ids)]:
             self.memory.fill(slab, shared_bytes, 0)
-        live_local = local_bytes * threads_per_cta * len(cta_ids)
+        live_local = local_stride * threads_per_cta * len(cta_ids)
         if live_local:
             self.memory.fill(self._local_slab, live_local, 0)
 
@@ -301,7 +331,7 @@ class ExecutionManager:
                     local_base=local_cursor,
                     resume_point=0,
                 )
-                local_cursor += local_bytes
+                local_cursor += local_stride
                 cta_of[id(context)] = cta_linear
                 ready.push(context)
                 self.stats.threads_launched += 1
@@ -674,6 +704,12 @@ class ExecutionManager:
             self.stats.em_cycles += (
                 self.machine.em_barrier_cost * len(waiting)
             )
+            sanitizer = self.memory.sanitizer
+            if sanitizer is not None:
+                # bar.sync orders everything before it against
+                # everything after: the race detector's epoch for this
+                # CTA advances, retiring the interval's access logs.
+                sanitizer.barrier_released(cta)
             if self.trace is not None:
                 self.trace(
                     "barrier_release",

@@ -116,6 +116,9 @@ class KernelLauncher:
         deadline = None
         if self.config.launch_timeout_s is not None:
             deadline = time.monotonic() + self.config.launch_timeout_s
+        sanitizer = getattr(self.memory, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.begin_launch(kernel_name)
         cache_before = self.cache.statistics.snapshot()
         total = LaunchStatistics()
         manager = None
@@ -151,6 +154,10 @@ class KernelLauncher:
                     + manager.stats.em_cycles
                 )
             total.cache = self.cache.statistics.delta(cache_before)
+            if sanitizer is not None:
+                # Non-fatal findings gathered before the fault still
+                # ride on the exception's statistics.
+                total.sanitizer = sanitizer.take_reports()
             for survivor in self.managers:
                 survivor.recover()
             try:
@@ -159,6 +166,8 @@ class KernelLauncher:
                 pass
             raise
         total.cache = self.cache.statistics.delta(cache_before)
+        if sanitizer is not None:
+            total.sanitizer = sanitizer.take_reports()
         return LaunchResult(
             kernel_name=kernel_name,
             geometry=geometry,

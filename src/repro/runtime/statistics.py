@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..ir.instructions import ResumeStatus
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sanitizer.reports import SanitizerReport
     from .translation_cache import CacheStatistics
 
 
@@ -53,6 +54,11 @@ class LaunchStatistics:
     #: of the device cache's counters over the launch, attached by the
     #: KernelLauncher); None until attached
     cache: Optional["CacheStatistics"] = None
+    #: non-fatal sanitizer findings of this launch (populated by the
+    #: KernelLauncher when checked execution runs with
+    #: ``sanitize_fatal=False``; always empty in fatal mode, where the
+    #: first finding raises instead)
+    sanitizer: List["SanitizerReport"] = field(default_factory=list)
 
     # -- accumulation ------------------------------------------------------
 
@@ -101,6 +107,7 @@ class LaunchStatistics:
                 self.cache = other.cache.snapshot()
             else:
                 self.cache.merge(other.cache)
+        self.sanitizer.extend(other.sanitizer)
 
     # -- derived metrics -----------------------------------------------------
 
@@ -203,4 +210,13 @@ class LaunchStatistics:
                     f"{cache.translation_seconds * 1e3:.3f} ms",
                 ]
             )
+        if self.sanitizer:
+            by_kind: Dict[str, int] = {}
+            for finding in self.sanitizer:
+                count = getattr(finding, "count", 1)
+                by_kind[finding.kind] = by_kind.get(finding.kind, 0) + count
+            summary = " ".join(
+                f"{kind}={count}" for kind, count in sorted(by_kind.items())
+            )
+            lines.append(f"sanitizer            {summary}")
         return "\n".join(lines)

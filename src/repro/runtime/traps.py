@@ -69,6 +69,9 @@ class TrapInfo:
     registers: Dict[str, str] = field(default_factory=dict)
     cause_type: str = ""
     cause: str = ""
+    #: The :class:`~repro.sanitizer.SanitizerReport` behind this trap,
+    #: when the cause is a SanitizerError; None for ordinary faults.
+    sanitizer: Optional[object] = None
 
     @property
     def faulting_lanes(self) -> List[LaneState]:
@@ -205,6 +208,7 @@ def build_trap(
         registers=snapshot_registers(state),
         cause_type=type(cause).__name__,
         cause=str(cause),
+        sanitizer=getattr(cause, "report", None),
     )
     faulting = info.faulting_lanes or lanes
     coordinates = ", ".join(
@@ -258,6 +262,12 @@ def format_trap(trap) -> str:
         lines.append(f"registers (first {len(info.registers)}):")
         for name, value in info.registers.items():
             lines.append(f"  {name:<16} = {value}")
+    if info.sanitizer is not None:
+        from ..sanitizer.reports import format_sanitizer_report
+
+        lines.append("sanitizer:")
+        for line in format_sanitizer_report(info.sanitizer).splitlines():
+            lines.append(f"  {line}")
     return "\n".join(lines)
 
 

@@ -1,0 +1,40 @@
+"""repro.sanitizer — opt-in checked execution (memcheck / racecheck /
+initcheck), the detection layer over PR 3's containment layer.
+
+Enable with ``ExecutionConfig(sanitize=True)`` (or a subset like
+``sanitize=("memcheck",)``), or force it from the environment with
+``REPRO_SANITIZE=1``. See :mod:`repro.sanitizer.core` for the
+architecture and DESIGN.md's "Sanitizer" section for the shadow-state
+and barrier-epoch models.
+"""
+
+from .core import (
+    SANITIZE_CHECKS,
+    KernelSanitizer,
+    apply_sanitize_env,
+    normalize_checks,
+)
+from .racecheck import RaceConflict, RaceDetector
+from .reports import (
+    AccessInfo,
+    AllocationInfo,
+    SanitizerReport,
+    format_sanitizer_report,
+    format_sanitizer_reports,
+)
+from .shadow import ShadowMemory
+
+__all__ = [
+    "AccessInfo",
+    "AllocationInfo",
+    "KernelSanitizer",
+    "RaceConflict",
+    "RaceDetector",
+    "SANITIZE_CHECKS",
+    "SanitizerReport",
+    "ShadowMemory",
+    "apply_sanitize_env",
+    "format_sanitizer_report",
+    "format_sanitizer_reports",
+    "normalize_checks",
+]

@@ -1,0 +1,133 @@
+"""Barrier-interval shared-memory race detection.
+
+The machine's only intra-CTA ordering primitive is ``bar.sync``:
+between two consecutive barrier releases of one CTA (one *barrier
+epoch*) the execution manager may schedule threads and form warps in
+any order — and yield-on-diverge makes that order schedule-dependent.
+Two accesses to the same shared byte by *different threads* of one CTA
+within the *same* epoch are therefore unordered; if at least one is a
+write (and they are not both atomics), the program's result depends on
+warp formation. That is exactly the hazard this detector reports.
+
+Mechanism: a per-byte last-writer and last-reader log. Every shared
+access records ``(cta, epoch, thread, ...)`` per byte; a write
+conflicts with a same-epoch write or read by another thread, a read
+conflicts with a same-epoch write by another thread. The execution
+manager advances a CTA's epoch every time it releases that CTA's
+barrier pool (:meth:`RaceDetector.barrier_released`), which orders all
+accesses before the release against all accesses after it. Logs are
+cleared per launch so CTA-id reuse across launches (or windows — the
+CTA id is part of the record) cannot alias.
+
+Keeping only the *last* reader per byte is sufficient for detection:
+any read-write hazard involves the write and some same-epoch read, and
+the last one is as good a witness as any.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .reports import AccessInfo
+
+#: One logged access: (cta, epoch, thread, ctaid, tid, label, index,
+#: atomic, is_write). Tuples, not objects: the detector logs per byte.
+_Record = tuple
+
+
+class RaceConflict:
+    """A detected hazard: the current access plus the logged one."""
+
+    __slots__ = ("byte", "prior", "epoch")
+
+    def __init__(self, byte: int, prior: _Record, epoch: int):
+        self.byte = byte
+        self.prior = prior
+        self.epoch = epoch
+
+    def prior_access(self) -> AccessInfo:
+        (_, _, _, ctaid, tid, label, index, atomic, is_write) = self.prior
+        return AccessInfo(
+            ctaid=ctaid,
+            tid=tid,
+            block_label=label,
+            op_index=index,
+            write=is_write,
+            atomic=atomic,
+        )
+
+
+class RaceDetector:
+    """Per-byte last-writer/last-reader logs keyed by barrier epoch."""
+
+    def __init__(self):
+        #: CTA linear id -> current barrier epoch.
+        self._epochs: Dict[int, int] = {}
+        self._last_write: Dict[int, _Record] = {}
+        self._last_read: Dict[int, _Record] = {}
+
+    def begin_launch(self) -> None:
+        self._epochs.clear()
+        self._last_write.clear()
+        self._last_read.clear()
+
+    def barrier_released(self, cta: int) -> None:
+        """The execution manager released ``cta``'s barrier pool: all
+        subsequent accesses are ordered after all prior ones."""
+        self._epochs[cta] = self._epochs.get(cta, 0) + 1
+
+    def epoch(self, cta: int) -> int:
+        return self._epochs.get(cta, 0)
+
+    def record(
+        self,
+        cta: int,
+        thread: int,
+        ctaid: Tuple[int, int, int],
+        tid: Tuple[int, int, int],
+        address: int,
+        size: int,
+        is_write: bool,
+        atomic: bool,
+        label: Optional[str],
+        index: int,
+    ) -> Optional[RaceConflict]:
+        """Log one shared access; return the first hazard found (the
+        caller reports it), or None."""
+        epoch = self._epochs.get(cta, 0)
+        access = (
+            cta, epoch, thread, ctaid, tid, label, index, atomic,
+            is_write,
+        )
+        writes = self._last_write
+        reads = self._last_read
+        conflict: Optional[RaceConflict] = None
+        for byte in range(address, address + size):
+            prior = writes.get(byte)
+            if (
+                conflict is None
+                and prior is not None
+                and prior[0] == cta
+                and prior[1] == epoch
+                and prior[2] != thread
+                and not (atomic and prior[7])
+            ):
+                conflict = RaceConflict(byte, prior, epoch)
+            if is_write:
+                if conflict is None:
+                    prior_read = reads.get(byte)
+                    if (
+                        prior_read is not None
+                        and prior_read[0] == cta
+                        and prior_read[1] == epoch
+                        and prior_read[2] != thread
+                        and not (atomic and prior_read[7])
+                    ):
+                        conflict = RaceConflict(byte, prior_read, epoch)
+                writes[byte] = access
+            else:
+                reads[byte] = access
+        return conflict
+
+
+__all__ = ["RaceConflict", "RaceDetector"]

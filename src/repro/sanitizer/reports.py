@@ -1,0 +1,154 @@
+"""Structured sanitizer findings and their text rendering.
+
+A :class:`SanitizerReport` is the unit the whole subsystem deals in:
+fatal mode wraps one in a :class:`~repro.errors.SanitizerError` (which
+the trap machinery renders via :func:`format_sanitizer_report`);
+non-fatal mode accumulates deduplicated reports per launch on
+``LaunchStatistics.sanitizer``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+
+@dataclass
+class AllocationInfo:
+    """The allocation a finding points into (registry record snapshot)."""
+
+    base: int
+    size: int
+    kind: str
+    label: Optional[str]
+    site: str
+    sequence: int
+    freed: bool = False
+    #: Per-segment payload bytes and stride for segmented slabs (the
+    #: per-thread local regions); None for plain allocations.
+    segment: Optional[int] = None
+    stride: Optional[int] = None
+
+    def describe(self) -> str:
+        name = f" {self.label!r}" if self.label else ""
+        state = "freed" if self.freed else "live"
+        layout = ""
+        if self.segment is not None and self.stride:
+            layout = (
+                f", segmented {self.segment}B payload / "
+                f"{self.stride}B stride"
+            )
+        return (
+            f"#{self.sequence}{name} ({self.kind}, {state}, "
+            f"{self.size} bytes at [0x{self.base:x}, "
+            f"0x{self.base + self.size:x}){layout}) allocated at "
+            f"{self.site}"
+        )
+
+
+@dataclass(frozen=True)
+class AccessInfo:
+    """One guest access, for race reports: who touched the byte."""
+
+    ctaid: Tuple[int, int, int]
+    tid: Tuple[int, int, int]
+    block_label: Optional[str]
+    op_index: int
+    write: bool
+    atomic: bool = False
+
+    def __str__(self):
+        what = "atomic " if self.atomic else ""
+        what += "write" if self.write else "read"
+        return (
+            f"{what} by cta={self.ctaid} tid={self.tid} at block "
+            f"{self.block_label!r} op {self.op_index}"
+        )
+
+
+@dataclass
+class SanitizerReport:
+    """One sanitizer finding.
+
+    ``kind`` is one of ``"oob"`` (access into a redzone),
+    ``"use-after-free"`` (access into quarantined memory),
+    ``"invalid"`` (null page / never-allocated bytes),
+    ``"uninit-read"`` (initcheck), ``"race"`` (shared-memory hazard
+    within one barrier interval), or ``"leak"`` (device allocation
+    never freed, from the :meth:`Device.reset` leak check).
+    """
+
+    kind: str
+    kernel: str
+    message: str
+    address: int
+    size: int
+    ctaid: Optional[Tuple[int, int, int]] = None
+    tid: Optional[Tuple[int, int, int]] = None
+    block_label: Optional[str] = None
+    op_index: int = -1
+    space: str = "global"
+    allocation: Optional[AllocationInfo] = None
+    #: The earlier conflicting access, for race reports.
+    conflict: Optional[AccessInfo] = None
+    #: How often this (deduplicated) finding fired in non-fatal mode.
+    count: int = 1
+
+    def dedup_key(self) -> tuple:
+        """Site identity: repeated hits of one program point collapse
+        into one report with a bumped ``count``."""
+        return (
+            self.kind,
+            self.kernel,
+            self.block_label,
+            self.op_index,
+            self.allocation.base if self.allocation else None,
+        )
+
+    def __str__(self):
+        return format_sanitizer_report(self)
+
+
+def format_sanitizer_report(report: SanitizerReport) -> str:
+    """Render one finding as a short multi-line diagnostic."""
+    lines = [f"{report.kind}: {report.message}"]
+    if report.tid is not None:
+        lines.append(
+            f"  kernel {report.kernel!r} cta={report.ctaid} "
+            f"tid={report.tid} block={report.block_label!r} "
+            f"op={report.op_index} space={report.space}"
+        )
+    elif report.kernel:
+        lines.append(f"  kernel {report.kernel!r}")
+    if report.allocation is not None:
+        lines.append(f"  allocation {report.allocation.describe()}")
+    if report.conflict is not None:
+        lines.append(f"  conflicts with earlier {report.conflict}")
+    if report.count > 1:
+        lines.append(f"  reported {report.count} times at this site")
+    return "\n".join(lines)
+
+
+def format_sanitizer_reports(
+    reports: Iterable[SanitizerReport],
+    title: str = "Sanitizer reports",
+) -> str:
+    """Render a launch's accumulated findings (non-fatal mode)."""
+    reports = list(reports)
+    lines: List[str] = [title, "-" * 72]
+    if not reports:
+        lines.append("  (clean: no findings)")
+        return "\n".join(lines)
+    for report in reports:
+        for line in format_sanitizer_report(report).splitlines():
+            lines.append(f"  {line}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "AccessInfo",
+    "AllocationInfo",
+    "SanitizerReport",
+    "format_sanitizer_report",
+    "format_sanitizer_reports",
+]

@@ -1,0 +1,355 @@
+"""Per-byte shadow state, allocation registry, redzones, quarantine.
+
+Every byte of the arena carries one shadow state:
+
+====================  =====================================================
+``UNADDRESSABLE`` 0   never handed out (incl. the null page)
+``UNINITIALIZED`` 1   allocated payload no one has written yet
+``INITIALIZED``   2   allocated payload holding a written value
+``REDZONE``       3   guard bytes around/inside an allocation's payload
+``QUARANTINE``    4   payload of a freed allocation, held back from reuse
+====================  =====================================================
+
+An access is well-formed iff every byte it touches is in state 1 or 2;
+a load additionally wants state 2 everywhere when initcheck is on.
+Classification of a *bad* byte (which allocation's redzone? whose
+quarantined payload?) goes through the registry — a record per
+allocation with payload bounds, the surrounding redzone span, a kind
+(``device`` / ``param`` / ``shared`` / ``local`` / ``global``), an
+optional label, and the host allocation site.
+
+Freed allocations are quarantined: their span is *not* returned to the
+arena until the quarantine's byte budget forces eviction (FIFO), so a
+use-after-free keeps faulting instead of silently reading whatever got
+reallocated there.
+"""
+
+from __future__ import annotations
+
+import traceback
+from bisect import bisect_right, insort
+from collections import deque
+from typing import Deque, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import MemoryFault
+from ..machine.memory import _NULL_GUARD
+from .reports import AllocationInfo
+
+UNADDRESSABLE = 0
+UNINITIALIZED = 1
+INITIALIZED = 2
+REDZONE = 3
+QUARANTINE = 4
+
+STATE_NAMES = {
+    UNADDRESSABLE: "unaddressable",
+    UNINITIALIZED: "uninitialized",
+    INITIALIZED: "initialized",
+    REDZONE: "redzone",
+    QUARANTINE: "quarantined",
+}
+
+
+class AllocationRecord:
+    """Registry entry for one sanitized allocation."""
+
+    __slots__ = (
+        "base",
+        "size",
+        "kind",
+        "label",
+        "site",
+        "sequence",
+        "span_base",
+        "span_size",
+        "segment",
+        "stride",
+        "freed",
+    )
+
+    def __init__(
+        self,
+        base: int,
+        size: int,
+        kind: str,
+        label: Optional[str],
+        site: str,
+        sequence: int,
+        span_base: int,
+        span_size: int,
+    ):
+        self.base = base
+        self.size = size
+        self.kind = kind
+        self.label = label
+        self.site = site
+        self.sequence = sequence
+        self.span_base = span_base
+        self.span_size = span_size
+        #: Segmented slabs (per-thread local regions): payload bytes
+        #: per segment and the stride between segment starts.
+        self.segment: Optional[int] = None
+        self.stride: Optional[int] = None
+        self.freed = False
+
+    def info(self) -> AllocationInfo:
+        return AllocationInfo(
+            base=self.base,
+            size=self.size,
+            kind=self.kind,
+            label=self.label,
+            site=self.site,
+            sequence=self.sequence,
+            freed=self.freed,
+            segment=self.segment,
+            stride=self.stride,
+        )
+
+
+def _allocation_site(
+    skip_substrings=("/sanitizer/", "machine/memory.py", "api/device.py")
+) -> str:
+    """The nearest stack frame outside the sanitizer/memory layers —
+    the code that asked for the allocation."""
+    for frame in reversed(traceback.extract_stack(limit=16)[:-1]):
+        filename = frame.filename.replace("\\", "/")
+        if any(part in filename for part in skip_substrings):
+            continue
+        short = filename.rsplit("/", 1)[-1]
+        return f"{short}:{frame.lineno} in {frame.name}"
+    return "<unknown>"
+
+
+class ShadowMemory:
+    """Shadow array + allocation registry + use-after-free quarantine
+    layered over one :class:`~repro.machine.memory.MemorySystem`."""
+
+    def __init__(
+        self,
+        memory,
+        redzone: int = 16,
+        quarantine_capacity: int = 1 << 20,
+    ):
+        self.memory = memory
+        self.redzone = redzone
+        self.quarantine_capacity = quarantine_capacity
+        self.shadow = np.zeros(memory.size, dtype=np.uint8)
+        #: payload base -> live/quarantined record
+        self._records: dict = {}
+        #: (span_base, record) sorted by span_base, for classification
+        self._spans: List[Tuple[int, AllocationRecord]] = []
+        self._quarantine: Deque[AllocationRecord] = deque()
+        self._quarantine_bytes = 0
+        self._sequence = 0
+
+    # -- allocation ---------------------------------------------------------
+
+    def allocate(
+        self,
+        size: int,
+        align: int = 16,
+        kind: str = "device",
+        label: Optional[str] = None,
+    ) -> int:
+        """Allocate ``size`` payload bytes with redzones on both sides.
+        The left redzone is rounded up so the payload keeps the
+        requested alignment."""
+        align = max(align, 1)
+        left = self.redzone + (-self.redzone % align)
+        span = self.memory._arena_allocate(size + left + self.redzone, align)
+        base = span + left
+        self._sequence += 1
+        record = AllocationRecord(
+            base=base,
+            size=size,
+            kind=kind,
+            label=label,
+            site=_allocation_site(),
+            sequence=self._sequence,
+            span_base=span,
+            span_size=size + left + self.redzone,
+        )
+        shadow = self.shadow
+        shadow[span:base] = REDZONE
+        shadow[base : base + size] = (
+            INITIALIZED if kind in ("global", "const") else UNINITIALIZED
+        )
+        shadow[base + size : span + record.span_size] = REDZONE
+        self._records[base] = record
+        insort(self._spans, (span, record), key=lambda item: item[0])
+        return base
+
+    def free(self, address: int, size: int) -> None:
+        """Quarantine a previously sanitized allocation. Mismatched or
+        repeated frees raise :class:`~repro.errors.MemoryFault`."""
+        record = self._records.get(address)
+        if record is None:
+            raise MemoryFault(
+                address, size, "free of an address that was never "
+                "returned by allocate"
+            )
+        if record.freed:
+            raise MemoryFault(address, size, "double free")
+        if size != record.size:
+            raise MemoryFault(
+                address,
+                size,
+                f"free size mismatch (allocation holds {record.size} "
+                f"bytes)",
+            )
+        record.freed = True
+        self.shadow[record.base : record.base + record.size] = QUARANTINE
+        self._quarantine.append(record)
+        self._quarantine_bytes += record.span_size
+        while (
+            self._quarantine
+            and self._quarantine_bytes > self.quarantine_capacity
+        ):
+            self._evict_one()
+
+    def _evict_one(self) -> None:
+        record = self._quarantine.popleft()
+        self._quarantine_bytes -= record.span_size
+        self.shadow[record.span_base : record.span_base + record.span_size] = (
+            UNADDRESSABLE
+        )
+        self._drop_record(record)
+        self.memory._arena_free(record.span_base, record.span_size)
+
+    def _drop_record(self, record: AllocationRecord) -> None:
+        self._records.pop(record.base, None)
+        index = bisect_right(
+            self._spans, record.span_base, key=lambda item: item[0]
+        ) - 1
+        while index >= 0 and self._spans[index][0] == record.span_base:
+            if self._spans[index][1] is record:
+                del self._spans[index]
+                return
+            index -= 1
+
+    def quarantined(self, address: int) -> bool:
+        """Is ``address`` the payload base of a quarantined record?"""
+        record = self._records.get(address)
+        return record is not None and record.freed
+
+    def live_records(self) -> Iterator[AllocationRecord]:
+        for record in self._records.values():
+            if not record.freed:
+                yield record
+
+    def resegment(
+        self, base: int, segment: int, stride: int
+    ) -> None:
+        """(Re)apply a segmented layout to a slab's payload: every
+        ``stride`` bytes, the first ``segment`` are payload and the
+        rest interior redzone. Used for the per-thread local regions
+        (and to restrict a reused shared slab to the live kernel's
+        shared segment). Payload bytes reset to UNINITIALIZED."""
+        record = self._records.get(base)
+        if record is None or record.freed:
+            return
+        record.segment = segment
+        record.stride = stride
+        shadow = self.shadow
+        end = record.base + record.size
+        shadow[record.base : end] = UNINITIALIZED
+        if stride and segment < stride:
+            for start in range(record.base, end, stride):
+                shadow[
+                    start + segment : min(start + stride, end)
+                ] = REDZONE
+
+    def reset(self) -> None:
+        """Forget everything (the arena itself was reset)."""
+        self.shadow[:] = UNADDRESSABLE
+        self._records.clear()
+        self._spans.clear()
+        self._quarantine.clear()
+        self._quarantine_bytes = 0
+
+    # -- host-side writes ---------------------------------------------------
+
+    def note_host_write(self, address: int, size: int) -> None:
+        """A host copy/fill wrote [address, address+size): payload
+        bytes become INITIALIZED; guard bytes keep their state."""
+        span = self.shadow[address : address + size]
+        span[span == UNINITIALIZED] = INITIALIZED
+
+    # -- access checking ----------------------------------------------------
+
+    def find_record(self, address: int) -> Optional[AllocationRecord]:
+        """The record whose *span* (redzones included) covers
+        ``address``, or None."""
+        index = bisect_right(
+            self._spans, address, key=lambda item: item[0]
+        )
+        if index > 0:
+            # Spans never overlap: the last span starting at or before
+            # the address is the only candidate.
+            record = self._spans[index - 1][1]
+            if record.span_base + record.span_size > address:
+                return record
+        return None
+
+    def check(
+        self, address: int, size: int, is_write: bool, want_init: bool
+    ):
+        """Classify one guest access. Returns ``None`` when the access
+        is well-formed (marking written bytes INITIALIZED), else a
+        ``(kind, record, detail)`` finding; the shadow is left
+        untouched on a finding so non-fatal mode keeps faulting."""
+        shadow = self.shadow
+        if size <= 0 or address < 0 or address + size > shadow.size:
+            return ("invalid", None, "outside the arena")
+        span = shadow[address : address + size]
+        if int(span.min()) == UNADDRESSABLE or int(span.max()) >= REDZONE:
+            bad = int(
+                np.argmax((span == UNADDRESSABLE) | (span >= REDZONE))
+            )
+            state = int(span[bad])
+            record = self.find_record(address + bad)
+            if state == REDZONE:
+                return ("oob", record, self._oob_detail(address + bad, record))
+            if state == QUARANTINE:
+                return ("use-after-free", record, "freed memory")
+            if address + bad < _NULL_GUARD:
+                return ("invalid", None, "null-page access")
+            return ("invalid", record, "never-allocated memory")
+        if want_init and bool((span == UNINITIALIZED).any()):
+            record = self.find_record(address)
+            return ("uninit-read", record, "uninitialized value")
+        if is_write:
+            span[:] = INITIALIZED
+        return None
+
+    @staticmethod
+    def _oob_detail(byte: int, record) -> str:
+        if record is None:
+            return "redzone"
+        end = record.base + record.size
+        if byte >= end:
+            return f"{byte - end} bytes past the end of the allocation"
+        if byte < record.base:
+            return f"{record.base - byte} bytes before the allocation"
+        # Interior redzone of a segmented slab.
+        if record.stride:
+            offset = (byte - record.base) % record.stride
+            return (
+                f"{offset - (record.segment or 0)} bytes past the end "
+                f"of a {record.segment}-byte segment"
+            )
+        return "interior redzone"
+
+
+__all__ = [
+    "AllocationRecord",
+    "INITIALIZED",
+    "QUARANTINE",
+    "REDZONE",
+    "STATE_NAMES",
+    "ShadowMemory",
+    "UNADDRESSABLE",
+    "UNINITIALIZED",
+]

@@ -24,6 +24,21 @@ can drive every containment path on demand:
 ``barrier_starvation``
     Barrier releases are suppressed, stranding arrived threads —
     exercising :class:`~repro.errors.BarrierDeadlock` reporting.
+``oob_within_arena``
+    Guest stores aimed inside one allocation are redirected to just
+    past its end — still inside the arena, so only the sanitizer's
+    redzones can tell. Sanitized devices trap with exact coordinates;
+    unsanitized devices complete silently (corrupting the neighbour).
+``use_after_free``
+    Guest loads aimed inside one allocation are redirected to the
+    corresponding offset of a buffer the test already freed. Sanitized
+    devices fault on the quarantined bytes; unsanitized devices
+    silently read whatever the arena holds there.
+``shared_race``
+    Fired shared-memory guest stores are redirected to byte 0 of the
+    storing thread's CTA shared segment, manufacturing a same-interval
+    write-write conflict between threads. Only the sanitizer's race
+    detector can see it — the stores themselves are in bounds.
 
 Determinism: every probabilistic decision comes from one
 ``random.Random`` seeded explicitly or from ``$REPRO_FAULT_SEED``
@@ -47,6 +62,14 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..errors import ExecutionError, MemoryFault, VectorizationError
 
 
+def _region(allocation) -> Tuple[int, int]:
+    """``(base, size)`` of an Allocation-like object or a bare pair."""
+    if isinstance(allocation, tuple):
+        base, size = allocation
+        return int(base), int(size)
+    return int(allocation), int(allocation.size)
+
+
 def fault_seed(default: int = 0) -> int:
     """The fault-injection seed for this process: ``$REPRO_FAULT_SEED``
     when set, otherwise ``default``."""
@@ -66,6 +89,9 @@ class FaultInjector:
         "cache_corruption",
         "slow_warp",
         "barrier_starvation",
+        "oob_within_arena",
+        "use_after_free",
+        "shared_race",
     )
 
     def __init__(self, device, seed: Optional[int] = None):
@@ -227,6 +253,142 @@ class FaultInjector:
             return original(*args, **kwargs)
 
         self._patch(interpreter, "execute", execute)
+
+    def _arm_oob_within_arena(
+        self, probability: float, allocation=None, delta: int = 4
+    ) -> None:
+        """Redirect stores aimed inside ``allocation`` (an
+        :class:`~repro.machine.memory.Allocation` or ``(base, size)``)
+        to ``delta`` bytes past its end. On a sanitized device the
+        checked store path is patched (works even after translation:
+        checked closures late-bind the sanitizer); on an unsanitized
+        device the raw ``memory.store`` is patched, which — like
+        ``memory_fault`` — must happen before translation."""
+        if allocation is None:
+            raise ValueError("oob_within_arena needs allocation=")
+        base, size = _region(allocation)
+        sanitizer = getattr(self.device, "sanitizer", None)
+        if sanitizer is not None:
+            original = sanitizer.guest_store
+
+            def guest_store(
+                state, lane, address, dtype, value, shared, label,
+                index, atomic=False,
+            ):
+                address = int(address)
+                if (
+                    not shared
+                    and base <= address < base + size
+                    and self._fires("oob_within_arena", probability)
+                ):
+                    address = base + size + delta
+                return original(
+                    state, lane, address, dtype, value, shared, label,
+                    index, atomic=atomic,
+                )
+
+            self._patch(sanitizer, "guest_store", guest_store)
+            return
+        memory = self.device.memory
+        original = memory.store
+
+        def store(dtype, address, value):
+            address = int(address)
+            if base <= address < base + size and self._fires(
+                "oob_within_arena", probability
+            ):
+                address = base + size + delta
+            return original(dtype, address, value)
+
+        self._patch(memory, "store", store)
+
+    def _arm_use_after_free(
+        self, probability: float, allocation=None, freed=None
+    ) -> None:
+        """Redirect loads aimed inside ``allocation`` to the matching
+        offset of ``freed`` — a buffer the test has already freed.
+        Same patch points and arming caveats as ``oob_within_arena``,
+        on the load side."""
+        if allocation is None or freed is None:
+            raise ValueError(
+                "use_after_free needs allocation= and freed="
+            )
+        base, size = _region(allocation)
+        victim = int(freed)
+        sanitizer = getattr(self.device, "sanitizer", None)
+        if sanitizer is not None:
+            original = sanitizer.guest_load
+
+            def guest_load(
+                state, lane, address, dtype, shared, label, index,
+                atomic=False,
+            ):
+                address = int(address)
+                if (
+                    not shared
+                    and base <= address < base + size
+                    and self._fires("use_after_free", probability)
+                ):
+                    address = victim + (address - base)
+                return original(
+                    state, lane, address, dtype, shared, label, index,
+                    atomic=atomic,
+                )
+
+            self._patch(sanitizer, "guest_load", guest_load)
+            return
+        memory = self.device.memory
+        original = memory.load
+
+        def load(dtype, address):
+            address = int(address)
+            if base <= address < base + size and self._fires(
+                "use_after_free", probability
+            ):
+                address = victim + (address - base)
+            return original(dtype, address)
+
+        self._patch(memory, "load", load)
+
+    def _arm_shared_race(self, probability: float) -> None:
+        """Redirect fired shared-memory stores to byte 0 of the storing
+        thread's CTA shared segment: two different threads firing
+        within one barrier interval manufacture a W-W race. On an
+        unsanitized device shared stores are recognized by address
+        (the managers' slab ranges) and silently complete."""
+        sanitizer = getattr(self.device, "sanitizer", None)
+        if sanitizer is not None:
+            original = sanitizer.guest_store
+
+            def guest_store(
+                state, lane, address, dtype, value, shared, label,
+                index, atomic=False,
+            ):
+                if shared and self._fires("shared_race", probability):
+                    address = state.contexts[lane].shared_base
+                return original(
+                    state, lane, address, dtype, value, shared, label,
+                    index, atomic=atomic,
+                )
+
+            self._patch(sanitizer, "guest_store", guest_store)
+            return
+        managers = self.device.launcher.managers
+        memory = self.device.memory
+        original = memory.store
+
+        def store(dtype, address, value):
+            address = int(address)
+            for manager in managers:
+                slab_bytes = manager._shared_slab_bytes
+                for slab in manager._shared_slabs:
+                    if slab <= address < slab + slab_bytes:
+                        if self._fires("shared_race", probability):
+                            address = slab
+                        return original(dtype, address, value)
+            return original(dtype, address, value)
+
+        self._patch(memory, "store", store)
 
     def _arm_barrier_starvation(self, probability: float) -> None:
         for manager in self.device.launcher.managers:
