@@ -27,15 +27,15 @@ from ..errors import (
     LaunchTimeout,
     ReproError,
 )
+from ..machine.backend import create_backend
 from ..machine.descriptor import MachineDescription, sandybridge
-from ..machine.interpreter import Interpreter
 from ..machine.memory import Allocation, MemorySystem
 from ..ptx.module import Module
 from ..ptx.parser import parse
 from ..ptx.types import DataType
 from ..ptx.validator import validate_module
 from ..runtime.cache_store import CacheStore
-from ..runtime.config import ExecutionConfig
+from ..runtime.config import ExecutionConfig, apply_backend_env
 from ..sanitizer.core import KernelSanitizer, apply_sanitize_env
 from ..runtime.launcher import KernelLauncher, LaunchResult
 from ..runtime.translation_cache import TranslationCache
@@ -78,7 +78,9 @@ class Device:
         cache_store: Optional[CacheStore] = None,
     ):
         self.machine = machine or sandybridge()
-        self.config = apply_sanitize_env(config or ExecutionConfig())
+        self.config = apply_backend_env(
+            apply_sanitize_env(config or ExecutionConfig())
+        )
         self.memory = MemorySystem(size=memory_size)
         #: Checked-execution services (``config.sanitize``); None when
         #: running the unchecked fast path. Must attach to the memory
@@ -92,7 +94,8 @@ class Device:
                 fatal=self.config.sanitize_fatal,
             )
             self.memory.sanitizer = self.sanitizer
-        self.interpreter = Interpreter(
+        self.interpreter = create_backend(
+            self.config.backend,
             self.machine,
             self.memory,
             mode=self.config.interpreter_mode,

@@ -57,6 +57,13 @@ def main(argv=None) -> int:
         help="regenerate a single experiment",
     )
     parser.add_argument(
+        "--backend",
+        choices=["interpreter", "array"],
+        default="interpreter",
+        help="execution backend for the Table-1 runs (modeled "
+        "GFLOP/s are backend-invariant; host wall-clock is not)",
+    )
+    parser.add_argument(
         "--perf-baseline",
         metavar="JSON",
         default=None,
@@ -78,7 +85,9 @@ def main(argv=None) -> int:
     wants = lambda name: arguments.only in (None, name)  # noqa: E731
 
     if wants("table1"):
-        table1 = run_table1(scale=arguments.scale)
+        table1 = run_table1(
+            scale=arguments.scale, backend=arguments.backend
+        )
         sections.append(format_table1(table1))
         if arguments.write_perf_baseline:
             with open(arguments.write_perf_baseline, "w") as handle:
@@ -86,6 +95,7 @@ def main(argv=None) -> int:
                     {
                         "experiment": "table1",
                         "scale": arguments.scale,
+                        "backend": arguments.backend,
                         "host_seconds": round(
                             table1.total_host_seconds, 3
                         ),

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -71,8 +71,21 @@ from .costmodel import (
 from .descriptor import MachineDescription
 from .memory import MemorySystem
 
-# NumPy integer wraparound is the desired machine semantics.
-np.seterr(over="ignore", invalid="ignore", divide="ignore")
+# NumPy integer wraparound is the desired machine semantics, but only
+# while guest code is executing: the error-state switch is scoped with
+# ``np.errstate`` around the run loops (and the array backend's batch
+# walk) instead of mutated globally, so importing repro never changes
+# the host process's ``np.geterr()`` settings.
+_GUEST_ERRSTATE = {
+    "over": "ignore",
+    "invalid": "ignore",
+    "divide": "ignore",
+}
+
+
+def guest_errstate():
+    """The numpy error-state context for guest kernel execution."""
+    return np.errstate(**_GUEST_ERRSTATE)
 
 _DEFAULT_INSTRUCTION_LIMIT = 200_000_000
 
@@ -146,6 +159,12 @@ class ExecutableFunction:
     register_slots: Dict[str, int] = field(default_factory=dict)
     register_count: int = 0
     entry_label: str = ""
+    #: Batched array lowering (``machine.array_backend``): per block,
+    #: ``(ops, terminator)`` operating on all resident warps at once.
+    #: ``None`` when the loading backend does not build one (plain
+    #: interpreter, sanitized/dispatch modes, or a function the array
+    #: translator excludes, e.g. one containing atomics).
+    array_blocks: Optional[Dict[str, tuple]] = None
 
     @property
     def name(self) -> str:
@@ -154,6 +173,30 @@ class ExecutableFunction:
     @property
     def warp_size(self) -> int:
         return self.function.warp_size
+
+
+@dataclass
+class Continuation:
+    """Mid-kernel hand-off from the array backend to the closure path.
+
+    When a batched warp leaves the uniform array region (a divergent
+    terminator, or a block with no array lowering), the batch runner
+    builds one Continuation per warp: the label to continue from, the
+    warp's register rows extracted from the batched register file, and
+    the counters the batched prefix already accumulated. ``execute``
+    seeds a warp state with them and resumes ``run_compiled`` from the
+    label — with ``at_terminator`` set, the block body already ran
+    batched and only the terminator remains to evaluate.
+    """
+
+    label: str
+    at_terminator: bool
+    executed: int
+    kernel_cycles: int
+    yield_cycles: int
+    flops: int
+    #: ``(slot, value)`` pairs to transplant into the register file.
+    registers: Tuple = ()
 
 
 #: Lowering/execution strategies of :class:`Interpreter`.
@@ -257,6 +300,7 @@ class Interpreter:
         param_base: int,
         stats: Optional[ExecutionStats] = None,
         state: Optional["_WarpState"] = None,
+        continuation: Optional["Continuation"] = None,
     ) -> int:
         """Run ``warp`` through ``executable`` from its scheduler block.
 
@@ -265,14 +309,22 @@ class Interpreter:
         ``state`` may be a pooled :meth:`new_state` instance to reuse
         across executions; per-warp results are then available on
         ``state.stats`` (also merged into ``stats`` when given).
+
+        ``continuation`` resumes the closure fast path mid-kernel: the
+        array backend hands over a :class:`Continuation` when a batched
+        warp leaves the uniform region, carrying the register rows and
+        accumulated counters of the batched prefix (closure mode only).
         """
         if state is None:
             state = _WarpState(self)
         state.reset(executable, warp, param_base)
-        if self.mode == "closure":
-            status = state.run_compiled()
-        else:
-            status = state.run()
+        with guest_errstate():
+            if continuation is not None:
+                status = state.run_continuation(continuation)
+            elif self.mode == "closure":
+                status = state.run_compiled()
+            else:
+                status = state.run()
         if stats is not None:
             stats.merge(state.stats)
         return status
@@ -456,15 +508,59 @@ class _WarpState:
             _annotate_fault(fault, label, position)
             raise
 
-    def run_compiled(self) -> int:
+    def run_continuation(self, continuation: "Continuation") -> int:
+        """Resume the closure fast path mid-kernel (the array backend's
+        fallback): seed the statistics with the batched prefix's
+        counters, transplant the warp's register rows, then continue
+        from the continuation's label. With ``at_terminator`` set the
+        block body already ran batched, so only its terminator is
+        evaluated before the walk continues."""
+        stats = self.stats
+        stats.kernel_cycles = continuation.kernel_cycles
+        stats.yield_cycles = continuation.yield_cycles
+        stats.flops = continuation.flops
+        stats.instructions = continuation.executed
+        regs = self.regs
+        for slot, value in continuation.registers:
+            regs[slot] = value
+        label = continuation.label
+        if continuation.at_terminator:
+            compiled = self.executable.compiled_blocks[label]
+            try:
+                result = compiled[5](self)
+            except ExecutionError as fault:
+                block = self.function.blocks.get(label)
+                index = (
+                    len(block.instructions) if block is not None else -1
+                )
+                _annotate_fault(fault, label, index)
+                raise
+            if type(result) is int:
+                return result
+            label = result
+        return self.run_compiled(
+            start_label=label, start_executed=continuation.executed
+        )
+
+    def run_compiled(
+        self,
+        start_label: Optional[str] = None,
+        start_executed: int = 0,
+    ) -> int:
         """The closure fast path: one pre-bound closure per instruction
         and one statistics update per block executed. Cycle/flop sums
         accumulate in locals and flush to ``stats`` lazily — before any
         precise block (whose ops observe the counters mid-block via
-        ``%clock``) and at exit."""
+        ``%clock``) and at exit. ``start_label``/``start_executed``
+        resume mid-kernel (array-backend fallback); counters already in
+        ``stats`` are kept and accumulated onto."""
         blocks = self.executable.compiled_blocks
-        label = self.executable.entry_label
-        executed = 0
+        label = (
+            self.executable.entry_label
+            if start_label is None
+            else start_label
+        )
+        executed = start_executed
         stats = self.stats
         limit = self.limit
         deadline = self.deadline
@@ -608,16 +704,12 @@ class _WarpState:
         if destination_dtype.is_float or not inst.src_type.is_float:
             result = np.asarray(source).astype(numpy_dtype)
         else:
-            rounding = inst.rounding or "rzi"
-            if rounding == "rni":
-                rounded = np.rint(source)
-            elif rounding == "rmi":
-                rounded = np.floor(source)
-            elif rounding == "rpi":
-                rounded = np.ceil(source)
-            else:
-                rounded = np.trunc(source)
-            result = np.asarray(rounded).astype(numpy_dtype)
+            round_fn = _ROUNDING_FNS.get(
+                inst.rounding or "rzi", np.trunc
+            )
+            result = _saturating_float_to_int(
+                source, round_fn, numpy_dtype
+            )
         if result.ndim == 0:
             result = result[()]
         self.set(inst.dst, result)
@@ -846,12 +938,101 @@ _CONTEXT_GETTERS = {
 }
 
 
+# -- conversion helpers ----------------------------------------------------
+
+
+_ROUNDING_FNS = {
+    "rni": np.rint,
+    "rmi": np.floor,
+    "rpi": np.ceil,
+    "rzi": np.trunc,
+}
+
+
+def _saturating_float_to_int(source, round_fn, numpy_dtype):
+    """PTX float→integer ``cvt``: round, then *saturate* to the
+    destination range; NaN converts to 0. A plain ``astype`` wraps
+    modulo 2**N (and is undefined for NaN), so out-of-range lanes are
+    masked to 0 before the cast and patched with the saturated bound
+    afterwards. Returns an ndarray (0-d for scalar input).
+
+    The range comparison runs in float64. For 64-bit destinations the
+    exact integer bounds are not representable there: the nearest
+    float64 at or above ``iinfo.max`` is used as the high cutoff, so
+    any float that would overflow the cast still saturates.
+    """
+    array = np.asarray(source)
+    rounded = round_fn(array)
+    info = np.iinfo(numpy_dtype)
+    compare = rounded.astype(np.float64)
+    # float64(info.max) rounds *up* to 2**63 / 2**64 for the 64-bit
+    # types; >= keeps the cutoff exact in every width.
+    high_cutoff = np.float64(info.max)
+    low_cutoff = np.float64(info.min)
+    nan_mask = np.isnan(compare)
+    high_mask = compare >= high_cutoff
+    low_mask = compare <= low_cutoff
+    out_of_range = nan_mask | high_mask | low_mask
+    safe = np.where(out_of_range, 0.0, rounded)
+    result = safe.astype(numpy_dtype)
+    if out_of_range.any():
+        result = np.where(
+            high_mask, numpy_dtype.type(info.max), result
+        )
+        result = np.where(
+            low_mask, numpy_dtype.type(info.min), result
+        )
+        result = result.astype(numpy_dtype)
+    return result
+
+
 # -- binary operator implementations -------------------------------------
 
 
-def _shift_mask(b, dtype: DataType):
+def _shift_amount(b):
+    """Shift counts as unsigned 64-bit values (negative counts on a
+    signed operand reinterpret as huge, clamping like PTX)."""
+    b = np.asarray(b)
+    if b.dtype.kind == "i":
+        b = b.view(np.dtype(f"u{b.dtype.itemsize}"))
+    return b.astype(np.uint64)
+
+
+def _clamped_shl(a, b, dtype: DataType):
+    """PTX ``shl``: shift amounts >= the type width yield 0 (no modulo
+    reduction). The hardware shifter clamps, it does not wrap."""
     bits = dtype.size * 8
-    return np.asarray(b).astype(np.uint64) % bits
+    amount = _shift_amount(b)
+    safe = np.minimum(amount, np.uint64(bits - 1))
+    shifted = a << safe.astype(dtype.numpy_dtype)
+    result = np.where(amount >= bits, np.zeros_like(shifted), shifted)
+    return result if result.ndim else result[()]
+
+
+def _clamped_lshr(a, b, dtype: DataType):
+    """PTX logical ``shr``: amounts >= the type width yield 0."""
+    bits = dtype.size * 8
+    unsigned = np.dtype(f"u{dtype.size}")
+    amount = _shift_amount(b)
+    safe = np.minimum(amount, np.uint64(bits - 1))
+    shifted = np.asarray(a).view(unsigned) >> safe.astype(unsigned)
+    result = np.where(
+        amount >= bits, np.zeros_like(shifted), shifted
+    ).view(dtype.numpy_dtype)
+    return result if result.ndim else result[()]
+
+
+def _clamped_ashr(a, b, dtype: DataType):
+    """PTX arithmetic ``shr``: amounts >= the type width fill with the
+    sign bit — identical to shifting by width-1, so clamping the
+    amount is the whole fix."""
+    bits = dtype.size * 8
+    signed = np.dtype(f"i{dtype.size}")
+    safe = np.minimum(_shift_amount(b), np.uint64(bits - 1))
+    result = (
+        np.asarray(a).view(signed) >> safe.astype(signed)
+    ).view(dtype.numpy_dtype)
+    return result if result.ndim else result[()]
 
 
 def _int_div(a, b, dtype):
@@ -923,21 +1104,9 @@ _BINARY_IMPL = {
     "and": _logical_or_bitwise(np.bitwise_and, np.logical_and),
     "or": _logical_or_bitwise(np.bitwise_or, np.logical_or),
     "xor": _logical_or_bitwise(np.bitwise_xor, np.logical_xor),
-    "shl": lambda a, b, dt: (
-        a << _shift_mask(b, dt).astype(dt.numpy_dtype)
-    ),
-    "lshr": lambda a, b, dt: (
-        (
-            np.asarray(a).view(
-                np.dtype(f"u{dt.size}")
-            )
-            >> _shift_mask(b, dt).astype(np.dtype(f"u{dt.size}"))
-        ).view(dt.numpy_dtype)
-    ),
-    "ashr": lambda a, b, dt: (
-        np.asarray(a).view(np.dtype(f"i{dt.size}"))
-        >> _shift_mask(b, dt).astype(np.dtype(f"i{dt.size}"))
-    ).view(dt.numpy_dtype),
+    "shl": _clamped_shl,
+    "lshr": _clamped_lshr,
+    "ashr": _clamped_ashr,
 }
 
 
@@ -1365,15 +1534,13 @@ def _compile_convert(inst: Convert, slots, memory):
 
     else:
         rounding = inst.rounding or "rzi"
-        round_fn = {
-            "rni": np.rint,
-            "rmi": np.floor,
-            "rpi": np.ceil,
-        }.get(rounding, np.trunc)
+        round_fn = _ROUNDING_FNS.get(rounding, np.trunc)
 
         def op(state):
             regs = state.regs
-            result = np.asarray(round_fn(read(regs))).astype(numpy_dtype)
+            result = _saturating_float_to_int(
+                read(regs), round_fn, numpy_dtype
+            )
             regs[dst] = result[()] if result.ndim == 0 else result
 
     return op

@@ -207,6 +207,91 @@ class MemorySystem:
             scalar.tobytes(), dtype=np.uint8
         )
 
+    # -- batched guest access (the array backend's gather/scatter) --------
+
+    def _patched(self, name: str) -> bool:
+        """True when ``name`` has been overridden on this *instance*
+        (fault-injection harnesses patch ``load``/``store`` that way).
+        The batched paths then delegate per element so injected faults
+        keep firing."""
+        return name in self.__dict__
+
+    def _check_batch(self, addresses: np.ndarray, size: int) -> None:
+        bad = (addresses < _NULL_GUARD) | (
+            addresses + size > self.size
+        )
+        if bad.any():
+            # Re-raise through the scalar check so the fault carries
+            # the same payload the scalar path would produce.
+            self._check(int(addresses[int(np.argmax(bad))]), size)
+
+    def gather(self, dtype: DataType, addresses: np.ndarray):
+        """Batched :meth:`load`: one element per address, identical
+        bounds checks and ``load_count`` accounting."""
+        if self._patched("load"):
+            values = [self.load(dtype, int(a)) for a in addresses]
+            if dtype.is_predicate:
+                return np.array(values, dtype=bool)
+            return np.array(values, dtype=dtype.numpy_dtype)
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if dtype.is_predicate:
+            self._check_batch(addresses, 1)
+            self.load_count += addresses.size
+            return self.data[addresses] != 0
+        size = dtype.size
+        self._check_batch(addresses, size)
+        self.load_count += addresses.size
+        numpy_dtype = dtype.numpy_dtype
+        if size == 1:
+            return self.data[addresses].view(numpy_dtype)
+        if not (addresses % size).any():
+            return self.data.view(numpy_dtype)[addresses // size]
+        out = np.empty(addresses.shape, dtype=numpy_dtype)
+        flat = out.reshape(-1)
+        for position, address in enumerate(addresses.reshape(-1)):
+            flat[position] = self.data[
+                address : address + size
+            ].view(numpy_dtype)[0]
+        return out
+
+    def scatter(
+        self, dtype: DataType, addresses: np.ndarray, values
+    ) -> None:
+        """Batched :meth:`store`: duplicate addresses resolve to the
+        highest value index (numpy fancy assignment), matching the
+        sequential last-writer-wins order of the warps in a batch."""
+        if self._patched("store"):
+            broadcast = np.broadcast_to(
+                np.asarray(values), np.asarray(addresses).shape
+            )
+            for address, value in zip(addresses, broadcast):
+                self.store(dtype, int(address), value)
+            return
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if dtype.is_predicate:
+            self._check_batch(addresses, 1)
+            self.store_count += addresses.size
+            flags = np.broadcast_to(
+                np.asarray(values), addresses.shape
+            )
+            self.data[addresses] = (flags != 0).astype(np.uint8)
+            return
+        size = dtype.size
+        self._check_batch(addresses, size)
+        self.store_count += addresses.size
+        numpy_dtype = dtype.numpy_dtype
+        converted = np.broadcast_to(
+            np.asarray(values).astype(numpy_dtype), addresses.shape
+        )
+        if not (addresses % size).any():
+            self.data.view(numpy_dtype)[addresses // size] = converted
+            return
+        for position, address in enumerate(addresses.reshape(-1)):
+            self.data[address : address + size] = np.frombuffer(
+                converted.reshape(-1)[position].tobytes(),
+                dtype=np.uint8,
+            )
+
     # -- bulk host access (the cudaMemcpy analogues) ----------------------
 
     def write_array(self, address: int, array: np.ndarray) -> None:

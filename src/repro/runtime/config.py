@@ -95,8 +95,32 @@ class ExecutionConfig:
     #: KernelTrap); ``False`` accumulates non-fatal
     #: ``SanitizerReport``s on ``LaunchStatistics.sanitizer`` instead.
     sanitize_fatal: bool = True
+    #: Execution backend (:data:`repro.machine.backend.BACKENDS`):
+    #: ``"interpreter"`` runs one warp at a time through the selected
+    #: ``interpreter_mode``; ``"array"`` batches every resident warp
+    #: of an entry point into numpy array programs over uniform block
+    #: runs, falling back to the closure path on divergence. Can also
+    #: be selected with ``REPRO_BACKEND=array`` in the environment
+    #: (resolved at Device construction).
+    backend: str = "interpreter"
 
     def __post_init__(self):
+        from ..machine.backend import BACKENDS
+
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r} "
+                f"(expected one of {BACKENDS})"
+            )
+        if (
+            self.backend == "array"
+            and self.interpreter_mode != "closure"
+        ):
+            raise ValueError(
+                "the array backend extends the closure lowering "
+                "(its fallback path resumes compiled blocks); "
+                "interpreter_mode='dispatch' cannot batch"
+            )
         if self.interpreter_mode not in ("closure", "dispatch"):
             raise ValueError(
                 f"unknown interpreter_mode {self.interpreter_mode!r} "
@@ -172,8 +196,13 @@ class ExecutionConfig:
         statistics). ``sanitize`` participates only when ON (checked
         closures replace the memory closures), as an appended entry —
         the off-mode key is byte-identical to pre-sanitizer releases so
-        persistent-cache digests stay stable. ``sanitize_fatal`` is
-        runtime report routing, not codegen, and stays out."""
+        persistent-cache digests stay stable. ``backend`` follows the
+        same pattern: the non-default backend attaches an extra
+        lowering (the array translation table) to its executables, so
+        it gets its own cache namespace, while the default backend's
+        key stays byte-identical to earlier releases.
+        ``sanitize_fatal`` is runtime report routing, not codegen, and
+        stays out."""
         key = (
             self.warp_sizes,
             self.static_warps,
@@ -185,7 +214,36 @@ class ExecutionConfig:
         )
         if self.sanitize:
             key += (("sanitize",) + tuple(self.sanitize),)
+        if self.backend != "interpreter":
+            key += (("backend", self.backend),)
         return key
+
+
+def apply_backend_env(config: ExecutionConfig) -> ExecutionConfig:
+    """Resolve the ``REPRO_BACKEND`` environment override.
+
+    A config that already selects a non-default backend wins over the
+    environment. Dispatch-mode configs are left untouched (the array
+    backend requires the closure lowering; CI's backend matrix still
+    exercises dispatch-mode tests under their configured backend)."""
+    import os
+    from dataclasses import replace
+
+    override = os.environ.get("REPRO_BACKEND", "").strip()
+    if not override or override == config.backend:
+        return config
+    if config.backend != "interpreter":
+        return config
+    if config.interpreter_mode != "closure":
+        return config
+    from ..machine.backend import BACKENDS
+
+    if override not in BACKENDS:
+        raise ValueError(
+            f"REPRO_BACKEND={override!r} is not a known backend "
+            f"(expected one of {BACKENDS})"
+        )
+    return replace(config, backend=override)
 
 
 def baseline_config() -> ExecutionConfig:

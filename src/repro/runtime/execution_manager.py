@@ -96,6 +96,12 @@ class _ReadyPool:
 
     def __init__(self, cross_cta: bool = False):
         self._queues: "OrderedDict[tuple, deque]" = OrderedDict()
+        #: Deferred batch results per key (array backend): warps the
+        #: batch runner already executed but whose yield handling (and
+        #: any sequential fallback resume) must happen at the position
+        #: the round-robin would have reached them, so downstream
+        #: re-formation sees the exact sequential arrival order.
+        self._pending: Dict[tuple, deque] = {}
         self._cross_cta = cross_cta
         self.size = 0
 
@@ -103,6 +109,16 @@ class _ReadyPool:
         if self._cross_cta:
             return (context.resume_point,)
         return (context.resume_point, context.linear_ctaid)
+
+    def _prune(self) -> Optional[tuple]:
+        """Drop emptied head keys; return the live head key or None."""
+        while self._queues:
+            key, queue = next(iter(self._queues.items()))
+            if queue or self._pending.get(key):
+                return key
+            del self._queues[key]
+            self._pending.pop(key, None)
+        return None
 
     def push(self, context: ThreadContext) -> None:
         key = self._key(context)
@@ -113,19 +129,113 @@ class _ReadyPool:
         queue.append(context)
         self.size += 1
 
+    def head_batch(self, limit: int) -> Optional[tuple]:
+        """Peek at the head key without consuming anything:
+        ``(entry_point, linear_ctaid, queue_length)``, or None when
+        its queue holds fewer than two full ``limit``-sized warps (a
+        lone warp gains nothing from the batched path) or deferred
+        batch results are still draining. Lets the batch runner decide
+        eligibility before committing to a pop."""
+        key = self._prune()
+        if key is None or self._pending.get(key):
+            return None
+        queue = self._queues[key]
+        if len(queue) < 2 * limit:
+            return None
+        head = queue[0]
+        return (head.resume_point, head.linear_ctaid, len(queue))
+
+    def pop_chunks(self, limit: int) -> List[List[ThreadContext]]:
+        """Batch formation (array backend): every full ``limit``-sized
+        chunk of the head key's queue, in FIFO order — the same warp
+        compositions :meth:`pop_group` would produce across its visits
+        to this key, taken at once (arrivals always append, so the
+        chunk memberships are interleaving-independent). The remainder
+        (fewer than ``limit`` threads) stays queued for the sequential
+        former. The key keeps its round-robin position: the caller
+        must follow up with :meth:`defer`."""
+        key = self._prune()
+        if key is None:
+            return []
+        queue = self._queues[key]
+        if len(queue) < 2 * limit:
+            return []
+        chunks = []
+        while len(queue) >= limit:
+            chunks.append([queue.popleft() for _ in range(limit)])
+        self.size -= limit * len(chunks)
+        return chunks
+
+    def defer(self, items) -> None:
+        """Park executed-but-unhandled batch warps at the head key and
+        advance the round-robin one step, exactly as if the first warp
+        of the batch had just been popped: later pops drain these
+        deferred items (in order, ahead of the key's remainder and any
+        new arrivals) interleaved with the other keys' visits."""
+        key = next(iter(self._queues.items()))[0]
+        if items:
+            pending = self._pending.get(key)
+            if pending is None:
+                pending = deque()
+                self._pending[key] = pending
+            for item in items:
+                pending.append(item)
+                self.size += len(item[0].contexts)
+        if self._queues[key] or self._pending.get(key):
+            self._queues.move_to_end(key)
+        else:
+            del self._queues[key]
+            self._pending.pop(key, None)
+
+    def restore(self, chunks) -> None:
+        """Push chunks popped by :meth:`pop_chunks` back onto the head
+        of their key's queue, in their original order — the exact
+        inverse of the pop (the key never moved). Used when a batch
+        attempt is abandoned so the sequential path re-executes the
+        same threads in the same formation."""
+        key = next(iter(self._queues.items()))[0]
+        queue = self._queues[key]
+        for chunk in reversed(chunks):
+            for context in reversed(chunk):
+                queue.appendleft(context)
+                self.size += 1
+
+    def pop_deferred(self):
+        """The head key's next deferred batch item, or None when the
+        head key has none. Advances the round-robin like
+        :meth:`pop_group`."""
+        key = self._prune()
+        if key is None:
+            return None
+        pending = self._pending.get(key)
+        if not pending:
+            return None
+        item = pending.popleft()
+        self.size -= len(item[0].contexts)
+        if not pending:
+            del self._pending[key]
+        if self._queues[key] or self._pending.get(key):
+            self._queues.move_to_end(key)
+        else:
+            del self._queues[key]
+        return item
+
     def pop_group(self, limit: int) -> List[ThreadContext]:
         """Take up to ``limit`` threads waiting at the next entry point
         in round-robin order."""
         while self._queues:
             key, queue = next(iter(self._queues.items()))
             if not queue:
+                if self._pending.get(key):  # pragma: no cover -
+                    # deferred items are drained by the caller first
+                    return []
                 del self._queues[key]
                 continue
             members = []
             while queue and len(members) < limit:
                 members.append(queue.popleft())
             self.size -= len(members)
-            if not queue:
+            if not queue and not self._pending.get(key):
                 del self._queues[key]
             else:
                 # Round-robin: move the group to the back.
@@ -134,10 +244,15 @@ class _ReadyPool:
         return []
 
     def contexts(self) -> Iterator[ThreadContext]:
-        """All queued contexts (for watchdog/deadlock reports)."""
+        """All queued contexts, including deferred batch warps' (for
+        watchdog/deadlock reports)."""
         for queue in self._queues.values():
             for context in queue:
                 yield context
+        for pending in self._pending.values():
+            for item in pending:
+                for context in item[0].contexts:
+                    yield context
 
     def __bool__(self):
         return self.size > 0
@@ -170,6 +285,24 @@ class ExecutionManager:
         #: Pooled warp-execution state: one register file + statistics
         #: instance reused by every warp this manager runs.
         self._warp_state = interpreter.new_state()
+        #: Batched execution (array backend): discovered by feature
+        #: test, and only meaningful for dynamic formation on the
+        #: unsanitized closure path — the lowering the batch runner's
+        #: fallback continuations resume into.
+        self._batching = bool(
+            getattr(interpreter, "supports_batching", False)
+            and getattr(interpreter, "mode", None) == "closure"
+            and interpreter.sanitizer is None
+            and not config.static_warps
+            # Cross-CTA formation keys mix CTAs inside one chunk;
+            # same-CTA keys keep each chunk's barrier/exit bookkeeping
+            # confined to a single CTA.
+            and not config.allow_cross_cta_warps
+        )
+        #: Per-kernel memo: False once a kernel's maximal-width
+        #: executable proves to have no usable array lowering, so
+        #: later rounds skip the formation attempt entirely.
+        self._batchable_kernels: Dict[str, bool] = {}
         self._shared_slabs: List[int] = []
         self._shared_slab_bytes = 0
         self._local_slab: Optional[int] = None
@@ -339,6 +472,32 @@ class ExecutionManager:
         entry_labels = self.cache.scalar_ir(kernel_name).entry_points
 
         while ready:
+            if self._batching:
+                deferred = ready.pop_deferred()
+                if deferred is not None:
+                    self._finish_batch_item(
+                        kernel_name,
+                        geometry,
+                        deferred,
+                        param_base,
+                        entry_labels,
+                        ready,
+                        live_counts,
+                        barrier_pools,
+                        cta_of,
+                    )
+                    continue
+                if self._execute_batch_round(
+                    kernel_name,
+                    geometry,
+                    ready,
+                    live_counts,
+                    barrier_pools,
+                    cta_of,
+                    param_base,
+                    entry_labels,
+                ):
+                    continue
             warp = self._form_warp(kernel_name, ready)
             executable, width = self.cache.get_or_degrade(
                 kernel_name, warp.size
@@ -448,10 +607,13 @@ class ExecutionManager:
         entry_labels: Dict[int, str],
         ready: _ReadyPool,
         barrier_pools: Dict[int, List[ThreadContext]],
+        continuation=None,
     ) -> int:
         """Run one warp with the watchdog armed; any escaping
         ExecutionError is re-raised as a structured KernelTrap (or a
-        LaunchTimeout when the watchdog fired)."""
+        LaunchTimeout when the watchdog fired). ``continuation``
+        resumes a warp mid-kernel where the array backend's batch
+        runner left it."""
         state = self._warp_state
         state.deadline = self._deadline
         state.limit = self.interpreter.instruction_limit
@@ -466,7 +628,11 @@ class ExecutionManager:
                 budget_clamped = True
         try:
             return self.interpreter.execute(
-                executable, warp, param_base, state=state
+                executable,
+                warp,
+                param_base,
+                state=state,
+                continuation=continuation,
             )
         except (DeadlineExceeded, InstructionLimitExceeded) as fault:
             self._absorb_execution(state.stats)
@@ -512,6 +678,182 @@ class ExecutionManager:
                 fault,
                 self.worker_id,
             ) from fault
+
+    # -- batched execution (array backend) -----------------------------------
+
+    _BATCH_PATCH_POINTS = ("load", "store", "read_array", "write_array")
+
+    def _execute_batch_round(
+        self,
+        kernel_name: str,
+        geometry: LaunchGeometry,
+        ready: _ReadyPool,
+        live_counts: Dict[int, int],
+        barrier_pools: Dict[int, List[ThreadContext]],
+        cta_of: Dict[int, int],
+        param_base: int,
+        entry_labels: Dict[int, str],
+    ) -> bool:
+        """One batched round: form every full maximal-width warp of the
+        head ready-pool key and run them all at once through the array
+        backend.
+
+        Scheduling parity with the sequential round-robin is preserved
+        by *deferring* the results: the chunk compositions are FIFO-
+        stable (arrivals always append, so :meth:`_ReadyPool.pop_chunks`
+        takes the same memberships :meth:`_ReadyPool.pop_group` would
+        across its visits), the warps' kernel-body effects are computed
+        in the batch, but their yield handling — the order-sensitive
+        part, where THREAD_BRANCH arrivals and barrier parks re-shape
+        downstream queues — happens one warp per round-robin visit via
+        the deferred queue, exactly when the sequential former would
+        have popped that chunk.
+
+        Returns False (having consumed nothing) whenever the batched
+        path cannot reproduce the sequential path exactly — tracing,
+        instance-patched fault injectors, degraded widths, a cycle
+        budget (whose per-warp clamp is inherently sequential), or a
+        kernel with no array lowering — so the caller falls through to
+        the one-warp-at-a-time loop."""
+        if self.trace is not None or self._cycle_budget is not None:
+            return False
+        if self._batchable_kernels.get(kernel_name) is False:
+            return False
+        if "execute" in self.interpreter.__dict__:
+            return False
+        memory_dict = self.memory.__dict__
+        if any(name in memory_dict for name in self._BATCH_PATCH_POINTS):
+            return False
+        if self.cache.degraded_widths(kernel_name):
+            return False
+        limit = self.config.max_warp_size
+        peek = ready.head_batch(limit)
+        if peek is None:
+            return False
+        # Nothing has been consumed yet; this lookup doubles as warp
+        # 0's cache access (the loop below issues one per additional
+        # warp so hit counters track the sequential path).
+        executable, width = self.cache.get_or_degrade(kernel_name, limit)
+        if width != limit or executable.array_blocks is None or (
+            executable.entry_label not in executable.array_blocks
+        ):
+            if width == limit:
+                self._batchable_kernels[kernel_name] = False
+            return False
+        self._batchable_kernels[kernel_name] = True
+        chunks = ready.pop_chunks(limit)
+        if not chunks:
+            return False
+        warps = []
+        for position, chunk in enumerate(chunks):
+            if position:
+                self.cache.get_or_degrade(kernel_name, limit)
+            warp = Warp(contexts=chunk, warp_id=self._warp_counter)
+            self._warp_counter += 1
+            warps.append(warp)
+        # Entry points are read before execution: context writes inside
+        # the kernel update resume_point in place.
+        entry_points = [warp.entry_point for warp in warps]
+        try:
+            outcome = self.interpreter.execute_batch(
+                executable,
+                warps,
+                param_base,
+                self.interpreter.instruction_limit,
+                self._deadline,
+            )
+        except ExecutionError:
+            # A faulting batch is abandoned wholesale: the popped
+            # threads go back to the head of their queue in their
+            # original formation and the sequential path re-executes
+            # them, so the trap carries the exact thread attribution,
+            # register snapshot and partial statistics sequential
+            # execution would have produced. (Stores the batch
+            # committed before the fault persist — a trapped launch's
+            # memory is partial either way.) Nothing was recorded for
+            # the attempt, so nothing needs undoing.
+            ready.restore(chunks)
+            return False
+        for warp, entry_point in zip(warps, entry_points):
+            restored = executable.function.restore_counts.get(
+                entry_point, 0
+            )
+            self.stats.record_entry(self.worker_id, warp.size, restored)
+            self.stats.em_cycles += (
+                self.machine.em_event_cost
+                + self.machine.em_per_thread_cost * warp.size
+            )
+        self.stats.batched_warps += len(warps)
+        if outcome.kind == "yield":
+            items = [
+                (warp, executable, None, outcome.status, outcome.stats)
+                for warp in warps
+            ]
+        else:
+            # Fallback: the batch stopped short of a yield (divergence,
+            # a precise/untranslated block, or a conservative limit/
+            # deadline exit). Each warp resumes on the closure path
+            # exactly where the array program left it — when its
+            # round-robin turn comes.
+            items = [
+                (warp, executable, continuation, None, None)
+                for warp, continuation in zip(
+                    warps, outcome.continuations
+                )
+            ]
+        # The first item stands in for the pop this round replaced; the
+        # rest drain one per later visit to this key.
+        ready.defer(items[1:])
+        self._finish_batch_item(
+            kernel_name,
+            geometry,
+            items[0],
+            param_base,
+            entry_labels,
+            ready,
+            live_counts,
+            barrier_pools,
+            cta_of,
+        )
+        return True
+
+    def _finish_batch_item(
+        self,
+        kernel_name: str,
+        geometry: LaunchGeometry,
+        item,
+        param_base: int,
+        entry_labels: Dict[int, str],
+        ready: _ReadyPool,
+        live_counts: Dict[int, int],
+        barrier_pools: Dict[int, List[ThreadContext]],
+        cta_of: Dict[int, int],
+    ) -> None:
+        """Complete one deferred batch warp at its round-robin turn:
+        resume it sequentially when the batch fell back mid-kernel
+        (``continuation``), or just apply its precomputed yield."""
+        warp, executable, continuation, status, stats = item
+        if continuation is not None:
+            status = self._execute_warp(
+                kernel_name,
+                geometry,
+                warp,
+                executable,
+                param_base,
+                entry_labels,
+                ready,
+                barrier_pools,
+                continuation=continuation,
+            )
+            stats = self._warp_state.stats
+        self._absorb_execution(stats)
+        self.stats.record_yield(status)
+        self._handle_yield(
+            status, warp, ready, live_counts, barrier_pools, cta_of
+        )
+        self._check_watchdog(
+            kernel_name, entry_labels, ready, barrier_pools
+        )
 
     # -- watchdog ------------------------------------------------------------
 

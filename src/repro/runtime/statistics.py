@@ -50,6 +50,10 @@ class LaunchStatistics:
     #: warp executions that ran at a narrower width than configured
     #: because a wider specialization failed and was degraded
     degraded_warps: int = 0
+    #: warp executions that went through the array backend's batched
+    #: path (a host-efficiency counter — it does not participate in
+    #: modeled-statistics equivalence between backends)
+    batched_warps: int = 0
     #: translation-cache activity attributed to this launch (the delta
     #: of the device cache's counters over the launch, attached by the
     #: KernelLauncher); None until attached
@@ -90,6 +94,7 @@ class LaunchStatistics:
         self.traps += other.traps
         self.watchdog_timeouts += other.watchdog_timeouts
         self.degraded_warps += other.degraded_warps
+        self.batched_warps += other.batched_warps
         for key, value in other.warp_size_histogram.items():
             self.warp_size_histogram[key] = (
                 self.warp_size_histogram.get(key, 0) + value

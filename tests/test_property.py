@@ -8,6 +8,8 @@ scalar baseline's output is the reference, and every vectorized
 configuration must reproduce it bit-for-bit.
 """
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -49,9 +51,14 @@ float_op = st.tuples(
 )
 
 
-def render_kernel(int_ops, float_ops):
+def render_kernel(int_ops, float_ops, shift_counts=(), cvt_mode=None):
     """A kernel seeding 4 int + 4 float registers from per-thread data,
-    applying the random op sequence, and storing a mixed result."""
+    applying the random op sequence, and storing a mixed result.
+
+    ``shift_counts`` appends shifts with the given immediate counts
+    (including out-of-range ones, exercising PTX clamp semantics);
+    ``cvt_mode`` appends saturating float->int converts in that
+    rounding mode, driven through overflow (and NaN via inf - inf)."""
     lines = [
         ".version 2.3",
         ".target sim",
@@ -94,6 +101,11 @@ def render_kernel(int_ops, float_ops):
         lines.append(f"  {op}.{suffix} %r{dst}, %r{a}, {operand};")
     for op, dst, a, b in float_ops:
         lines.append(f"  {op}.f32 %f{dst}, %f{a}, %f{b};")
+    shift_variants = ("shl.b32", "shr.u32", "shr.s32")
+    for index, count in enumerate(shift_counts):
+        op = shift_variants[index % len(shift_variants)]
+        target = index % 4
+        lines.append(f"  {op} %r{target}, %r{target}, {count};")
     lines += [
         # combine everything into one u32 result
         "  xor.b32 %r4, %r0, %r1;",
@@ -105,6 +117,20 @@ def render_kernel(int_ops, float_ops):
         "  mul.f32 %f5, %f4, 1024.0;",
         "  cvt.rzi.s32.f32 %r5, %f5;",
         "  xor.b32 %r4, %r4, %r5;",
+    ]
+    if cvt_mode is not None:
+        lines += [
+            # drive the convert through overflow: the product
+            # saturates (or hits inf), and inf - inf injects NaN
+            "  mul.f32 %f6, %f5, 1000000000.0;",
+            "  mul.f32 %f6, %f6, %f6;",
+            f"  cvt.{cvt_mode}.s32.f32 %r6, %f6;",
+            "  xor.b32 %r4, %r4, %r6;",
+            "  sub.f32 %f7, %f6, %f6;",
+            f"  cvt.{cvt_mode}.s32.f32 %r6, %f7;",
+            "  xor.b32 %r4, %r4, %r6;",
+        ]
+    lines += [
         "  ld.param.u64 %rd4, [out];",
         "  add.u64 %rd5, %rd4, %rd1;",
         "  st.global.u32 [%rd5], %r4;",
@@ -173,6 +199,46 @@ class TestVectorizationEquivalence:
                 args=[src, dst, n],
             )
             assert np.array_equal(dst.read(np.uint32, n), expected)
+
+
+class TestBackendDifferential:
+    """Differential testing across the three execution paths: the
+    dict-dispatch reference, the closure lowering, and the array
+    backend must agree bit-for-bit on random kernels — including
+    clamped shifts and saturating converts, the scalar-semantics
+    corners this release fixed."""
+
+    @_SETTINGS
+    @given(
+        int_ops=st.lists(int_op, min_size=1, max_size=10),
+        float_ops=st.lists(float_op, min_size=0, max_size=6),
+        shift_counts=st.lists(
+            st.sampled_from((0, 1, 7, 31, 32, 33, 255)),
+            min_size=0,
+            max_size=4,
+        ),
+        cvt_mode=st.sampled_from(("rni", "rzi", "rmi", "rpi")),
+        seed=st.integers(0, 2**31),
+    )
+    def test_backends_agree_on_random_kernels(
+        self, int_ops, float_ops, shift_counts, cvt_mode, seed
+    ):
+        source = render_kernel(
+            int_ops, float_ops, shift_counts, cvt_mode
+        )
+        data = np.random.default_rng(seed).integers(
+            0, 1 << 32, 64, dtype=np.uint32
+        )
+        reference = run_config(source, data, baseline_config())
+        closure = vectorized_config(4)
+        for config in (
+            closure,
+            replace(closure, interpreter_mode="dispatch"),
+            replace(closure, backend="array"),
+        ):
+            assert np.array_equal(
+                run_config(source, data, config), reference
+            )
 
 
 class TestMemoryProperties:
