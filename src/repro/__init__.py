@@ -19,10 +19,13 @@ Quick start::
 """
 
 from .api.device import Device
+from .api.stream import Event, LaunchFuture, Stream
 from .errors import (
     BarrierDeadlock,
     KernelTrap,
+    LaunchError,
     LaunchTimeout,
+    QuotaExceeded,
     SanitizerError,
 )
 from .runtime.cache_store import CacheStore
@@ -43,6 +46,7 @@ from .runtime.config import (
     static_tie_config,
     vectorized_config,
 )
+from .runtime.pool import DevicePool, TenantSession
 from .runtime.traps import format_timeout, format_trap
 
 __version__ = "1.0.0"
@@ -51,10 +55,17 @@ __all__ = [
     "BarrierDeadlock",
     "CacheStore",
     "Device",
+    "DevicePool",
+    "Event",
     "ExecutionConfig",
     "KernelTrap",
+    "LaunchError",
+    "LaunchFuture",
     "LaunchTimeout",
     "MachineDescription",
+    "QuotaExceeded",
+    "Stream",
+    "TenantSession",
     "SanitizerError",
     "SanitizerReport",
     "avx_machine",

@@ -1,0 +1,277 @@
+"""CUDA-style streams, events, and launch futures.
+
+A :class:`Stream` is a FIFO work queue attached to one
+:class:`~repro.api.device.Device`. Work items (kernel launches, event
+records, cross-stream waits) execute in submission order on the
+stream's own worker thread; different streams interleave freely, but
+actual kernel execution is serialized through the device's launch
+lock — exactly one simulated kernel runs at a time, mirroring a
+single-device hardware queue.
+
+Delivery semantics match the synchronous launch path: a contained
+fault (:class:`~repro.errors.KernelTrap`, LaunchTimeout,
+BarrierDeadlock) sets the device's sticky error and arrives through
+the :class:`LaunchFuture` with its full structured payload (trap
+coordinates, partial statistics). Later launches queued behind it
+fail fast with a :class:`~repro.errors.LaunchError` until
+``Device.reset()``.
+
+:class:`Event` provides record/synchronize ordering: recording
+enqueues a marker that fires when every earlier item of the stream
+has completed; ``stream.wait_event(event)`` parks another stream
+until the marker fires (cudaStreamWaitEvent).
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+
+from ..errors import LaunchError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.launcher import LaunchResult
+    from .device import Device
+
+_STREAM_IDS = itertools.count(1)
+
+
+class LaunchFuture:
+    """The pending result of one asynchronous launch.
+
+    Resolves to the launch's :class:`~repro.runtime.launcher.
+    LaunchResult`, or to the exception the synchronous path would have
+    raised (sticky-error and trap-attribution semantics are
+    preserved: a KernelTrap future carries ``info`` for
+    :func:`repro.format_trap` and partial ``statistics``)."""
+
+    def __init__(self, kernel_name: str):
+        self.kernel_name = kernel_name
+        self._completed = threading.Event()
+        self._result: Optional["LaunchResult"] = None
+        self._error: Optional[BaseException] = None
+
+    # -- producer side (stream / pool dispatcher) ------------------------
+
+    def _resolve(self, result: "LaunchResult") -> None:
+        self._result = result
+        self._completed.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._completed.set()
+
+    # -- consumer side ----------------------------------------------------
+
+    def done(self) -> bool:
+        """True once the launch has completed (successfully or not)."""
+        return self._completed.is_set()
+
+    def _wait(self, timeout: Optional[float]) -> None:
+        if not self._completed.wait(timeout):
+            raise LaunchError(
+                f"timed out after {timeout}s waiting for async launch "
+                f"of {self.kernel_name!r}"
+            )
+
+    def result(self, timeout: Optional[float] = None) -> "LaunchResult":
+        """Block until the launch completes; return its LaunchResult
+        or re-raise the launch's exception."""
+        self._wait(timeout)
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def exception(
+        self, timeout: Optional[float] = None
+    ) -> Optional[BaseException]:
+        """Block until the launch completes; return its exception (or
+        None on success) without raising."""
+        self._wait(timeout)
+        return self._error
+
+    def __repr__(self):
+        if not self.done():
+            state = "pending"
+        elif self._error is not None:
+            state = f"failed: {type(self._error).__name__}"
+        else:
+            state = "completed"
+        return f"<LaunchFuture {self.kernel_name} {state}>"
+
+
+class Event:
+    """A stream marker (cudaEvent): records a point in a stream's
+    FIFO; :meth:`synchronize` blocks until every item queued before
+    the record has completed."""
+
+    def __init__(self):
+        self._fired = threading.Event()
+
+    def query(self) -> bool:
+        """True once the recording stream has reached the marker."""
+        return self._fired.is_set()
+
+    def synchronize(self, timeout: Optional[float] = None) -> None:
+        """Block until the marker fires."""
+        if not self._fired.wait(timeout):
+            raise LaunchError(
+                f"timed out after {timeout}s waiting for event"
+            )
+
+    def _fire(self) -> None:
+        self._fired.set()
+
+
+class _LaunchItem:
+    __slots__ = ("future", "kernel_name", "grid", "block", "args")
+
+    def __init__(self, future, kernel_name, grid, block, args):
+        self.future = future
+        self.kernel_name = kernel_name
+        self.grid = grid
+        self.block = block
+        self.args = args
+
+    def run(self, stream: "Stream") -> None:
+        device = stream.device
+        try:
+            with device._launch_lock:
+                result = device._launch_impl(
+                    self.kernel_name, self.grid, self.block, self.args
+                )
+        except Exception as error:
+            self.future._fail(error)
+        else:
+            self.future._resolve(result)
+
+
+class _EventItem:
+    __slots__ = ("event",)
+
+    def __init__(self, event: Event):
+        self.event = event
+
+    def run(self, stream: "Stream") -> None:
+        self.event._fire()
+
+
+class _WaitItem:
+    __slots__ = ("event",)
+
+    def __init__(self, event: Event):
+        self.event = event
+
+    def run(self, stream: "Stream") -> None:
+        self.event._fired.wait()
+
+
+class Stream:
+    """One FIFO work queue of a device. Create through
+    :meth:`Device.create_stream`; the worker thread starts lazily on
+    the first submission and idles between items."""
+
+    def __init__(self, device: "Device", name: Optional[str] = None):
+        self.device = device
+        self.name = name or f"stream-{next(_STREAM_IDS)}"
+        self._queue: "queue.Queue" = queue.Queue()
+        self._thread: Optional[threading.Thread] = None
+        self._start_lock = threading.Lock()
+        self._pending = 0
+        self._pending_lock = threading.Lock()
+        self._closed = False
+
+    # -- submission --------------------------------------------------------
+
+    def launch_async(
+        self,
+        kernel_name: str,
+        grid: Tuple[int, int, int],
+        block: Tuple[int, int, int],
+        args: Sequence[object] = (),
+    ) -> LaunchFuture:
+        """Enqueue one launch; FIFO within this stream. Dimensions are
+        validated at submission; prefer :meth:`Device.launch_async`,
+        which additionally fails fast on a faulted device."""
+        from .device import _normalize_dim
+
+        grid = _normalize_dim(grid, which="grid")
+        block = _normalize_dim(block, which="block")
+        future = LaunchFuture(kernel_name)
+        self._put(_LaunchItem(future, kernel_name, grid, block, args))
+        return future
+
+    def record(self, event: Optional[Event] = None) -> Event:
+        """Record an event marker at the current tail of the stream."""
+        event = event or Event()
+        self._put(_EventItem(event))
+        return event
+
+    def wait_event(self, event: Event) -> None:
+        """Make every later item of this stream wait until ``event``
+        fires (in its recording stream)."""
+        self._put(_WaitItem(event))
+
+    # -- completion --------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Number of submitted items not yet completed."""
+        with self._pending_lock:
+            return self._pending
+
+    def synchronize(self) -> None:
+        """Block until every item submitted so far has completed
+        (cudaStreamSynchronize). Launch failures stay on their
+        futures; synchronize never raises for them."""
+        self._queue.join()
+
+    def close(self) -> None:
+        """Stop the worker thread after draining the queue. Further
+        submissions raise LaunchError. Optional hygiene — idle stream
+        threads are daemons and die with the process."""
+        with self._start_lock:
+            if self._closed:
+                return
+            self._closed = True
+            thread = self._thread
+        if thread is not None:
+            self._queue.put(None)
+            thread.join()
+
+    # -- worker ------------------------------------------------------------
+
+    def _put(self, item) -> None:
+        with self._start_lock:
+            if self._closed:
+                raise LaunchError(
+                    f"stream {self.name!r} is closed"
+                )
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._drain,
+                    name=f"repro-{self.name}",
+                    daemon=True,
+                )
+                self._thread.start()
+        with self._pending_lock:
+            self._pending += 1
+        self._queue.put(item)
+
+    def _drain(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                self._queue.task_done()
+                return
+            try:
+                item.run(self)
+            finally:
+                with self._pending_lock:
+                    self._pending -= 1
+                self._queue.task_done()
+
+    def __repr__(self):
+        return f"<Stream {self.name} pending={self.pending}>"

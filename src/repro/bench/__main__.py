@@ -77,7 +77,71 @@ def main(argv=None) -> int:
         help="write the measured Table-1 host wall-clock to a "
         "baseline JSON (for --perf-baseline)",
     )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="run the concurrent-clients serving bench (DevicePool "
+        "vs a single synchronous Device) instead of the paper suite",
+    )
+    parser.add_argument(
+        "--serve-clients",
+        type=int,
+        default=4,
+        help="concurrent healthy tenants (default %(default)s)",
+    )
+    parser.add_argument(
+        "--serve-workers",
+        type=int,
+        default=2,
+        help="pool worker processes (default %(default)s)",
+    )
+    parser.add_argument(
+        "--serve-launches",
+        type=int,
+        default=8,
+        help="launches per tenant (default %(default)s)",
+    )
+    parser.add_argument(
+        "--no-chaos",
+        action="store_true",
+        help="skip the trapping chaos tenant in the serving bench",
+    )
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless pool throughput is at least X times the "
+        "single-device baseline (CI gate; needs a multi-core host)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="JSON",
+        default=None,
+        help="write the serving-bench record to this JSON file",
+    )
     arguments = parser.parse_args(argv)
+
+    if arguments.serve:
+        from .serve_bench import format_serve, run_serve_bench
+
+        start = time.time()
+        try:
+            record = run_serve_bench(
+                clients=arguments.serve_clients,
+                workers=arguments.serve_workers,
+                launches=arguments.serve_launches,
+                scale=arguments.scale,
+                chaos=not arguments.no_chaos,
+                assert_speedup=arguments.assert_speedup,
+                output=arguments.output,
+            )
+        except AssertionError as failure:
+            print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(format_serve(record))
+        print(f"\n[completed in {time.time() - start:.1f}s]")
+        return 0
 
     start = time.time()
     sections = []

@@ -1,0 +1,360 @@
+"""Concurrent-clients serving bench (``python -m repro.bench --serve``).
+
+Measures the :class:`~repro.runtime.pool.DevicePool` against a single
+synchronous :class:`~repro.api.device.Device` at equal total work:
+``clients`` tenants each submit ``launches`` mixed launches (the
+Table-1 ``throughput`` microbenchmark interleaved with a vecAdd) with
+a small pipelining window, sharded across ``workers`` worker
+processes. The baseline runs the identical launch list on one warmed
+Device, one launch at a time.
+
+A *chaos* tenant rides along: pinned to worker 0 with a private
+kernel and an armed ``memory_fault`` injection site, every one of its
+launches traps — the bench asserts the healthy tenants' results stay
+numerically correct and none of their launches fail, i.e. a trapping
+tenant never blocks or corrupts the others.
+
+Results are written as JSON (``BENCH_serve.json``) so the serving
+trajectory is measurable across commits. ``--assert-speedup X`` turns
+the pool-vs-baseline throughput ratio into a hard failure bound (used
+by the CI ``serve`` job on multi-core runners; meaningless on a
+single-core host)."""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from ..api.device import Device
+from ..runtime.pool import DevicePool
+from ..workloads.registry import get_workload
+
+_VECADD_PTX = r"""
+.version 2.3
+.target sim
+
+.entry serveVecAdd (.param .u64 a, .param .u64 b, .param .u64 c,
+                    .param .u32 n)
+{
+  .reg .u32 %r<6>;
+  .reg .u64 %rd<8>;
+  .reg .f32 %f<4>;
+  .reg .pred %p<2>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  ld.param.u32 %r5, [n];
+  setp.ge.u32 %p1, %r4, %r5;
+  @%p1 bra DONE;
+  mul.wide.u32 %rd1, %r4, 4;
+  ld.param.u64 %rd2, [a];
+  ld.param.u64 %rd3, [b];
+  ld.param.u64 %rd4, [c];
+  add.u64 %rd5, %rd2, %rd1;
+  add.u64 %rd6, %rd3, %rd1;
+  add.u64 %rd7, %rd4, %rd1;
+  ld.global.f32 %f1, [%rd5];
+  ld.global.f32 %f2, [%rd6];
+  add.f32 %f3, %f1, %f2;
+  st.global.f32 [%rd7], %f3;
+DONE:
+  exit;
+}
+"""
+
+#: Private module of the chaos tenant — registered *after* the pool
+#: warms so its translation happens with the fault site armed.
+_CHAOS_PTX = _VECADD_PTX.replace("serveVecAdd", "chaosVecAdd")
+
+_VEC_N = 256
+_VEC_BLOCK = 32
+_VEC_GRID = _VEC_N // _VEC_BLOCK
+_THROUGHPUT_THREADS = 64
+
+
+def _launch_plan(launches: int, iters: int) -> List[dict]:
+    """The per-tenant launch list: throughput/vecAdd interleaved."""
+    plan = []
+    for index in range(launches):
+        if index % 2 == 0:
+            plan.append({
+                "kernel": "throughput",
+                "grid": (1, 1, 1),
+                "block": (_THROUGHPUT_THREADS, 1, 1),
+                "iters": iters,
+            })
+        else:
+            plan.append({
+                "kernel": "serveVecAdd",
+                "grid": (_VEC_GRID, 1, 1),
+                "block": (_VEC_BLOCK, 1, 1),
+            })
+    return plan
+
+
+def _run_baseline(modules: List[str], plan: List[dict], tenants: int):
+    """Equal total work on one warmed synchronous Device."""
+    device = Device()
+    for source in modules:
+        device.register_module(source)
+    device.warm()
+    out = device.malloc(4 * _THROUGHPUT_THREADS)
+    a = device.upload(np.arange(_VEC_N, dtype=np.float32))
+    b = device.upload(np.arange(_VEC_N, dtype=np.float32) * 2)
+    c = device.malloc(4 * _VEC_N)
+    start = time.perf_counter()
+    for _ in range(tenants):
+        for item in plan:
+            if item["kernel"] == "throughput":
+                device.launch(
+                    "throughput", item["grid"], item["block"],
+                    [out, item["iters"]],
+                )
+            else:
+                device.launch(
+                    "serveVecAdd", item["grid"], item["block"],
+                    [a, b, c, _VEC_N],
+                )
+    return time.perf_counter() - start
+
+
+class _TenantResult:
+    def __init__(self):
+        self.latencies: List[float] = []
+        self.failures: List[str] = []
+        self.output: Optional[np.ndarray] = None
+
+
+def _setup_tenant(session) -> dict:
+    """Allocate one tenant's buffers (untimed, like the baseline's)."""
+    return {
+        "a": session.upload(np.arange(_VEC_N, dtype=np.float32)),
+        "b": session.upload(np.arange(_VEC_N, dtype=np.float32) * 2),
+        "c": session.malloc(4 * _VEC_N),
+        "out": session.malloc(4 * _THROUGHPUT_THREADS),
+    }
+
+
+def _run_tenant(session, buffers, plan, window, result: "_TenantResult"):
+    """One healthy client: pipelined submit/collect over its plan,
+    then a numeric check of its private vecAdd output."""
+    inflight = []
+    for item in plan:
+        if item["kernel"] == "throughput":
+            args = [buffers["out"], item["iters"]]
+        else:
+            args = [buffers["a"], buffers["b"], buffers["c"], _VEC_N]
+        submitted = time.perf_counter()
+        try:
+            future = session.launch_async(
+                item["kernel"], item["grid"], item["block"], args
+            )
+        except Exception as error:
+            result.failures.append(f"submit: {error}")
+            continue
+        inflight.append((submitted, future))
+        while len(inflight) >= window:
+            result.latencies.append(_collect(inflight.pop(0), result))
+    while inflight:
+        result.latencies.append(_collect(inflight.pop(0), result))
+    result.output = session.read(buffers["c"], np.float32, _VEC_N)
+
+
+def _collect(entry, result: "_TenantResult") -> float:
+    submitted, future = entry
+    error = future.exception(timeout=300.0)
+    if error is not None:
+        result.failures.append(f"{future.kernel_name}: {error}")
+    return time.perf_counter() - submitted
+
+
+def _setup_chaos(pool):
+    """The trapping tenant: private module translated after arming
+    memory_fault, so every one of its launches traps."""
+    session = pool.session("chaos", weight=1.0, worker=0)
+    session.register_module(_CHAOS_PTX)
+    session.inject_fault("memory_fault", probability=1.0, seed=7)
+    data = session.upload(np.ones(_VEC_N, dtype=np.float32))
+    sink = session.malloc(4 * _VEC_N)
+    return session, data, sink
+
+
+def _run_chaos(session, data, sink, traps: List[str], launches: int):
+    """Submit the chaos plan, resetting the tenant's sticky fault
+    between launches so it keeps submitting."""
+    for _ in range(launches):
+        try:
+            future = session.launch_async(
+                "chaosVecAdd", (_VEC_GRID, 1, 1), (_VEC_BLOCK, 1, 1),
+                [data, data, sink, _VEC_N],
+            )
+        except Exception as error:
+            traps.append(f"submit-rejected: {type(error).__name__}")
+            session.reset()
+            continue
+        error = future.exception(timeout=300.0)
+        if error is not None:
+            traps.append(type(error).__name__)
+            session.reset()
+        else:
+            traps.append("UNEXPECTED-SUCCESS")
+    session.disarm_faults()
+
+
+def run_serve_bench(
+    clients: int = 4,
+    workers: int = 2,
+    launches: int = 8,
+    scale: float = 1.0,
+    window: int = 4,
+    chaos: bool = True,
+    assert_speedup: Optional[float] = None,
+    output: Optional[str] = None,
+) -> dict:
+    """Run the serving bench; returns (and optionally writes) the
+    result record. Raises AssertionError on isolation violations, and
+    on a missed ``assert_speedup`` bound."""
+    iters = max(1, int(2 * scale))
+    throughput_src = get_workload("throughput").module_source()
+    modules = [throughput_src, _VECADD_PTX]
+    plan = _launch_plan(launches, iters)
+
+    baseline_seconds = _run_baseline(modules, plan, clients)
+
+    pool = DevicePool(workers=workers, modules=modules, warm=True)
+    try:
+        pool.ready(timeout=300.0)
+        sessions = [
+            pool.session(f"client-{index}", weight=1.0 + (index % 2))
+            for index in range(clients)
+        ]
+        buffers = [_setup_tenant(session) for session in sessions]
+        results = [_TenantResult() for _ in sessions]
+        threads = [
+            threading.Thread(
+                target=_run_tenant,
+                args=(session, tenant_buffers, plan, window, result),
+                name=f"bench-{session.tenant}",
+            )
+            for session, tenant_buffers, result in zip(
+                sessions, buffers, results
+            )
+        ]
+        traps: List[str] = []
+        chaos_thread = None
+        if chaos:
+            chaos_session, chaos_data, chaos_sink = _setup_chaos(pool)
+            chaos_thread = threading.Thread(
+                target=_run_chaos,
+                args=(
+                    chaos_session, chaos_data, chaos_sink,
+                    traps, max(2, launches // 2),
+                ),
+                name="bench-chaos",
+            )
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        if chaos_thread is not None:
+            chaos_thread.start()
+        for thread in threads:
+            thread.join()
+        pool_seconds = time.perf_counter() - start
+        if chaos_thread is not None:
+            chaos_thread.join()
+
+        expected = np.arange(_VEC_N, dtype=np.float32) * 3
+        for session, result in zip(sessions, results):
+            assert not result.failures, (
+                f"tenant {session.tenant} had launch failures: "
+                f"{result.failures[:3]}"
+            )
+            assert result.output is not None and np.allclose(
+                result.output, expected
+            ), f"tenant {session.tenant} output corrupted by chaos tenant"
+        if chaos:
+            assert traps and all(
+                entry != "UNEXPECTED-SUCCESS" for entry in traps
+            ), f"chaos tenant did not trap as armed: {traps}"
+
+        latencies = sorted(
+            value
+            for result in results
+            for value in result.latencies
+        )
+        total_launches = clients * launches
+        record = {
+            "experiment": "serve",
+            "clients": clients,
+            "workers": workers,
+            "launches_per_client": launches,
+            "scale": scale,
+            "cpu_count": os.cpu_count(),
+            "baseline_seconds": round(baseline_seconds, 4),
+            "pool_seconds": round(pool_seconds, 4),
+            "speedup": round(baseline_seconds / pool_seconds, 3),
+            "throughput_launches_per_s": round(
+                total_launches / pool_seconds, 2
+            ),
+            "latency_p50_s": round(float(np.percentile(latencies, 50)), 4),
+            "latency_p95_s": round(float(np.percentile(latencies, 95)), 4),
+            "chaos": {
+                "enabled": chaos,
+                "trapped_launches": len(traps),
+                "outcomes": sorted(set(traps)),
+            },
+            "tenants": {
+                session.tenant: {
+                    "worker": session.worker_index,
+                    "completed": session.stats.completed,
+                    "failed": session.stats.failed,
+                    "instructions": session.stats.statistics.instructions,
+                }
+                for session in pool.sessions()
+            },
+            "report": pool.report(),
+        }
+    finally:
+        pool.shutdown()
+
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+
+    if assert_speedup is not None:
+        assert record["speedup"] >= assert_speedup, (
+            f"pool speedup {record['speedup']}x below required "
+            f"{assert_speedup}x (baseline {baseline_seconds:.2f}s, "
+            f"pool {pool_seconds:.2f}s, {os.cpu_count()} cpus)"
+        )
+    return record
+
+
+def format_serve(record: dict) -> str:
+    lines = [
+        "== serving bench: DevicePool vs single synchronous Device ==",
+        f"clients={record['clients']} workers={record['workers']} "
+        f"launches/client={record['launches_per_client']} "
+        f"(host cpus={record['cpu_count']})",
+        f"baseline (1 device, serial): {record['baseline_seconds']:.2f}s",
+        f"pool ({record['workers']} workers): "
+        f"{record['pool_seconds']:.2f}s  -> speedup "
+        f"{record['speedup']:.2f}x, "
+        f"{record['throughput_launches_per_s']:.1f} launches/s",
+        f"latency p50={record['latency_p50_s'] * 1e3:.0f}ms "
+        f"p95={record['latency_p95_s'] * 1e3:.0f}ms",
+        f"chaos tenant: {record['chaos']['trapped_launches']} trapped "
+        f"launches, outcomes={record['chaos']['outcomes']} "
+        f"(healthy tenants unaffected)",
+        "",
+        record["report"],
+    ]
+    return "\n".join(lines)

@@ -129,5 +129,12 @@ class BarrierDeadlock(LaunchError):
         self.waiting = list(waiting)
 
 
+class QuotaExceeded(LaunchError):
+    """A tenant exceeded one of its :class:`repro.runtime.pool.DevicePool`
+    quotas (outstanding launches or lifetime launch budget). The launch
+    was rejected before it was queued; the tenant's other work is
+    unaffected."""
+
+
 class TranslationCacheError(ReproError):
     """Raised when the translation cache cannot satisfy a query."""

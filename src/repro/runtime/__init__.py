@@ -11,6 +11,7 @@ from .config import (
 from .context import ThreadContext, Warp
 from .execution_manager import ExecutionManager, LaunchGeometry
 from .launcher import KernelLauncher, LaunchResult, partition_ctas
+from .pool import DevicePool, RemoteAllocation, TenantSession, TenantStatistics
 from .statistics import LaunchStatistics
 from .translation_cache import CacheStatistics, TranslationCache
 
@@ -18,12 +19,16 @@ __all__ = [
     "CacheStatistics",
     "CacheStore",
     "SCHEMA_VERSION",
+    "DevicePool",
     "ExecutionConfig",
     "ExecutionManager",
     "KernelLauncher",
     "LaunchGeometry",
     "LaunchResult",
     "LaunchStatistics",
+    "RemoteAllocation",
+    "TenantSession",
+    "TenantStatistics",
     "ThreadContext",
     "TranslationCache",
     "Warp",

@@ -1,0 +1,930 @@
+"""Multi-tenant device pool: independent launches sharded across
+persistent worker processes.
+
+Each worker process hosts one :class:`~repro.api.device.Device`
+(kernels registered at startup, optionally compiled ahead with
+``Device.warm()`` — with ``REPRO_CACHE=1`` the persistent translation
+cache makes workers warm-startable across pool restarts). Tenants are
+pinned to a worker (their allocations live in that worker's arena);
+launches of the tenants sharing a worker are scheduled by weighted
+fair queueing, and per-tenant quotas bound how much work any one
+tenant can have in flight.
+
+Fault isolation builds on the containment runtime: a contained fault
+inside a worker (KernelTrap / LaunchTimeout / BarrierDeadlock) is
+reported back with its structured payload and partial statistics, the
+worker device is recovered immediately (arena-neutral
+``Device.reset()``), and the *tenant* — not the worker — becomes
+sticky-failed: its queued launches fail fast until
+``TenantSession.reset()``, while other tenants on the same worker
+keep launching.
+
+Worker processes default to the ``spawn`` start method: it is safe in
+threaded parents (the pool runs dispatcher threads) and identical
+across platforms. ``REPRO_POOL_START=fork`` opts into faster startup
+where safe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..api.stream import LaunchFuture
+from ..errors import (
+    BarrierDeadlock,
+    KernelTrap,
+    LaunchError,
+    LaunchTimeout,
+    QuotaExceeded,
+)
+from .statistics import LaunchStatistics
+
+#: Most trap report strings retained per tenant.
+_TRAP_REPORT_LIMIT = 8
+
+_FAULT_TYPES = (KernelTrap, LaunchTimeout, BarrierDeadlock)
+
+
+# ---------------------------------------------------------------------------
+# worker process
+# ---------------------------------------------------------------------------
+
+
+def _describe_error(error: BaseException) -> dict:
+    """Serialize an exception into a structured, picklable payload.
+
+    Exceptions themselves don't round-trip a pipe reliably (custom
+    ``__init__`` signatures break unpickling), so the worker ships the
+    pieces — type name, message, TrapInfo, partial statistics,
+    rendered report — and the parent rebuilds an equivalent error."""
+    payload = {
+        "type": type(error).__name__,
+        "message": str(error),
+        "kernel": getattr(error, "kernel", None),
+    }
+    for attribute in ("info", "statistics"):
+        try:
+            value = getattr(error, attribute, None)
+        except Exception:  # pragma: no cover - defensive
+            value = None
+        payload[attribute] = value
+    try:
+        from .traps import format_timeout, format_trap
+
+        if isinstance(error, KernelTrap):
+            payload["report"] = format_trap(error)
+        elif isinstance(error, LaunchTimeout):
+            payload["report"] = format_timeout(error)
+    except Exception:  # pragma: no cover - report rendering best-effort
+        pass
+    return payload
+
+
+def _rebuild_error(payload: dict) -> BaseException:
+    """Reconstruct the worker-side exception class from its payload.
+    The structured extras ride along: ``info`` (KernelTrap),
+    ``statistics`` (partial LaunchStatistics), and ``remote_report``
+    (the pre-rendered format_trap/format_timeout text)."""
+    kind = payload.get("type", "LaunchError")
+    message = payload.get("message", "")
+    if kind == "KernelTrap":
+        error: BaseException = KernelTrap(message, info=payload.get("info"))
+    elif kind == "LaunchTimeout":
+        error = LaunchTimeout(message, kernel=payload.get("kernel"))
+    elif kind == "BarrierDeadlock":
+        error = BarrierDeadlock(message)
+    elif kind == "QuotaExceeded":
+        error = QuotaExceeded(message)
+    elif kind == "LaunchError":
+        error = LaunchError(message)
+    else:
+        error = LaunchError(f"{kind}: {message}")
+    error.statistics = payload.get("statistics")
+    error.remote_report = payload.get("report")
+    return error
+
+
+def _pool_worker_main(
+    conn,
+    config,
+    machine,
+    memory_size: int,
+    modules: Sequence[str],
+    warm: bool,
+) -> None:
+    """Entry point of one worker process: builds a Device, registers
+    the pool's modules, then serves (request_id, op, payload) RPCs
+    until shutdown or EOF."""
+    from ..api.device import Device
+    from ..testing.fault_injection import FaultInjector
+
+    device = Device(config=config, machine=machine, memory_size=memory_size)
+    for source in modules:
+        device.register_module(source)
+    if warm:
+        device.warm()
+
+    allocations: Dict[int, object] = {}
+    next_handle = 1
+    injector: Optional[FaultInjector] = None
+
+    def resolve_args(raw_args):
+        resolved = []
+        for value in raw_args:
+            if isinstance(value, dict) and "__handle__" in value:
+                handle = value["__handle__"]
+                if handle not in allocations:
+                    raise LaunchError(
+                        f"unknown allocation handle {handle}"
+                    )
+                resolved.append(allocations[handle])
+            else:
+                resolved.append(value)
+        return resolved
+
+    def handle_request(op: str, payload: dict):
+        nonlocal next_handle, injector
+        if op == "register":
+            module = device.register_module(payload["source"])
+            return sorted(module.kernels)
+        if op == "malloc":
+            allocation = device.malloc(
+                int(payload["size"]), label=payload.get("label")
+            )
+            handle = next_handle
+            next_handle += 1
+            allocations[handle] = allocation
+            return {
+                "handle": handle,
+                "address": allocation.address,
+                "size": allocation.size,
+            }
+        if op == "upload":
+            array = np.asarray(payload["data"])
+            allocation = device.upload(array, label=payload.get("label"))
+            handle = next_handle
+            next_handle += 1
+            allocations[handle] = allocation
+            return {
+                "handle": handle,
+                "address": allocation.address,
+                "size": allocation.size,
+            }
+        if op == "write":
+            allocations[payload["handle"]].write(
+                np.asarray(payload["data"])
+            )
+            return None
+        if op == "read":
+            allocation = allocations[payload["handle"]]
+            return allocation.read(
+                np.dtype(payload["dtype"]), int(payload["count"])
+            )
+        if op == "free":
+            device.free(allocations.pop(payload["handle"]))
+            return None
+        if op == "launch":
+            try:
+                return device.launch(
+                    payload["kernel"],
+                    tuple(payload["grid"]),
+                    tuple(payload["block"]),
+                    resolve_args(payload["args"]),
+                )
+            except _FAULT_TYPES:
+                # Recover the shared device immediately: the fault is
+                # the *tenant's*, tracked sticky in the parent; other
+                # tenants on this worker must keep launching.
+                device.reset()
+                raise
+        if op == "warm":
+            return device.warm()
+        if op == "reset":
+            device.reset()
+            return None
+        if op == "arm_fault":
+            if injector is None:
+                injector = FaultInjector(
+                    device, seed=payload.get("seed")
+                )
+            options = dict(payload.get("options", {}))
+            injector.arm(
+                payload["site"],
+                probability=payload.get("probability", 1.0),
+                **options,
+            )
+            return None
+        if op == "disarm_faults":
+            if injector is not None:
+                injector.restore()
+                injector = None
+            return None
+        if op == "statistics":
+            return device.statistics_report()
+        raise LaunchError(f"unknown pool worker op {op!r}")
+
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            break
+        request_id, op, payload = request
+        if op == "shutdown":
+            conn.send((request_id, True, None))
+            break
+        try:
+            result = handle_request(op, payload)
+        except Exception as error:
+            described = _describe_error(error)
+            try:
+                conn.send((request_id, False, described))
+            except Exception:
+                described.pop("info", None)
+                described.pop("statistics", None)
+                conn.send((request_id, False, described))
+        else:
+            conn.send((request_id, True, result))
+    conn.close()
+
+
+# ---------------------------------------------------------------------------
+# parent-side worker handle
+# ---------------------------------------------------------------------------
+
+
+class _Worker:
+    """Parent-side handle of one worker process: a pipe, a lock
+    serializing RPCs (the worker handles one request at a time), and
+    liveness checks so a dead worker raises instead of hanging."""
+
+    def __init__(
+        self, index, context, config, machine, memory_size, modules, warm
+    ):
+        self.index = index
+        parent_conn, child_conn = context.Pipe()
+        self.process = context.Process(
+            target=_pool_worker_main,
+            args=(
+                child_conn, config, machine, memory_size,
+                list(modules), warm,
+            ),
+            name=f"repro-pool-worker-{index}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.lock = threading.Lock()
+        self._request_ids = 0
+
+    def call(self, op: str, timeout: Optional[float] = None, **payload):
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self.lock:
+            self._request_ids += 1
+            request_id = self._request_ids
+            try:
+                self.conn.send((request_id, op, payload))
+            except (OSError, ValueError) as error:
+                raise LaunchError(
+                    f"pool worker {self.index} is unreachable: {error}"
+                ) from error
+            while not self.conn.poll(0.1):
+                if not self.process.is_alive():
+                    raise LaunchError(
+                        f"pool worker {self.index} died (exit code "
+                        f"{self.process.exitcode}) during {op!r}"
+                    )
+                if deadline is not None and time.monotonic() > deadline:
+                    raise LaunchError(
+                        f"pool worker {self.index} timed out after "
+                        f"{timeout}s during {op!r}"
+                    )
+            try:
+                reply_id, ok, result = self.conn.recv()
+            except (EOFError, OSError) as error:
+                raise LaunchError(
+                    f"pool worker {self.index} died during {op!r}"
+                ) from error
+        if ok:
+            return result
+        raise _rebuild_error(result)
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        try:
+            self.call("shutdown", timeout=timeout)
+        except LaunchError:
+            pass
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self.process.join(timeout)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(timeout)
+        self.process.close()
+
+
+# ---------------------------------------------------------------------------
+# weighted fair queueing
+# ---------------------------------------------------------------------------
+
+
+class WeightedFairQueue:
+    """Stride scheduler over per-tenant FIFO queues.
+
+    Every tenant carries a virtual *pass*; :meth:`pop` serves the
+    backlogged tenant with the smallest pass (ties broken by name for
+    determinism) and advances it by ``1 / weight`` — so over any busy
+    interval tenants receive service proportional to their weights. A
+    tenant going idle re-enters at the current virtual clock (no
+    banked credit, no starvation)."""
+
+    def __init__(self):
+        self._queues: Dict[str, deque] = {}
+        self._weights: Dict[str, float] = {}
+        self._passes: Dict[str, float] = {}
+        self._clock = 0.0
+
+    def add(self, tenant: str, weight: float = 1.0) -> None:
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        if tenant in self._queues:
+            raise ValueError(f"tenant {tenant!r} already queued")
+        self._queues[tenant] = deque()
+        self._weights[tenant] = float(weight)
+        self._passes[tenant] = self._clock
+
+    def push(self, tenant: str, item) -> None:
+        backlog = self._queues[tenant]
+        if not backlog:
+            self._passes[tenant] = max(self._passes[tenant], self._clock)
+        backlog.append(item)
+
+    def pop(self) -> Optional[Tuple[str, object]]:
+        candidates = [
+            (virtual_pass, tenant)
+            for tenant, virtual_pass in self._passes.items()
+            if self._queues[tenant]
+        ]
+        if not candidates:
+            return None
+        virtual_pass, tenant = min(candidates)
+        self._clock = virtual_pass
+        self._passes[tenant] = virtual_pass + 1.0 / self._weights[tenant]
+        return tenant, self._queues[tenant].popleft()
+
+    def __len__(self) -> int:
+        return sum(len(backlog) for backlog in self._queues.values())
+
+
+# ---------------------------------------------------------------------------
+# tenants
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TenantStatistics:
+    """Per-tenant serving counters + merged launch statistics."""
+
+    tenant: str
+    worker: int
+    weight: float
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    traps: int = 0
+    timeouts: int = 0
+    rejected: int = 0
+    host_seconds: float = 0.0
+    #: Merged LaunchStatistics over completed launches and the partial
+    #: statistics riding on contained faults.
+    statistics: LaunchStatistics = field(default_factory=LaunchStatistics)
+    #: Most recent rendered trap/timeout reports (bounded).
+    trap_reports: List[str] = field(default_factory=list)
+
+    def record_trap_report(self, report: Optional[str]) -> None:
+        if not report:
+            return
+        self.trap_reports.append(report)
+        del self.trap_reports[:-_TRAP_REPORT_LIMIT]
+
+
+@dataclass(frozen=True)
+class RemoteAllocation:
+    """A tenant's handle to a buffer living in its worker's arena."""
+
+    tenant: str
+    handle: int
+    address: int
+    size: int
+
+    def __int__(self):
+        return self.address
+
+
+class _LaunchJob:
+    __slots__ = ("future", "kernel", "grid", "block", "args", "submitted_at")
+
+    def __init__(self, future, kernel, grid, block, args):
+        self.future = future
+        self.kernel = kernel
+        self.grid = grid
+        self.block = block
+        self.args = args
+        self.submitted_at = time.perf_counter()
+
+
+class TenantSession:
+    """One tenant's connection to the pool: pinned to a worker, with
+    its own quotas, weight, sticky-error state, and statistics."""
+
+    def __init__(
+        self,
+        pool: "DevicePool",
+        tenant: str,
+        worker: _Worker,
+        weight: float = 1.0,
+        max_pending: Optional[int] = None,
+        max_launches: Optional[int] = None,
+    ):
+        self.pool = pool
+        self.tenant = tenant
+        self.weight = weight
+        self.max_pending = max_pending
+        self.max_launches = max_launches
+        self._worker = worker
+        self.stats = TenantStatistics(
+            tenant=tenant, worker=worker.index, weight=weight
+        )
+        #: Sticky per-tenant fault: set when one of this tenant's
+        #: launches traps; cleared by :meth:`reset`.
+        self.last_error: Optional[BaseException] = None
+        self._pending = 0
+        self._condition = threading.Condition()
+
+    @property
+    def worker_index(self) -> int:
+        return self._worker.index
+
+    # -- memory & modules -------------------------------------------------
+
+    def register_module(self, source: str) -> List[str]:
+        """Register a tenant-private module on this tenant's worker
+        (pool.register_module broadcasts to every worker instead)."""
+        return self._worker.call("register", source=source)
+
+    def malloc(
+        self, size: int, label: Optional[str] = None
+    ) -> RemoteAllocation:
+        reply = self._worker.call("malloc", size=size, label=label)
+        return RemoteAllocation(self.tenant, **reply)
+
+    def upload(
+        self, array: np.ndarray, label: Optional[str] = None
+    ) -> RemoteAllocation:
+        reply = self._worker.call(
+            "upload", data=np.asarray(array), label=label
+        )
+        return RemoteAllocation(self.tenant, **reply)
+
+    def write(self, allocation: RemoteAllocation, array) -> None:
+        self._worker.call(
+            "write", handle=allocation.handle, data=np.asarray(array)
+        )
+
+    def read(
+        self, allocation: RemoteAllocation, dtype, count: int
+    ) -> np.ndarray:
+        return self._worker.call(
+            "read",
+            handle=allocation.handle,
+            dtype=np.dtype(dtype).str,
+            count=count,
+        )
+
+    def free(self, allocation: RemoteAllocation) -> None:
+        self._worker.call("free", handle=allocation.handle)
+
+    # -- launches ----------------------------------------------------------
+
+    def launch_async(
+        self, kernel: str, grid, block, args: Sequence[object] = ()
+    ) -> LaunchFuture:
+        """Queue one launch through the pool's fair scheduler; returns
+        a LaunchFuture with the same delivery semantics as
+        ``Device.launch_async``."""
+        from ..api.device import _normalize_dim
+
+        grid = _normalize_dim(grid, which="grid")
+        block = _normalize_dim(block, which="block")
+        if self.last_error is not None:
+            raise LaunchError(
+                f"tenant {self.tenant!r} is in a failed state "
+                f"({type(self.last_error).__name__}: {self.last_error}); "
+                f"call TenantSession.reset() to clear it"
+            )
+        with self._condition:
+            if (
+                self.max_launches is not None
+                and self.stats.submitted >= self.max_launches
+            ):
+                self.stats.rejected += 1
+                raise QuotaExceeded(
+                    f"tenant {self.tenant!r} exhausted its lifetime "
+                    f"launch quota ({self.max_launches})"
+                )
+            if (
+                self.max_pending is not None
+                and self._pending >= self.max_pending
+            ):
+                self.stats.rejected += 1
+                raise QuotaExceeded(
+                    f"tenant {self.tenant!r} has {self._pending} "
+                    f"launches outstanding (quota {self.max_pending}); "
+                    f"collect results before submitting more"
+                )
+            self.stats.submitted += 1
+            self._pending += 1
+        future = LaunchFuture(kernel)
+        job = _LaunchJob(
+            future, kernel, grid, block, self._serialize_args(args)
+        )
+        self.pool._submit(self, job)
+        return future
+
+    def launch(self, kernel: str, grid, block, args: Sequence[object] = ()):
+        """Synchronous launch: submit + wait."""
+        return self.launch_async(kernel, grid, block, args).result()
+
+    def _serialize_args(self, args: Sequence[object]) -> List[object]:
+        serialized: List[object] = []
+        for value in args:
+            if isinstance(value, RemoteAllocation):
+                if value.tenant != self.tenant:
+                    raise LaunchError(
+                        f"allocation belongs to tenant "
+                        f"{value.tenant!r}, not {self.tenant!r}"
+                    )
+                serialized.append({"__handle__": value.handle})
+            else:
+                serialized.append(value)
+        return serialized
+
+    def synchronize(self, timeout: Optional[float] = None) -> None:
+        """Block until every submitted launch has completed."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._condition:
+            while self._pending:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise LaunchError(
+                            f"tenant {self.tenant!r} still has "
+                            f"{self._pending} launches outstanding "
+                            f"after {timeout}s"
+                        )
+                self._condition.wait(remaining)
+
+    def reset(self) -> None:
+        """Clear this tenant's sticky fault (the worker device was
+        already recovered when the fault was contained)."""
+        self._worker.call("reset")
+        self.last_error = None
+
+    # -- fault injection & introspection ----------------------------------
+
+    def inject_fault(
+        self,
+        site: str,
+        probability: float = 1.0,
+        seed: Optional[int] = None,
+        **options,
+    ) -> None:
+        """Arm a :class:`repro.testing.FaultInjector` site on this
+        tenant's *worker device* (device-scoped, like real hardware
+        faults — tenants sharing the worker may observe it too).
+        RemoteAllocation options are translated to worker handles."""
+        translated = {}
+        for key, value in options.items():
+            if isinstance(value, RemoteAllocation):
+                translated[key] = (value.address, value.size)
+            else:
+                translated[key] = value
+        self._worker.call(
+            "arm_fault",
+            site=site,
+            probability=probability,
+            seed=seed,
+            options=translated,
+        )
+
+    def disarm_faults(self) -> None:
+        self._worker.call("disarm_faults")
+
+    def statistics(self) -> TenantStatistics:
+        return self.stats
+
+    # -- internal accounting (called by the pool dispatcher) ---------------
+
+    def _complete(self, job: _LaunchJob, result, error) -> None:
+        elapsed = time.perf_counter() - job.submitted_at
+        with self._condition:
+            self.stats.host_seconds += elapsed
+            if error is None:
+                self.stats.completed += 1
+                self.stats.statistics.merge(result.statistics)
+            else:
+                self.stats.failed += 1
+                if isinstance(error, KernelTrap):
+                    self.stats.traps += 1
+                elif isinstance(error, LaunchTimeout):
+                    self.stats.timeouts += 1
+                partial = getattr(error, "statistics", None)
+                if partial is not None:
+                    self.stats.statistics.merge(partial)
+                self.stats.record_trap_report(
+                    getattr(error, "remote_report", None)
+                )
+                if isinstance(error, _FAULT_TYPES):
+                    self.last_error = error
+            self._pending -= 1
+            self._condition.notify_all()
+
+
+# ---------------------------------------------------------------------------
+# the pool
+# ---------------------------------------------------------------------------
+
+
+def _default_start_method() -> str:
+    override = os.environ.get("REPRO_POOL_START", "").strip()
+    if override:
+        return override
+    return "spawn"
+
+
+class DevicePool:
+    """Shards independent kernel launches across persistent worker
+    processes, with per-tenant quotas, weighted fair queueing, and
+    per-tenant statistics/trap reporting.
+
+    ::
+
+        pool = DevicePool(workers=4, modules=[PTX], warm=True)
+        session = pool.session("alice", weight=2.0, max_pending=8)
+        buffer = session.upload(host_array)
+        future = session.launch_async("vecAdd", grid=8, block=64,
+                                      args=[buffer, buffer, out, n])
+        result = future.result()
+        pool.shutdown()
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        config=None,
+        machine=None,
+        memory_size: int = 1 << 26,
+        modules: Sequence[str] = (),
+        warm: bool = False,
+        start_method: Optional[str] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"invalid worker count {workers}")
+        context = multiprocessing.get_context(
+            start_method or _default_start_method()
+        )
+        self._workers = [
+            _Worker(
+                index, context, config, machine, memory_size,
+                modules, warm,
+            )
+            for index in range(workers)
+        ]
+        self._sessions: Dict[str, TenantSession] = {}
+        self._sessions_lock = threading.Lock()
+        self._queues = [WeightedFairQueue() for _ in self._workers]
+        self._conditions = [threading.Condition() for _ in self._workers]
+        self._closed = False
+        self._dispatchers = [
+            threading.Thread(
+                target=self._dispatch_loop,
+                args=(worker,),
+                name=f"repro-pool-dispatch-{worker.index}",
+                daemon=True,
+            )
+            for worker in self._workers
+        ]
+        for dispatcher in self._dispatchers:
+            dispatcher.start()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "DevicePool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop dispatchers and terminate the worker processes. Queued
+        launches that never ran fail fast through their futures."""
+        if self._closed:
+            return
+        self._closed = True
+        for condition in self._conditions:
+            with condition:
+                condition.notify_all()
+        for dispatcher in self._dispatchers:
+            dispatcher.join(timeout=10)
+        # Fail whatever never got dispatched.
+        for queue_, worker in zip(self._queues, self._workers):
+            while True:
+                entry = queue_.pop()
+                if entry is None:
+                    break
+                tenant, job = entry
+                session = self._sessions.get(tenant)
+                error = LaunchError("device pool was shut down")
+                job.future._fail(error)
+                if session is not None:
+                    session._complete(job, None, error)
+        for worker in self._workers:
+            worker.shutdown()
+
+    # -- tenants -----------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        return len(self._workers)
+
+    def register_module(self, source: str) -> List[str]:
+        """Register a module on every worker (pool-wide kernels)."""
+        kernels: List[str] = []
+        for worker in self._workers:
+            kernels = worker.call("register", source=source)
+        return kernels
+
+    def ready(self, timeout: Optional[float] = None) -> None:
+        """Block until every worker process has finished starting up
+        (device built, modules registered, warm() done). Purely a
+        round-trip; new tenants can launch immediately afterwards
+        without paying worker-start latency."""
+        for worker in self._workers:
+            worker.call("statistics", timeout=timeout)
+
+    def session(
+        self,
+        tenant: str,
+        weight: float = 1.0,
+        max_pending: Optional[int] = None,
+        max_launches: Optional[int] = None,
+        worker: Optional[int] = None,
+    ) -> TenantSession:
+        """Create (or fetch) the tenant's session. New tenants are
+        pinned to the least-populated worker unless ``worker`` pins
+        one explicitly."""
+        with self._sessions_lock:
+            existing = self._sessions.get(tenant)
+            if existing is not None:
+                return existing
+            if worker is None:
+                population = {index: 0 for index in range(self.workers)}
+                for session in self._sessions.values():
+                    population[session.worker_index] += 1
+                worker = min(
+                    population, key=lambda index: (population[index], index)
+                )
+            if not 0 <= worker < self.workers:
+                raise ValueError(
+                    f"worker {worker} out of range (have {self.workers})"
+                )
+            session = TenantSession(
+                self,
+                tenant,
+                self._workers[worker],
+                weight=weight,
+                max_pending=max_pending,
+                max_launches=max_launches,
+            )
+            self._sessions[tenant] = session
+            with self._conditions[worker]:
+                self._queues[worker].add(tenant, weight)
+            return session
+
+    def sessions(self) -> List[TenantSession]:
+        with self._sessions_lock:
+            return list(self._sessions.values())
+
+    # -- scheduling --------------------------------------------------------
+
+    def _submit(self, session: TenantSession, job: _LaunchJob) -> None:
+        if self._closed:
+            raise LaunchError("device pool is shut down")
+        index = session.worker_index
+        with self._conditions[index]:
+            self._queues[index].push(session.tenant, job)
+            self._conditions[index].notify()
+
+    def _dispatch_loop(self, worker: _Worker) -> None:
+        queue_ = self._queues[worker.index]
+        condition = self._conditions[worker.index]
+        while True:
+            with condition:
+                entry = queue_.pop()
+                while entry is None:
+                    if self._closed:
+                        return
+                    condition.wait(0.5)
+                    entry = queue_.pop()
+            tenant, job = entry
+            session = self._sessions[tenant]
+            if session.last_error is not None:
+                # Sticky tenant fault: fail queued launches fast, like
+                # Device.launch on a faulted device.
+                error = LaunchError(
+                    f"tenant {tenant!r} is in a failed state "
+                    f"({type(session.last_error).__name__}); call "
+                    f"TenantSession.reset() to clear it"
+                )
+                job.future._fail(error)
+                session._complete(job, None, error)
+                continue
+            try:
+                result = worker.call(
+                    "launch",
+                    kernel=job.kernel,
+                    grid=job.grid,
+                    block=job.block,
+                    args=job.args,
+                )
+            except Exception as error:
+                job.future._fail(error)
+                session._complete(job, None, error)
+            else:
+                job.future._resolve(result)
+                session._complete(job, result, None)
+
+    def synchronize(self) -> None:
+        """Block until every tenant's submitted launches completed."""
+        for session in self.sessions():
+            session.synchronize()
+
+    # -- reporting ---------------------------------------------------------
+
+    def statistics(self) -> Dict[str, TenantStatistics]:
+        return {
+            session.tenant: session.stats for session in self.sessions()
+        }
+
+    def aggregate_statistics(self) -> LaunchStatistics:
+        """Pool-level merged LaunchStatistics over every tenant."""
+        merged = LaunchStatistics()
+        for session in self.sessions():
+            merged.merge(session.stats.statistics)
+        return merged
+
+    def worker_reports(self) -> List[str]:
+        """Each worker device's ``statistics_report()`` line."""
+        return [worker.call("statistics") for worker in self._workers]
+
+    def report(self) -> str:
+        """Pool-level serving report: per-tenant counters + aggregate."""
+        sessions = self.sessions()
+        lines = [
+            f"== device pool: {self.workers} workers, "
+            f"{len(sessions)} tenants =="
+        ]
+        header = (
+            f"{'tenant':<16} {'worker':>6} {'weight':>6} {'done':>6} "
+            f"{'fail':>5} {'traps':>5} {'rejected':>8} {'host s':>8}"
+        )
+        lines.append(header)
+        for session in sorted(sessions, key=lambda s: s.tenant):
+            stats = session.stats
+            lines.append(
+                f"{stats.tenant:<16} {stats.worker:>6} "
+                f"{stats.weight:>6.1f} {stats.completed:>6} "
+                f"{stats.failed:>5} {stats.traps:>5} "
+                f"{stats.rejected:>8} {stats.host_seconds:>8.2f}"
+            )
+        aggregate = self.aggregate_statistics()
+        lines.append(
+            f"aggregate: launches="
+            f"{sum(s.stats.completed for s in sessions)} "
+            f"failures={sum(s.stats.failed for s in sessions)} "
+            f"traps={sum(s.stats.traps for s in sessions)} "
+            f"instructions={aggregate.instructions} "
+            f"modeled cycles={aggregate.total_cycles}"
+        )
+        return "\n".join(lines)

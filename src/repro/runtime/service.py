@@ -1,0 +1,541 @@
+"""HTTP front-end for the :class:`~repro.runtime.pool.DevicePool`.
+
+``python -m repro.serve`` starts a :class:`KernelServer`: a small
+JSON-over-HTTP service through which concurrent clients register PTX
+modules, allocate and fill device buffers, submit launches, and
+collect results. Each client identifies itself by a tenant name; the
+pool pins the tenant to a worker process and schedules its launches
+through the weighted fair queue, so one client's trapping kernel
+never blocks or corrupts another client's work.
+
+Endpoints (all bodies JSON):
+
+===============  ====  ====================================================
+path             verb  action
+===============  ====  ====================================================
+``/v1/session``  POST  create/fetch a tenant session (weight, quotas)
+``/v1/register`` POST  register a PTX module (tenant-private)
+``/v1/malloc``   POST  allocate ``size`` bytes → allocation handle
+``/v1/upload``   POST  allocate + write ``data`` (list + dtype)
+``/v1/write``    POST  overwrite an allocation with ``data``
+``/v1/read``     POST  read ``count`` items of ``dtype`` → list
+``/v1/free``     POST  release an allocation
+``/v1/launch``   POST  queue an async launch → launch id
+``/v1/collect``  POST  wait for a launch id → result or structured error
+``/v1/reset``    POST  clear the tenant's sticky fault
+``/v1/inject``   POST  arm a fault-injection site on the tenant's worker
+``/v1/disarm``   POST  restore all fault sites on the tenant's worker
+``/v1/stats``    GET   pool-level report + per-tenant counters
+===============  ====  ====================================================
+
+Errors map onto status codes: quota rejections are 429, launch/usage
+errors 400, contained kernel faults arrive as ``ok: false`` collect
+payloads (the *request* succeeded; the *launch* trapped) carrying the
+rendered trap report and partial statistics.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from http.client import HTTPConnection
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import LaunchError, QuotaExceeded, ReproError
+from .pool import DevicePool, RemoteAllocation, TenantSession
+
+
+class _ServiceState:
+    """Mutable server state shared across handler threads."""
+
+    def __init__(self, pool: DevicePool):
+        self.pool = pool
+        self.lock = threading.Lock()
+        self.allocations: Dict[int, RemoteAllocation] = {}
+        self.futures: Dict[int, Tuple[str, object]] = {}
+        self.next_id = 1
+
+    def allot(self, table: Dict[int, object], value) -> int:
+        with self.lock:
+            handle = self.next_id
+            self.next_id += 1
+            table[handle] = value
+        return handle
+
+    def session(self, body: dict) -> TenantSession:
+        tenant = body.get("tenant")
+        if not tenant:
+            raise LaunchError("request body must name a tenant")
+        return self.pool.session(
+            str(tenant),
+            weight=float(body.get("weight", 1.0)),
+            max_pending=body.get("max_pending"),
+            max_launches=body.get("max_launches"),
+            worker=body.get("worker"),
+        )
+
+    def allocation(self, body: dict, session: TenantSession):
+        handle = body.get("allocation")
+        with self.lock:
+            allocation = self.allocations.get(handle)
+        if allocation is None:
+            raise LaunchError(f"unknown allocation id {handle!r}")
+        if allocation.tenant != session.tenant:
+            raise LaunchError(
+                f"allocation {handle} belongs to tenant "
+                f"{allocation.tenant!r}, not {session.tenant!r}"
+            )
+        return allocation
+
+
+def _error_payload(error: BaseException) -> dict:
+    payload = {
+        "type": type(error).__name__,
+        "message": str(error),
+    }
+    report = getattr(error, "remote_report", None)
+    if report:
+        payload["report"] = report
+    statistics = getattr(error, "statistics", None)
+    if statistics is not None:
+        payload["instructions"] = statistics.instructions
+    return payload
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    state: _ServiceState = None  # patched onto the subclass per server
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # keep the server silent; stats go through /v1/stats
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise LaunchError(f"request body is not JSON: {error}")
+        if not isinstance(body, dict):
+            raise LaunchError("request body must be a JSON object")
+        return body
+
+    # -- dispatch ----------------------------------------------------------
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        if self.path != "/v1/stats":
+            self._reply(404, {"error": f"unknown path {self.path}"})
+            return
+        pool = self.state.pool
+        tenants = {
+            tenant: {
+                "worker": stats.worker,
+                "weight": stats.weight,
+                "submitted": stats.submitted,
+                "completed": stats.completed,
+                "failed": stats.failed,
+                "traps": stats.traps,
+                "rejected": stats.rejected,
+                "instructions": stats.statistics.instructions,
+            }
+            for tenant, stats in pool.statistics().items()
+        }
+        self._reply(
+            200,
+            {
+                "workers": pool.workers,
+                "tenants": tenants,
+                "report": pool.report(),
+            },
+        )
+
+    def do_POST(self):  # noqa: N802 - stdlib naming
+        try:
+            body = self._read_body()
+            handler = {
+                "/v1/session": self._post_session,
+                "/v1/register": self._post_register,
+                "/v1/malloc": self._post_malloc,
+                "/v1/upload": self._post_upload,
+                "/v1/write": self._post_write,
+                "/v1/read": self._post_read,
+                "/v1/free": self._post_free,
+                "/v1/launch": self._post_launch,
+                "/v1/collect": self._post_collect,
+                "/v1/reset": self._post_reset,
+                "/v1/inject": self._post_inject,
+                "/v1/disarm": self._post_disarm,
+            }.get(self.path)
+            if handler is None:
+                self._reply(404, {"error": f"unknown path {self.path}"})
+                return
+            self._reply(200, handler(body))
+        except QuotaExceeded as error:
+            self._reply(429, {"error": _error_payload(error)})
+        except (LaunchError, ReproError, ValueError, KeyError) as error:
+            self._reply(400, {"error": _error_payload(error)})
+        except Exception as error:  # pragma: no cover - defensive
+            self._reply(500, {"error": _error_payload(error)})
+
+    # -- endpoints ---------------------------------------------------------
+
+    def _post_session(self, body: dict) -> dict:
+        session = self.state.session(body)
+        return {
+            "tenant": session.tenant,
+            "worker": session.worker_index,
+            "weight": session.weight,
+        }
+
+    def _post_register(self, body: dict) -> dict:
+        session = self.state.session(body)
+        kernels = session.register_module(body["source"])
+        return {"kernels": kernels}
+
+    def _post_malloc(self, body: dict) -> dict:
+        session = self.state.session(body)
+        allocation = session.malloc(
+            int(body["size"]), label=body.get("label")
+        )
+        return {
+            "allocation": self.state.allot(
+                self.state.allocations, allocation
+            ),
+            "address": allocation.address,
+            "size": allocation.size,
+        }
+
+    def _post_upload(self, body: dict) -> dict:
+        session = self.state.session(body)
+        array = np.asarray(
+            body["data"], dtype=np.dtype(body.get("dtype", "f4"))
+        )
+        allocation = session.upload(array, label=body.get("label"))
+        return {
+            "allocation": self.state.allot(
+                self.state.allocations, allocation
+            ),
+            "address": allocation.address,
+            "size": allocation.size,
+        }
+
+    def _post_write(self, body: dict) -> dict:
+        session = self.state.session(body)
+        allocation = self.state.allocation(body, session)
+        session.write(
+            allocation,
+            np.asarray(
+                body["data"], dtype=np.dtype(body.get("dtype", "f4"))
+            ),
+        )
+        return {"ok": True}
+
+    def _post_read(self, body: dict) -> dict:
+        session = self.state.session(body)
+        allocation = self.state.allocation(body, session)
+        values = session.read(
+            allocation, np.dtype(body["dtype"]), int(body["count"])
+        )
+        return {"data": np.asarray(values).tolist()}
+
+    def _post_free(self, body: dict) -> dict:
+        session = self.state.session(body)
+        allocation = self.state.allocation(body, session)
+        session.free(allocation)
+        with self.state.lock:
+            self.state.allocations.pop(body.get("allocation"), None)
+        return {"ok": True}
+
+    def _post_launch(self, body: dict) -> dict:
+        session = self.state.session(body)
+        args = []
+        for value in body.get("args", ()):
+            if isinstance(value, dict) and "allocation" in value:
+                args.append(self.state.allocation(value, session))
+            else:
+                args.append(value)
+        future = session.launch_async(
+            body["kernel"], body.get("grid", 1), body.get("block", 1), args
+        )
+        return {
+            "launch": self.state.allot(
+                self.state.futures, (session.tenant, future)
+            )
+        }
+
+    def _post_collect(self, body: dict) -> dict:
+        session = self.state.session(body)
+        handle = body.get("launch")
+        with self.state.lock:
+            entry = self.state.futures.pop(handle, None)
+        if entry is None:
+            raise LaunchError(f"unknown launch id {handle!r}")
+        tenant, future = entry
+        if tenant != session.tenant:
+            raise LaunchError(
+                f"launch {handle} belongs to tenant {tenant!r}"
+            )
+        error = future.exception(timeout=body.get("timeout", 60.0))
+        if error is not None:
+            return {"ok": False, "error": _error_payload(error)}
+        result = future.result()
+        return {
+            "ok": True,
+            "kernel": result.kernel_name,
+            "instructions": result.statistics.instructions,
+            "cycles": result.statistics.total_cycles,
+        }
+
+    def _post_reset(self, body: dict) -> dict:
+        self.state.session(body).reset()
+        return {"ok": True}
+
+    def _post_inject(self, body: dict) -> dict:
+        session = self.state.session(body)
+        session.inject_fault(
+            body["site"],
+            probability=float(body.get("probability", 1.0)),
+            seed=body.get("seed"),
+            **body.get("options", {}),
+        )
+        return {"ok": True}
+
+    def _post_disarm(self, body: dict) -> dict:
+        self.state.session(body).disarm_faults()
+        return {"ok": True}
+
+
+class KernelServer:
+    """Threaded HTTP server in front of a DevicePool.
+
+    ::
+
+        pool = DevicePool(workers=2, modules=[PTX])
+        server = KernelServer(pool, port=0)
+        server.start_background()
+        ... ServeClient(server.host, server.port) ...
+        server.shutdown()
+    """
+
+    def __init__(
+        self, pool: DevicePool, host: str = "127.0.0.1", port: int = 0
+    ):
+        self.pool = pool
+        state = _ServiceState(pool)
+        handler = type("BoundHandler", (_Handler,), {"state": state})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever(poll_interval=0.1)
+
+    def start_background(self) -> None:
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+
+    def shutdown(self, shutdown_pool: bool = True) -> None:
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self._httpd.server_close()
+        if shutdown_pool:
+            self.pool.shutdown()
+
+
+class ServeClient:
+    """Minimal blocking client of a :class:`KernelServer` (stdlib
+    ``http.client``, HTTP/1.1 keep-alive — one TCP connection per
+    client)."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str,
+        weight: float = 1.0,
+        max_pending: Optional[int] = None,
+        max_launches: Optional[int] = None,
+        worker: Optional[int] = None,
+        timeout: float = 120.0,
+    ):
+        self.tenant = tenant
+        self._conn = HTTPConnection(host, port, timeout=timeout)
+        self._session_body = {
+            "tenant": tenant,
+            "weight": weight,
+            "max_pending": max_pending,
+            "max_launches": max_launches,
+        }
+        body = dict(self._session_body)
+        if worker is not None:
+            body["worker"] = worker
+        self.worker = self._post("/v1/session", body)["worker"]
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _post(self, path: str, body: dict) -> dict:
+        payload = json.dumps(body).encode("utf-8")
+        try:
+            self._conn.request(
+                "POST",
+                path,
+                body=payload,
+                headers={"Content-Type": "application/json"},
+            )
+            response = self._conn.getresponse()
+            raw = response.read()
+        except (ConnectionError, socket.timeout, OSError):
+            self._conn.close()
+            raise
+        reply = json.loads(raw)
+        if response.status == 429:
+            raise QuotaExceeded(reply["error"]["message"])
+        if response.status != 200:
+            error = reply.get("error", {})
+            raise LaunchError(
+                f"{error.get('type', 'ServeError')}: "
+                f"{error.get('message', raw[:200])}"
+            )
+        return reply
+
+    def _tenant_body(self, **extra) -> dict:
+        body = dict(self._session_body)
+        body.update(extra)
+        return body
+
+    # -- API ---------------------------------------------------------------
+
+    def register(self, source: str) -> list:
+        return self._post(
+            "/v1/register", self._tenant_body(source=source)
+        )["kernels"]
+
+    def malloc(self, size: int, label: Optional[str] = None) -> int:
+        return self._post(
+            "/v1/malloc", self._tenant_body(size=size, label=label)
+        )["allocation"]
+
+    def upload(self, array, dtype: Optional[str] = None) -> int:
+        array = np.asarray(array)
+        return self._post(
+            "/v1/upload",
+            self._tenant_body(
+                data=array.tolist(), dtype=dtype or array.dtype.str
+            ),
+        )["allocation"]
+
+    def write(self, allocation: int, array, dtype=None) -> None:
+        array = np.asarray(array)
+        self._post(
+            "/v1/write",
+            self._tenant_body(
+                allocation=allocation,
+                data=array.tolist(),
+                dtype=dtype or array.dtype.str,
+            ),
+        )
+
+    def read(self, allocation: int, dtype, count: int) -> np.ndarray:
+        reply = self._post(
+            "/v1/read",
+            self._tenant_body(
+                allocation=allocation,
+                dtype=np.dtype(dtype).str,
+                count=count,
+            ),
+        )
+        return np.asarray(reply["data"], dtype=np.dtype(dtype))
+
+    def free(self, allocation: int) -> None:
+        self._post("/v1/free", self._tenant_body(allocation=allocation))
+
+    def launch(self, kernel: str, grid, block, args=()) -> int:
+        """Queue a launch; returns an id for :meth:`collect`.
+        Allocation ids must be wrapped: ``{"allocation": id}``."""
+        encoded = []
+        for value in args:
+            if isinstance(value, dict):
+                encoded.append(value)
+            elif isinstance(value, (int, float)):
+                encoded.append(value)
+            else:
+                raise LaunchError(
+                    f"cannot encode launch argument {value!r}; pass "
+                    f"numbers or {{'allocation': id}} references"
+                )
+        return self._post(
+            "/v1/launch",
+            self._tenant_body(
+                kernel=kernel, grid=grid, block=block, args=encoded
+            ),
+        )["launch"]
+
+    def collect(self, launch: int, timeout: float = 60.0) -> dict:
+        """Wait for a queued launch. Returns the endpoint payload:
+        ``{"ok": True, ...}`` or ``{"ok": False, "error": {...}}``."""
+        return self._post(
+            "/v1/collect",
+            self._tenant_body(launch=launch, timeout=timeout),
+        )
+
+    def run(self, kernel: str, grid, block, args=()) -> dict:
+        """launch + collect; raises LaunchError if the launch failed."""
+        reply = self.collect(self.launch(kernel, grid, block, args))
+        if not reply["ok"]:
+            error = reply["error"]
+            raise LaunchError(f"{error['type']}: {error['message']}")
+        return reply
+
+    def inject_fault(
+        self, site: str, probability: float = 1.0, seed=None, **options
+    ) -> None:
+        self._post(
+            "/v1/inject",
+            self._tenant_body(
+                site=site,
+                probability=probability,
+                seed=seed,
+                options=options,
+            ),
+        )
+
+    def disarm_faults(self) -> None:
+        self._post("/v1/disarm", self._tenant_body())
+
+    def reset(self) -> None:
+        self._post("/v1/reset", self._tenant_body())
+
+    def stats(self) -> dict:
+        self._conn.request("GET", "/v1/stats")
+        response = self._conn.getresponse()
+        return json.loads(response.read())
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,76 @@
+"""``python -m repro.serve`` — run the multi-tenant kernel server.
+
+Starts a :class:`~repro.runtime.pool.DevicePool` of persistent worker
+processes behind the JSON/HTTP front-end of
+:mod:`repro.runtime.service`. With ``REPRO_CACHE=1`` in the
+environment the workers warm-start from the persistent translation
+cache (pass ``--warm`` to pre-translate registered modules at boot).
+
+Example::
+
+    PYTHONPATH=src REPRO_CACHE=1 python -m repro.serve \
+        --workers 4 --module kernels.ptx --warm --port 8420
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .runtime.pool import DevicePool
+from .runtime.service import KernelServer
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve kernel launches from a DevicePool over HTTP.",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default %(default)s)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8420,
+        help="TCP port; 0 picks a free port (default %(default)s)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes in the pool (default %(default)s)",
+    )
+    parser.add_argument(
+        "--module", action="append", default=[], metavar="PTX_FILE",
+        help="PTX module to register on every worker (repeatable)",
+    )
+    parser.add_argument(
+        "--warm", action="store_true",
+        help="pre-translate registered kernels before accepting clients",
+    )
+    args = parser.parse_args(argv)
+
+    modules = []
+    for path in args.module:
+        with open(path, "r", encoding="utf-8") as handle:
+            modules.append(handle.read())
+
+    pool = DevicePool(
+        workers=args.workers, modules=modules, warm=args.warm
+    )
+    server = KernelServer(pool, host=args.host, port=args.port)
+    print(
+        f"repro.serve: {args.workers} workers, "
+        f"{len(modules)} modules, listening on "
+        f"http://{server.host}:{server.port}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro.serve: shutting down", flush=True)
+    finally:
+        server.shutdown()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,289 @@
+"""DevicePool: worker sharding, weighted fair queueing, quotas,
+per-tenant statistics, and cross-tenant fault isolation."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro import DevicePool, KernelTrap, QuotaExceeded
+from repro.errors import LaunchError
+from repro.runtime.pool import WeightedFairQueue
+from tests.conftest import VECADD_PTX
+
+N = 8
+
+#: Private module of the trapping tenant (registered after the pool's
+#: workers warm, so its translation binds the armed fault site).
+CHAOS_PTX = VECADD_PTX.replace("vecAdd", "chaosAdd")
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with DevicePool(workers=2, modules=[VECADD_PTX]) as pool:
+        pool.ready(timeout=300.0)
+        yield pool
+
+
+def _session_buffers(session):
+    a = session.upload(np.arange(N, dtype=np.float32))
+    b = session.upload(np.arange(N, dtype=np.float32))
+    c = session.malloc(4 * N)
+    return a, b, c
+
+
+class TestWeightedFairQueue:
+    def test_weighted_interleaving_is_proportional(self):
+        """Stride scheduling: weights 2:1 serve a,b,a,a,b,a,a,b,a."""
+        queue = WeightedFairQueue()
+        queue.add("a", weight=2.0)
+        queue.add("b", weight=1.0)
+        for index in range(6):
+            queue.push("a", f"a{index}")
+        for index in range(3):
+            queue.push("b", f"b{index}")
+        order = []
+        while True:
+            entry = queue.pop()
+            if entry is None:
+                break
+            order.append(entry[0])
+        assert order == ["a", "b", "a", "a", "b", "a", "a", "b", "a"]
+
+    def test_latecomer_not_starved_and_banked_credit_dropped(self):
+        """A tenant going idle (or joining late) re-enters at the
+        current virtual clock: prompt service, but no banked
+        catch-up burst — with banked credit (pass stuck at 0) the
+        late tenant's first four pops would ALL be its own."""
+        queue = WeightedFairQueue()
+        queue.add("old", weight=1.0)
+        queue.add("late", weight=1.0)
+        for index in range(8):
+            queue.push("old", index)
+        for _ in range(4):
+            assert queue.pop()[0] == "old"
+        for index in range(4):
+            queue.push("late", index)
+        order = [queue.pop()[0] for _ in range(8)]
+        assert order == [
+            "late", "late", "old", "late", "old", "late", "old", "old",
+        ]
+
+    def test_duplicate_tenant_rejected(self):
+        queue = WeightedFairQueue()
+        queue.add("a")
+        with pytest.raises(ValueError, match="already queued"):
+            queue.add("a")
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            WeightedFairQueue().add("a", weight=0)
+
+
+class TestSessions:
+    def test_tenants_spread_across_workers(self, pool):
+        alice = pool.session("alice", weight=2.0)
+        bob = pool.session("bob")
+        assert alice.worker_index != bob.worker_index
+        assert pool.session("alice") is alice
+
+    def test_memory_roundtrip_and_launch(self, pool):
+        session = pool.session("alice")
+        a, b, c = _session_buffers(session)
+        result = session.launch("vecAdd", 1, N, [a, b, c, N])
+        assert result.statistics.instructions > 0
+        assert np.allclose(
+            session.read(c, np.float32, N), np.arange(N) * 2
+        )
+        session.write(b, np.ones(N, dtype=np.float32))
+        session.launch("vecAdd", 1, N, [a, b, c, N])
+        assert np.allclose(
+            session.read(c, np.float32, N), np.arange(N) + 1
+        )
+        session.free(c)
+
+    def test_per_tenant_fifo_and_statistics(self, pool):
+        session = pool.session("fifo-tenant")
+        a, b, c = _session_buffers(session)
+        futures = [
+            session.launch_async("vecAdd", 1, N, [a, b, c, N])
+            for _ in range(4)
+        ]
+        session.synchronize(timeout=120)
+        assert all(future.done() for future in futures)
+        stats = session.statistics()
+        assert stats.completed == 4
+        assert stats.failed == 0
+        assert stats.statistics.instructions > 0
+
+    def test_cross_tenant_allocation_rejected(self, pool):
+        alice = pool.session("alice")
+        bob = pool.session("bob")
+        theirs = bob.upload(np.ones(N, dtype=np.float32))
+        mine = alice.malloc(4 * N)
+        with pytest.raises(LaunchError, match="belongs to tenant"):
+            alice.launch_async(
+                "vecAdd", 1, N, [theirs, theirs, mine, N]
+            )
+
+    def test_pool_level_report_aggregates_tenants(self, pool):
+        session = pool.session("alice")
+        a, b, c = _session_buffers(session)
+        session.launch("vecAdd", 1, N, [a, b, c, N])
+        report = pool.report()
+        assert "alice" in report
+        assert "aggregate:" in report
+        merged = pool.aggregate_statistics()
+        assert merged.instructions >= (
+            session.stats.statistics.instructions
+        )
+        assert len(pool.worker_reports()) == pool.workers
+
+    def test_register_module_after_start(self, pool):
+        kernels = pool.register_module(
+            VECADD_PTX.replace("vecAdd", "lateAdd")
+        )
+        assert kernels == ["lateAdd"]
+        session = pool.session("late-module")
+        a, b, c = _session_buffers(session)
+        session.launch("lateAdd", 1, N, [a, b, c, N])
+        assert np.allclose(
+            session.read(c, np.float32, N), np.arange(N) * 2
+        )
+
+
+class TestQuotas:
+    def test_lifetime_launch_quota(self, pool):
+        session = pool.session("quota-lifetime", max_launches=2)
+        a, b, c = _session_buffers(session)
+        for _ in range(2):
+            session.launch("vecAdd", 1, N, [a, b, c, N])
+        with pytest.raises(QuotaExceeded, match="lifetime"):
+            session.launch("vecAdd", 1, N, [a, b, c, N])
+        assert session.stats.rejected == 1
+
+    def test_pending_quota(self, pool):
+        session = pool.session("quota-pending", max_pending=1)
+        a, b, c = _session_buffers(session)
+        # Hold the one pending slot artificially.
+        with session._condition:
+            session._pending = 1
+        try:
+            with pytest.raises(QuotaExceeded, match="outstanding"):
+                session.launch_async("vecAdd", 1, N, [a, b, c, N])
+        finally:
+            with session._condition:
+                session._pending = 0
+        session.launch("vecAdd", 1, N, [a, b, c, N])
+
+    def test_quota_is_launch_error_subclass(self):
+        assert issubclass(QuotaExceeded, LaunchError)
+
+
+class TestFaultIsolation:
+    def test_trapping_tenant_never_blocks_or_corrupts_others(self, pool):
+        """The acceptance scenario: chaos tenant pinned to worker 0
+        with an armed memory_fault; a same-worker healthy tenant and
+        a cross-worker tenant keep launching correct results."""
+        same = pool.session("healthy-same", worker=0)
+        other = pool.session("healthy-other", worker=1)
+        sa, sb, sc = _session_buffers(same)
+        oa, ob, oc = _session_buffers(other)
+        # Translate the healthy tenants' kernel before arming.
+        same.launch("vecAdd", 1, N, [sa, sb, sc, N])
+        other.launch("vecAdd", 1, N, [oa, ob, oc, N])
+
+        chaos = pool.session("chaos", worker=0)
+        chaos.register_module(CHAOS_PTX)
+        chaos.inject_fault("memory_fault", probability=1.0, seed=11)
+        ca, cb, cc = _session_buffers(chaos)
+        try:
+            future = chaos.launch_async(
+                "chaosAdd", 1, N, [ca, cb, cc, N]
+            )
+            error = future.exception(timeout=120)
+            assert isinstance(error, KernelTrap)
+            # Structured payload survived the process boundary.
+            assert error.info is not None
+            assert error.info.kernel == "chaosAdd"
+            assert error.statistics is not None
+            assert error.remote_report
+            assert "chaosAdd" in error.remote_report
+            assert chaos.stats.traps >= 1
+            assert chaos.stats.trap_reports
+
+            # Sticky per-tenant: chaos fails fast until reset.
+            with pytest.raises(LaunchError, match="failed state"):
+                chaos.launch_async("chaosAdd", 1, N, [ca, cb, cc, N])
+
+            # Same-worker tenant unaffected (worker auto-recovered).
+            same.launch("vecAdd", 1, N, [sa, sb, sc, N])
+            assert np.allclose(
+                same.read(sc, np.float32, N), np.arange(N) * 2
+            )
+            # Cross-worker tenant unaffected.
+            other.launch("vecAdd", 1, N, [oa, ob, oc, N])
+            assert np.allclose(
+                other.read(oc, np.float32, N), np.arange(N) * 2
+            )
+        finally:
+            chaos.disarm_faults()
+        chaos.reset()
+        assert chaos.last_error is None
+        chaos.launch("chaosAdd", 1, N, [ca, cb, cc, N])
+        assert np.allclose(
+            chaos.read(cc, np.float32, N), np.arange(N) * 2
+        )
+
+
+class TestWarmStart:
+    def test_warm_pool_with_persistent_cache(self, tmp_path, monkeypatch):
+        """REPRO_CACHE=1 + warm=True: a second pool against the same
+        cache directory warm-starts from disk (hits reported by the
+        worker devices)."""
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        with DevicePool(workers=1, modules=[VECADD_PTX], warm=True) as pool:
+            pool.ready(timeout=300.0)
+            first_report = pool.worker_reports()[0]
+        with DevicePool(workers=1, modules=[VECADD_PTX], warm=True) as pool:
+            pool.ready(timeout=300.0)
+            session = pool.session("warm")
+            a, b, c = _session_buffers(session)
+            session.launch("vecAdd", 1, N, [a, b, c, N])
+            assert np.allclose(
+                session.read(c, np.float32, N), np.arange(N) * 2
+            )
+            second_report = pool.worker_reports()[0]
+        match = re.search(r"disk hits=(\d+)", second_report)
+        assert match and int(match.group(1)) > 0, (
+            first_report, second_report,
+        )
+
+
+class TestLifecycle:
+    def test_shutdown_fails_queued_launches(self):
+        pool = DevicePool(workers=1, modules=[VECADD_PTX])
+        pool.ready(timeout=300.0)
+        session = pool.session("doomed")
+        a, b, c = _session_buffers(session)
+        future = session.launch_async("vecAdd", 1, N, [a, b, c, N])
+        pool.shutdown()
+        error = future.exception(timeout=60)
+        if error is not None:
+            assert isinstance(error, LaunchError)
+        with pytest.raises(LaunchError):
+            session.launch_async("vecAdd", 1, N, [a, b, c, N])
+
+    def test_dead_worker_raises_launch_error(self):
+        pool = DevicePool(workers=1, modules=[VECADD_PTX])
+        pool.ready(timeout=300.0)
+        session = pool.session("orphan")
+        a, b, c = _session_buffers(session)
+        pool._workers[0].process.terminate()
+        pool._workers[0].process.join(10)
+        try:
+            with pytest.raises(LaunchError, match="worker 0"):
+                session.read(a, np.float32, N)
+        finally:
+            pool.shutdown()

@@ -1,0 +1,197 @@
+"""The HTTP serving front-end (`python -m repro.serve`) and the
+concurrent-clients bench harness."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import DevicePool, QuotaExceeded
+from repro.errors import LaunchError
+from repro.runtime.service import KernelServer, ServeClient
+from tests.conftest import VECADD_PTX
+
+N = 8
+CHAOS_PTX = VECADD_PTX.replace("vecAdd", "chaosAdd")
+
+
+@pytest.fixture(scope="module")
+def server():
+    pool = DevicePool(workers=2, modules=[VECADD_PTX])
+    pool.ready(timeout=300.0)
+    server = KernelServer(pool, port=0)
+    server.start_background()
+    yield server
+    server.shutdown()
+
+
+def _vecadd_roundtrip(client):
+    a = client.upload(np.arange(N, dtype=np.float32))
+    b = client.upload(np.arange(N, dtype=np.float32))
+    c = client.malloc(4 * N)
+    reply = client.run(
+        "vecAdd", 1, N,
+        [{"allocation": a}, {"allocation": b}, {"allocation": c}, N],
+    )
+    assert reply["ok"] and reply["kernel"] == "vecAdd"
+    assert reply["instructions"] > 0
+    return client.read(c, np.float32, N)
+
+
+class TestServeRoundtrip:
+    def test_register_malloc_launch_collect(self, server):
+        with ServeClient(server.host, server.port, "rt") as client:
+            out = _vecadd_roundtrip(client)
+            assert np.allclose(out, np.arange(N) * 2)
+
+    def test_write_and_free(self, server):
+        with ServeClient(server.host, server.port, "rt2") as client:
+            buffer = client.malloc(4 * N)
+            client.write(
+                buffer, np.full(N, 5.0, dtype=np.float32)
+            )
+            assert np.allclose(
+                client.read(buffer, np.float32, N), 5.0
+            )
+            client.free(buffer)
+
+    def test_stats_endpoint(self, server):
+        with ServeClient(server.host, server.port, "rt") as client:
+            stats = client.stats()
+        assert stats["workers"] == 2
+        assert "rt" in stats["tenants"]
+        assert stats["tenants"]["rt"]["completed"] >= 1
+        assert "device pool" in stats["report"]
+
+    def test_four_concurrent_clients(self, server):
+        results = {}
+        errors = []
+
+        def run(name):
+            try:
+                with ServeClient(
+                    server.host, server.port, name
+                ) as client:
+                    results[name] = _vecadd_roundtrip(client)
+            except Exception as error:  # pragma: no cover - diagnostic
+                errors.append((name, error))
+
+        threads = [
+            threading.Thread(target=run, args=(f"conc-{index}",))
+            for index in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(results) == 4
+        for out in results.values():
+            assert np.allclose(out, np.arange(N) * 2)
+
+
+class TestServeErrors:
+    def test_unknown_kernel_is_client_error(self, server):
+        with ServeClient(server.host, server.port, "err") as client:
+            launch = client.launch("noSuchKernel", 1, N, [])
+            reply = client.collect(launch)
+            assert not reply["ok"]
+
+    def test_bad_dimensions_rejected_at_submit(self, server):
+        with ServeClient(server.host, server.port, "err") as client:
+            with pytest.raises(LaunchError, match="dimensions"):
+                client.launch("vecAdd", [1, 1, 1, 1], N, [])
+
+    def test_unknown_allocation_rejected(self, server):
+        with ServeClient(server.host, server.port, "err") as client:
+            with pytest.raises(LaunchError, match="allocation"):
+                client.read(987654, np.float32, N)
+
+    def test_quota_maps_to_429(self, server):
+        with ServeClient(
+            server.host, server.port, "quota-http", max_launches=1
+        ) as client:
+            a = client.upload(np.arange(N, dtype=np.float32))
+            c = client.malloc(4 * N)
+            args = [
+                {"allocation": a}, {"allocation": a},
+                {"allocation": c}, N,
+            ]
+            client.run("vecAdd", 1, N, args)
+            with pytest.raises(QuotaExceeded):
+                client.launch("vecAdd", 1, N, args)
+
+    def test_cross_tenant_allocation_rejected(self, server):
+        with ServeClient(server.host, server.port, "owner") as owner:
+            theirs = owner.upload(np.arange(N, dtype=np.float32))
+            with ServeClient(
+                server.host, server.port, "thief"
+            ) as thief:
+                with pytest.raises(LaunchError, match="belongs to"):
+                    thief.read(theirs, np.float32, N)
+
+
+class TestServeFaultIsolation:
+    def test_trapping_client_isolated_over_http(self, server):
+        """A client whose kernel traps gets a structured error reply;
+        other clients' launches keep completing correctly."""
+        healthy = ServeClient(server.host, server.port, "iso-healthy")
+        try:
+            assert np.allclose(
+                _vecadd_roundtrip(healthy), np.arange(N) * 2
+            )
+            with ServeClient(
+                server.host, server.port, "iso-chaos",
+                worker=healthy.worker,
+            ) as chaos:
+                chaos.register(CHAOS_PTX)
+                chaos.inject_fault(
+                    "memory_fault", probability=1.0, seed=5
+                )
+                a = chaos.upload(np.ones(N, dtype=np.float32))
+                c = chaos.malloc(4 * N)
+                reply = chaos.collect(chaos.launch(
+                    "chaosAdd", 1, N,
+                    [{"allocation": a}, {"allocation": a},
+                     {"allocation": c}, N],
+                ))
+                assert not reply["ok"]
+                assert reply["error"]["type"] == "KernelTrap"
+                assert "chaosAdd" in reply["error"]["report"]
+                chaos.disarm_faults()
+                chaos.reset()
+            # Same-worker healthy client unaffected.
+            assert np.allclose(
+                _vecadd_roundtrip(healthy), np.arange(N) * 2
+            )
+        finally:
+            healthy.close()
+
+
+class TestServeBench:
+    def test_bench_smoke_writes_json(self, tmp_path):
+        from repro.bench.serve_bench import format_serve, run_serve_bench
+
+        output = tmp_path / "BENCH_serve.json"
+        record = run_serve_bench(
+            clients=2,
+            workers=2,
+            launches=2,
+            scale=0.25,
+            chaos=True,
+            assert_speedup=None,
+            output=str(output),
+        )
+        written = json.loads(output.read_text())
+        assert written["experiment"] == "serve"
+        assert written["clients"] == 2
+        assert written["speedup"] > 0
+        assert written["chaos"]["trapped_launches"] >= 1
+        assert written["chaos"]["outcomes"] == ["KernelTrap"]
+        for tenant, stats in written["tenants"].items():
+            if tenant.startswith("client-"):
+                assert stats["failed"] == 0
+        text = format_serve(record)
+        assert "serving bench" in text
+        assert "speedup" in text

@@ -1,0 +1,298 @@
+"""Streams, events, launch futures, and their sticky-error interplay.
+
+The async path must preserve the synchronous path's semantics: FIFO
+order within a stream, one kernel executing at a time device-wide, a
+trap arriving through the future with full ``format_trap``
+attribution and partial statistics, sticky-error fail-fast for work
+queued behind a fault, and ``Device.reset()`` restoring the stream to
+launch-ready."""
+
+import numpy as np
+import pytest
+
+from repro import Device, Event, KernelTrap, LaunchFuture, Stream, format_trap
+from repro.errors import LaunchError
+from tests.conftest import VECADD_PTX
+
+#: vecAdd variant whose unguarded store hits address zero: traps
+#: deterministically on every backend without fault injection.
+NULL_STORE_PTX = r"""
+.version 2.3
+.target sim
+
+.entry nullStore (.param .u64 out, .param .u32 n)
+{
+  .reg .u32 %r<4>;
+  .reg .u64 %rd<3>;
+  .reg .f32 %f<2>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u64 %rd1, 0;
+  cvt.rn.f32.u32 %f1, %r1;
+  st.global.f32 [%rd1], %f1;
+  exit;
+}
+"""
+
+#: In-place scale-and-bias over one buffer — non-commutative chain
+#: steps make FIFO-order violations visible in the final values.
+SCALE_BIAS_PTX = r"""
+.version 2.3
+.target sim
+
+.entry scaleBias (.param .u64 data, .param .f32 scale,
+                  .param .f32 bias, .param .u32 n)
+{
+  .reg .u32 %r<6>;
+  .reg .u64 %rd<4>;
+  .reg .f32 %f<4>;
+  .reg .pred %p<2>;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %ctaid.x;
+  mad.lo.u32 %r4, %r3, %r2, %r1;
+  ld.param.u32 %r5, [n];
+  setp.ge.u32 %p1, %r4, %r5;
+  @%p1 bra DONE;
+  mul.wide.u32 %rd1, %r4, 4;
+  ld.param.u64 %rd2, [data];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.f32 %f1, [%rd3];
+  ld.param.f32 %f2, [scale];
+  fma.rn.f32 %f3, %f1, %f2, 0.0;
+  ld.param.f32 %f2, [bias];
+  add.f32 %f3, %f3, %f2;
+  st.global.f32 [%rd3], %f3;
+DONE:
+  exit;
+}
+"""
+
+N = 8
+
+
+@pytest.fixture
+def async_device():
+    device = Device()
+    device.register_module(VECADD_PTX)
+    device.register_module(SCALE_BIAS_PTX)
+    device.register_module(NULL_STORE_PTX)
+    return device
+
+
+def _buffers(device):
+    a = device.upload(np.arange(N, dtype=np.float32))
+    b = device.upload(np.arange(N, dtype=np.float32))
+    c = device.malloc(4 * N)
+    return a, b, c
+
+
+class TestLaunchFuture:
+    def test_result_matches_synchronous_launch(self, async_device):
+        a, b, c = _buffers(async_device)
+        sync_result = async_device.launch("vecAdd", 1, N, [a, b, c, N])
+        future = async_device.launch_async("vecAdd", 1, N, [a, b, c, N])
+        assert isinstance(future, LaunchFuture)
+        result = future.result(timeout=60)
+        assert future.done()
+        assert result.kernel_name == "vecAdd"
+        assert result.statistics.instructions == (
+            sync_result.statistics.instructions
+        )
+        assert np.allclose(c.read(np.float32, N), np.arange(N) * 2)
+
+    def test_exception_returns_none_on_success(self, async_device):
+        a, b, c = _buffers(async_device)
+        future = async_device.launch_async("vecAdd", 1, N, [a, b, c, N])
+        assert future.exception(timeout=60) is None
+
+    def test_submit_validates_dimensions(self, async_device):
+        a, b, c = _buffers(async_device)
+        with pytest.raises(LaunchError, match="grid has 4 dimensions"):
+            async_device.launch_async(
+                "vecAdd", (1, 1, 1, 1), N, [a, b, c, N]
+            )
+
+    def test_default_stream_created_lazily(self, async_device):
+        assert async_device._default_stream is None
+        stream = async_device.default_stream
+        assert isinstance(stream, Stream)
+        assert async_device.default_stream is stream
+
+
+class TestStreamOrdering:
+    def test_fifo_order_within_stream(self, async_device):
+        """A non-commutative chain (x2, x2, +1s, x2 over x0=1 -> 10)
+        only produces the right values when executed in FIFO order."""
+        data = async_device.upload(np.ones(N, dtype=np.float32))
+        ones = async_device.upload(np.ones(N, dtype=np.float32))
+        stream = async_device.create_stream()
+        futures = [
+            stream.launch_async(
+                "scaleBias", (1, 1, 1), (N, 1, 1), [data, 2.0, 0.0, N]
+            ),
+            stream.launch_async(
+                "scaleBias", (1, 1, 1), (N, 1, 1), [data, 2.0, 0.0, N]
+            ),
+            stream.launch_async(
+                "vecAdd", (1, 1, 1), (N, 1, 1), [data, ones, data, N]
+            ),
+            stream.launch_async(
+                "scaleBias", (1, 1, 1), (N, 1, 1), [data, 2.0, 0.0, N]
+            ),
+        ]
+        for future in futures:
+            future.result(timeout=60)
+        assert np.allclose(data.read(np.float32, N), 10.0)
+
+    def test_streams_have_unique_names(self, async_device):
+        names = {async_device.create_stream().name for _ in range(3)}
+        assert len(names) == 3
+        assert async_device.create_stream("mine").name == "mine"
+
+    def test_synchronize_drains_stream(self, async_device):
+        a, b, c = _buffers(async_device)
+        stream = async_device.create_stream()
+        for _ in range(4):
+            stream.launch_async("vecAdd", 1, N, [a, b, c, N])
+        stream.synchronize()
+        assert stream.pending == 0
+        assert np.allclose(c.read(np.float32, N), np.arange(N) * 2)
+
+    def test_device_synchronize_covers_all_streams(self, async_device):
+        a, b, c = _buffers(async_device)
+        streams = [async_device.create_stream() for _ in range(3)]
+        for stream in streams:
+            stream.launch_async("vecAdd", 1, N, [a, b, c, N])
+        async_device.synchronize()
+        assert all(stream.pending == 0 for stream in streams)
+
+    def test_sync_launch_drains_pending_async_work(self, async_device):
+        """Legacy-stream semantics: a synchronous launch only runs
+        after previously queued async work has completed."""
+        data = async_device.upload(np.ones(N, dtype=np.float32))
+        stream = async_device.create_stream()
+        for _ in range(2):
+            stream.launch_async(
+                "scaleBias", (1, 1, 1), (N, 1, 1), [data, 2.0, 0.0, N]
+            )
+        async_device.launch(
+            "scaleBias", (1, 1, 1), (N, 1, 1), [data, 1.0, 1.0, N]
+        )
+        assert np.allclose(data.read(np.float32, N), 5.0)
+
+    def test_closed_stream_rejects_submissions(self, async_device):
+        a, b, c = _buffers(async_device)
+        stream = async_device.create_stream()
+        stream.launch_async("vecAdd", 1, N, [a, b, c, N])
+        stream.close()
+        with pytest.raises(LaunchError, match="closed"):
+            stream.launch_async("vecAdd", 1, N, [a, b, c, N])
+
+
+class TestEvents:
+    def test_record_and_synchronize(self, async_device):
+        a, b, c = _buffers(async_device)
+        stream = async_device.create_stream()
+        stream.launch_async("vecAdd", 1, N, [a, b, c, N])
+        event = stream.record()
+        assert isinstance(event, Event)
+        event.synchronize(timeout=60)
+        assert event.query()
+        assert np.allclose(c.read(np.float32, N), np.arange(N) * 2)
+
+    def test_cross_stream_wait_event(self, async_device):
+        """s2's launch reads what s1's launch wrote; wait_event makes
+        the cross-stream dependency explicit."""
+        data = async_device.upload(np.ones(N, dtype=np.float32))
+        sink = async_device.malloc(4 * N)
+        s1 = async_device.create_stream()
+        s2 = async_device.create_stream()
+        s1.launch_async(
+            "scaleBias", (1, 1, 1), (N, 1, 1), [data, 3.0, 1.0, N]
+        )
+        event = s1.record()
+        s2.wait_event(event)
+        future = s2.launch_async(
+            "vecAdd", (1, 1, 1), (N, 1, 1), [data, data, sink, N]
+        )
+        future.result(timeout=60)
+        assert np.allclose(sink.read(np.float32, N), 8.0)
+
+    def test_fresh_event_not_fired(self):
+        event = Event()
+        assert not event.query()
+        with pytest.raises(LaunchError, match="timed out"):
+            event.synchronize(timeout=0.01)
+
+
+class TestAsyncStickyErrors:
+    def test_trap_surfaces_through_future_with_attribution(
+        self, async_device
+    ):
+        out = async_device.malloc(4 * N)
+        future = async_device.launch_async(
+            "nullStore", (1, 1, 1), (4, 1, 1), [out, N]
+        )
+        error = future.exception(timeout=60)
+        assert isinstance(error, KernelTrap)
+        with pytest.raises(KernelTrap):
+            future.result()
+        # Full trap attribution, exactly like the synchronous path.
+        assert error.info is not None
+        assert error.info.kernel == "nullStore"
+        report = format_trap(error)
+        assert "nullStore" in report
+        assert "cta" in report.lower()
+        # Partial statistics ride on the trap.
+        assert error.statistics is not None
+
+    def test_trap_sets_device_sticky_error(self, async_device):
+        out = async_device.malloc(4 * N)
+        future = async_device.launch_async(
+            "nullStore", (1, 1, 1), (4, 1, 1), [out, N]
+        )
+        assert isinstance(future.exception(timeout=60), KernelTrap)
+        assert isinstance(async_device.last_error, KernelTrap)
+
+    def test_launch_async_fails_fast_on_faulted_device(
+        self, async_device
+    ):
+        a, b, c = _buffers(async_device)
+        async_device.launch_async(
+            "nullStore", (1, 1, 1), (4, 1, 1), [c, N]
+        ).exception(timeout=60)
+        with pytest.raises(LaunchError, match="failed state"):
+            async_device.launch_async("vecAdd", 1, N, [a, b, c, N])
+
+    def test_work_queued_behind_trap_fails_fast(self, async_device):
+        """Launches already queued on the stream when an earlier one
+        traps must fail (fail-fast LaunchError or the trap's shadow),
+        never hang or silently succeed."""
+        a, b, c = _buffers(async_device)
+        stream = async_device.create_stream()
+        trap_future = stream.launch_async(
+            "nullStore", (1, 1, 1), (4, 1, 1), [c, N]
+        )
+        behind = [
+            stream.launch_async("vecAdd", 1, N, [a, b, c, N])
+            for _ in range(2)
+        ]
+        assert isinstance(trap_future.exception(timeout=60), KernelTrap)
+        for future in behind:
+            error = future.exception(timeout=60)
+            assert isinstance(error, LaunchError)
+
+    def test_reset_restores_stream_to_launch_ready(self, async_device):
+        a, b, c = _buffers(async_device)
+        stream = async_device.create_stream()
+        stream.launch_async(
+            "nullStore", (1, 1, 1), (4, 1, 1), [c, N]
+        ).exception(timeout=60)
+        assert async_device.last_error is not None
+        async_device.reset()
+        assert async_device.last_error is None
+        future = stream.launch_async("vecAdd", 1, N, [a, b, c, N])
+        future.result(timeout=60)
+        assert np.allclose(c.read(np.float32, N), np.arange(N) * 2)
