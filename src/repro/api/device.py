@@ -42,7 +42,11 @@ from ..ptx.parser import parse
 from ..ptx.types import DataType
 from ..ptx.validator import validate_module
 from ..runtime.cache_store import CacheStore
-from ..runtime.config import ExecutionConfig, apply_backend_env
+from ..runtime.config import (
+    ExecutionConfig,
+    apply_backend_env,
+    apply_meld_env,
+)
 from ..sanitizer.core import KernelSanitizer, apply_sanitize_env
 from ..runtime.launcher import KernelLauncher, LaunchResult
 from ..runtime.translation_cache import TranslationCache
@@ -113,7 +117,7 @@ class Device:
     ):
         self.machine = machine or sandybridge()
         self.config = apply_backend_env(
-            apply_sanitize_env(config or ExecutionConfig())
+            apply_meld_env(apply_sanitize_env(config or ExecutionConfig()))
         )
         self.memory = MemorySystem(size=memory_size)
         #: Checked-execution services (``config.sanitize``); None when

@@ -15,6 +15,7 @@ from .figures import (
     run_figure9,
     run_figure10,
     run_instruction_reduction,
+    run_meld_ablation,
     run_table1,
 )
 from .harness import SuiteRunner
@@ -26,6 +27,7 @@ from .reporting import (
     format_figure9,
     format_figure10,
     format_instruction_reduction,
+    format_meld_ablation,
     format_table1,
     join_sections,
 )
@@ -52,9 +54,18 @@ def main(argv=None) -> int:
             "figure9",
             "figure10",
             "instructions",
+            "meld",
         ],
         default=None,
         help="regenerate a single experiment",
+    )
+    parser.add_argument(
+        "--meld",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="run the figure sweeps with the control-flow melding "
+        "pass enabled (--no-meld restores the default); the meld "
+        "ablation section itself always compares both settings",
     )
     parser.add_argument(
         "--backend",
@@ -190,7 +201,7 @@ def main(argv=None) -> int:
         for name in ("figure6", "figure7", "figure8", "figure9",
                      "figure10")
     ):
-        runner = SuiteRunner(scale=arguments.scale)
+        runner = SuiteRunner(scale=arguments.scale, meld=arguments.meld)
     if wants("figure6"):
         sections.append(format_figure6(run_figure6(runner)))
     if wants("figure7"):
@@ -205,6 +216,14 @@ def main(argv=None) -> int:
         sections.append(
             format_instruction_reduction(run_instruction_reduction())
         )
+    if wants("meld"):
+        ablation = run_meld_ablation(scale=arguments.scale)
+        sections.append(format_meld_ablation(ablation))
+        if ablation.mispredicted:
+            failures.append(
+                f"melding fired against the profitability model on "
+                f"{len(ablation.mispredicted)} region(s)"
+            )
     if runner is not None:
         sections.append(
             format_cache_statistics(runner.cache_statistics())

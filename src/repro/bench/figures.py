@@ -255,3 +255,109 @@ def run_instruction_reduction(
     return InstructionReductionResult(
         reductions=reductions, invariant_fractions=invariant_fractions
     )
+
+
+# ---------------------------------------------------------------------------
+# Control-flow melding ablation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MeldAblationRow:
+    """One divergent workload run with melding off and on."""
+
+    workload: str
+    cycles_off: int
+    cycles_on: int
+    divergent_yields_off: int
+    divergent_yields_on: int
+    melded_regions: int
+    meld_rejections: int
+    predicted_saving: float
+    #: both runs passed the workload's reference check
+    check_ok: bool
+
+    @property
+    def speedup(self) -> float:
+        if self.cycles_on == 0:
+            return 0.0
+        return self.cycles_off / self.cycles_on
+
+    @property
+    def improved(self) -> bool:
+        return (
+            self.melded_regions > 0
+            and self.cycles_on < self.cycles_off
+            and self.check_ok
+        )
+
+
+@dataclass
+class MeldAblationResult:
+    rows: List[MeldAblationRow]
+    #: "workload:kernel:block" of any decision the pass *melded*
+    #: although the model predicted a loss (must stay empty: melding
+    #: may never fire where the profitability model predicts a loss)
+    mispredicted: List[str] = field(default_factory=list)
+
+    @property
+    def improved_count(self) -> int:
+        return sum(1 for row in self.rows if row.improved)
+
+
+def run_meld_ablation(
+    scale: float = 1.0, max_warp_size: int = 4
+) -> MeldAblationResult:
+    """The --meld ablation axis: every divergent workload with the
+    melding pass off vs on, plus an audit of every meld decision."""
+    from dataclasses import replace
+
+    from ..api.device import Device
+    from ..runtime.config import vectorized_config
+    from ..workloads.base import Category
+
+    off_config = vectorized_config(max_warp_size)
+    on_config = replace(off_config, meld=True)
+    rows: List[MeldAblationRow] = []
+    mispredicted: List[str] = []
+    divergent = [
+        workload
+        for workload in all_workloads()
+        if workload.category == Category.DIVERGENT
+    ]
+    for workload in divergent:
+        off = workload.run_on(off_config, scale=scale, check=True)
+        on = workload.run_on(on_config, scale=scale, check=True)
+        rows.append(
+            MeldAblationRow(
+                workload=workload.name,
+                cycles_off=off.elapsed_cycles,
+                cycles_on=on.elapsed_cycles,
+                divergent_yields_off=off.statistics.divergent_yields,
+                divergent_yields_on=on.statistics.divergent_yields,
+                melded_regions=on.statistics.melded_regions,
+                meld_rejections=on.statistics.meld_rejections,
+                predicted_saving=on.statistics.meld_predicted_saving,
+                check_ok=bool(off.correct) and bool(on.correct),
+            )
+        )
+        # Audit the per-kernel decisions: a melded region whose own
+        # estimate predicts a loss is a profitability-model violation.
+        device = Device(config=on_config)
+        workload.prepare(device)
+        for module in device.modules:
+            for kernel_name in module.kernels:
+                device.cache.scalar_ir(kernel_name)
+                report = device.cache.meld_report(kernel_name)
+                if report is None:
+                    continue
+                for decision in report.decisions:
+                    if decision.melded and (
+                        decision.est_melded_cycles
+                        >= decision.est_divergent_cycles
+                    ):
+                        mispredicted.append(
+                            f"{workload.name}:{kernel_name}:"
+                            f"{decision.branch_block}"
+                        )
+    return MeldAblationResult(rows=rows, mispredicted=mispredicted)

@@ -7,7 +7,7 @@ executes each (workload, config) pair once and caches the result.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 from ..runtime.config import (
@@ -44,13 +44,20 @@ class SuiteRunner:
     scale: float = 1.0
     check: bool = True
     max_warp_size: int = 4
+    #: run every config with the control-flow melding pass enabled
+    #: (the --meld ablation axis of ``python -m repro.bench``)
+    meld: bool = False
     _cache: Dict[tuple, WorkloadRun] = field(default_factory=dict)
 
     def config(self, label: str) -> ExecutionConfig:
         factory = _CONFIG_FACTORIES[label]
         if label == BASELINE:
-            return factory()
-        return factory(self.max_warp_size)
+            config = factory()
+        else:
+            config = factory(self.max_warp_size)
+        if self.meld:
+            config = replace(config, meld=True)
+        return config
 
     def run(self, workload: Workload, label: str) -> WorkloadRun:
         key = (workload.name, label)

@@ -15,6 +15,7 @@ from .figures import (
     Figure9Result,
     Figure10Result,
     InstructionReductionResult,
+    MeldAblationResult,
     Table1Result,
 )
 
@@ -223,6 +224,33 @@ def format_sanitizer_findings(
             lines.append(f"  {line}")
     if len(reports) > limit:
         lines.append(f"  ... +{len(reports) - limit} more findings")
+    return "\n".join(lines)
+
+
+def format_meld_ablation(result: MeldAblationResult) -> str:
+    lines = [
+        "Control-flow melding ablation (divergent suite, "
+        "--no-meld vs --meld)",
+        _rule(),
+    ]
+    for row in result.rows:
+        check = "ok" if row.check_ok else "MISMATCH"
+        lines.append(
+            f"  {row.workload:<16} cycles "
+            f"{row.cycles_off:>8} -> {row.cycles_on:>8} "
+            f"({row.speedup:5.2f}x)  div-yields "
+            f"{row.divergent_yields_off:>5} -> "
+            f"{row.divergent_yields_on:>5}  "
+            f"melded={row.melded_regions} "
+            f"rejected={row.meld_rejections} check={check}"
+        )
+    lines.append(
+        f"  improved {result.improved_count}/{len(result.rows)} "
+        f"divergent workloads; melds against the model's prediction: "
+        f"{len(result.mispredicted)}"
+    )
+    for entry in result.mispredicted:
+        lines.append(f"  MISPREDICTED {entry}")
     return "\n".join(lines)
 
 

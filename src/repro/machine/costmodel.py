@@ -179,6 +179,37 @@ def build_cost_table(
     return table
 
 
+def scalar_instruction_cycles(
+    instruction, machine: MachineDescription
+) -> int:
+    """Static cycle charge of one scalar-IR instruction.
+
+    Transform-stage profitability models (control-flow melding) price
+    candidate rewrites with the same per-instruction charges the
+    lowering will later assign, evaluated without spill pressure — the
+    scalar function has no vector registers yet."""
+    return _instruction_cost(instruction, machine, False).cycles
+
+
+def divergence_penalty(
+    machine: MachineDescription, warp_size: int
+) -> int:
+    """Modeled overhead of one divergent branch at ``warp_size``.
+
+    When a warp's threads disagree at a branch, the specialization
+    yields (status check + switch dispatch on both sub-paths), the
+    execution manager runs a re-formation event, and every thread pays
+    the per-thread EM bookkeeping before it re-enters a kernel. This
+    mirrors the yield/EM charges the interpreter accrues dynamically
+    (Fig. 9's categories) without simulating the schedule."""
+    return (
+        2 * machine.yield_cost
+        + machine.switch_cost
+        + machine.em_event_cost
+        + warp_size * machine.em_per_thread_cost
+    )
+
+
 def _instruction_cost(
     instruction, machine: MachineDescription, spilling: bool
 ) -> InstructionCost:

@@ -56,6 +56,13 @@ class ExecutionConfig:
     #: (the predication-style conditional data flow of Karrenberg/Shin,
     #: §7) — trades both-arms execution for fewer divergence yields.
     if_conversion: bool = False
+    #: Control-flow melding (DARM): align and merge the arms of
+    #: divergent diamonds into predicated straight-line code before
+    #: vectorizing, guarded by a cost-model profitability check at the
+    #: maximum configured warp width. Can also be forced with
+    #: ``REPRO_MELD=1`` in the environment (resolved at Device
+    #: construction). See :mod:`repro.transforms.melding`.
+    meld: bool = False
     #: Opt into the persistent translation-cache tier: vectorized IR is
     #: pickled on disk so cold processes skip translation. Can also be
     #: force-enabled with ``REPRO_CACHE=1`` in the environment.
@@ -216,6 +223,10 @@ class ExecutionConfig:
             key += (("sanitize",) + tuple(self.sanitize),)
         if self.backend != "interpreter":
             key += (("backend", self.backend),)
+        if self.meld:
+            # Appended (like sanitize/backend) so meld-off digests stay
+            # byte-identical to pre-melding releases.
+            key += (("meld",),)
         return key
 
 
@@ -244,6 +255,24 @@ def apply_backend_env(config: ExecutionConfig) -> ExecutionConfig:
             f"(expected one of {BACKENDS})"
         )
     return replace(config, backend=override)
+
+
+def apply_meld_env(config: ExecutionConfig) -> ExecutionConfig:
+    """Resolve the ``REPRO_MELD`` environment override.
+
+    ``REPRO_MELD=1`` (or any truthy spelling) forces control-flow
+    melding on for devices that did not select it explicitly — the CI
+    meld leg runs the whole suite this way. A config that already
+    enables melding is returned unchanged."""
+    import os
+    from dataclasses import replace
+
+    override = os.environ.get("REPRO_MELD", "").strip().lower()
+    if override in ("", "0", "false", "off", "no"):
+        return config
+    if config.meld:
+        return config
+    return replace(config, meld=True)
 
 
 def baseline_config() -> ExecutionConfig:

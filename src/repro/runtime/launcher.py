@@ -96,6 +96,19 @@ class KernelLauncher:
             for worker in range(machine.cores)
         ]
 
+    def _attach_meld(
+        self, statistics: LaunchStatistics, kernel_name: str
+    ) -> None:
+        """Surface the melding pass's per-kernel decisions on the
+        launch statistics (no-op when melding is off or the kernel
+        never reached the scalar-IR stage)."""
+        report = self.cache.meld_report(kernel_name)
+        if report is None:
+            return
+        statistics.melded_regions = report.melded_regions
+        statistics.meld_rejections = report.rejected_regions
+        statistics.meld_predicted_saving = report.predicted_saving
+
     def launch(
         self,
         kernel_name: str,
@@ -154,6 +167,7 @@ class KernelLauncher:
                     + manager.stats.em_cycles
                 )
             total.cache = self.cache.statistics.delta(cache_before)
+            self._attach_meld(total, kernel_name)
             if sanitizer is not None:
                 # Non-fatal findings gathered before the fault still
                 # ride on the exception's statistics.
@@ -166,6 +180,7 @@ class KernelLauncher:
                 pass
             raise
         total.cache = self.cache.statistics.delta(cache_before)
+        self._attach_meld(total, kernel_name)
         if sanitizer is not None:
             total.sanitizer = sanitizer.take_reports()
         return LaunchResult(

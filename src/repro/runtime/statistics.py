@@ -54,6 +54,17 @@ class LaunchStatistics:
     #: path (a host-efficiency counter — it does not participate in
     #: modeled-statistics equivalence between backends)
     batched_warps: int = 0
+    #: divergent-branch diamonds the melding pass removed from this
+    #: launch's kernel (static per-kernel count attached by the
+    #: KernelLauncher; the dynamic effect shows up as fewer
+    #: THREAD_BRANCH yields and lower cycle totals)
+    melded_regions: int = 0
+    #: meldable candidate regions the melding pass declined
+    #: (unprofitable or structurally unsafe)
+    meld_rejections: int = 0
+    #: cycles per region execution the profitability model predicts
+    #: saved across all melded regions of the kernel
+    meld_predicted_saving: float = 0.0
     #: translation-cache activity attributed to this launch (the delta
     #: of the device cache's counters over the launch, attached by the
     #: KernelLauncher); None until attached
@@ -95,6 +106,9 @@ class LaunchStatistics:
         self.watchdog_timeouts += other.watchdog_timeouts
         self.degraded_warps += other.degraded_warps
         self.batched_warps += other.batched_warps
+        self.melded_regions += other.melded_regions
+        self.meld_rejections += other.meld_rejections
+        self.meld_predicted_saving += other.meld_predicted_saving
         for key, value in other.warp_size_histogram.items():
             self.warp_size_histogram[key] = (
                 self.warp_size_histogram.get(key, 0) + value
@@ -199,6 +213,13 @@ class LaunchStatistics:
             f"watchdog={self.watchdog_timeouts} "
             f"degraded warps={self.degraded_warps}",
         ]
+        if self.melded_regions or self.meld_rejections:
+            lines.append(
+                f"melding              regions={self.melded_regions} "
+                f"rejected={self.meld_rejections} "
+                f"predicted saving="
+                f"{self.meld_predicted_saving:.1f} cycles"
+            )
         if self.cache is not None:
             cache = self.cache
             lines.extend(

@@ -50,8 +50,10 @@ from ..ir.function import IRFunction
 from ..machine.descriptor import MachineDescription
 from ..machine.interpreter import ExecutableFunction, Interpreter
 from ..ptx.module import Kernel, Module
-from ..transforms.if_conversion import if_convert
-from ..transforms.pass_manager import standard_cleanup_pipeline
+from ..transforms.pass_manager import (
+    scalar_prepass_pipeline,
+    standard_cleanup_pipeline,
+)
 from ..transforms.vectorize import (
     VectorizeOptions,
     assign_spill_slots,
@@ -104,6 +106,12 @@ class CacheStatistics:
     compile_seconds: Dict[Tuple[str, int], float] = field(
         default_factory=dict
     )
+    #: per-kernel control-flow-melding outcome recorded when the scalar
+    #: IR is built with ``ExecutionConfig(meld=True)``:
+    #: kernel -> (melded regions, rejected candidate regions)
+    meld_decisions: Dict[str, Tuple[int, int]] = field(
+        default_factory=dict
+    )
 
     _COUNTERS = (
         "translations",
@@ -126,6 +134,7 @@ class CacheStatistics:
         copy.instruction_counts = dict(self.instruction_counts)
         copy.compile_seconds = dict(self.compile_seconds)
         copy.degradation_events = list(self.degradation_events)
+        copy.meld_decisions = dict(self.meld_decisions)
         return copy
 
     def delta(self, before: "CacheStatistics") -> "CacheStatistics":
@@ -151,6 +160,11 @@ class CacheStatistics:
         diff.degradation_events = self.degradation_events[
             len(before.degradation_events):
         ]
+        diff.meld_decisions = {
+            key: value
+            for key, value in self.meld_decisions.items()
+            if before.meld_decisions.get(key) != value
+        }
         return diff
 
     def merge(self, other: "CacheStatistics") -> None:
@@ -162,6 +176,7 @@ class CacheStatistics:
         self.instruction_counts.update(other.instruction_counts)
         self.compile_seconds.update(other.compile_seconds)
         self.degradation_events.extend(other.degradation_events)
+        self.meld_decisions.update(other.meld_decisions)
 
     def counters(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self._COUNTERS}
@@ -207,6 +222,9 @@ class TranslationCache:
         #: invalidation (observability + staleness assertions).
         self._generations: Dict[str, int] = {}
         self._scalar_ir: Dict[str, Tuple[str, IRFunction]] = {}
+        #: Meld-pass reports per kernel (populated by scalar_ir when
+        #: ``config.meld``; dropped with the scalar IR on invalidation).
+        self._meld_reports: Dict[str, object] = {}
         #: (fingerprint, (slots, size)) per kernel — the spill-area
         #: layout is a pure function of the scalar IR, so it is cached
         #: alongside it instead of being recomputed by every
@@ -347,6 +365,7 @@ class TranslationCache:
         if self._scalar_ir.pop(kernel_name, None) is not None:
             dropped += 1
         self._spill_layouts.pop(kernel_name, None)
+        self._meld_reports.pop(kernel_name, None)
         for key in [
             key for key in self._specializations if key[0] == kernel_name
         ]:
@@ -387,13 +406,27 @@ class TranslationCache:
         translated = translate_kernel(
             kernel, global_symbols=self._global_symbols
         )
-        if self.config.if_conversion:
-            # Predication-style conditional data flow (§7): must
-            # happen before entry points are assigned so every
-            # specialization sees the same control structure.
-            if_convert(translated)
+        # Scalar-stage transforms (if-conversion, control-flow
+        # melding): must happen before entry points are assigned so
+        # every specialization sees the same control structure.
+        prepass = scalar_prepass_pipeline(self.config, self.machine)
+        if prepass is not None:
+            prepass.run(translated)
+            meld_report = getattr(translated, "meld_report", None)
+            if meld_report is not None:
+                self._meld_reports[kernel_name] = meld_report
+                self.statistics.meld_decisions[kernel_name] = (
+                    meld_report.melded_regions,
+                    meld_report.rejected_regions,
+                )
         self._scalar_ir[kernel_name] = (fingerprint, translated)
         return translated
+
+    def meld_report(self, kernel_name: str):
+        """The melding pass's :class:`~repro.transforms.melding.
+        MeldReport` for ``kernel_name``, or ``None`` when melding is
+        off or the scalar IR has not been built yet."""
+        return self._meld_reports.get(kernel_name)
 
     def spill_layout(
         self, kernel_name: str

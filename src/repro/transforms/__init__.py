@@ -7,9 +7,11 @@ from .constant_folding import fold_constants
 from .cse import eliminate_common_subexpressions
 from .dce import eliminate_dead_code
 from .if_conversion import if_convert
+from .melding import MeldDecision, MeldReport, meld_function
 from .pass_manager import (
     PassManager,
     PassStatistics,
+    scalar_prepass_pipeline,
     standard_cleanup_pipeline,
 )
 from .uniformity import (
@@ -27,6 +29,8 @@ from .vectorize import (
 )
 
 __all__ = [
+    "MeldDecision",
+    "MeldReport",
     "PassManager",
     "PassStatistics",
     "UniformityInfo",
@@ -41,7 +45,9 @@ __all__ = [
     "eliminate_dead_code",
     "fold_constants",
     "if_convert",
+    "meld_function",
     "merge_blocks",
+    "scalar_prepass_pipeline",
     "standard_cleanup_pipeline",
     "vectorize_kernel",
 ]

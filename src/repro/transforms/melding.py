@@ -1,0 +1,773 @@
+"""Control-flow melding: merge the arms of divergent diamonds (DARM).
+
+The yield-on-diverge execution model makes branch divergence the
+dominant modeled cost on divergence-heavy kernels: every divergent
+branch costs a yield round trip plus an execution-manager re-formation
+event (Fig. 9). DARM ("Control-Flow Melding for SIMT Thread Divergence
+Reduction") observes that the two arms of a divergent branch are often
+*similar* — same loads, same multiplies, different operands — and melds
+them so both paths execute as one warp.
+
+This pass implements DARM's pipeline on the scalar IR, before
+vectorization (the same stage as if-conversion, so every width
+specialization sees the melded control structure):
+
+1. **Region detection.** A meldable region is a diamond: a conditional
+   branch whose predicate the uniformity analysis cannot prove uniform,
+   with two distinct single-predecessor straight-line arms branching to
+   a common join.
+2. **Alignment.** The arms' instruction sequences are aligned with
+   Needleman-Wunsch sequence alignment. Two instructions may pair when
+   their opcode/type signatures are compatible; the pair's score is the
+   cycle charge saved by executing it once, minus the selects needed to
+   reconcile differing operands. Side-effecting instructions (loads,
+   stores, atomics) participate *only* as pairs — they must find a
+   compatible partner in the other arm or the region is rejected,
+   because unpaired memory operations would execute speculatively on
+   the wrong path.
+3. **Predicated rewrite.** Aligned pairs execute once, with a
+   ``select`` per differing operand choosing between the taken and
+   fallthrough arm's value (the if-conversion machinery); a melded
+   memory operation therefore issues exactly the access the executing
+   thread's arm would have issued — same address, same value — so
+   guest memory, trap coordinates and sanitizer findings are
+   preserved. Unpaired *pure* instructions execute speculatively into
+   fresh registers. Register state merges at the join with one select
+   per register either arm defines.
+4. **Profitability.** The rewrite is applied only when the cost model
+   predicts the melded straight line cheaper than the divergent
+   original at the configured maximum warp width:
+   ``melded < branch + p_div * (both arms + divergence_penalty)
+   + (1 - p_div) * avg(arm)`` with ``p_div = 1 - 2^(1-w)`` (the chance
+   a w-thread warp of independent threads actually splits). At width 1
+   nothing ever melds — there is no divergence to avoid.
+
+Every candidate region produces a :class:`MeldDecision` whether melded
+or rejected; the :class:`MeldReport` is attached to the function (and
+recorded by the translation cache) so launches can surface meld
+activity on ``LaunchStatistics``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.basicblock import BasicBlock
+from ..ir.cfg import ControlFlowGraph
+from ..ir.dominance import DominatorTree
+from ..ir.function import IRFunction
+from ..ir.instructions import (
+    AtomicRMW,
+    BinaryOp,
+    Branch,
+    Compare,
+    CondBranch,
+    ContextRead,
+    Convert,
+    FusedMultiplyAdd,
+    Intrinsic,
+    Load,
+    Select,
+    Store,
+    UnaryOp,
+)
+from ..ir.values import VirtualRegister
+from ..machine.costmodel import divergence_penalty, scalar_instruction_cycles
+from ..machine.descriptor import MachineDescription
+from .block_merge import merge_blocks
+from .uniformity import analyze_uniformity
+
+#: Pure instructions: safe to execute speculatively on the not-taken
+#: path (the if-conversion argument — no side effects, no faults beyond
+#: the machine's defined arithmetic behaviour).
+_SPECULABLE = (
+    BinaryOp,
+    UnaryOp,
+    FusedMultiplyAdd,
+    Compare,
+    Select,
+    Convert,
+    Intrinsic,
+)
+
+#: Side-effecting / faulting instructions: meldable, but only as an
+#: aligned pair (each thread then issues exactly its own arm's access).
+_ALIGN_ONLY = (Load, Store, AtomicRMW)
+
+#: Arms longer than this are never considered (alignment is quadratic).
+DEFAULT_MAX_ARM_INSTRUCTIONS = 48
+
+#: DP bonus forcing side-effecting instructions to pair when any
+#: compatible partner exists (their alignment is a correctness
+#: precondition, not a profit decision; real cycles are re-estimated
+#: from the traceback).
+_ALIGN_BONUS = 1.0e6
+
+
+@dataclass
+class MeldDecision:
+    """Outcome for one candidate diamond region."""
+
+    branch_block: str
+    taken: str
+    fallthrough: str
+    join: str
+    melded: bool
+    reason: str
+    aligned_pairs: int = 0
+    #: predicted cycles per warp execution of the region
+    est_divergent_cycles: float = 0.0
+    est_melded_cycles: float = 0.0
+
+    @property
+    def predicted_saving(self) -> float:
+        if not self.melded:
+            return 0.0
+        return self.est_divergent_cycles - self.est_melded_cycles
+
+
+@dataclass
+class MeldReport:
+    """Per-function record of every meld decision."""
+
+    function: str
+    warp_size: int
+    decisions: List[MeldDecision] = field(default_factory=list)
+
+    @property
+    def melded_regions(self) -> int:
+        return sum(1 for d in self.decisions if d.melded)
+
+    @property
+    def rejected_regions(self) -> int:
+        return sum(1 for d in self.decisions if not d.melded)
+
+    @property
+    def predicted_saving(self) -> float:
+        return sum(d.predicted_saving for d in self.decisions)
+
+
+# ---------------------------------------------------------------------------
+# Compatibility signatures and operand access
+# ---------------------------------------------------------------------------
+
+
+def _signature(instruction) -> Optional[tuple]:
+    """Opcode/type compatibility class; ``None`` = never meldable."""
+    if isinstance(instruction, BinaryOp):
+        return ("bin", instruction.op, instruction.dtype)
+    if isinstance(instruction, UnaryOp):
+        return ("un", instruction.op, instruction.dtype)
+    if isinstance(instruction, FusedMultiplyAdd):
+        return ("fma", instruction.dtype)
+    if isinstance(instruction, Compare):
+        return ("cmp", instruction.op, instruction.dtype)
+    if isinstance(instruction, Select):
+        return ("sel", instruction.dtype)
+    if isinstance(instruction, Convert):
+        return (
+            "cvt",
+            instruction.dst_type,
+            instruction.src_type,
+            instruction.rounding,
+        )
+    if isinstance(instruction, Intrinsic):
+        return (
+            "call",
+            instruction.name,
+            instruction.dtype,
+            len(instruction.args),
+        )
+    if isinstance(instruction, Load):
+        return (
+            "ld",
+            instruction.space,
+            instruction.dtype,
+            instruction.offset,
+            instruction.lane,
+            instruction.volatile,
+        )
+    if isinstance(instruction, Store):
+        return (
+            "st",
+            instruction.space,
+            instruction.dtype,
+            instruction.offset,
+            instruction.lane,
+            instruction.volatile,
+        )
+    if isinstance(instruction, AtomicRMW):
+        return (
+            "atom",
+            instruction.op,
+            instruction.space,
+            instruction.dtype,
+            instruction.offset,
+            instruction.lane,
+            instruction.compare is None,
+            instruction.dst is None,
+        )
+    if isinstance(instruction, ContextRead):
+        # ctx.clock observes the schedule itself; melding changes the
+        # schedule, so regions reading it are left alone.
+        if instruction.field_name == "clock":
+            return None
+        return ("ctx", instruction.field_name, instruction.dtype)
+    return None
+
+
+def _operands(instruction) -> List[object]:
+    """Used values in the canonical order :func:`_rebuild` consumes."""
+    if isinstance(instruction, BinaryOp):
+        return [instruction.a, instruction.b]
+    if isinstance(instruction, UnaryOp):
+        return [instruction.a]
+    if isinstance(instruction, FusedMultiplyAdd):
+        return [instruction.a, instruction.b, instruction.c]
+    if isinstance(instruction, Compare):
+        return [instruction.a, instruction.b]
+    if isinstance(instruction, Select):
+        return [instruction.a, instruction.b, instruction.predicate]
+    if isinstance(instruction, Convert):
+        return [instruction.src]
+    if isinstance(instruction, Intrinsic):
+        return list(instruction.args)
+    if isinstance(instruction, Load):
+        return [instruction.base]
+    if isinstance(instruction, Store):
+        return [instruction.base, instruction.value]
+    if isinstance(instruction, AtomicRMW):
+        operands = [instruction.base, instruction.value]
+        if instruction.compare is not None:
+            operands.append(instruction.compare)
+        return operands
+    if isinstance(instruction, ContextRead):
+        return []
+    raise AssertionError(f"not meldable: {instruction!r}")
+
+
+def _rebuild(template, operands: List[object], dst):
+    """A copy of ``template`` with new operands and destination."""
+    if isinstance(template, BinaryOp):
+        return BinaryOp(
+            op=template.op, dtype=template.dtype, dst=dst,
+            a=operands[0], b=operands[1],
+        )
+    if isinstance(template, UnaryOp):
+        return UnaryOp(
+            op=template.op, dtype=template.dtype, dst=dst,
+            a=operands[0],
+        )
+    if isinstance(template, FusedMultiplyAdd):
+        return FusedMultiplyAdd(
+            dtype=template.dtype, dst=dst,
+            a=operands[0], b=operands[1], c=operands[2],
+        )
+    if isinstance(template, Compare):
+        return Compare(
+            op=template.op, dtype=template.dtype, dst=dst,
+            a=operands[0], b=operands[1],
+        )
+    if isinstance(template, Select):
+        return Select(
+            dtype=template.dtype, dst=dst,
+            a=operands[0], b=operands[1], predicate=operands[2],
+        )
+    if isinstance(template, Convert):
+        return Convert(
+            dst_type=template.dst_type, src_type=template.src_type,
+            dst=dst, src=operands[0], rounding=template.rounding,
+        )
+    if isinstance(template, Intrinsic):
+        return Intrinsic(
+            name=template.name, dtype=template.dtype, dst=dst,
+            args=list(operands),
+        )
+    if isinstance(template, Load):
+        return Load(
+            dtype=template.dtype, dst=dst, space=template.space,
+            base=operands[0], offset=template.offset,
+            lane=template.lane, volatile=template.volatile,
+        )
+    if isinstance(template, Store):
+        return Store(
+            dtype=template.dtype, space=template.space,
+            base=operands[0], value=operands[1],
+            offset=template.offset, lane=template.lane,
+            volatile=template.volatile,
+        )
+    if isinstance(template, AtomicRMW):
+        return AtomicRMW(
+            op=template.op, dtype=template.dtype, dst=dst,
+            space=template.space, base=operands[0], value=operands[1],
+            compare=operands[2] if template.compare is not None else None,
+            offset=template.offset, lane=template.lane,
+        )
+    if isinstance(template, ContextRead):
+        return ContextRead(
+            field_name=template.field_name, dtype=template.dtype,
+            dst=dst, lane=template.lane,
+        )
+    raise AssertionError(f"not meldable: {template!r}")
+
+
+def _value_dtype(value):
+    return getattr(value, "dtype", None)
+
+
+def _values_equal(a, b) -> bool:
+    """Conservative static equality of two operand values."""
+    if isinstance(a, VirtualRegister) and isinstance(b, VirtualRegister):
+        return a.name == b.name
+    if type(a) is type(b):
+        try:
+            return bool(a == b)
+        except Exception:
+            return False
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Region detection
+# ---------------------------------------------------------------------------
+
+
+def _arm_shape_ok(
+    block: BasicBlock, join: str, cfg: ControlFlowGraph, limit: int
+) -> bool:
+    if len(cfg.predecessors.get(block.label, [])) != 1:
+        return False
+    if not isinstance(block.terminator, Branch):
+        return False
+    if block.terminator.target != join:
+        return False
+    return len(block.instructions) <= limit
+
+
+def _match_diamond(
+    function: IRFunction,
+    cfg: ControlFlowGraph,
+    block: BasicBlock,
+    terminator: CondBranch,
+    limit: int,
+) -> Optional[Tuple[BasicBlock, BasicBlock, str]]:
+    """Single-entry/single-exit divergent diamond, or ``None``."""
+    if terminator.taken == terminator.fallthrough:
+        return None
+    taken = function.blocks.get(terminator.taken)
+    fallthrough = function.blocks.get(terminator.fallthrough)
+    if taken is None or fallthrough is None:
+        return None
+    if not (
+        isinstance(taken.terminator, Branch)
+        and isinstance(fallthrough.terminator, Branch)
+        and taken.terminator.target == fallthrough.terminator.target
+    ):
+        return None
+    join = taken.terminator.target
+    if join in (taken.label, fallthrough.label, block.label):
+        return None
+    if not _arm_shape_ok(taken, join, cfg, limit):
+        return None
+    if not _arm_shape_ok(fallthrough, join, cfg, limit):
+        return None
+    return taken, fallthrough, join
+
+
+def _meldable(instruction) -> bool:
+    return _signature(instruction) is not None
+
+
+# ---------------------------------------------------------------------------
+# Alignment (Needleman-Wunsch over compatibility scores)
+# ---------------------------------------------------------------------------
+
+
+def _pair_benefit(
+    left, right, machine: MachineDescription
+) -> Optional[float]:
+    """Cycles saved by melding ``left``/``right`` into one instruction,
+    or ``None`` when the pair is incompatible."""
+    signature = _signature(left)
+    if signature is None or signature != _signature(right):
+        return None
+    left_ops = _operands(left)
+    right_ops = _operands(right)
+    if len(left_ops) != len(right_ops):
+        return None
+    selects = 0
+    for a, b in zip(left_ops, right_ops):
+        if _value_dtype(a) != _value_dtype(b):
+            return None
+        if not _values_equal(a, b):
+            selects += 1
+    saved = scalar_instruction_cycles(left, machine)
+    return float(saved - machine.alu_cost * selects)
+
+
+@dataclass
+class _Alignment:
+    """Traceback of the DP: ordered pair/gap plan over both arms."""
+
+    #: ("pair", l, r) | ("left", l, None) | ("right", None, r)
+    plan: List[Tuple[str, Optional[int], Optional[int]]]
+    pairs: int
+
+
+def _align(
+    left: List[object], right: List[object], machine: MachineDescription
+) -> _Alignment:
+    n, m = len(left), len(right)
+    score = [[0.0] * (m + 1) for _ in range(n + 1)]
+    move = [[0] * (m + 1) for _ in range(n + 1)]  # 1=pair 2=left 3=right
+    for i in range(1, n + 1):
+        move[i][0] = 2
+    for j in range(1, m + 1):
+        move[0][j] = 3
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            best = score[i - 1][j]
+            best_move = 2
+            if score[i][j - 1] > best:
+                best = score[i][j - 1]
+                best_move = 3
+            benefit = _pair_benefit(left[i - 1], right[j - 1], machine)
+            if benefit is not None:
+                if isinstance(left[i - 1], _ALIGN_ONLY):
+                    benefit += _ALIGN_BONUS
+                if benefit > 0:
+                    candidate = score[i - 1][j - 1] + benefit
+                    if candidate > best:
+                        best = candidate
+                        best_move = 1
+            score[i][j] = best
+            move[i][j] = best_move
+    plan: List[Tuple[str, Optional[int], Optional[int]]] = []
+    i, j = n, m
+    while i > 0 or j > 0:
+        step = move[i][j]
+        if step == 1:
+            i -= 1
+            j -= 1
+            plan.append(("pair", i, j))
+        elif step == 2:
+            i -= 1
+            plan.append(("left", i, None))
+        else:
+            j -= 1
+            plan.append(("right", None, j))
+    plan.reverse()
+    return _Alignment(
+        plan=plan, pairs=sum(1 for kind, _, _ in plan if kind == "pair")
+    )
+
+
+# ---------------------------------------------------------------------------
+# Profitability
+# ---------------------------------------------------------------------------
+
+
+def _estimate(
+    left: List[object],
+    right: List[object],
+    alignment: _Alignment,
+    join_registers: int,
+    machine: MachineDescription,
+    warp_size: int,
+) -> Tuple[float, float]:
+    """(divergent, melded) predicted cycles per warp execution."""
+    cost_left = sum(scalar_instruction_cycles(i, machine) for i in left)
+    cost_right = sum(scalar_instruction_cycles(i, machine) for i in right)
+    if warp_size <= 1:
+        p_div = 0.0
+    else:
+        p_div = 1.0 - 2.0 ** (1 - warp_size)
+    divergent = (
+        machine.branch_cost
+        + p_div
+        * (cost_left + cost_right + divergence_penalty(machine, warp_size))
+        + (1.0 - p_div) * 0.5 * (cost_left + cost_right)
+    )
+    melded = 0.0
+    for kind, l_index, r_index in alignment.plan:
+        if kind == "pair":
+            melded += scalar_instruction_cycles(left[l_index], machine)
+            for a, b in zip(
+                _operands(left[l_index]), _operands(right[r_index])
+            ):
+                if not _values_equal(a, b):
+                    melded += machine.alu_cost
+        elif kind == "left":
+            melded += scalar_instruction_cycles(left[l_index], machine)
+        else:
+            melded += scalar_instruction_cycles(right[r_index], machine)
+    melded += machine.alu_cost * join_registers
+    return divergent, melded
+
+
+# ---------------------------------------------------------------------------
+# Rewrite
+# ---------------------------------------------------------------------------
+
+
+class _ArmState:
+    """Renames and final values of one arm during the rewrite."""
+
+    def __init__(self):
+        self.renames: Dict[str, object] = {}
+        #: original name -> (original register, final value)
+        self.final: Dict[str, Tuple[VirtualRegister, object]] = {}
+
+    def subst(self, value):
+        if isinstance(value, VirtualRegister):
+            return self.renames.get(value.name, value)
+        return value
+
+
+def _apply_meld(
+    function: IRFunction,
+    block: BasicBlock,
+    terminator: CondBranch,
+    taken: BasicBlock,
+    fallthrough: BasicBlock,
+    join: str,
+    alignment: _Alignment,
+    defined_before: set,
+) -> None:
+    predicate = terminator.predicate
+    block.terminator = None
+    out = block.instructions
+    left_state = _ArmState()
+    right_state = _ArmState()
+    left = taken.instructions
+    right = fallthrough.instructions
+
+    def fresh_like(register: VirtualRegister) -> VirtualRegister:
+        return function.fresh_register(
+            register.dtype, width=register.width, hint="meld"
+        )
+
+    def emit_gap(instruction, state: _ArmState) -> None:
+        operands = [state.subst(v) for v in _operands(instruction)]
+        target = instruction.defined()
+        dst = None
+        if target is not None:
+            dst = fresh_like(target)
+            state.renames[target.name] = dst
+            state.final[target.name] = (target, dst)
+        out.append(_rebuild(instruction, operands, dst))
+
+    def emit_pair(l_instruction, r_instruction) -> None:
+        l_ops = [left_state.subst(v) for v in _operands(l_instruction)]
+        r_ops = [right_state.subst(v) for v in _operands(r_instruction)]
+        merged: List[object] = []
+        for a, b in zip(l_ops, r_ops):
+            if _values_equal(a, b):
+                merged.append(a)
+                continue
+            selected = function.fresh_register(
+                _value_dtype(a), width=getattr(a, "width", 1), hint="meld"
+            )
+            out.append(
+                Select(
+                    dtype=_value_dtype(a), dst=selected,
+                    a=a, b=b, predicate=predicate,
+                )
+            )
+            merged.append(selected)
+        l_target = l_instruction.defined()
+        r_target = r_instruction.defined()
+        dst = None
+        if l_target is not None:
+            dst = fresh_like(l_target)
+            left_state.renames[l_target.name] = dst
+            left_state.final[l_target.name] = (l_target, dst)
+        if r_target is not None:
+            if dst is None:
+                dst = fresh_like(r_target)
+            right_state.renames[r_target.name] = dst
+            right_state.final[r_target.name] = (r_target, dst)
+        out.append(_rebuild(l_instruction, merged, dst))
+
+    for kind, l_index, r_index in alignment.plan:
+        if kind == "pair":
+            emit_pair(left[l_index], right[r_index])
+        elif kind == "left":
+            emit_gap(left[l_index], left_state)
+        else:
+            emit_gap(right[r_index], right_state)
+
+    # Merge register state at the join: one select per register either
+    # arm defines, writing the *original* register. A join write may
+    # target the branch predicate's own register, so that one is
+    # ordered last (all other selects must still read the old value).
+    defined = sorted(set(left_state.final) | set(right_state.final))
+    predicate_name = (
+        predicate.name if isinstance(predicate, VirtualRegister) else None
+    )
+    defined.sort(key=lambda name: name == predicate_name)
+    for name in defined:
+        register, left_value = left_state.final.get(name, (None, None))
+        fall_register, right_value = right_state.final.get(
+            name, (None, None)
+        )
+        register = register or fall_register
+        if (
+            left_value is None or right_value is None
+        ) and name not in defined_before:
+            # Only one arm defines this register and it has no
+            # definition dominating the branch: the other path's value
+            # is undefined, so (in any verifier-valid program) the
+            # register is dead past the join unless this arm ran — an
+            # unconditional move of the speculative value is exact.
+            value = left_value if left_value is not None else right_value
+            out.append(
+                UnaryOp(
+                    op="mov", dtype=register.dtype, dst=register, a=value
+                )
+            )
+            continue
+        out.append(
+            Select(
+                dtype=register.dtype,
+                dst=register,
+                a=left_value if left_value is not None else register,
+                b=right_value if right_value is not None else register,
+                predicate=predicate,
+            )
+        )
+    block.append(Branch(join))
+    function.remove_block(taken.label)
+    function.remove_block(fallthrough.label)
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def meld_function(
+    function: IRFunction,
+    machine: MachineDescription,
+    warp_size: int,
+    max_arm_instructions: int = DEFAULT_MAX_ARM_INSTRUCTIONS,
+) -> MeldReport:
+    """Meld profitable divergent diamonds of a *scalar* IR function.
+
+    Iterates to a fixed point (melding an inner diamond can straighten
+    the arm of an outer one); the report of every decision is also
+    attached to the function as ``function.meld_report``."""
+    report = MeldReport(
+        function=getattr(function, "name", "?"), warp_size=warp_size
+    )
+    rejected: set = set()
+    changed = True
+    while changed:
+        changed = False
+        info = analyze_uniformity(function)
+        cfg = ControlFlowGraph(function)
+        dominators = DominatorTree(function)
+        block_definitions = {
+            candidate.label: {
+                instruction.defined().name
+                for instruction in candidate.instructions
+                if instruction.defined() is not None
+            }
+            for candidate in function.ordered_blocks()
+        }
+        for block in function.ordered_blocks():
+            terminator = block.terminator
+            if not isinstance(terminator, CondBranch):
+                continue
+            if block.label in rejected:
+                continue
+            if info.is_uniform(terminator.predicate):
+                continue  # uniform branches never diverge a warp
+            candidate = _match_diamond(
+                function, cfg, block, terminator, max_arm_instructions
+            )
+            if candidate is None:
+                continue
+            taken, fallthrough, join = candidate
+            decision = MeldDecision(
+                branch_block=block.label,
+                taken=taken.label,
+                fallthrough=fallthrough.label,
+                join=join,
+                melded=False,
+                reason="",
+            )
+            arms = taken.instructions + fallthrough.instructions
+            if not all(_meldable(i) for i in arms):
+                decision.reason = "unsupported-instruction"
+                rejected.add(block.label)
+                report.decisions.append(decision)
+                continue
+            alignment = _align(
+                taken.instructions, fallthrough.instructions, machine
+            )
+            paired_left = {
+                l for kind, l, _ in alignment.plan if kind == "pair"
+            }
+            paired_right = {
+                r for kind, _, r in alignment.plan if kind == "pair"
+            }
+            unaligned_effects = any(
+                isinstance(instruction, _ALIGN_ONLY)
+                for index, instruction in enumerate(taken.instructions)
+                if index not in paired_left
+            ) or any(
+                isinstance(instruction, _ALIGN_ONLY)
+                for index, instruction in enumerate(
+                    fallthrough.instructions
+                )
+                if index not in paired_right
+            )
+            if unaligned_effects:
+                decision.reason = "unaligned-memory-op"
+                rejected.add(block.label)
+                report.decisions.append(decision)
+                continue
+            join_registers = len(
+                {
+                    instruction.defined().name
+                    for instruction in arms
+                    if instruction.defined() is not None
+                }
+            )
+            est_divergent, est_melded = _estimate(
+                taken.instructions,
+                fallthrough.instructions,
+                alignment,
+                join_registers,
+                machine,
+                warp_size,
+            )
+            decision.aligned_pairs = alignment.pairs
+            decision.est_divergent_cycles = est_divergent
+            decision.est_melded_cycles = est_melded
+            if est_melded >= est_divergent:
+                decision.reason = "unprofitable"
+                rejected.add(block.label)
+                report.decisions.append(decision)
+                continue
+            defined_before = {
+                name
+                for label in dominators.dominators_of(block.label)
+                for name in block_definitions.get(label, ())
+            }
+            _apply_meld(
+                function, block, terminator, taken, fallthrough, join,
+                alignment, defined_before,
+            )
+            decision.melded = True
+            decision.reason = "profitable"
+            report.decisions.append(decision)
+            # Straighten so a nested diamond's outer arms become
+            # single blocks for the next round.
+            merge_blocks(function)
+            changed = True
+            break
+    function.meld_report = report
+    return report

@@ -64,6 +64,7 @@ _WORKLOAD_MODULES = (
     "parboil",
     "intrinsics",
     "extra_sdk",
+    "branchy",
 )
 
 

@@ -1,9 +1,55 @@
-"""Shared fixtures: canonical kernels, devices, configs."""
+"""Shared fixtures: canonical kernels, devices, configs — plus the
+suite-hygiene machinery (REPRO_* environment isolation and the
+REPRO_TEST_SHUFFLE randomized collection order)."""
 
 from __future__ import annotations
 
+import os
+import random
+
 import numpy as np
 import pytest
+
+
+@pytest.fixture(autouse=True)
+def _repro_env_guard():
+    """Snapshot and restore every ``REPRO_*`` environment variable
+    around each test: the runtime reads REPRO_BACKEND / REPRO_CACHE /
+    REPRO_SANITIZE / REPRO_MELD at Device construction, so a test that
+    leaks one silently reconfigures every later Device in the run."""
+    saved = {
+        key: value
+        for key, value in os.environ.items()
+        if key.startswith("REPRO_")
+    }
+    yield
+    for key in [k for k in os.environ if k.startswith("REPRO_")]:
+        if key not in saved:
+            del os.environ[key]
+    os.environ.update(saved)
+
+
+def pytest_collection_modifyitems(config, items):
+    """``REPRO_TEST_SHUFFLE=<seed>`` randomizes test order to flush
+    out order-dependence, without extra plugins. Each module's items
+    stay contiguous (several modules use module-scoped device/server
+    fixtures whose lifetime assumes that), but module order and the
+    order within each module are shuffled deterministically."""
+    seed = os.environ.get("REPRO_TEST_SHUFFLE", "").strip()
+    if not seed:
+        return
+    rng = random.Random(seed)
+    modules: dict = {}
+    for item in items:
+        modules.setdefault(item.module.__name__, []).append(item)
+    module_order = list(modules)
+    rng.shuffle(module_order)
+    shuffled = []
+    for name in module_order:
+        group = modules[name]
+        rng.shuffle(group)
+        shuffled.extend(group)
+    items[:] = shuffled
 
 from repro import (
     Device,

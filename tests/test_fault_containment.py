@@ -543,3 +543,71 @@ class TestRobustnessReporting:
         rendered = format_cache_statistics(device.cache.statistics)
         assert "degradations: 1" in rendered
         assert "ws=8 -> ws=4" in rendered
+
+
+#: Divergent diamond whose arms both store — the odd arm far past the
+#: arena end. The stores align, so the melding pass merges the region;
+#: the melded store must still trap with the faulting thread's own
+#: coordinates.
+MELD_OOB_PTX = r"""
+.version 2.3
+.target sim
+.entry moob (.param .u64 out)
+{
+  .reg .u32 %r<8>;
+  .reg .u64 %rd<8>;
+  .reg .pred %p<2>;
+  mov.u32 %r1, %tid.x;
+  ld.param.u64 %rd1, [out];
+  and.b32 %r2, %r1, 1;
+  setp.eq.u32 %p1, %r2, 0;
+  @%p1 bra EVEN;
+  mov.u32 %r3, 67108864;
+  mul.wide.u32 %rd2, %r1, %r3;
+  add.u64 %rd3, %rd1, %rd2;
+  st.global.u32 [%rd3], %r1;
+  bra JOIN;
+EVEN:
+  mov.u32 %r4, 4;
+  mul.wide.u32 %rd4, %r1, %r4;
+  add.u64 %rd5, %rd1, %rd4;
+  st.global.u32 [%rd5], %r1;
+JOIN:
+  exit;
+}
+"""
+
+
+class TestMeldTrapConformance:
+    """Melding preserves diagnostics: a fault inside a melded arm
+    traps with the same kernel/CTA/thread coordinates as the
+    divergent original."""
+
+    def _trap(self, meld):
+        from dataclasses import replace
+
+        config = replace(vectorized_config(4), meld=meld)
+        device = Device(config=config)
+        device.register_module(MELD_OOB_PTX)
+        buffer = device.malloc(256)
+        with pytest.raises(KernelTrap) as excinfo:
+            device.launch("moob", grid=1, block=64, args=[buffer])
+        return excinfo.value
+
+    def test_melded_arm_fault_keeps_coordinates(self, monkeypatch):
+        # the meld-off baseline must really be off, even when the
+        # suite runs under REPRO_MELD=1 (the CI meld leg)
+        monkeypatch.delenv("REPRO_MELD", raising=False)
+        plain = self._trap(meld=False)
+        melded = self._trap(meld=True)
+        # the melding pass actually fired on the meld run
+        assert melded.statistics.melded_regions == 1
+        assert plain.statistics.melded_regions == 0
+        assert melded.info.kernel == plain.info.kernel == "moob"
+        assert melded.info.cause_type == plain.info.cause_type
+        plain_lane = plain.info.faulting_lanes[0]
+        melded_lane = melded.info.faulting_lanes[0]
+        assert melded_lane.tid == plain_lane.tid
+        assert melded_lane.ctaid == plain_lane.ctaid
+        # thread 1 (first odd thread) is the first out-of-bounds store
+        assert melded_lane.tid == (1, 0, 0)

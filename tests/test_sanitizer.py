@@ -768,3 +768,143 @@ class TestWorkloadsClean:
             assert getattr(stats_checked, field_name) == getattr(
                 stats_plain, field_name
             ), field_name
+
+
+#: Diamond whose arms both store the thread's value to out[tid]
+#: (different expressions): with one thread past the buffer end, the
+#: overflow happens inside a melded region.
+MELD_FILL_PTX = r"""
+.version 2.3
+.target sim
+.entry meldFill (.param .u64 out)
+{
+  .reg .u32 %r<8>;
+  .reg .u64 %rd<6>;
+  .reg .pred %p<2>;
+  mov.u32 %r1, %tid.x;
+  mul.wide.u32 %rd1, %r1, 4;
+  ld.param.u64 %rd2, [out];
+  add.u64 %rd3, %rd2, %rd1;
+  and.b32 %r2, %r1, 1;
+  setp.eq.u32 %p1, %r2, 0;
+  @%p1 bra EVEN;
+  mul.lo.u32 %r3, %r1, 3;
+  st.global.u32 [%rd3], %r3;
+  bra JOIN;
+EVEN:
+  add.u32 %r4, %r1, 7;
+  st.global.u32 [%rd3], %r4;
+JOIN:
+  exit;
+}
+"""
+
+#: Diamond whose arms both store to the *same* shared slot: a genuine
+#: W-W race inside a (meldable) divergent region.
+MELD_RACE_PTX = r"""
+.version 2.3
+.target sim
+.entry meldRace (.param .u64 out)
+{
+  .reg .u32 %r<8>;
+  .reg .u64 %rd<4>;
+  .reg .pred %p<2>;
+  .shared .u32 sdata[16];
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, sdata;
+  and.b32 %r3, %r1, 1;
+  setp.eq.u32 %p1, %r3, 0;
+  @%p1 bra EVEN;
+  mul.lo.u32 %r4, %r1, 3;
+  st.shared.u32 [%r2], %r4;
+  bra JOIN;
+EVEN:
+  add.u32 %r5, %r1, 7;
+  st.shared.u32 [%r2], %r5;
+JOIN:
+  bar.sync 0;
+  ld.shared.u32 %r6, [%r2];
+  mul.wide.u32 %rd1, %r1, 4;
+  ld.param.u64 %rd2, [out];
+  add.u64 %rd3, %rd2, %rd1;
+  st.global.u32 [%rd3], %r6;
+  exit;
+}
+"""
+
+
+class TestMeldSanitizerParity:
+    """Melding preserves sanitizer findings: accesses issued from a
+    melded region report the same kind/address/size/space (and, for
+    deterministic overflows, thread) as the divergent original."""
+
+    def _run(self, source, kernel, meld, block, buffer_words, checks):
+        config = dataclasses.replace(
+            vectorized_config(4),
+            meld=meld,
+            sanitize=checks,
+            sanitize_fatal=False,
+        )
+        device = Device(config=config)
+        device.register_module(source)
+        out = device.malloc(buffer_words * 4, label="out")
+        result = device.launch(kernel, grid=1, block=block, args=[out])
+        return result.statistics
+
+    def test_memcheck_findings_match_across_meld(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MELD", raising=False)
+        # 17 threads, 16-word buffer: exactly thread 16 overflows
+        plain = self._run(
+            MELD_FILL_PTX, "meldFill", False, 17, 16, ("memcheck",)
+        )
+        melded = self._run(
+            MELD_FILL_PTX, "meldFill", True, 17, 16, ("memcheck",)
+        )
+        assert melded.melded_regions == 1
+        assert plain.melded_regions == 0
+
+        def sites(stats):
+            return sorted(
+                (
+                    finding.kind,
+                    finding.address,
+                    finding.size,
+                    finding.space,
+                    finding.tid,
+                    finding.count,
+                )
+                for finding in stats.sanitizer
+            )
+
+        assert sites(plain) == sites(melded)
+        assert len(plain.sanitizer) == 1
+        assert plain.sanitizer[0].kind == "oob"
+        assert plain.sanitizer[0].tid == (16, 0, 0)
+
+    def test_racecheck_findings_match_across_meld(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MELD", raising=False)
+        plain = self._run(
+            MELD_RACE_PTX, "meldRace", False, 8, 16, ("racecheck",)
+        )
+        melded = self._run(
+            MELD_RACE_PTX, "meldRace", True, 8, 16, ("racecheck",)
+        )
+        assert melded.melded_regions == 1
+        assert plain.melded_regions == 0
+
+        def sites(stats):
+            return sorted(
+                {
+                    (
+                        finding.kind,
+                        finding.address,
+                        finding.size,
+                        finding.space,
+                    )
+                    for finding in stats.sanitizer
+                }
+            )
+
+        assert sites(plain), "race not detected without melding"
+        assert sites(plain) == sites(melded)
+        assert all(f.kind == "race" for f in plain.sanitizer)

@@ -57,11 +57,15 @@ class TestServeRoundtrip:
             client.free(buffer)
 
     def test_stats_endpoint(self, server):
-        with ServeClient(server.host, server.port, "rt") as client:
+        # Run a launch in this test's own session first: the server
+        # fixture is module-scoped and test order is not guaranteed,
+        # so the completed count cannot lean on an earlier test.
+        with ServeClient(server.host, server.port, "rt-stats") as client:
+            _vecadd_roundtrip(client)
             stats = client.stats()
         assert stats["workers"] == 2
-        assert "rt" in stats["tenants"]
-        assert stats["tenants"]["rt"]["completed"] >= 1
+        assert "rt-stats" in stats["tenants"]
+        assert stats["tenants"]["rt-stats"]["completed"] >= 1
         assert "device pool" in stats["report"]
 
     def test_four_concurrent_clients(self, server):

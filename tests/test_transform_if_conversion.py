@@ -186,7 +186,10 @@ class TestSemantics:
         )
         assert np.array_equal(dst.read(np.uint32, n), expected)
 
-    def test_reduces_divergence_on_collatz(self, rng):
+    def test_reduces_divergence_on_collatz(self, rng, monkeypatch):
+        # measuring if-conversion's divergence reduction needs a
+        # meld-free baseline (the CI meld leg sets REPRO_MELD=1)
+        monkeypatch.delenv("REPRO_MELD", raising=False)
         n = 256
         values = rng.integers(1, 2000, n).astype(np.uint32)
 
