@@ -22,11 +22,14 @@ from .api.device import Device
 from .api.stream import Event, LaunchFuture, Stream
 from .errors import (
     BarrierDeadlock,
+    DeadlineExpired,
+    DeviceLost,
     KernelTrap,
     LaunchError,
     LaunchTimeout,
     QuotaExceeded,
     SanitizerError,
+    ServiceUnavailable,
 )
 from .runtime.cache_store import CacheStore
 from .sanitizer import (
@@ -46,15 +49,18 @@ from .runtime.config import (
     static_tie_config,
     vectorized_config,
 )
-from .runtime.pool import DevicePool, TenantSession
-from .runtime.traps import format_timeout, format_trap
+from .runtime.pool import DevicePool, RetryPolicy, TenantSession
+from .runtime.statistics import WorkerHealth
+from .runtime.traps import format_device_lost, format_timeout, format_trap
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BarrierDeadlock",
     "CacheStore",
+    "DeadlineExpired",
     "Device",
+    "DeviceLost",
     "DevicePool",
     "Event",
     "ExecutionConfig",
@@ -64,12 +70,16 @@ __all__ = [
     "LaunchTimeout",
     "MachineDescription",
     "QuotaExceeded",
+    "RetryPolicy",
+    "ServiceUnavailable",
     "Stream",
     "TenantSession",
     "SanitizerError",
     "SanitizerReport",
+    "WorkerHealth",
     "avx_machine",
     "baseline_config",
+    "format_device_lost",
     "format_sanitizer_report",
     "format_sanitizer_reports",
     "format_timeout",

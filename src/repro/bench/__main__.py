@@ -118,6 +118,26 @@ def main(argv=None) -> int:
         help="skip the trapping chaos tenant in the serving bench",
     )
     parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="serving bench: kill worker 0 mid-run (seeded "
+        "kill_worker injection) and report supervisor recovery",
+    )
+    parser.add_argument(
+        "--assert-recovery",
+        action="store_true",
+        help="with --chaos: fail unless the killed worker respawned "
+        "within the recovery SLO",
+    )
+    parser.add_argument(
+        "--recovery-slo",
+        type=float,
+        default=15.0,
+        metavar="SECONDS",
+        help="recovery SLO bound for --assert-recovery "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
         "--assert-speedup",
         type=float,
         default=None,
@@ -144,6 +164,9 @@ def main(argv=None) -> int:
                 launches=arguments.serve_launches,
                 scale=arguments.scale,
                 chaos=not arguments.no_chaos,
+                process_chaos=arguments.chaos,
+                recovery_slo=arguments.recovery_slo,
+                assert_recovery=arguments.assert_recovery,
                 assert_speedup=arguments.assert_speedup,
                 output=arguments.output,
             )

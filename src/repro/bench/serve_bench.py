@@ -73,6 +73,21 @@ DONE:
 #: warms so its translation happens with the fault site armed.
 _CHAOS_PTX = _VECADD_PTX.replace("serveVecAdd", "chaosVecAdd")
 
+#: The process-chaos victim's kernel: no pointer arguments, so its
+#: queued launches survive a worker respawn (nothing to go stale) and
+#: the RetryPolicy can re-dispatch them transparently.
+_NOOP_PTX = r"""
+.version 2.3
+.target sim
+
+.entry serveNoop (.param .u32 n)
+{
+  .reg .u32 %r<2>;
+  ld.param.u32 %r1, [n];
+  exit;
+}
+"""
+
 _VEC_N = 256
 _VEC_BLOCK = 32
 _VEC_GRID = _VEC_N // _VEC_BLOCK
@@ -197,15 +212,65 @@ def _run_chaos(session, data, sink, traps: List[str], launches: int):
             )
         except Exception as error:
             traps.append(f"submit-rejected: {type(error).__name__}")
-            session.reset()
+            try:
+                session.reset()
+            except Exception:
+                pass
             continue
         error = future.exception(timeout=300.0)
         if error is not None:
             traps.append(type(error).__name__)
-            session.reset()
+            try:
+                session.reset()
+            except Exception:
+                # Worker lost mid-reset (process-chaos runs): the
+                # respawned worker needs no reset anyway.
+                pass
         else:
             traps.append("UNEXPECTED-SUCCESS")
-    session.disarm_faults()
+    try:
+        session.disarm_faults()
+    except Exception:
+        pass
+
+
+def _run_victim(pool, session, injector, launches: int, outcome: dict):
+    """The process-chaos victim: submits ``launches`` no-pointer noop
+    launches to worker 0, whose first dispatched noop kills the worker
+    process. The delivered casualty must resolve to DeviceLost; the
+    queued rest are re-dispatched by the session's RetryPolicy onto
+    the respawned worker. Measures the recovery interval: kill fired
+    -> worker 0 alive again at a bumped epoch with its breaker
+    closed."""
+    futures = []
+    for _ in range(launches):
+        try:
+            futures.append(
+                session.launch_async("serveNoop", 1, 8, [1])
+            )
+        except Exception as error:
+            outcome["outcomes"].append(type(error).__name__)
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        if injector.fired.get("kill_worker"):
+            break
+        time.sleep(0.005)
+    killed_at = time.perf_counter()
+    # One-shot chaos: disarm so the respawned worker survives the
+    # retried launches.
+    injector.restore()
+    for future in futures:
+        error = future.exception(timeout=300.0)
+        outcome["outcomes"].append(
+            "ok" if error is None else type(error).__name__
+        )
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        health = pool.health()[0]
+        if health.alive and health.epoch >= 1 and health.state == "closed":
+            outcome["recovery_seconds"] = time.perf_counter() - killed_at
+            break
+        time.sleep(0.01)
 
 
 def run_serve_bench(
@@ -215,15 +280,34 @@ def run_serve_bench(
     scale: float = 1.0,
     window: int = 4,
     chaos: bool = True,
+    process_chaos: bool = False,
+    recovery_slo: float = 15.0,
+    assert_recovery: bool = False,
     assert_speedup: Optional[float] = None,
     output: Optional[str] = None,
 ) -> dict:
     """Run the serving bench; returns (and optionally writes) the
-    result record. Raises AssertionError on isolation violations, and
-    on a missed ``assert_speedup`` bound."""
+    result record. Raises AssertionError on isolation violations, on a
+    missed ``assert_speedup`` bound, and — with ``process_chaos`` +
+    ``assert_recovery`` — on a missed availability/recovery SLO.
+
+    The process-chaos axis (``process_chaos=True``) kills worker 0
+    mid-run via the seeded ``kill_worker`` injection site: healthy
+    tenants are pinned to the other workers and their results must
+    stay bit-identical to a no-chaos run; every victim launch must
+    resolve to ``DeviceLost`` or transparently succeed via its
+    RetryPolicy; and the supervisor must respawn the worker within
+    ``recovery_slo`` seconds."""
+    if process_chaos and workers < 2:
+        raise ValueError(
+            "process_chaos needs workers >= 2 (worker 0 is the "
+            "casualty; healthy tenants are pinned to the others)"
+        )
     iters = max(1, int(2 * scale))
     throughput_src = get_workload("throughput").module_source()
     modules = [throughput_src, _VECADD_PTX]
+    if process_chaos:
+        modules.append(_NOOP_PTX)
     plan = _launch_plan(launches, iters)
 
     baseline_seconds = _run_baseline(modules, plan, clients)
@@ -232,7 +316,15 @@ def run_serve_bench(
     try:
         pool.ready(timeout=300.0)
         sessions = [
-            pool.session(f"client-{index}", weight=1.0 + (index % 2))
+            pool.session(
+                f"client-{index}",
+                weight=1.0 + (index % 2),
+                # Keep healthy tenants off the casualty worker: their
+                # results must be untouched by the kill.
+                worker=(
+                    1 + index % (workers - 1) if process_chaos else None
+                ),
+            )
             for index in range(clients)
         ]
         buffers = [_setup_tenant(session) for session in sessions]
@@ -259,16 +351,44 @@ def run_serve_bench(
                 ),
                 name="bench-chaos",
             )
+        victim_thread = None
+        victim_outcome: dict = {"outcomes": [], "recovery_seconds": None}
+        if process_chaos:
+            from ..runtime.pool import RetryPolicy
+            from ..testing.fault_injection import FaultInjector, fault_seed
+
+            victim = pool.session(
+                "victim",
+                worker=0,
+                retry=RetryPolicy(max_attempts=4, base_delay=0.05),
+            )
+            injector = FaultInjector(pool, seed=fault_seed())
+            injector.arm(
+                "kill_worker", probability=1.0, worker=0,
+                op="launch", kernel="serveNoop",
+            )
+            victim_thread = threading.Thread(
+                target=_run_victim,
+                args=(
+                    pool, victim, injector,
+                    max(4, launches // 2), victim_outcome,
+                ),
+                name="bench-victim",
+            )
         start = time.perf_counter()
         for thread in threads:
             thread.start()
         if chaos_thread is not None:
             chaos_thread.start()
+        if victim_thread is not None:
+            victim_thread.start()
         for thread in threads:
             thread.join()
         pool_seconds = time.perf_counter() - start
         if chaos_thread is not None:
             chaos_thread.join()
+        if victim_thread is not None:
+            victim_thread.join()
 
         expected = np.arange(_VEC_N, dtype=np.float32) * 3
         for session, result in zip(sessions, results):
@@ -276,13 +396,43 @@ def run_serve_bench(
                 f"tenant {session.tenant} had launch failures: "
                 f"{result.failures[:3]}"
             )
-            assert result.output is not None and np.allclose(
-                result.output, expected
+            exact = np.array_equal(result.output, expected) if (
+                result.output is not None
+            ) else False
+            assert exact if process_chaos else (
+                result.output is not None
+                and np.allclose(result.output, expected)
             ), f"tenant {session.tenant} output corrupted by chaos tenant"
         if chaos:
             assert traps and all(
                 entry != "UNEXPECTED-SUCCESS" for entry in traps
             ), f"chaos tenant did not trap as armed: {traps}"
+        if process_chaos:
+            outcomes = victim_outcome["outcomes"]
+            assert outcomes and all(
+                entry in ("ok", "DeviceLost") for entry in outcomes
+            ), (
+                f"victim launches must resolve to DeviceLost or "
+                f"succeed via retry, got {outcomes}"
+            )
+            assert "DeviceLost" in outcomes, (
+                "the delivered casualty launch should have resolved "
+                f"to DeviceLost, got {outcomes}"
+            )
+            health = pool.health()[0]
+            assert health.alive and health.respawns >= 1, (
+                f"worker 0 was not respawned: {health.describe()}"
+            )
+            recovery = victim_outcome["recovery_seconds"]
+            if assert_recovery:
+                assert recovery is not None, (
+                    "worker 0 never recovered (no alive/closed health "
+                    "within the polling window)"
+                )
+                assert recovery <= recovery_slo, (
+                    f"recovery took {recovery:.2f}s, above the "
+                    f"{recovery_slo:.2f}s SLO"
+                )
 
         latencies = sorted(
             value
@@ -309,6 +459,26 @@ def run_serve_bench(
                 "enabled": chaos,
                 "trapped_launches": len(traps),
                 "outcomes": sorted(set(traps)),
+            },
+            "process_chaos": {
+                "enabled": process_chaos,
+                "outcomes": sorted(set(victim_outcome["outcomes"])),
+                "device_lost": victim_outcome["outcomes"].count(
+                    "DeviceLost"
+                ),
+                "succeeded": victim_outcome["outcomes"].count("ok"),
+                "retries": (
+                    victim.stats.retries if process_chaos else 0
+                ),
+                "recovery_seconds": (
+                    None
+                    if victim_outcome["recovery_seconds"] is None
+                    else round(victim_outcome["recovery_seconds"], 3)
+                ),
+                "recovery_slo_seconds": recovery_slo,
+                "worker_health": [
+                    health.describe() for health in pool.health()
+                ],
             },
             "tenants": {
                 session.tenant: {
@@ -354,7 +524,17 @@ def format_serve(record: dict) -> str:
         f"chaos tenant: {record['chaos']['trapped_launches']} trapped "
         f"launches, outcomes={record['chaos']['outcomes']} "
         f"(healthy tenants unaffected)",
-        "",
-        record["report"],
     ]
+    process = record.get("process_chaos", {})
+    if process.get("enabled"):
+        recovery = process.get("recovery_seconds")
+        rendered = "never" if recovery is None else f"{recovery:.2f}s"
+        lines.append(
+            f"process chaos: worker 0 killed mid-run; "
+            f"{process['device_lost']} DeviceLost, "
+            f"{process['succeeded']} succeeded "
+            f"({process['retries']} retried), recovery {rendered} "
+            f"(SLO {process['recovery_slo_seconds']:.0f}s)"
+        )
+    lines.extend(["", record["report"]])
     return "\n".join(lines)

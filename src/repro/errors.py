@@ -136,5 +136,61 @@ class QuotaExceeded(LaunchError):
     unaffected."""
 
 
+class DeviceLost(LaunchError):
+    """A pool worker *process* was lost: it crashed (segfault/OOM/
+    nonzero exit), hung past the supervision deadline, or its pipe
+    broke. Unlike a contained :class:`KernelTrap` — which is the
+    *tenant's* failure — a lost device is an infrastructure failure:
+    the supervisor terminates and respawns the worker warm, every
+    in-flight launch on it resolves to this error, and the worker's
+    allocations are invalidated (their epoch no longer matches).
+
+    ``worker``
+        Index of the lost worker in the pool.
+    ``cause``
+        Human-readable loss cause (``"exit code -11"``,
+        ``"hung: ..."``, ``"pipe dropped: ..."``).
+    ``epoch``
+        The device epoch that died. The respawned worker runs at
+        ``epoch + 1``; a :class:`repro.runtime.pool.RemoteAllocation`
+        stamped with an older epoch fails fast when used.
+    ``delivered``
+        True when the request had already been handed to the worker
+        (it may have started mutating guest memory — never retried
+        automatically); False when the loss was detected before the
+        request left the parent (safe for :class:`RetryPolicy
+        <repro.runtime.pool.RetryPolicy>` re-dispatch).
+    """
+
+    def __init__(
+        self, message, worker=None, cause=None, epoch=None,
+        delivered=True,
+    ):
+        super().__init__(message)
+        self.worker = worker
+        self.cause = cause
+        self.epoch = epoch
+        self.delivered = delivered
+
+
+class DeadlineExpired(LaunchError):
+    """A queued launch aged past its request deadline before it was
+    dispatched to a worker. The launch never ran; guest memory is
+    untouched. Deadlines bound *queue wait* — a launch that has
+    already been handed to a worker is governed by the device watchdog
+    (``max_kernel_cycles`` / ``launch_timeout_s``) instead."""
+
+
+class ServiceUnavailable(LaunchError):
+    """The serving layer shed this request: the global or per-tenant
+    queue depth limit was reached, or the server is draining for
+    shutdown. Maps to HTTP 503 with a ``Retry-After`` header;
+    ``retry_after`` carries the suggested backoff in seconds."""
+
+    def __init__(self, message, retry_after=None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class TranslationCacheError(ReproError):
     """Raised when the translation cache cannot satisfy a query."""

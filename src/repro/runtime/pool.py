@@ -1,5 +1,5 @@
 """Multi-tenant device pool: independent launches sharded across
-persistent worker processes.
+persistent worker processes, with process-level self-healing.
 
 Each worker process hosts one :class:`~repro.api.device.Device`
 (kernels registered at startup, optionally compiled ahead with
@@ -10,42 +10,64 @@ launches of the tenants sharing a worker are scheduled by weighted
 fair queueing, and per-tenant quotas bound how much work any one
 tenant can have in flight.
 
-Fault isolation builds on the containment runtime: a contained fault
-inside a worker (KernelTrap / LaunchTimeout / BarrierDeadlock) is
-reported back with its structured payload and partial statistics, the
-worker device is recovered immediately (arena-neutral
-``Device.reset()``), and the *tenant* — not the worker — becomes
-sticky-failed: its queued launches fail fast until
-``TenantSession.reset()``, while other tenants on the same worker
-keep launching.
+Two failure domains are handled separately:
+
+*Launch* faults (KernelTrap / LaunchTimeout / BarrierDeadlock) are the
+tenant's: the fault is reported back with its structured payload and
+partial statistics, the worker device is recovered immediately
+(arena-neutral ``Device.reset()``), and the *tenant* becomes
+sticky-failed until ``TenantSession.reset()`` while other tenants on
+the same worker keep launching.
+
+*Process* faults are infrastructure's: a supervisor thread detects
+crashed (exit code), hung (stuck call / missed heartbeat), and
+pipe-dropped workers, terminates them, and respawns them warm — the
+module-registration journal is replayed from the parent, and with
+``REPRO_CACHE=1`` translation restarts from the persistent cache.
+Every in-flight request on the lost worker resolves to a structured
+:class:`~repro.errors.DeviceLost` carrying the worker index, the loss
+cause, and the *device epoch* that died; the respawned worker runs at
+the next epoch, so :class:`RemoteAllocation` handles stamped with the
+old epoch fail fast instead of aliasing a stranger's memory.
+Queued-but-never-dispatched launches are re-dispatched automatically
+under an opt-in per-session :class:`RetryPolicy` (exponential backoff
+with jitter); a launch that was already delivered to the dead worker
+is *never* silently re-run — it may have mutated guest memory. A
+per-worker circuit breaker opens after repeated consecutive
+infrastructure failures, suspending respawns until a cooldown
+half-open probe succeeds.
 
 Worker processes default to the ``spawn`` start method: it is safe in
-threaded parents (the pool runs dispatcher threads) and identical
-across platforms. ``REPRO_POOL_START=fork`` opts into faster startup
-where safe.
+threaded parents (the pool runs dispatcher + supervisor threads) and
+identical across platforms. ``REPRO_POOL_START=fork`` opts into
+faster startup where safe.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import random
 import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..api.stream import LaunchFuture
 from ..errors import (
     BarrierDeadlock,
+    DeadlineExpired,
+    DeviceLost,
     KernelTrap,
     LaunchError,
     LaunchTimeout,
     QuotaExceeded,
+    ServiceUnavailable,
 )
-from .statistics import LaunchStatistics
+from .statistics import LaunchStatistics, WorkerHealth
 
 #: Most trap report strings retained per tenant.
 _TRAP_REPORT_LIMIT = 8
@@ -121,8 +143,10 @@ def _pool_worker_main(
     warm: bool,
 ) -> None:
     """Entry point of one worker process: builds a Device, registers
-    the pool's modules, then serves (request_id, op, payload) RPCs
-    until shutdown or EOF."""
+    the journaled modules, then serves (request_id, op, payload) RPCs
+    until shutdown or EOF. ``modules`` is the parent's full
+    module-registration journal, so a respawned worker comes back with
+    every module its predecessor knew."""
     from ..api.device import Device
     from ..testing.fault_injection import FaultInjector
 
@@ -210,6 +234,23 @@ def _pool_worker_main(
         if op == "reset":
             device.reset()
             return None
+        if op == "ping":
+            # Supervision heartbeat: a pure round-trip proving the
+            # worker loop is serving requests.
+            return {"pid": os.getpid()}
+        if op == "chaos_hang":
+            # Testing hook (FaultInjector hang_worker): wedge the
+            # worker loop so the parent's stuck-call supervision
+            # fires. SIGTERM still interrupts the sleep.
+            time.sleep(float(payload.get("duration", 0.5)))
+            return None
+        if op == "chaos_ignore_term":
+            # Testing hook: survive terminate() so the parent's
+            # terminate -> kill shutdown escalation is exercised.
+            import signal
+
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+            return {"pid": os.getpid()}
         if op == "arm_fault":
             if injector is None:
                 injector = FaultInjector(
@@ -256,81 +297,466 @@ def _pool_worker_main(
 
 
 # ---------------------------------------------------------------------------
+# circuit breaker
+# ---------------------------------------------------------------------------
+
+
+class CircuitBreaker:
+    """Per-worker breaker over consecutive *infrastructure* failures
+    (crash, hang, dropped pipe, failed respawn — never tenant traps).
+
+    ``closed`` is healthy operation. Each loss records a failure; at
+    ``threshold`` consecutive failures the breaker *opens*: respawns
+    are suspended and dispatches to the worker fail fast. After
+    ``cooldown`` seconds the breaker goes *half-open*: exactly one
+    respawn+heartbeat probe is allowed — success closes the breaker
+    (and clears the count), failure re-opens it for another cooldown.
+    """
+
+    def __init__(self, threshold: int = 3, cooldown: float = 2.0):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.failures = 0
+        self.state = "closed"
+        self._opened_at = 0.0
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.failures >= self.threshold:
+            self.state = "open"
+            self._opened_at = time.monotonic()
+
+    def record_success(self) -> None:
+        if self.failures or self.state != "closed":
+            self.failures = 0
+            self.state = "closed"
+
+    def allow_probe(self) -> bool:
+        """True when a respawn attempt is permitted right now."""
+        if self.state == "closed":
+            return True
+        if self.state == "half-open":
+            # The previous half-open probe is still being judged (its
+            # failure re-opens, its success closes).
+            return True
+        if time.monotonic() - self._opened_at >= self.cooldown:
+            self.state = "half-open"
+            return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# retry policy
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Opt-in per-session automatic re-dispatch of launches that were
+    *queued but never delivered* when their worker was lost.
+
+    A launch that already reached the dead worker may have mutated
+    guest memory and is never retried — it resolves to
+    :class:`~repro.errors.DeviceLost` (``delivered=True``). Launches
+    the pool still held (or whose dispatch failed before the request
+    left the parent) are safe: they are re-queued after an exponential
+    backoff ``base_delay * multiplier**(attempt-1)``, stretched by up
+    to ``jitter`` (a fraction, drawn from the pool's seeded RNG), for
+    at most ``max_attempts`` total attempts and, when ``deadline`` is
+    set, only while total elapsed time since submission stays under
+    it."""
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    deadline: Optional[float] = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.multiplier < 1 or self.jitter < 0:
+            raise ValueError(
+                "base_delay must be >= 0, multiplier >= 1, jitter >= 0"
+            )
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Delay before retry number ``attempt`` (1-based)."""
+        delay = self.base_delay * self.multiplier ** max(0, attempt - 1)
+        if self.jitter:
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay
+
+
+# ---------------------------------------------------------------------------
 # parent-side worker handle
 # ---------------------------------------------------------------------------
 
 
 class _Worker:
-    """Parent-side handle of one worker process: a pipe, a lock
-    serializing RPCs (the worker handles one request at a time), and
-    liveness checks so a dead worker raises instead of hanging."""
+    """Parent-side handle of one worker process slot.
+
+    The slot outlives any single worker *process*: when the process is
+    lost the supervisor respawns a new one into the same slot, bumping
+    the device ``epoch``. RPCs are multiplexed over the pipe — the
+    lock covers only send/bookkeeping, never the reply wait, so a slow
+    launch cannot block ``shutdown()`` or another caller, and replies
+    are correlated by request id (a stale reply left over from a
+    timed-out call is drained and discarded, never mis-attributed)."""
 
     def __init__(
         self, index, context, config, machine, memory_size, modules, warm
     ):
         self.index = index
-        parent_conn, child_conn = context.Pipe()
-        self.process = context.Process(
+        self._context = context
+        self._config = config
+        self._machine = machine
+        self._memory_size = memory_size
+        self._warm = warm
+        #: Module-registration journal: every source ever registered
+        #: on this slot (pool-wide and tenant-private), replayed into
+        #: a respawned worker so it comes back warm and complete.
+        self.journal: List[str] = list(modules)
+        self.epoch = 0
+        self.respawns = 0
+        self.last_cause: Optional[str] = None
+        self.breaker = CircuitBreaker()
+        #: Pool callback fired (outside the lock) when the slot is
+        #: marked lost — wakes the supervisor immediately.
+        self._on_lost: Optional[Callable[["_Worker"], None]] = None
+        self.lock = threading.RLock()
+        self._reply_ready = threading.Condition(self.lock)
+        self._request_ids = 0
+        #: request_id -> send time (monotonic) of in-flight RPCs.
+        self._pending: Dict[int, float] = {}
+        #: request_id -> (ok, result) replies awaiting their caller.
+        self._replies: Dict[int, Tuple[bool, object]] = {}
+        self._reader_active = False
+        self._lost: Optional[DeviceLost] = None
+        self._swept: Optional[DeviceLost] = None
+        self._needs_reap = False
+        self.process = None
+        self.conn = None
+        self.last_seen = time.monotonic()
+        self._spawn()
+
+    # -- chaos hooks (patched by testing.FaultInjector) -------------------
+
+    def _hook_before_send(self, op: str, payload: dict) -> None:
+        """No-op seam: FaultInjector's parent-side process chaos sites
+        (kill_worker / hang_worker / drop_pipe) patch this."""
+
+    def _hook_after_send(self, op: str, payload: dict) -> None:
+        """No-op seam, fired after the request reached the pipe."""
+
+    # -- process lifecycle -------------------------------------------------
+
+    def _spawn(self) -> None:
+        parent_conn, child_conn = self._context.Pipe()
+        self.process = self._context.Process(
             target=_pool_worker_main,
             args=(
-                child_conn, config, machine, memory_size,
-                list(modules), warm,
+                child_conn, self._config, self._machine,
+                self._memory_size, list(self.journal), self._warm,
             ),
-            name=f"repro-pool-worker-{index}",
+            name=f"repro-pool-worker-{self.index}",
             daemon=True,
         )
         self.process.start()
         child_conn.close()
         self.conn = parent_conn
-        self.lock = threading.Lock()
-        self._request_ids = 0
+        self.last_seen = time.monotonic()
+
+    @property
+    def lost(self) -> bool:
+        return self._lost is not None
+
+    @property
+    def needs_reap(self) -> bool:
+        return self._needs_reap
+
+    def mark_lost(self, cause: str) -> Optional[DeviceLost]:
+        """Declare this worker's process lost: every in-flight and
+        future RPC on the current epoch raises DeviceLost. Idempotent
+        per loss; returns the loss error (or None if already lost)."""
+        with self.lock:
+            if self._lost is not None:
+                return None
+            self.last_cause = cause
+            self._lost = DeviceLost(
+                f"pool worker {self.index} lost at epoch {self.epoch}: "
+                f"{cause}",
+                worker=self.index,
+                cause=cause,
+                epoch=self.epoch,
+            )
+            self._needs_reap = True
+            self._reply_ready.notify_all()
+            error = self._lost
+        on_lost = self._on_lost
+        if on_lost is not None:
+            on_lost(self)
+        return error
+
+    def lost_error(self, op: str, delivered: bool) -> DeviceLost:
+        """A fresh DeviceLost for one failed request (the template
+        error is shared; the delivered flag is per-request)."""
+        base = self._lost
+        return DeviceLost(
+            f"{base} (during {op!r})",
+            worker=self.index,
+            cause=base.cause,
+            epoch=base.epoch,
+            delivered=delivered,
+        )
+
+    def reap(self, timeout: float = 5.0) -> None:
+        """Tear down the lost process: close the pipe, terminate, and
+        escalate to kill() for a process that survives terminate.
+        Never raises — teardown during interpreter exit must be
+        silent."""
+        self._needs_reap = False
+        try:
+            if self.conn is not None:
+                self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        process = self.process
+        if process is None:
+            return
+        try:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout)
+            if not process.is_alive():
+                process.close()
+        except (ValueError, OSError):  # pragma: no cover - defensive
+            # ValueError: close() on a still-running process (it
+            # survived even kill; leave the daemon to die with us).
+            pass
+
+    def respawn(self) -> None:
+        """Start a replacement process in this slot at the next device
+        epoch. The caller (supervisor) must have reaped the old
+        process first."""
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_pool_worker_main,
+            args=(
+                child_conn, self._config, self._machine,
+                self._memory_size, list(self.journal), self._warm,
+            ),
+            name=f"repro-pool-worker-{self.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        with self.lock:
+            self.process = process
+            self.conn = parent_conn
+            self.epoch += 1
+            self.respawns += 1
+            # Keep the loss that invalidated the swept pending set:
+            # a caller still parked in _await_reply when the slot is
+            # recycled finds its request gone and surfaces this error
+            # instead of waiting on the fresh epoch forever.
+            self._swept = self._lost
+            self._pending.clear()
+            self._replies.clear()
+            self._reader_active = False
+            self._lost = None
+            self.last_seen = time.monotonic()
+            self._reply_ready.notify_all()
+
+    # -- RPC ---------------------------------------------------------------
 
     def call(self, op: str, timeout: Optional[float] = None, **payload):
         deadline = None if timeout is None else time.monotonic() + timeout
+        self._hook_before_send(op, payload)
         with self.lock:
+            if self._lost is not None:
+                raise self.lost_error(op, delivered=False)
             self._request_ids += 1
             request_id = self._request_ids
             try:
                 self.conn.send((request_id, op, payload))
             except (OSError, ValueError) as error:
-                raise LaunchError(
-                    f"pool worker {self.index} is unreachable: {error}"
-                ) from error
-            while not self.conn.poll(0.1):
-                if not self.process.is_alive():
-                    raise LaunchError(
-                        f"pool worker {self.index} died (exit code "
-                        f"{self.process.exitcode}) during {op!r}"
-                    )
-                if deadline is not None and time.monotonic() > deadline:
-                    raise LaunchError(
-                        f"pool worker {self.index} timed out after "
-                        f"{timeout}s during {op!r}"
-                    )
-            try:
-                reply_id, ok, result = self.conn.recv()
-            except (EOFError, OSError) as error:
-                raise LaunchError(
-                    f"pool worker {self.index} died during {op!r}"
-                ) from error
+                self.mark_lost(f"pipe dropped: {error}")
+                raise self.lost_error(op, delivered=False) from error
+            self._pending[request_id] = time.monotonic()
+        self._hook_after_send(op, payload)
+        try:
+            ok, result = self._await_reply(request_id, op, deadline, timeout)
+        finally:
+            with self.lock:
+                self._pending.pop(request_id, None)
+                self._replies.pop(request_id, None)
         if ok:
+            self.last_seen = time.monotonic()
+            self.breaker.record_success()
             return result
         raise _rebuild_error(result)
 
+    def _await_reply(self, request_id, op, deadline, timeout):
+        """Wait (lock-free) for this request's reply. One caller at a
+        time volunteers as the pipe reader and distributes replies by
+        id; replies whose request is no longer pending — e.g. left in
+        the pipe by a call that timed out — are discarded."""
+        while True:
+            with self._reply_ready:
+                while True:
+                    reply = self._replies.pop(request_id, None)
+                    if reply is not None:
+                        return reply
+                    if self._lost is not None:
+                        raise self.lost_error(op, delivered=True)
+                    if request_id not in self._pending:
+                        # A respawn recycled the slot (and swept the
+                        # pending set) before this caller observed the
+                        # loss — surface the loss that invalidated it.
+                        base = self._swept
+                        raise DeviceLost(
+                            f"{base} (during {op!r})"
+                            if base is not None
+                            else f"pool worker {self.index} request "
+                            f"swept during {op!r}",
+                            worker=self.index,
+                            cause=(
+                                base.cause if base is not None
+                                else "request swept"
+                            ),
+                            epoch=(
+                                base.epoch if base is not None
+                                else max(self.epoch - 1, 0)
+                            ),
+                            delivered=True,
+                        )
+                    if (
+                        deadline is not None
+                        and time.monotonic() > deadline
+                    ):
+                        # Abandon the request: the reply, if it ever
+                        # arrives, is discarded by whoever reads it.
+                        self._pending.pop(request_id, None)
+                        raise LaunchError(
+                            f"pool worker {self.index} timed out after "
+                            f"{timeout}s during {op!r}"
+                        )
+                    if not self._reader_active:
+                        self._reader_active = True
+                        break
+                    self._reply_ready.wait(0.05)
+            try:
+                self._read_once()
+            finally:
+                with self._reply_ready:
+                    self._reader_active = False
+                    self._reply_ready.notify_all()
+
+    def _read_once(self) -> None:
+        """One bounded poll of the pipe by the elected reader: deliver
+        a correlated reply, drop a stale one, or detect process
+        death."""
+        conn = self.conn
+        process = self.process
+        try:
+            if conn.poll(0.05):
+                reply_id, ok, result = conn.recv()
+                with self.lock:
+                    if reply_id in self._pending:
+                        self._replies[reply_id] = (ok, result)
+                        self._reply_ready.notify_all()
+                    # else: stale reply from a timed-out call — drop.
+                return
+        except (EOFError, OSError) as error:
+            # Only declare a loss against the pipe we actually read:
+            # a reap/respawn may have swapped in a fresh epoch while
+            # this poll was blocked on the old (now closed) pipe.
+            with self.lock:
+                if conn is not self.conn:
+                    return
+            self.mark_lost(f"pipe closed: {error or type(error).__name__}")
+            return
+        try:
+            alive = process.is_alive()
+        except ValueError:
+            # reap() closed the handle while this poll was in flight;
+            # the respawn (or shutdown) already owns the loss.
+            return
+        if not alive:
+            # The worker may have replied just before exiting: drain
+            # what's buffered before declaring the requests lost.
+            try:
+                while conn.poll(0):
+                    reply_id, ok, result = conn.recv()
+                    with self.lock:
+                        if reply_id in self._pending:
+                            self._replies[reply_id] = (ok, result)
+                            self._reply_ready.notify_all()
+            except (EOFError, OSError):
+                pass
+            with self.lock:
+                if process is not self.process:
+                    return
+            self.mark_lost(f"died (exit code {process.exitcode})")
+
+    def register(self, source: str) -> List[str]:
+        """Register a module and journal it for respawn replay."""
+        kernels = self.call("register", source=source)
+        with self.lock:
+            self.journal.append(source)
+        return kernels
+
+    # -- supervision probes ------------------------------------------------
+
+    def in_flight(self) -> int:
+        with self.lock:
+            return len(self._pending)
+
+    def oldest_in_flight_age(self) -> Optional[float]:
+        with self.lock:
+            if not self._pending:
+                return None
+            return time.monotonic() - min(self._pending.values())
+
+    def health(self) -> WorkerHealth:
+        with self.lock:
+            alive = (
+                self._lost is None
+                and self.process is not None
+                and self.process.is_alive()
+            )
+            return WorkerHealth(
+                worker=self.index,
+                alive=alive,
+                state=self.breaker.state,
+                epoch=self.epoch,
+                respawns=self.respawns,
+                consecutive_failures=self.breaker.failures,
+                in_flight=len(self._pending),
+                last_cause=self.last_cause,
+            )
+
+    # -- shutdown ----------------------------------------------------------
+
     def shutdown(self, timeout: float = 5.0) -> None:
-        try:
-            self.call("shutdown", timeout=timeout)
-        except LaunchError:
-            pass
-        try:
-            self.conn.close()
-        except OSError:  # pragma: no cover - already closed
-            pass
-        self.process.join(timeout)
-        if self.process.is_alive():  # pragma: no cover - stuck worker
-            self.process.terminate()
-            self.process.join(timeout)
-        self.process.close()
+        """Stop the worker: a graceful shutdown RPC when the pipe is
+        idle, then loss-marking (which interrupts any caller still
+        waiting on a reply) and terminate -> kill escalation."""
+        if not self.lost and self.in_flight() == 0:
+            try:
+                self.call("shutdown", timeout=timeout)
+            except LaunchError:
+                pass
+        self.mark_lost("pool shut down")
+        self.reap(timeout)
 
 
 # ---------------------------------------------------------------------------
@@ -404,6 +830,13 @@ class TenantStatistics:
     traps: int = 0
     timeouts: int = 0
     rejected: int = 0
+    #: Launches that resolved to DeviceLost (their worker's process
+    #: crashed, hung, or dropped its pipe while they were in flight).
+    device_lost: int = 0
+    #: Automatic RetryPolicy re-dispatches of undelivered launches.
+    retries: int = 0
+    #: Launches that aged past their request deadline in the queue.
+    expired: int = 0
     host_seconds: float = 0.0
     #: Merged LaunchStatistics over completed launches and the partial
     #: statistics riding on contained faults.
@@ -420,32 +853,55 @@ class TenantStatistics:
 
 @dataclass(frozen=True)
 class RemoteAllocation:
-    """A tenant's handle to a buffer living in its worker's arena."""
+    """A tenant's handle to a buffer living in its worker's arena.
+
+    ``epoch`` stamps the device epoch the buffer was allocated at; a
+    worker lost and respawned runs at a later epoch, and using a
+    stale-epoch allocation fails fast with
+    :class:`~repro.errors.DeviceLost` instead of aliasing whatever the
+    replacement worker put at the same handle."""
 
     tenant: str
     handle: int
     address: int
     size: int
+    epoch: int = 0
 
     def __int__(self):
         return self.address
 
 
 class _LaunchJob:
-    __slots__ = ("future", "kernel", "grid", "block", "args", "submitted_at")
+    __slots__ = (
+        "future", "kernel", "grid", "block", "args", "allocations",
+        "submitted_at", "deadline", "attempts",
+    )
 
-    def __init__(self, future, kernel, grid, block, args):
+    def __init__(
+        self, future, kernel, grid, block, args, allocations,
+        deadline=None,
+    ):
         self.future = future
         self.kernel = kernel
         self.grid = grid
         self.block = block
         self.args = args
-        self.submitted_at = time.perf_counter()
+        #: RemoteAllocations referenced by args — epoch-checked at
+        #: every dispatch attempt.
+        self.allocations = allocations
+        self.submitted_at = time.monotonic()
+        #: Absolute queue deadline (monotonic), or None.
+        self.deadline = (
+            None if deadline is None else self.submitted_at + deadline
+        )
+        #: Dispatch attempts so far (RetryPolicy bookkeeping).
+        self.attempts = 0
 
 
 class TenantSession:
     """One tenant's connection to the pool: pinned to a worker, with
-    its own quotas, weight, sticky-error state, and statistics."""
+    its own quotas, weight, retry policy, sticky-error state, and
+    statistics."""
 
     def __init__(
         self,
@@ -455,18 +911,22 @@ class TenantSession:
         weight: float = 1.0,
         max_pending: Optional[int] = None,
         max_launches: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         self.pool = pool
         self.tenant = tenant
         self.weight = weight
         self.max_pending = max_pending
         self.max_launches = max_launches
+        self.retry = retry
         self._worker = worker
         self.stats = TenantStatistics(
             tenant=tenant, worker=worker.index, weight=weight
         )
         #: Sticky per-tenant fault: set when one of this tenant's
-        #: launches traps; cleared by :meth:`reset`.
+        #: launches traps; cleared by :meth:`reset`. Infrastructure
+        #: failures (DeviceLost) are *not* sticky — the respawned
+        #: worker serves the tenant's next launch.
         self.last_error: Optional[BaseException] = None
         self._pending = 0
         self._condition = threading.Condition()
@@ -475,28 +935,58 @@ class TenantSession:
     def worker_index(self) -> int:
         return self._worker.index
 
+    @property
+    def device_epoch(self) -> int:
+        """The worker's current device epoch (bumps on respawn)."""
+        return self._worker.epoch
+
+    @property
+    def pending(self) -> int:
+        """Launches submitted but not yet completed (queue depth)."""
+        with self._condition:
+            return self._pending
+
     # -- memory & modules -------------------------------------------------
 
     def register_module(self, source: str) -> List[str]:
         """Register a tenant-private module on this tenant's worker
-        (pool.register_module broadcasts to every worker instead)."""
-        return self._worker.call("register", source=source)
+        (pool.register_module broadcasts to every worker instead).
+        Journaled: a respawned worker re-registers it automatically."""
+        return self._worker.register(source)
 
     def malloc(
         self, size: int, label: Optional[str] = None
     ) -> RemoteAllocation:
+        epoch = self._worker.epoch
         reply = self._worker.call("malloc", size=size, label=label)
-        return RemoteAllocation(self.tenant, **reply)
+        return RemoteAllocation(self.tenant, epoch=epoch, **reply)
 
     def upload(
         self, array: np.ndarray, label: Optional[str] = None
     ) -> RemoteAllocation:
+        epoch = self._worker.epoch
         reply = self._worker.call(
             "upload", data=np.asarray(array), label=label
         )
-        return RemoteAllocation(self.tenant, **reply)
+        return RemoteAllocation(self.tenant, epoch=epoch, **reply)
+
+    def _check_epoch(self, allocation: RemoteAllocation) -> None:
+        current = self._worker.epoch
+        if allocation.epoch != current:
+            raise DeviceLost(
+                f"allocation handle {allocation.handle} of tenant "
+                f"{self.tenant!r} was created at device epoch "
+                f"{allocation.epoch}, but worker {self._worker.index} "
+                f"was lost and respawned (now epoch {current}); its "
+                f"memory is gone — re-allocate and re-upload",
+                worker=self._worker.index,
+                cause="stale allocation epoch",
+                epoch=allocation.epoch,
+                delivered=False,
+            )
 
     def write(self, allocation: RemoteAllocation, array) -> None:
+        self._check_epoch(allocation)
         self._worker.call(
             "write", handle=allocation.handle, data=np.asarray(array)
         )
@@ -504,6 +994,7 @@ class TenantSession:
     def read(
         self, allocation: RemoteAllocation, dtype, count: int
     ) -> np.ndarray:
+        self._check_epoch(allocation)
         return self._worker.call(
             "read",
             handle=allocation.handle,
@@ -512,26 +1003,39 @@ class TenantSession:
         )
 
     def free(self, allocation: RemoteAllocation) -> None:
+        self._check_epoch(allocation)
         self._worker.call("free", handle=allocation.handle)
 
     # -- launches ----------------------------------------------------------
 
     def launch_async(
-        self, kernel: str, grid, block, args: Sequence[object] = ()
+        self,
+        kernel: str,
+        grid,
+        block,
+        args: Sequence[object] = (),
+        deadline: Optional[float] = None,
     ) -> LaunchFuture:
         """Queue one launch through the pool's fair scheduler; returns
         a LaunchFuture with the same delivery semantics as
-        ``Device.launch_async``."""
+        ``Device.launch_async``. ``deadline`` (seconds) bounds queue
+        wait: a launch not dispatched in time fails with
+        :class:`~repro.errors.DeadlineExpired` instead of running
+        late."""
         from ..api.device import _normalize_dim
 
         grid = _normalize_dim(grid, which="grid")
         block = _normalize_dim(block, which="block")
+        self.pool._admit()
         if self.last_error is not None:
             raise LaunchError(
                 f"tenant {self.tenant!r} is in a failed state "
                 f"({type(self.last_error).__name__}: {self.last_error}); "
                 f"call TenantSession.reset() to clear it"
             )
+        serialized, allocations = self._serialize_args(args)
+        for allocation in allocations:
+            self._check_epoch(allocation)
         with self._condition:
             if (
                 self.max_launches is not None
@@ -556,17 +1060,28 @@ class TenantSession:
             self._pending += 1
         future = LaunchFuture(kernel)
         job = _LaunchJob(
-            future, kernel, grid, block, self._serialize_args(args)
+            future, kernel, grid, block, serialized, allocations,
+            deadline=deadline,
         )
-        self.pool._submit(self, job)
+        try:
+            self.pool._submit(self, job)
+        except Exception:
+            with self._condition:
+                self.stats.submitted -= 1
+                self._pending -= 1
+                self._condition.notify_all()
+            raise
         return future
 
     def launch(self, kernel: str, grid, block, args: Sequence[object] = ()):
         """Synchronous launch: submit + wait."""
         return self.launch_async(kernel, grid, block, args).result()
 
-    def _serialize_args(self, args: Sequence[object]) -> List[object]:
+    def _serialize_args(
+        self, args: Sequence[object]
+    ) -> Tuple[List[object], List[RemoteAllocation]]:
         serialized: List[object] = []
+        allocations: List[RemoteAllocation] = []
         for value in args:
             if isinstance(value, RemoteAllocation):
                 if value.tenant != self.tenant:
@@ -574,10 +1089,11 @@ class TenantSession:
                         f"allocation belongs to tenant "
                         f"{value.tenant!r}, not {self.tenant!r}"
                     )
+                allocations.append(value)
                 serialized.append({"__handle__": value.handle})
             else:
                 serialized.append(value)
-        return serialized
+        return serialized, allocations
 
     def synchronize(self, timeout: Optional[float] = None) -> None:
         """Block until every submitted launch has completed."""
@@ -637,7 +1153,7 @@ class TenantSession:
     # -- internal accounting (called by the pool dispatcher) ---------------
 
     def _complete(self, job: _LaunchJob, result, error) -> None:
-        elapsed = time.perf_counter() - job.submitted_at
+        elapsed = time.monotonic() - job.submitted_at
         with self._condition:
             self.stats.host_seconds += elapsed
             if error is None:
@@ -649,6 +1165,10 @@ class TenantSession:
                     self.stats.traps += 1
                 elif isinstance(error, LaunchTimeout):
                     self.stats.timeouts += 1
+                elif isinstance(error, DeviceLost):
+                    self.stats.device_lost += 1
+                elif isinstance(error, DeadlineExpired):
+                    self.stats.expired += 1
                 partial = getattr(error, "statistics", None)
                 if partial is not None:
                     self.stats.statistics.merge(partial)
@@ -673,21 +1193,38 @@ def _default_start_method() -> str:
     return "spawn"
 
 
+def _retry_seed() -> int:
+    try:
+        return int(os.environ.get("REPRO_FAULT_SEED", 0))
+    except ValueError:
+        return 0
+
+
 class DevicePool:
     """Shards independent kernel launches across persistent worker
-    processes, with per-tenant quotas, weighted fair queueing, and
-    per-tenant statistics/trap reporting.
+    processes, with per-tenant quotas, weighted fair queueing,
+    per-tenant statistics/trap reporting, and process-level
+    self-healing (supervision, warm respawn, retry, circuit breaking).
 
     ::
 
         pool = DevicePool(workers=4, modules=[PTX], warm=True)
-        session = pool.session("alice", weight=2.0, max_pending=8)
+        session = pool.session("alice", weight=2.0, max_pending=8,
+                               retry=RetryPolicy(max_attempts=3))
         buffer = session.upload(host_array)
         future = session.launch_async("vecAdd", grid=8, block=64,
                                       args=[buffer, buffer, out, n])
         result = future.result()
         pool.shutdown()
-    """
+
+    Supervision knobs: ``supervise`` runs the health thread (on by
+    default); ``respawn`` re-creates lost workers warm; a worker with
+    a request in flight longer than ``hang_timeout`` seconds is
+    declared hung and recycled; an idle worker is heartbeat-pinged
+    every ``probe_interval`` seconds and declared hung after
+    ``probe_timeout`` seconds of silence; ``circuit_threshold``
+    consecutive infrastructure failures open the worker's breaker for
+    ``circuit_cooldown`` seconds."""
 
     def __init__(
         self,
@@ -698,12 +1235,24 @@ class DevicePool:
         modules: Sequence[str] = (),
         warm: bool = False,
         start_method: Optional[str] = None,
+        supervise: bool = True,
+        respawn: bool = True,
+        hang_timeout: Optional[float] = 120.0,
+        probe_interval: float = 5.0,
+        probe_timeout: float = 30.0,
+        circuit_threshold: int = 3,
+        circuit_cooldown: float = 2.0,
     ):
         if workers < 1:
             raise ValueError(f"invalid worker count {workers}")
         context = multiprocessing.get_context(
             start_method or _default_start_method()
         )
+        self._respawn = respawn
+        self._hang_timeout = hang_timeout
+        self._probe_interval = probe_interval
+        self._probe_timeout = probe_timeout
+        self._retry_rng = random.Random(_retry_seed())
         self._workers = [
             _Worker(
                 index, context, config, machine, memory_size,
@@ -711,11 +1260,17 @@ class DevicePool:
             )
             for index in range(workers)
         ]
+        for worker in self._workers:
+            worker.breaker = CircuitBreaker(
+                threshold=circuit_threshold, cooldown=circuit_cooldown
+            )
+            worker._on_lost = self._worker_lost
         self._sessions: Dict[str, TenantSession] = {}
         self._sessions_lock = threading.Lock()
         self._queues = [WeightedFairQueue() for _ in self._workers]
         self._conditions = [threading.Condition() for _ in self._workers]
         self._closed = False
+        self._draining = False
         self._dispatchers = [
             threading.Thread(
                 target=self._dispatch_loop,
@@ -727,6 +1282,15 @@ class DevicePool:
         ]
         for dispatcher in self._dispatchers:
             dispatcher.start()
+        self._supervisor_wake = threading.Event()
+        self._supervisor: Optional[threading.Thread] = None
+        if supervise:
+            self._supervisor = threading.Thread(
+                target=self._supervise_loop,
+                name="repro-pool-supervisor",
+                daemon=True,
+            )
+            self._supervisor.start()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -736,15 +1300,37 @@ class DevicePool:
     def __exit__(self, *exc_info) -> None:
         self.shutdown()
 
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Stop admitting new launches (submissions fail with
+        :class:`~repro.errors.ServiceUnavailable`), then block until
+        every already-queued launch has completed."""
+        self._draining = True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for session in self.sessions():
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            session.synchronize(timeout=remaining)
+
     def shutdown(self) -> None:
-        """Stop dispatchers and terminate the worker processes. Queued
-        launches that never ran fail fast through their futures."""
+        """Stop supervision and dispatchers, then terminate the worker
+        processes (escalating to kill for survivors). Queued launches
+        that never ran fail fast through their futures; a dispatcher
+        blocked on a slow worker is interrupted rather than waited
+        out."""
         if self._closed:
             return
         self._closed = True
+        self._supervisor_wake.set()
         for condition in self._conditions:
             with condition:
                 condition.notify_all()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=10)
+        # Interrupt any dispatcher (or tenant thread) still waiting on
+        # a worker reply, then reap the processes.
+        for worker in self._workers:
+            worker.shutdown()
         for dispatcher in self._dispatchers:
             dispatcher.join(timeout=10)
         # Fail whatever never got dispatched.
@@ -759,8 +1345,6 @@ class DevicePool:
                 job.future._fail(error)
                 if session is not None:
                     session._complete(job, None, error)
-        for worker in self._workers:
-            worker.shutdown()
 
     # -- tenants -----------------------------------------------------------
 
@@ -769,10 +1353,11 @@ class DevicePool:
         return len(self._workers)
 
     def register_module(self, source: str) -> List[str]:
-        """Register a module on every worker (pool-wide kernels)."""
+        """Register a module on every worker (pool-wide kernels).
+        Journaled per worker: respawned workers re-register it."""
         kernels: List[str] = []
         for worker in self._workers:
-            kernels = worker.call("register", source=source)
+            kernels = worker.register(source)
         return kernels
 
     def ready(self, timeout: Optional[float] = None) -> None:
@@ -790,6 +1375,7 @@ class DevicePool:
         max_pending: Optional[int] = None,
         max_launches: Optional[int] = None,
         worker: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> TenantSession:
         """Create (or fetch) the tenant's session. New tenants are
         pinned to the least-populated worker unless ``worker`` pins
@@ -816,6 +1402,7 @@ class DevicePool:
                 weight=weight,
                 max_pending=max_pending,
                 max_launches=max_launches,
+                retry=retry,
             )
             self._sessions[tenant] = session
             with self._conditions[worker]:
@@ -828,13 +1415,137 @@ class DevicePool:
 
     # -- scheduling --------------------------------------------------------
 
-    def _submit(self, session: TenantSession, job: _LaunchJob) -> None:
+    def _admit(self) -> None:
+        """Gate new submissions: closed and draining pools shed."""
         if self._closed:
             raise LaunchError("device pool is shut down")
+        if self._draining:
+            raise ServiceUnavailable(
+                "device pool is draining for shutdown", retry_after=1.0
+            )
+
+    def _submit(self, session: TenantSession, job: _LaunchJob) -> None:
+        self._admit()
         index = session.worker_index
         with self._conditions[index]:
             self._queues[index].push(session.tenant, job)
             self._conditions[index].notify()
+
+    def _requeue(self, session: TenantSession, job: _LaunchJob) -> None:
+        """Re-enter a retried job into its worker's fair queue (fired
+        from a backoff timer)."""
+        if self._closed:
+            error = LaunchError("device pool was shut down")
+            job.future._fail(error)
+            session._complete(job, None, error)
+            return
+        index = session.worker_index
+        with self._conditions[index]:
+            self._queues[index].push(session.tenant, job)
+            self._conditions[index].notify()
+
+    def _maybe_retry(
+        self, session: TenantSession, job: _LaunchJob, error: BaseException
+    ) -> bool:
+        """Schedule an automatic re-dispatch when the session's
+        RetryPolicy covers this failure. Only infrastructure failures
+        of *undelivered* requests qualify — a request the dead worker
+        already received may have mutated guest memory."""
+        policy = session.retry
+        if policy is None:
+            return False
+        if not isinstance(error, DeviceLost) or error.delivered:
+            return False
+        if error.cause == "stale allocation epoch":
+            # Retrying cannot resurrect the allocation's memory.
+            return False
+        if job.attempts + 1 >= policy.max_attempts:
+            return False
+        job.attempts += 1
+        delay = policy.backoff(job.attempts, self._retry_rng)
+        elapsed = time.monotonic() - job.submitted_at
+        if (
+            policy.deadline is not None
+            and elapsed + delay > policy.deadline
+        ):
+            return False
+        if job.deadline is not None and (
+            time.monotonic() + delay > job.deadline
+        ):
+            return False
+        session.stats.retries += 1
+        timer = threading.Timer(
+            delay, self._requeue, args=(session, job)
+        )
+        timer.daemon = True
+        timer.start()
+        return True
+
+    def _dispatch_job(
+        self, worker: _Worker, session: TenantSession, job: _LaunchJob
+    ) -> None:
+        if session.last_error is not None:
+            # Sticky tenant fault: fail queued launches fast, like
+            # Device.launch on a faulted device.
+            error = LaunchError(
+                f"tenant {session.tenant!r} is in a failed state "
+                f"({type(session.last_error).__name__}); call "
+                f"TenantSession.reset() to clear it"
+            )
+            job.future._fail(error)
+            session._complete(job, None, error)
+            return
+        if job.deadline is not None and time.monotonic() > job.deadline:
+            error = DeadlineExpired(
+                f"launch of {job.kernel!r} for tenant "
+                f"{session.tenant!r} aged past its "
+                f"{job.deadline - job.submitted_at:.3f}s request "
+                f"deadline before dispatch (attempt {job.attempts + 1})"
+            )
+            job.future._fail(error)
+            session._complete(job, None, error)
+            return
+        stale = next(
+            (
+                allocation
+                for allocation in job.allocations
+                if allocation.epoch != worker.epoch
+            ),
+            None,
+        )
+        if stale is not None:
+            error = DeviceLost(
+                f"launch of {job.kernel!r} for tenant "
+                f"{session.tenant!r} references allocation handle "
+                f"{stale.handle} from device epoch {stale.epoch}, but "
+                f"worker {worker.index} was respawned (now epoch "
+                f"{worker.epoch}); its memory is gone",
+                worker=worker.index,
+                cause="stale allocation epoch",
+                epoch=stale.epoch,
+                delivered=False,
+            )
+            job.future._fail(error)
+            session._complete(job, None, error)
+            return
+        try:
+            if worker.lost:
+                raise worker.lost_error(job.kernel, delivered=False)
+            result = worker.call(
+                "launch",
+                kernel=job.kernel,
+                grid=job.grid,
+                block=job.block,
+                args=job.args,
+            )
+        except Exception as error:
+            if self._maybe_retry(session, job, error):
+                return
+            job.future._fail(error)
+            session._complete(job, None, error)
+        else:
+            job.future._resolve(result)
+            session._complete(job, result, None)
 
     def _dispatch_loop(self, worker: _Worker) -> None:
         queue_ = self._queues[worker.index]
@@ -849,36 +1560,94 @@ class DevicePool:
                     entry = queue_.pop()
             tenant, job = entry
             session = self._sessions[tenant]
-            if session.last_error is not None:
-                # Sticky tenant fault: fail queued launches fast, like
-                # Device.launch on a faulted device.
-                error = LaunchError(
-                    f"tenant {tenant!r} is in a failed state "
-                    f"({type(session.last_error).__name__}); call "
-                    f"TenantSession.reset() to clear it"
-                )
-                job.future._fail(error)
-                session._complete(job, None, error)
-                continue
-            try:
-                result = worker.call(
-                    "launch",
-                    kernel=job.kernel,
-                    grid=job.grid,
-                    block=job.block,
-                    args=job.args,
-                )
-            except Exception as error:
-                job.future._fail(error)
-                session._complete(job, None, error)
-            else:
-                job.future._resolve(result)
-                session._complete(job, result, None)
+            self._dispatch_job(worker, session, job)
 
     def synchronize(self) -> None:
         """Block until every tenant's submitted launches completed."""
         for session in self.sessions():
             session.synchronize()
+
+    # -- supervision -------------------------------------------------------
+
+    def _worker_lost(self, worker: _Worker) -> None:
+        """Loss callback from any thread: wake the supervisor now."""
+        self._supervisor_wake.set()
+
+    def _supervise_loop(self) -> None:
+        while True:
+            self._supervisor_wake.wait(0.1)
+            self._supervisor_wake.clear()
+            if self._closed:
+                return
+            for worker in self._workers:
+                if self._closed:
+                    return
+                try:
+                    self._supervise_worker(worker)
+                except Exception:  # pragma: no cover - must survive
+                    pass
+
+    def _supervise_worker(self, worker: _Worker) -> None:
+        now = time.monotonic()
+        if not worker.lost:
+            process = worker.process
+            if process is None or not process.is_alive():
+                # Let the elected reader drain any final replies
+                # first; if nobody is waiting, declare the loss here.
+                if worker.in_flight() == 0:
+                    worker.mark_lost(
+                        f"died (exit code "
+                        f"{process.exitcode if process else 'none'})"
+                    )
+            else:
+                age = worker.oldest_in_flight_age()
+                if (
+                    self._hang_timeout is not None
+                    and age is not None
+                    and age > self._hang_timeout
+                ):
+                    worker.mark_lost(
+                        f"hung: request in flight for {age:.1f}s "
+                        f"(hang timeout {self._hang_timeout}s)"
+                    )
+                elif (
+                    age is None
+                    and now - worker.last_seen >= self._probe_interval
+                ):
+                    try:
+                        worker.call("ping", timeout=self._probe_timeout)
+                    except DeviceLost:
+                        pass
+                    except LaunchError:
+                        # Only a worker that *should* have been idle is
+                        # declared hung on a missed heartbeat — a
+                        # launch racing in behind the ping legitimately
+                        # delays the reply.
+                        if worker.in_flight() == 0:
+                            worker.mark_lost(
+                                f"hung: missed heartbeat (no ping "
+                                f"reply in {self._probe_timeout}s)"
+                            )
+        if worker.lost and worker.needs_reap:
+            worker.reap()
+            worker.breaker.record_failure()
+        if (
+            worker.lost
+            and self._respawn
+            and not self._closed
+            and worker.breaker.allow_probe()
+        ):
+            worker.respawn()
+            try:
+                worker.call("ping", timeout=self._probe_timeout)
+                worker.breaker.record_success()
+            except DeviceLost:
+                pass  # lost again; next pass reaps and re-judges
+            except LaunchError:
+                worker.mark_lost(
+                    f"hung: no heartbeat within {self._probe_timeout}s "
+                    f"of respawn"
+                )
 
     # -- reporting ---------------------------------------------------------
 
@@ -886,6 +1655,10 @@ class DevicePool:
         return {
             session.tenant: session.stats for session in self.sessions()
         }
+
+    def health(self) -> List[WorkerHealth]:
+        """Supervision snapshot of every worker slot."""
+        return [worker.health() for worker in self._workers]
 
     def aggregate_statistics(self) -> LaunchStatistics:
         """Pool-level merged LaunchStatistics over every tenant."""
@@ -899,7 +1672,8 @@ class DevicePool:
         return [worker.call("statistics") for worker in self._workers]
 
     def report(self) -> str:
-        """Pool-level serving report: per-tenant counters + aggregate."""
+        """Pool-level serving report: per-tenant counters, worker
+        health, and the aggregate."""
         sessions = self.sessions()
         lines = [
             f"== device pool: {self.workers} workers, "
@@ -907,7 +1681,8 @@ class DevicePool:
         ]
         header = (
             f"{'tenant':<16} {'worker':>6} {'weight':>6} {'done':>6} "
-            f"{'fail':>5} {'traps':>5} {'rejected':>8} {'host s':>8}"
+            f"{'fail':>5} {'traps':>5} {'lost':>5} {'retry':>5} "
+            f"{'rejected':>8} {'host s':>8}"
         )
         lines.append(header)
         for session in sorted(sessions, key=lambda s: s.tenant):
@@ -916,14 +1691,20 @@ class DevicePool:
                 f"{stats.tenant:<16} {stats.worker:>6} "
                 f"{stats.weight:>6.1f} {stats.completed:>6} "
                 f"{stats.failed:>5} {stats.traps:>5} "
+                f"{stats.device_lost:>5} {stats.retries:>5} "
                 f"{stats.rejected:>8} {stats.host_seconds:>8.2f}"
             )
+        lines.append("worker health:")
+        for health in self.health():
+            lines.append(f"  {health.describe()}")
         aggregate = self.aggregate_statistics()
         lines.append(
             f"aggregate: launches="
             f"{sum(s.stats.completed for s in sessions)} "
             f"failures={sum(s.stats.failed for s in sessions)} "
             f"traps={sum(s.stats.traps for s in sessions)} "
+            f"device-lost={sum(s.stats.device_lost for s in sessions)} "
+            f"retries={sum(s.stats.retries for s in sessions)} "
             f"instructions={aggregate.instructions} "
             f"modeled cycles={aggregate.total_cycles}"
         )

@@ -26,12 +26,23 @@ path             verb  action
 ``/v1/inject``   POST  arm a fault-injection site on the tenant's worker
 ``/v1/disarm``   POST  restore all fault sites on the tenant's worker
 ``/v1/stats``    GET   pool-level report + per-tenant counters
+``/v1/health``   GET   worker supervision snapshot + drain state
 ===============  ====  ====================================================
 
 Errors map onto status codes: quota rejections are 429, launch/usage
 errors 400, contained kernel faults arrive as ``ok: false`` collect
 payloads (the *request* succeeded; the *launch* trapped) carrying the
 rendered trap report and partial statistics.
+
+Overload safety: launch admission is bounded — when the tenant's or
+the server's total outstanding-launch depth reaches its limit, or the
+server is draining for shutdown, ``/v1/launch`` sheds the request
+with **503** and a ``Retry-After`` header instead of queueing without
+bound (:class:`~repro.errors.ServiceUnavailable` client-side).
+Launches accept a ``deadline`` (seconds of queue wait) after which
+they fail with ``DeadlineExpired`` rather than running late.
+:meth:`KernelServer.shutdown` drains gracefully by default: new
+launches are shed, queued work flushes, then the workers stop.
 """
 
 from __future__ import annotations
@@ -45,19 +56,64 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..errors import LaunchError, QuotaExceeded, ReproError
+from ..errors import (
+    DeviceLost,
+    LaunchError,
+    QuotaExceeded,
+    ReproError,
+    ServiceUnavailable,
+)
 from .pool import DevicePool, RemoteAllocation, TenantSession
 
 
 class _ServiceState:
     """Mutable server state shared across handler threads."""
 
-    def __init__(self, pool: DevicePool):
+    def __init__(
+        self,
+        pool: DevicePool,
+        max_queue_depth: Optional[int] = None,
+        max_tenant_queue: Optional[int] = None,
+        default_deadline: Optional[float] = None,
+        retry_after: float = 1.0,
+    ):
         self.pool = pool
+        self.max_queue_depth = max_queue_depth
+        self.max_tenant_queue = max_tenant_queue
+        self.default_deadline = default_deadline
+        self.retry_after = retry_after
+        self.draining = False
         self.lock = threading.Lock()
         self.allocations: Dict[int, RemoteAllocation] = {}
         self.futures: Dict[int, Tuple[str, object]] = {}
         self.next_id = 1
+
+    def admit(self, session: TenantSession) -> None:
+        """Launch admission control: shed (503 + Retry-After) instead
+        of queueing without bound or accepting work mid-drain."""
+        if self.draining:
+            raise ServiceUnavailable(
+                "server is draining for shutdown",
+                retry_after=self.retry_after,
+            )
+        if (
+            self.max_tenant_queue is not None
+            and session.pending >= self.max_tenant_queue
+        ):
+            raise ServiceUnavailable(
+                f"tenant {session.tenant!r} has {session.pending} "
+                f"launches queued (limit {self.max_tenant_queue}); "
+                f"back off and retry",
+                retry_after=self.retry_after,
+            )
+        if self.max_queue_depth is not None:
+            depth = sum(s.pending for s in self.pool.sessions())
+            if depth >= self.max_queue_depth:
+                raise ServiceUnavailable(
+                    f"server has {depth} launches queued (limit "
+                    f"{self.max_queue_depth}); back off and retry",
+                    retry_after=self.retry_after,
+                )
 
     def allot(self, table: Dict[int, object], value) -> int:
         with self.lock:
@@ -103,6 +159,11 @@ def _error_payload(error: BaseException) -> dict:
     statistics = getattr(error, "statistics", None)
     if statistics is not None:
         payload["instructions"] = statistics.instructions
+    if isinstance(error, DeviceLost):
+        payload["worker"] = error.worker
+        payload["cause"] = error.cause
+        payload["epoch"] = error.epoch
+        payload["delivered"] = error.delivered
     return payload
 
 
@@ -115,11 +176,15 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass  # keep the server silent; stats go through /v1/stats
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(
+        self, status: int, payload: dict, headers: Optional[dict] = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -139,6 +204,31 @@ class _Handler(BaseHTTPRequestHandler):
     # -- dispatch ----------------------------------------------------------
 
     def do_GET(self):  # noqa: N802 - stdlib naming
+        if self.path == "/v1/health":
+            pool = self.state.pool
+            workers = [
+                {
+                    "worker": health.worker,
+                    "alive": health.alive,
+                    "state": health.state,
+                    "epoch": health.epoch,
+                    "respawns": health.respawns,
+                    "failures": health.consecutive_failures,
+                    "in_flight": health.in_flight,
+                    "last_cause": health.last_cause,
+                }
+                for health in pool.health()
+            ]
+            healthy = all(entry["alive"] for entry in workers)
+            self._reply(
+                200 if healthy and not self.state.draining else 503,
+                {
+                    "ok": healthy,
+                    "draining": self.state.draining,
+                    "workers": workers,
+                },
+            )
+            return
         if self.path != "/v1/stats":
             self._reply(404, {"error": f"unknown path {self.path}"})
             return
@@ -186,6 +276,17 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply(404, {"error": f"unknown path {self.path}"})
                 return
             self._reply(200, handler(body))
+        except ServiceUnavailable as error:
+            retry_after = (
+                self.state.retry_after
+                if error.retry_after is None
+                else error.retry_after
+            )
+            self._reply(
+                503,
+                {"error": _error_payload(error)},
+                headers={"Retry-After": f"{retry_after:g}"},
+            )
         except QuotaExceeded as error:
             self._reply(429, {"error": _error_payload(error)})
         except (LaunchError, ReproError, ValueError, KeyError) as error:
@@ -264,14 +365,20 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _post_launch(self, body: dict) -> dict:
         session = self.state.session(body)
+        self.state.admit(session)
         args = []
         for value in body.get("args", ()):
             if isinstance(value, dict) and "allocation" in value:
                 args.append(self.state.allocation(value, session))
             else:
                 args.append(value)
+        deadline = body.get("deadline", self.state.default_deadline)
         future = session.launch_async(
-            body["kernel"], body.get("grid", 1), body.get("block", 1), args
+            body["kernel"],
+            body.get("grid", 1),
+            body.get("block", 1),
+            args,
+            deadline=deadline,
         )
         return {
             "launch": self.state.allot(
@@ -334,11 +441,24 @@ class KernelServer:
     """
 
     def __init__(
-        self, pool: DevicePool, host: str = "127.0.0.1", port: int = 0
+        self,
+        pool: DevicePool,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_queue_depth: Optional[int] = None,
+        max_tenant_queue: Optional[int] = None,
+        default_deadline: Optional[float] = None,
+        retry_after: float = 1.0,
     ):
         self.pool = pool
-        state = _ServiceState(pool)
-        handler = type("BoundHandler", (_Handler,), {"state": state})
+        self._state = _ServiceState(
+            pool,
+            max_queue_depth=max_queue_depth,
+            max_tenant_queue=max_tenant_queue,
+            default_deadline=default_deadline,
+            retry_after=retry_after,
+        )
+        handler = type("BoundHandler", (_Handler,), {"state": self._state})
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
         self.host, self.port = self._httpd.server_address[:2]
@@ -353,7 +473,34 @@ class KernelServer:
         )
         self._thread.start()
 
-    def shutdown(self, shutdown_pool: bool = True) -> None:
+    @property
+    def draining(self) -> bool:
+        return self._state.draining
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Stop admitting launches (new ones shed with 503) and block
+        until every already-queued launch has completed. Collects,
+        reads, and stats keep working throughout, so clients can
+        harvest in-flight results during the drain."""
+        self._state.draining = True
+        for session in self.pool.sessions():
+            session.synchronize(timeout=timeout)
+
+    def shutdown(
+        self,
+        shutdown_pool: bool = True,
+        drain: bool = True,
+        drain_timeout: Optional[float] = 30.0,
+    ) -> None:
+        """Graceful by default: shed new launches, flush the queues,
+        stop accepting connections, then stop the workers. Pass
+        ``drain=False`` for an immediate stop (queued launches fail
+        with ``LaunchError``)."""
+        if drain:
+            try:
+                self.drain(timeout=drain_timeout)
+            except LaunchError:
+                pass  # flush timed out; fall through to hard stop
         self._httpd.shutdown()
         if self._thread is not None:
             self._thread.join(timeout=10)
@@ -411,6 +558,12 @@ class ServeClient:
         reply = json.loads(raw)
         if response.status == 429:
             raise QuotaExceeded(reply["error"]["message"])
+        if response.status == 503:
+            header = response.getheader("Retry-After")
+            raise ServiceUnavailable(
+                reply["error"]["message"],
+                retry_after=None if header is None else float(header),
+            )
         if response.status != 200:
             error = reply.get("error", {})
             raise LaunchError(
@@ -528,6 +681,13 @@ class ServeClient:
 
     def stats(self) -> dict:
         self._conn.request("GET", "/v1/stats")
+        response = self._conn.getresponse()
+        return json.loads(response.read())
+
+    def health(self) -> dict:
+        """The supervision snapshot (an unhealthy or draining server
+        answers 503, but the payload is returned either way)."""
+        self._conn.request("GET", "/v1/health")
         response = self._conn.getresponse()
         return json.loads(response.read())
 

@@ -13,6 +13,39 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 @dataclass
+class WorkerHealth:
+    """Supervision snapshot of one :class:`~repro.runtime.pool.
+    DevicePool` worker, rendered into ``DevicePool.report()``.
+
+    ``state`` is the worker's circuit-breaker state: ``"closed"``
+    (healthy), ``"open"`` (too many consecutive infrastructure
+    failures — respawns are suspended until the cooldown elapses),
+    or ``"half-open"`` (cooldown elapsed; the next respawn+probe
+    decides). ``epoch`` counts respawns: allocations stamped with an
+    older epoch are invalid."""
+
+    worker: int
+    alive: bool
+    state: str
+    epoch: int
+    respawns: int = 0
+    consecutive_failures: int = 0
+    in_flight: int = 0
+    last_cause: Optional[str] = None
+
+    def describe(self) -> str:
+        cause = f" ({self.last_cause})" if self.last_cause else ""
+        return (
+            f"worker {self.worker}: "
+            f"{'alive' if self.alive else 'LOST'} "
+            f"state={self.state} epoch={self.epoch} "
+            f"respawns={self.respawns} "
+            f"failures={self.consecutive_failures} "
+            f"in-flight={self.in_flight}{cause}"
+        )
+
+
+@dataclass
 class LaunchStatistics:
     """Aggregated over all execution managers of one kernel launch."""
 

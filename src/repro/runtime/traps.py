@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..errors import KernelTrap, LaunchTimeout
+from ..errors import DeviceLost, KernelTrap, LaunchTimeout
 
 #: Most register values rendered into a trap snapshot.
 SNAPSHOT_LIMIT = 24
@@ -299,4 +299,30 @@ def format_timeout(timeout: LaunchTimeout) -> str:
     """Render a :class:`~repro.errors.LaunchTimeout` report (the full
     program-point list, not the bounded message form)."""
     lines = [f"== launch timeout: {timeout.kernel} ==", str(timeout)]
+    return "\n".join(lines)
+
+
+def format_device_lost(error: DeviceLost) -> str:
+    """Render a :class:`~repro.errors.DeviceLost` report: which worker
+    died, why, at which device epoch, and whether the failed request
+    had already been delivered to it (and may therefore have run)."""
+    lines = [f"== device lost: worker {error.worker} ==", str(error)]
+    if error.cause is not None:
+        lines.append(f"cause:     {error.cause}")
+    if error.epoch is not None:
+        lines.append(
+            f"epoch:     {error.epoch} (respawned worker runs at "
+            f"{error.epoch + 1}; allocations from epoch "
+            f"{error.epoch} and earlier are invalid)"
+        )
+    lines.append(
+        "delivered: "
+        + (
+            "yes — the request reached the worker and may have "
+            "mutated guest memory; it is never retried automatically"
+            if error.delivered
+            else "no — the request never left the parent and is safe "
+            "to re-dispatch"
+        )
+    )
     return "\n".join(lines)

@@ -6,15 +6,24 @@ processes behind the JSON/HTTP front-end of
 environment the workers warm-start from the persistent translation
 cache (pass ``--warm`` to pre-translate registered modules at boot).
 
+The pool is self-healing: a supervisor respawns crashed or hung
+workers warm, and the server sheds launches with 503 + ``Retry-After``
+once ``--max-queue`` / ``--max-tenant-queue`` outstanding launches
+are reached. SIGINT/SIGTERM trigger a graceful drain: new launches
+are shed, queued work flushes (bounded by ``--drain-timeout``), then
+the workers stop.
+
 Example::
 
     PYTHONPATH=src REPRO_CACHE=1 python -m repro.serve \
-        --workers 4 --module kernels.ptx --warm --port 8420
+        --workers 4 --module kernels.ptx --warm --port 8420 \
+        --max-queue 256 --max-tenant-queue 32 --deadline 30
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from typing import Optional, Sequence
 
@@ -46,6 +55,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--warm", action="store_true",
         help="pre-translate registered kernels before accepting clients",
     )
+    parser.add_argument(
+        "--max-queue", type=int, default=None, metavar="N",
+        help="global outstanding-launch limit before shedding with 503",
+    )
+    parser.add_argument(
+        "--max-tenant-queue", type=int, default=None, metavar="N",
+        help="per-tenant outstanding-launch limit before shedding",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="default queue-wait deadline applied to every launch",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="graceful-drain flush bound on shutdown (default %(default)s)",
+    )
+    parser.add_argument(
+        "--no-respawn", action="store_true",
+        help="disable supervisor respawn of lost workers",
+    )
     args = parser.parse_args(argv)
 
     modules = []
@@ -54,9 +83,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             modules.append(handle.read())
 
     pool = DevicePool(
-        workers=args.workers, modules=modules, warm=args.warm
+        workers=args.workers,
+        modules=modules,
+        warm=args.warm,
+        respawn=not args.no_respawn,
     )
-    server = KernelServer(pool, host=args.host, port=args.port)
+    server = KernelServer(
+        pool,
+        host=args.host,
+        port=args.port,
+        max_queue_depth=args.max_queue,
+        max_tenant_queue=args.max_tenant_queue,
+        default_deadline=args.deadline,
+    )
+    # SIGTERM (systemd/containers) drains like Ctrl-C does.
+    signal.signal(
+        signal.SIGTERM,
+        lambda signum, frame: (_ for _ in ()).throw(KeyboardInterrupt),
+    )
     print(
         f"repro.serve: {args.workers} workers, "
         f"{len(modules)} modules, listening on "
@@ -66,9 +110,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("repro.serve: shutting down", flush=True)
+        print(
+            "repro.serve: draining (new launches shed with 503)",
+            flush=True,
+        )
     finally:
-        server.shutdown()
+        server.shutdown(drain=True, drain_timeout=args.drain_timeout)
+        print("repro.serve: stopped", flush=True)
     return 0
 
 

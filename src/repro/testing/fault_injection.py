@@ -40,6 +40,29 @@ can drive every containment path on demand:
     write-write conflict between threads. Only the sanitizer's race
     detector can see it — the stores themselves are in bounds.
 
+Process-level chaos sites target a
+:class:`~repro.runtime.pool.DevicePool` instead of a Device — pass
+the *pool* as the injector's first argument. They patch the
+parent-side ``_Worker`` send hooks, so the worker process itself runs
+unmodified code:
+
+``kill_worker``
+    The worker process is ``kill()``-ed around a matching request
+    (``when="after_send"`` by default: the request was delivered, so
+    its future resolves to :class:`~repro.errors.DeviceLost` with
+    ``delivered=True``) — exercising crash detection, warm respawn,
+    epoch bumping, and the retry path for launches still queued
+    behind the casualty.
+``hang_worker``
+    A ``chaos_hang`` request is slipped into the pipe ahead of the
+    real one, wedging the worker's serve loop for ``duration``
+    seconds — exercising stuck-call supervision (and the stale-reply
+    discard when the hang reply eventually surfaces).
+``drop_pipe``
+    The parent's end of the worker pipe is closed around a matching
+    request — exercising broken-pipe loss detection
+    (``delivered=False``: the request never left the parent).
+
 Determinism: every probabilistic decision comes from one
 ``random.Random`` seeded explicitly or from ``$REPRO_FAULT_SEED``
 (default 0), so a failing CI seed reproduces locally bit-for-bit.
@@ -92,7 +115,14 @@ class FaultInjector:
         "oob_within_arena",
         "use_after_free",
         "shared_race",
+        "kill_worker",
+        "hang_worker",
+        "drop_pipe",
     )
+
+    #: Sites whose target is a DevicePool (parent-side process chaos),
+    #: not a Device.
+    PROCESS_SITES = ("kill_worker", "hang_worker", "drop_pipe")
 
     def __init__(self, device, seed: Optional[int] = None):
         self.device = device
@@ -402,3 +432,104 @@ class FaultInjector:
                 _original(cta, ready, live_counts, barrier_pools)
 
             self._patch(manager, "_maybe_release_barrier", released)
+
+    # -- process-level chaos (target: DevicePool) ----------------------------
+
+    def _pool_workers(self, worker: Optional[int]) -> list:
+        workers = getattr(self.device, "_workers", None)
+        if workers is None:
+            raise ValueError(
+                "process chaos sites need a DevicePool as the "
+                "injector target, not a Device"
+            )
+        if worker is None:
+            return list(workers)
+        return [workers[worker]]
+
+    def _arm_kill_worker(
+        self,
+        probability: float,
+        worker: Optional[int] = None,
+        op: Optional[str] = "launch",
+        when: str = "after_send",
+        kernel: Optional[str] = None,
+    ) -> None:
+        """``kill()`` the worker process around a matching request.
+        ``op`` filters which RPC triggers the decision (None = any)
+        and ``kernel`` narrows launch requests to one kernel name;
+        ``when`` is ``"after_send"`` (request delivered — the future
+        fails with ``DeviceLost(delivered=True)``) or
+        ``"before_send"``."""
+        hook = (
+            "_hook_after_send" if when == "after_send"
+            else "_hook_before_send"
+        )
+        for target in self._pool_workers(worker):
+            original = getattr(target, hook)
+
+            def fire(op_, payload, _target=target, _original=original):
+                if (
+                    (op is None or op_ == op)
+                    and (
+                        kernel is None
+                        or payload.get("kernel") == kernel
+                    )
+                    and self._fires("kill_worker", probability)
+                ):
+                    _target.process.kill()
+                _original(op_, payload)
+
+            self._patch(target, hook, fire)
+
+    def _arm_hang_worker(
+        self,
+        probability: float,
+        worker: Optional[int] = None,
+        op: Optional[str] = "launch",
+        duration: float = 5.0,
+    ) -> None:
+        """Wedge the worker's serve loop by slipping a ``chaos_hang``
+        request (request id 0 — its reply is never pending, so the
+        parent discards it as stale) into the pipe ahead of the real
+        request, which then sits unanswered for ``duration`` seconds."""
+        for target in self._pool_workers(worker):
+            original = target._hook_before_send
+
+            def fire(op_, payload, _target=target, _original=original):
+                if (op is None or op_ == op) and self._fires(
+                    "hang_worker", probability
+                ):
+                    try:
+                        _target.conn.send(
+                            (0, "chaos_hang", {"duration": duration})
+                        )
+                    except (OSError, ValueError):
+                        pass
+                _original(op_, payload)
+
+            self._patch(target, "_hook_before_send", fire)
+
+    def _arm_drop_pipe(
+        self,
+        probability: float,
+        worker: Optional[int] = None,
+        op: Optional[str] = "launch",
+    ) -> None:
+        """Close the parent's end of the worker pipe just before a
+        matching request is sent: the send fails, the worker is marked
+        lost with ``delivered=False`` (the request never left the
+        parent), and the supervisor recycles the process."""
+        for target in self._pool_workers(worker):
+            original = target._hook_before_send
+
+            def fire(op_, payload, _target=target, _original=original):
+                if (op is None or op_ == op) and self._fires(
+                    "drop_pipe", probability
+                ):
+                    try:
+                        _target.conn.close()
+                    except OSError:
+                        pass
+                _original(op_, payload)
+
+            self._patch(target, "_hook_before_send", fire)

@@ -1,0 +1,422 @@
+"""Self-healing DevicePool: reply correlation, interruptible waits,
+shutdown escalation, crash/hang/pipe chaos, warm respawn with epoch
+semantics, retry/backoff, circuit breaking, deadlines, and
+service-level load shedding + graceful drain."""
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    DeadlineExpired,
+    DeviceLost,
+    LaunchError,
+    ServiceUnavailable,
+)
+from repro.runtime.pool import CircuitBreaker, DevicePool, RetryPolicy
+from repro.runtime.service import KernelServer, ServeClient
+from repro.runtime.traps import format_device_lost
+from repro.testing.fault_injection import FaultInjector
+from tests.conftest import VECADD_PTX
+
+N = 8
+
+#: Victim module registered through the *session* (tenant-private), so
+#: respawn must replay it from the parent's journal.
+PRIVATE_PTX = VECADD_PTX.replace("vecAdd", "privAdd")
+
+#: A kernel with no pointer arguments: queued launches survive a
+#: respawn (nothing to go stale), so a RetryPolicy can re-dispatch
+#: them transparently.
+NOOP_PTX = r"""
+.version 2.3
+.target sim
+
+.entry poolNoop (.param .u32 n)
+{
+  .reg .u32 %r<2>;
+  ld.param.u32 %r1, [n];
+  exit;
+}
+"""
+
+
+def _buffers(session):
+    a = session.upload(np.arange(N, dtype=np.float32))
+    b = session.upload(np.arange(N, dtype=np.float32))
+    c = session.malloc(4 * N)
+    return a, b, c
+
+
+def _wait_recovered(pool, index=0, epoch=1, timeout=60.0):
+    """Poll until worker ``index`` is alive again at ``epoch`` with a
+    closed breaker; returns the final WorkerHealth."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        health = pool.health()[index]
+        if (
+            health.alive
+            and health.epoch >= epoch
+            and health.state == "closed"
+        ):
+            return health
+        time.sleep(0.02)
+    return pool.health()[index]
+
+
+class TestReplyCorrelation:
+    def test_stale_reply_is_discarded_not_misattributed(self):
+        """Regression: a reply left in the pipe by a timed-out call
+        must never be returned to the next caller."""
+        with DevicePool(workers=1, supervise=False) as pool:
+            worker = pool._workers[0]
+            with pytest.raises(LaunchError, match="timed out"):
+                worker.call("chaos_hang", duration=0.4, timeout=0.05)
+            # The hang's reply arrives first; it must be dropped and
+            # the ping's own (correlated) reply returned.
+            reply = worker.call("ping", timeout=30.0)
+            assert reply["pid"] == worker.process.pid
+
+    def test_shutdown_interrupts_waiting_call(self):
+        """The worker lock covers only send/bookkeeping: a caller
+        blocked on a slow request cannot block shutdown, and shutdown
+        resolves the waiter with DeviceLost."""
+        pool = DevicePool(workers=1, supervise=False)
+        worker = pool._workers[0]
+        errors = []
+
+        def slow():
+            try:
+                worker.call("chaos_hang", duration=30.0)
+            except LaunchError as error:
+                errors.append(error)
+
+        thread = threading.Thread(target=slow)
+        thread.start()
+        time.sleep(0.3)  # let the request reach the worker
+        start = time.monotonic()
+        pool.shutdown()
+        assert time.monotonic() - start < 20.0
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert errors and isinstance(errors[0], DeviceLost)
+
+    def test_shutdown_escalates_terminate_to_kill(self):
+        """A worker that ignores SIGTERM is killed, and teardown never
+        raises (guarded close)."""
+        pool = DevicePool(workers=1, supervise=False)
+        worker = pool._workers[0]
+        worker.call("chaos_ignore_term", timeout=30.0)
+        pid = worker.process.pid
+        worker.mark_lost("test: sigterm ignored")
+        worker.reap(timeout=1.0)
+        with pytest.raises(OSError):
+            os.kill(pid, 0)
+        pool.shutdown()  # double teardown stays silent
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("backend", ["interpreter", "array"])
+    def test_kill_respawn_epoch_journal_and_isolation(
+        self, backend, monkeypatch
+    ):
+        """The acceptance drill: kill worker 0 mid-launch; in-flight
+        work resolves to DeviceLost at the dead epoch, the supervisor
+        respawns the worker (replaying the tenant-private module
+        journal), stale allocations fail fast, and the co-tenant on
+        worker 1 is untouched."""
+        monkeypatch.setenv("REPRO_BACKEND", backend)
+        with DevicePool(
+            workers=2, modules=[VECADD_PTX], circuit_cooldown=0.2
+        ) as pool:
+            pool.ready(timeout=300.0)
+            victim = pool.session("victim", worker=0)
+            healthy = pool.session("healthy", worker=1)
+            victim.register_module(PRIVATE_PTX)
+            va, vb, vc = _buffers(victim)
+            ha, hb, hc = _buffers(healthy)
+            victim.launch("privAdd", 1, N, [va, vb, vc, N])
+
+            injector = FaultInjector(pool, seed=0)
+            injector.arm(
+                "kill_worker", probability=1.0, worker=0, op="launch"
+            )
+            future = victim.launch_async(
+                "privAdd", 1, N, [va, vb, vc, N]
+            )
+            error = future.exception(timeout=120.0)
+            injector.restore()
+
+            assert isinstance(error, DeviceLost)
+            assert error.worker == 0
+            assert error.epoch == 0
+            assert error.delivered is True
+            assert "worker 0" in str(error)
+            report = format_device_lost(error)
+            assert "device lost: worker 0" in report
+            assert "never retried automatically" in report
+            assert victim.stats.device_lost >= 1
+
+            health = _wait_recovered(pool, index=0, epoch=1)
+            assert health.alive and health.epoch == 1
+            assert health.respawns == 1
+            assert "worker health:" in pool.report()
+
+            # Allocations from the dead epoch fail fast.
+            with pytest.raises(DeviceLost, match="epoch"):
+                victim.read(vc, np.float32, N)
+            with pytest.raises(DeviceLost, match="re-allocate"):
+                victim.write(va, np.ones(N, dtype=np.float32))
+
+            # An infrastructure loss is not a sticky tenant fault:
+            # fresh buffers + the journal-replayed private module work
+            # on the respawned worker without a reset().
+            a2, b2, c2 = _buffers(victim)
+            victim.launch("privAdd", 1, N, [a2, b2, c2, N])
+            assert np.allclose(
+                victim.read(c2, np.float32, N), np.arange(N) * 2
+            )
+
+            # Co-tenant on worker 1: same epoch, same buffers, zero
+            # failures.
+            assert pool.health()[1].epoch == 0
+            healthy.launch("vecAdd", 1, N, [ha, hb, hc, N])
+            assert np.allclose(
+                healthy.read(hc, np.float32, N), np.arange(N) * 2
+            )
+            assert healthy.stats.failed == 0
+
+    def test_hung_worker_detected_and_recycled(self):
+        """Stuck-call supervision: a wedged worker is declared hung
+        past hang_timeout, the in-flight launch fails with DeviceLost,
+        and the slot is respawned."""
+        with DevicePool(
+            workers=1,
+            modules=[NOOP_PTX],
+            hang_timeout=0.5,
+            circuit_cooldown=0.2,
+        ) as pool:
+            pool.ready(timeout=300.0)
+            session = pool.session("wedged")
+            injector = FaultInjector(pool, seed=0)
+            injector.arm(
+                "hang_worker", probability=1.0, worker=0,
+                op="launch", duration=30.0,
+            )
+            future = session.launch_async("poolNoop", 1, N, [N])
+            error = future.exception(timeout=120.0)
+            injector.restore()
+            assert isinstance(error, DeviceLost)
+            assert "hung" in error.cause
+            health = _wait_recovered(pool)
+            assert health.alive and health.respawns >= 1
+            session.launch("poolNoop", 1, N, [N])
+
+    def test_drop_pipe_is_undelivered_loss(self):
+        """A send onto a broken pipe never reached the worker: the
+        loss carries delivered=False."""
+        with DevicePool(
+            workers=1, modules=[NOOP_PTX], circuit_cooldown=0.2
+        ) as pool:
+            pool.ready(timeout=300.0)
+            session = pool.session("dropped")
+            injector = FaultInjector(pool, seed=0)
+            injector.arm(
+                "drop_pipe", probability=1.0, worker=0, op="launch"
+            )
+            future = session.launch_async("poolNoop", 1, N, [N])
+            error = future.exception(timeout=120.0)
+            injector.restore()
+            assert isinstance(error, DeviceLost)
+            assert error.delivered is False
+            _wait_recovered(pool)
+            session.launch("poolNoop", 1, N, [N])
+
+
+class TestRetryPolicy:
+    def test_undelivered_launch_retried_to_success(self):
+        """drop_pipe fails the dispatch before the request leaves the
+        parent; the session's RetryPolicy re-queues it with backoff
+        and it completes on the respawned worker."""
+        with DevicePool(
+            workers=1, modules=[NOOP_PTX], circuit_cooldown=0.2
+        ) as pool:
+            pool.ready(timeout=300.0)
+            session = pool.session(
+                "retrier",
+                retry=RetryPolicy(max_attempts=4, base_delay=0.3),
+            )
+            injector = FaultInjector(pool, seed=0)
+            injector.arm(
+                "drop_pipe", probability=1.0, worker=0, op="launch"
+            )
+            future = session.launch_async("poolNoop", 1, N, [N])
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if injector.fired.get("drop_pipe"):
+                    break
+                time.sleep(0.005)
+            injector.restore()  # one-shot: let the retry through
+            result = future.result(timeout=120.0)
+            assert result.kernel_name == "poolNoop"
+            assert session.stats.retries >= 1
+            assert session.stats.completed == 1
+            assert session.stats.failed == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+
+    def test_backoff_grows_and_jitter_bounded(self):
+        import random
+
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, jitter=0.5
+        )
+        rng = random.Random(0)
+        first = policy.backoff(1, rng)
+        second = policy.backoff(2, rng)
+        assert 0.1 <= first <= 0.15
+        assert 0.2 <= second <= 0.3
+
+
+class TestCircuitBreaker:
+    def test_transitions(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=0.1)
+        assert breaker.state == "closed" and breaker.allow_probe()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow_probe()
+        time.sleep(0.12)
+        assert breaker.allow_probe()
+        assert breaker.state == "half-open"
+        breaker.record_failure()  # probe failed: re-open
+        assert breaker.state == "open"
+        time.sleep(0.12)
+        assert breaker.allow_probe()
+        breaker.record_success()  # probe succeeded: close + clear
+        assert breaker.state == "closed"
+        assert breaker.failures == 0
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError, match="threshold"):
+            CircuitBreaker(threshold=0)
+
+
+class TestDeadlines:
+    def test_queued_launch_expires_before_dispatch(self):
+        """A wedged worker holds the queue; a deadline-bearing launch
+        behind it expires with DeadlineExpired instead of running
+        late. The launch never ran: guest memory untouched."""
+        with DevicePool(workers=1, modules=[NOOP_PTX]) as pool:
+            pool.ready(timeout=300.0)
+            session = pool.session("deadline")
+            injector = FaultInjector(pool, seed=0)
+            injector.arm(
+                "hang_worker", probability=1.0, worker=0,
+                op="launch", duration=1.0,
+            )
+            first = session.launch_async("poolNoop", 1, N, [N])
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if injector.fired.get("hang_worker"):
+                    break
+                time.sleep(0.005)
+            injector.restore()
+            second = session.launch_async(
+                "poolNoop", 1, N, [N], deadline=0.1
+            )
+            error = second.exception(timeout=120.0)
+            assert isinstance(error, DeadlineExpired)
+            assert first.exception(timeout=120.0) is None
+            assert session.stats.expired == 1
+
+
+class TestServiceResilience:
+    def test_admission_control_sheds_503_with_retry_after(self):
+        pool = DevicePool(workers=1, modules=[VECADD_PTX])
+        pool.ready(timeout=300.0)
+        server = KernelServer(pool, max_queue_depth=0)
+        server.start_background()
+        try:
+            client = ServeClient(
+                server.host, server.port, tenant="shed"
+            )
+            with pytest.raises(ServiceUnavailable) as info:
+                client.launch("vecAdd", 1, N, [])
+            assert info.value.retry_after == 1.0
+            health = client.health()
+            assert health["ok"] is True and not health["draining"]
+            assert health["workers"][0]["state"] == "closed"
+            client.close()
+        finally:
+            server.shutdown(drain=False)
+
+    def test_per_tenant_queue_bound(self):
+        pool = DevicePool(workers=1, modules=[VECADD_PTX])
+        pool.ready(timeout=300.0)
+        server = KernelServer(pool, max_tenant_queue=0)
+        server.start_background()
+        try:
+            client = ServeClient(
+                server.host, server.port, tenant="bounded"
+            )
+            with pytest.raises(ServiceUnavailable, match="bounded"):
+                client.launch("vecAdd", 1, N, [])
+            client.close()
+        finally:
+            server.shutdown(drain=False)
+
+    def test_graceful_drain_flushes_then_sheds(self):
+        pool = DevicePool(workers=1, modules=[VECADD_PTX])
+        pool.ready(timeout=300.0)
+        server = KernelServer(pool)
+        server.start_background()
+        try:
+            client = ServeClient(
+                server.host, server.port, tenant="drainee"
+            )
+            a = client.upload(np.arange(N, dtype=np.float32))
+            b = client.upload(np.arange(N, dtype=np.float32))
+            c = client.malloc(4 * N)
+            launch = client.launch(
+                "vecAdd", 1, N,
+                [{"allocation": a}, {"allocation": b},
+                 {"allocation": c}, N],
+            )
+            server.drain(timeout=120.0)
+            assert server.draining
+            # New launches shed; in-flight results still collectable.
+            with pytest.raises(ServiceUnavailable, match="draining"):
+                client.launch("vecAdd", 1, N, [])
+            reply = client.collect(launch)
+            assert reply["ok"] is True
+            assert client.health()["draining"] is True
+            assert np.allclose(
+                client.read(c, np.float32, N), np.arange(N) * 2
+            )
+            client.close()
+        finally:
+            server.shutdown(drain=False)
+
+
+class TestExports:
+    def test_resilience_api_exported(self):
+        import repro
+
+        for name in (
+            "DeviceLost",
+            "DeadlineExpired",
+            "ServiceUnavailable",
+            "RetryPolicy",
+            "WorkerHealth",
+            "format_device_lost",
+        ):
+            assert hasattr(repro, name), name
