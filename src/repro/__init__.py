@@ -50,6 +50,7 @@ from .runtime.config import (
     vectorized_config,
 )
 from .runtime.pool import DevicePool, RetryPolicy, TenantSession
+from .runtime.state_store import StateStore
 from .runtime.statistics import WorkerHealth
 from .runtime.traps import format_device_lost, format_timeout, format_trap
 
@@ -72,6 +73,7 @@ __all__ = [
     "QuotaExceeded",
     "RetryPolicy",
     "ServiceUnavailable",
+    "StateStore",
     "Stream",
     "TenantSession",
     "SanitizerError",

@@ -138,6 +138,14 @@ def main(argv=None) -> int:
         "(default %(default)s)",
     )
     parser.add_argument(
+        "--durability",
+        choices=("none", "journal", "checkpoint"),
+        default="none",
+        help="with --chaos: make the victim tenant durable — the "
+        "kill must be invisible (state restored, no DeviceLost, "
+        "pre-kill buffers bit-identical through original handles)",
+    )
+    parser.add_argument(
         "--assert-speedup",
         type=float,
         default=None,
@@ -169,6 +177,7 @@ def main(argv=None) -> int:
                 assert_recovery=arguments.assert_recovery,
                 assert_speedup=arguments.assert_speedup,
                 output=arguments.output,
+                durability=arguments.durability,
             )
         except AssertionError as failure:
             print(f"FAIL: {failure}", file=sys.stderr)

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
+import tempfile
 import threading
 import time
 from typing import List, Optional
@@ -273,6 +275,65 @@ def _run_victim(pool, session, injector, launches: int, outcome: dict):
         time.sleep(0.01)
 
 
+def _run_victim_durable(
+    pool, session, buffers, injector, launches: int, outcome: dict
+):
+    """The durable victim: submits ``launches`` pointer-carrying
+    vecAdd launches to worker 0, whose first dispatched one kills the
+    worker process. Unlike the no-pointer ``_run_victim``, this
+    tenant's guest state matters — after the kill, the pool must
+    restore it (checkpoint + journal replay) onto the respawned
+    worker so every launch still completes and the pre-kill buffers
+    read back bit-identical through the original handles. No
+    ``DeviceLost`` may surface."""
+    futures = []
+    for _ in range(launches):
+        try:
+            futures.append(
+                session.launch_async(
+                    "serveVecAdd", (_VEC_GRID, 1, 1),
+                    (_VEC_BLOCK, 1, 1),
+                    [buffers["a"], buffers["b"], buffers["c"], _VEC_N],
+                )
+            )
+        except Exception as error:
+            outcome["outcomes"].append(type(error).__name__)
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        if injector.fired.get("kill_worker"):
+            break
+        time.sleep(0.005)
+    killed_at = time.perf_counter()
+    injector.restore()
+    restored = 0
+    for future in futures:
+        error = future.exception(timeout=300.0)
+        if error is None:
+            result = future.result()
+            outcome["outcomes"].append("ok")
+            restored += int(bool(getattr(result, "restored", False)))
+        else:
+            outcome["outcomes"].append(type(error).__name__)
+    outcome["restored_launches"] = restored
+    # The acceptance check: the buffers uploaded *before* the kill,
+    # read back through the handles issued *before* the kill.
+    a = session.read(buffers["a"], np.float32, _VEC_N)
+    b = session.read(buffers["b"], np.float32, _VEC_N)
+    c = session.read(buffers["c"], np.float32, _VEC_N)
+    outcome["bit_identical"] = bool(
+        np.array_equal(a, np.arange(_VEC_N, dtype=np.float32))
+        and np.array_equal(b, np.arange(_VEC_N, dtype=np.float32) * 2)
+        and np.array_equal(c, a + b)
+    )
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        health = pool.health()[0]
+        if health.alive and health.epoch >= 1 and health.state == "closed":
+            outcome["recovery_seconds"] = time.perf_counter() - killed_at
+            break
+        time.sleep(0.01)
+
+
 def run_serve_bench(
     clients: int = 4,
     workers: int = 2,
@@ -285,6 +346,8 @@ def run_serve_bench(
     assert_recovery: bool = False,
     assert_speedup: Optional[float] = None,
     output: Optional[str] = None,
+    durability: str = "none",
+    state_dir: Optional[str] = None,
 ) -> dict:
     """Run the serving bench; returns (and optionally writes) the
     result record. Raises AssertionError on isolation violations, on a
@@ -297,12 +360,22 @@ def run_serve_bench(
     stay bit-identical to a no-chaos run; every victim launch must
     resolve to ``DeviceLost`` or transparently succeed via its
     RetryPolicy; and the supervisor must respawn the worker within
-    ``recovery_slo`` seconds."""
+    ``recovery_slo`` seconds.
+
+    The durability axis (``durability="journal"|"checkpoint"`` with
+    ``process_chaos``) swaps the no-pointer victim for a durable
+    session with live vecAdd buffers: after the kill, *no* launch may
+    surface ``DeviceLost`` (the pool restores the tenant's state and
+    re-dispatches the casualties) and the pre-kill buffers must read
+    back bit-identical through the original handles."""
     if process_chaos and workers < 2:
         raise ValueError(
             "process_chaos needs workers >= 2 (worker 0 is the "
             "casualty; healthy tenants are pinned to the others)"
         )
+    if durability not in ("none", "journal", "checkpoint"):
+        raise ValueError(f"unknown durability mode {durability!r}")
+    durable = process_chaos and durability != "none"
     iters = max(1, int(2 * scale))
     throughput_src = get_workload("throughput").module_source()
     modules = [throughput_src, _VECADD_PTX]
@@ -312,7 +385,14 @@ def run_serve_bench(
 
     baseline_seconds = _run_baseline(modules, plan, clients)
 
-    pool = DevicePool(workers=workers, modules=modules, warm=True)
+    scratch_state_dir = None
+    if durability == "checkpoint" and state_dir is None:
+        scratch_state_dir = tempfile.mkdtemp(prefix="repro-state-")
+        state_dir = scratch_state_dir
+    pool = DevicePool(
+        workers=workers, modules=modules, warm=True,
+        state_dir=state_dir,
+    )
     try:
         pool.ready(timeout=300.0)
         sessions = [
@@ -352,29 +432,60 @@ def run_serve_bench(
                 name="bench-chaos",
             )
         victim_thread = None
-        victim_outcome: dict = {"outcomes": [], "recovery_seconds": None}
+        victim_outcome: dict = {
+            "outcomes": [],
+            "recovery_seconds": None,
+            "restored_launches": 0,
+            "bit_identical": None,
+        }
         if process_chaos:
             from ..runtime.pool import RetryPolicy
             from ..testing.fault_injection import FaultInjector, fault_seed
 
-            victim = pool.session(
-                "victim",
-                worker=0,
-                retry=RetryPolicy(max_attempts=4, base_delay=0.05),
-            )
             injector = FaultInjector(pool, seed=fault_seed())
-            injector.arm(
-                "kill_worker", probability=1.0, worker=0,
-                op="launch", kernel="serveNoop",
-            )
-            victim_thread = threading.Thread(
-                target=_run_victim,
-                args=(
-                    pool, victim, injector,
-                    max(4, launches // 2), victim_outcome,
-                ),
-                name="bench-victim",
-            )
+            if durable:
+                victim = pool.session(
+                    "victim",
+                    worker=0,
+                    durability=durability,
+                    checkpoint_interval=2,
+                )
+                # Pre-kill state the restore must reproduce: the
+                # buffers go in (and, in checkpoint mode, a snapshot
+                # lands on disk) before the kill site is armed.
+                victim_buffers = _setup_tenant(victim)
+                if durability == "checkpoint":
+                    victim.checkpoint()
+                injector.arm(
+                    "kill_worker", probability=1.0, worker=0,
+                    op="launch", kernel="serveVecAdd",
+                )
+                victim_thread = threading.Thread(
+                    target=_run_victim_durable,
+                    args=(
+                        pool, victim, victim_buffers, injector,
+                        max(4, launches // 2), victim_outcome,
+                    ),
+                    name="bench-victim",
+                )
+            else:
+                victim = pool.session(
+                    "victim",
+                    worker=0,
+                    retry=RetryPolicy(max_attempts=4, base_delay=0.05),
+                )
+                injector.arm(
+                    "kill_worker", probability=1.0, worker=0,
+                    op="launch", kernel="serveNoop",
+                )
+                victim_thread = threading.Thread(
+                    target=_run_victim,
+                    args=(
+                        pool, victim, injector,
+                        max(4, launches // 2), victim_outcome,
+                    ),
+                    name="bench-victim",
+                )
         start = time.perf_counter()
         for thread in threads:
             thread.start()
@@ -409,16 +520,37 @@ def run_serve_bench(
             ), f"chaos tenant did not trap as armed: {traps}"
         if process_chaos:
             outcomes = victim_outcome["outcomes"]
-            assert outcomes and all(
-                entry in ("ok", "DeviceLost") for entry in outcomes
-            ), (
-                f"victim launches must resolve to DeviceLost or "
-                f"succeed via retry, got {outcomes}"
-            )
-            assert "DeviceLost" in outcomes, (
-                "the delivered casualty launch should have resolved "
-                f"to DeviceLost, got {outcomes}"
-            )
+            if durable:
+                # Durability contract: the kill is invisible to the
+                # victim — every launch completes (restore +
+                # re-dispatch), nothing resolves to DeviceLost, and
+                # its pre-kill state survived bit-identically.
+                assert outcomes and all(
+                    entry == "ok" for entry in outcomes
+                ), (
+                    f"durable victim launches must all succeed "
+                    f"(restore re-dispatches casualties), got "
+                    f"{outcomes}"
+                )
+                assert victim_outcome["bit_identical"], (
+                    "durable victim's pre-kill buffers did not read "
+                    "back bit-identical through the original handles"
+                )
+                assert victim.stats.restores >= 1, (
+                    f"victim session was never restored: "
+                    f"{victim.stats}"
+                )
+            else:
+                assert outcomes and all(
+                    entry in ("ok", "DeviceLost") for entry in outcomes
+                ), (
+                    f"victim launches must resolve to DeviceLost or "
+                    f"succeed via retry, got {outcomes}"
+                )
+                assert "DeviceLost" in outcomes, (
+                    "the delivered casualty launch should have "
+                    f"resolved to DeviceLost, got {outcomes}"
+                )
             health = pool.health()[0]
             assert health.alive and health.respawns >= 1, (
                 f"worker 0 was not respawned: {health.describe()}"
@@ -433,6 +565,14 @@ def run_serve_bench(
                     f"recovery took {recovery:.2f}s, above the "
                     f"{recovery_slo:.2f}s SLO"
                 )
+                if durable:
+                    assert (
+                        victim.stats.restore_seconds <= recovery_slo
+                    ), (
+                        f"state restore took "
+                        f"{victim.stats.restore_seconds:.2f}s, above "
+                        f"the {recovery_slo:.2f}s SLO"
+                    )
 
         latencies = sorted(
             value
@@ -480,6 +620,27 @@ def run_serve_bench(
                     health.describe() for health in pool.health()
                 ],
             },
+            "durability": {
+                "mode": durability,
+                "enabled": durable,
+                "restores": (
+                    victim.stats.restores if durable else 0
+                ),
+                "restore_seconds": (
+                    round(victim.stats.restore_seconds, 3)
+                    if durable else 0.0
+                ),
+                "replayed_ops": (
+                    victim.stats.replayed_ops if durable else 0
+                ),
+                "restored_launches": victim_outcome[
+                    "restored_launches"
+                ],
+                "checkpoints": (
+                    victim.stats.checkpoints if durable else 0
+                ),
+                "bit_identical": victim_outcome["bit_identical"],
+            },
             "tenants": {
                 session.tenant: {
                     "worker": session.worker_index,
@@ -493,6 +654,8 @@ def run_serve_bench(
         }
     finally:
         pool.shutdown()
+        if scratch_state_dir is not None:
+            shutil.rmtree(scratch_state_dir, ignore_errors=True)
 
     if output:
         with open(output, "w", encoding="utf-8") as handle:
@@ -535,6 +698,21 @@ def format_serve(record: dict) -> str:
             f"{process['succeeded']} succeeded "
             f"({process['retries']} retried), recovery {rendered} "
             f"(SLO {process['recovery_slo_seconds']:.0f}s)"
+        )
+    durable = record.get("durability", {})
+    if durable.get("enabled"):
+        identical = (
+            "bit-identical" if durable.get("bit_identical")
+            else "MISMATCH"
+        )
+        lines.append(
+            f"durability ({durable['mode']}): "
+            f"{durable['restores']} restore(s) in "
+            f"{durable['restore_seconds']:.3f}s, "
+            f"{durable['replayed_ops']} ops replayed, "
+            f"{durable['restored_launches']} launches re-dispatched, "
+            f"{durable['checkpoints']} checkpoint(s); pre-kill "
+            f"buffers {identical} through original handles"
         )
     lines.extend(["", record["report"]])
     return "\n".join(lines)

@@ -160,6 +160,18 @@ class DeviceLost(LaunchError):
         automatically); False when the loss was detected before the
         request left the parent (safe for :class:`RetryPolicy
         <repro.runtime.pool.RetryPolicy>` re-dispatch).
+
+    Sessions opened with ``durability="journal"`` or ``"checkpoint"``
+    usually absorb this error instead of surfacing it: the pool
+    restores the tenant's guest state onto the respawned worker
+    (checkpoint load + deterministic journal replay) and re-dispatches
+    the casualties, so callers keep their handles and never observe
+    the loss. Durable sessions can still surface it with restore-
+    specific causes: ``"restore pending"`` (internal — a dispatch
+    raced the restore and was parked/re-queued), ``"restore timeout"``
+    (the worker did not come back within the session's
+    ``restore_timeout``), and ``"restore failed"`` (replay hit a
+    non-deterministic error; the session's durable state was reset).
     """
 
     def __init__(

@@ -34,6 +34,9 @@ class LaunchResult:
     geometry: LaunchGeometry
     statistics: LaunchStatistics
     clock_hz: float
+    #: True when a durable session re-dispatched this launch after a
+    #: worker loss + state restore (the caller never saw DeviceLost).
+    restored: bool = False
 
     @property
     def elapsed_seconds(self) -> float:

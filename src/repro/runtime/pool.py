@@ -41,6 +41,23 @@ Worker processes default to the ``spawn`` start method: it is safe in
 threaded parents (the pool runs dispatcher + supervisor threads) and
 identical across platforms. ``REPRO_POOL_START=fork`` opts into
 faster startup where safe.
+
+*Durability* (opt-in per session, ``durability="journal"`` or
+``"checkpoint"``) makes DeviceLost *recoverable* instead of merely
+detectable: the session journals every state-mutating operation
+(malloc/upload/write/free and every launch known to have executed),
+and — in checkpoint mode — periodically snapshots live allocation
+contents through :class:`~repro.runtime.state_store.StateStore`,
+truncating the journal. After a respawn the supervisor restores the
+tenant onto the fresh epoch: newest valid checkpoint + journal-tail
+replay (deterministic execution makes the replay bit-identical), with
+tenant-local allocation handles re-mapped onto the new worker handles
+so callers' existing :class:`RemoteAllocation` handles keep working.
+Launches caught by the loss — even delivered ones, which the restore
+rewinds past — are parked and transparently re-dispatched, surfacing
+``restored=True`` on their results instead of DeviceLost.
+``durability="none"`` (the default) keeps the original epoch-stamped
+fail-fast semantics and an unchanged hot path.
 """
 
 from __future__ import annotations
@@ -67,12 +84,20 @@ from ..errors import (
     QuotaExceeded,
     ServiceUnavailable,
 )
+from .state_store import StateStore
 from .statistics import LaunchStatistics, WorkerHealth
 
 #: Most trap report strings retained per tenant.
 _TRAP_REPORT_LIMIT = 8
 
 _FAULT_TYPES = (KernelTrap, LaunchTimeout, BarrierDeadlock)
+
+#: Per-session durability modes (see TenantSession).
+_DURABILITY_MODES = ("none", "journal", "checkpoint")
+
+#: Times a parked launch may ride through a restore before its
+#: DeviceLost is surfaced (bounds kill-loop livelock).
+_RESTORE_DISPATCH_LIMIT = 3
 
 
 # ---------------------------------------------------------------------------
@@ -417,12 +442,24 @@ class _Worker:
         self._machine = machine
         self._memory_size = memory_size
         self._warm = warm
-        #: Module-registration journal: every source ever registered
-        #: on this slot (pool-wide and tenant-private), replayed into
-        #: a respawned worker so it comes back warm and complete.
-        self.journal: List[str] = list(modules)
+        #: Module-registration journal: every *distinct* source ever
+        #: registered on this slot (pool-wide and tenant-private),
+        #: replayed into a respawned worker so it comes back warm and
+        #: complete. Deduplicated — re-registering the same source is
+        #: idempotent worker-side, so replay stays O(unique modules)
+        #: no matter how many times tenants re-register.
+        self.journal: List[str] = []
+        self._journaled = set()
+        for source in modules:
+            if source not in self._journaled:
+                self.journal.append(source)
+                self._journaled.add(source)
         self.epoch = 0
         self.respawns = 0
+        #: Tenant restores completed onto this slot (durability layer)
+        #: and the duration of the most recent one.
+        self.restores = 0
+        self.last_restore_seconds: Optional[float] = None
         self.last_cause: Optional[str] = None
         self.breaker = CircuitBreaker()
         #: Pool callback fired (outside the lock) when the slot is
@@ -708,10 +745,13 @@ class _Worker:
             self.mark_lost(f"died (exit code {process.exitcode})")
 
     def register(self, source: str) -> List[str]:
-        """Register a module and journal it for respawn replay."""
+        """Register a module and journal it for respawn replay (each
+        distinct source is journaled once)."""
         kernels = self.call("register", source=source)
         with self.lock:
-            self.journal.append(source)
+            if source not in self._journaled:
+                self.journal.append(source)
+                self._journaled.add(source)
         return kernels
 
     # -- supervision probes ------------------------------------------------
@@ -742,6 +782,8 @@ class _Worker:
                 consecutive_failures=self.breaker.failures,
                 in_flight=len(self._pending),
                 last_cause=self.last_cause,
+                restores=self.restores,
+                last_restore_seconds=self.last_restore_seconds,
             )
 
     # -- shutdown ----------------------------------------------------------
@@ -837,6 +879,20 @@ class TenantStatistics:
     retries: int = 0
     #: Launches that aged past their request deadline in the queue.
     expired: int = 0
+    #: Durability layer: completed restores onto a respawned worker,
+    #: total time spent restoring, journal ops replayed, and launches
+    #: that rode a restore to success instead of DeviceLost.
+    restores: int = 0
+    restore_seconds: float = 0.0
+    replayed_ops: int = 0
+    restored_launches: int = 0
+    #: Restores abandoned because no valid state survived.
+    restore_failures: int = 0
+    #: Checkpoints written / bytes snapshotted / attempts that failed
+    #: (disk error or worker lost mid-snapshot).
+    checkpoints: int = 0
+    checkpoint_bytes: int = 0
+    checkpoint_errors: int = 0
     host_seconds: float = 0.0
     #: Merged LaunchStatistics over completed launches and the partial
     #: statistics riding on contained faults.
@@ -874,7 +930,8 @@ class RemoteAllocation:
 class _LaunchJob:
     __slots__ = (
         "future", "kernel", "grid", "block", "args", "allocations",
-        "submitted_at", "deadline", "attempts",
+        "submitted_at", "deadline", "attempts", "restore_attempts",
+        "restored",
     )
 
     def __init__(
@@ -896,12 +953,43 @@ class _LaunchJob:
         )
         #: Dispatch attempts so far (RetryPolicy bookkeeping).
         self.attempts = 0
+        #: Times this job was parked behind a restore (durability).
+        self.restore_attempts = 0
+        #: True once the job rode at least one restore; surfaced as
+        #: ``result.restored`` so callers can see the launch survived
+        #: a worker loss.
+        self.restored = False
 
 
 class TenantSession:
     """One tenant's connection to the pool: pinned to a worker, with
     its own quotas, weight, retry policy, sticky-error state, and
-    statistics."""
+    statistics.
+
+    ``durability`` selects what a worker loss costs this tenant:
+
+    ``"none"``
+        The default and the original semantics — allocations are
+        epoch-stamped and fail fast with DeviceLost after a respawn;
+        the hot launch path carries no journaling.
+    ``"journal"``
+        Every state-mutating op is journaled in the parent; after a
+        respawn the supervisor replays the full journal onto the
+        fresh epoch (deterministic execution makes the replay
+        bit-identical) and re-maps the tenant's handles, so existing
+        ``RemoteAllocation`` handles keep working.
+    ``"checkpoint"``
+        Journal plus periodic snapshots of live allocation contents
+        through the pool's :class:`~repro.runtime.state_store.
+        StateStore` (every ``checkpoint_interval`` executed launches,
+        or explicitly via :meth:`checkpoint`); the journal is
+        truncated to the store's retention floor, so restore replays
+        only the tail.
+
+    Durable sessions serialize their own state-mutating operations
+    (journal order must match worker execution order); tenants on the
+    same worker are unaffected — RPCs are multiplexed and each session
+    has its own journal lock."""
 
     def __init__(
         self,
@@ -912,13 +1000,29 @@ class TenantSession:
         max_pending: Optional[int] = None,
         max_launches: Optional[int] = None,
         retry: Optional[RetryPolicy] = None,
+        durability: str = "none",
+        checkpoint_interval: int = 32,
+        restore_timeout: float = 60.0,
+        store: Optional[StateStore] = None,
     ):
+        if durability not in _DURABILITY_MODES:
+            raise ValueError(
+                f"unknown durability {durability!r} "
+                f"(have {_DURABILITY_MODES})"
+            )
+        if checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be >= 1, "
+                f"got {checkpoint_interval}"
+            )
         self.pool = pool
         self.tenant = tenant
         self.weight = weight
         self.max_pending = max_pending
         self.max_launches = max_launches
         self.retry = retry
+        self.durability = durability
+        self.checkpoint_interval = checkpoint_interval
         self._worker = worker
         self.stats = TenantStatistics(
             tenant=tenant, worker=worker.index, weight=weight
@@ -930,6 +1034,37 @@ class TenantSession:
         self.last_error: Optional[BaseException] = None
         self._pending = 0
         self._condition = threading.Condition()
+        #: Durability state. ``_durable`` gates every journaling
+        #: branch, so durability="none" sessions run the original
+        #: code paths unchanged.
+        self._durable = durability != "none"
+        self._store = store if durability == "checkpoint" else None
+        self._restore_timeout = restore_timeout
+        if self._durable:
+            #: Operation journal: tuples in worker execution order.
+            #: ("malloc", local, size, label) / ("upload", local,
+            #: data, label) / ("write", local, data) / ("free", local)
+            #: / ("launch", kernel, grid, block, args) — args carry
+            #: tenant-local ``__handle__`` markers.
+            self._journal: List[tuple] = []
+            #: Absolute index of journal entry 0 (grows as checkpoints
+            #: truncate the journal).
+            self._journal_base = 0
+            #: Tenant-local handle -> {"handle" (worker), "size",
+            #: "label"} — rebuilt by restore, so RemoteAllocations
+            #: stamped with the local handle survive respawns.
+            self._slots: Dict[int, dict] = {}
+            self._next_local = 1
+            #: Worker epoch the slot map is valid for; a respawn bumps
+            #: the worker epoch and restore catches this up.
+            self._ready_epoch = worker.epoch
+            #: Serializes mutating ops + journal appends + restore.
+            self._state_lock = threading.RLock()
+            self._restored = threading.Condition(self._state_lock)
+            #: Launches caught by a worker loss, waiting for restore.
+            self._parked_lock = threading.Lock()
+            self._parked: List[_LaunchJob] = []
+            self._launches_since_checkpoint = 0
 
     @property
     def worker_index(self) -> int:
@@ -957,18 +1092,65 @@ class TenantSession:
     def malloc(
         self, size: int, label: Optional[str] = None
     ) -> RemoteAllocation:
-        epoch = self._worker.epoch
-        reply = self._worker.call("malloc", size=size, label=label)
-        return RemoteAllocation(self.tenant, epoch=epoch, **reply)
+        if not self._durable:
+            epoch = self._worker.epoch
+            reply = self._worker.call("malloc", size=size, label=label)
+            return RemoteAllocation(self.tenant, epoch=epoch, **reply)
+        with self._state_lock:
+            self._await_ready_locked()
+            reply = self._retry_lost(
+                lambda: self._worker.call(
+                    "malloc", size=size, label=label
+                )
+            )
+            local = self._next_local
+            self._next_local += 1
+            self._slots[local] = {
+                "handle": reply["handle"],
+                "size": reply["size"],
+                "label": label,
+            }
+            self._journal.append(("malloc", local, int(size), label))
+            return RemoteAllocation(
+                self.tenant,
+                handle=local,
+                address=reply["address"],
+                size=reply["size"],
+                epoch=self._worker.epoch,
+            )
 
     def upload(
         self, array: np.ndarray, label: Optional[str] = None
     ) -> RemoteAllocation:
-        epoch = self._worker.epoch
-        reply = self._worker.call(
-            "upload", data=np.asarray(array), label=label
-        )
-        return RemoteAllocation(self.tenant, epoch=epoch, **reply)
+        if not self._durable:
+            epoch = self._worker.epoch
+            reply = self._worker.call(
+                "upload", data=np.asarray(array), label=label
+            )
+            return RemoteAllocation(self.tenant, epoch=epoch, **reply)
+        data = np.array(array, copy=True)
+        with self._state_lock:
+            self._await_ready_locked()
+            reply = self._retry_lost(
+                lambda: self._worker.call(
+                    "upload", data=data, label=label
+                )
+            )
+            local = self._next_local
+            self._next_local += 1
+            self._slots[local] = {
+                "handle": reply["handle"],
+                "size": reply["size"],
+                "label": label,
+            }
+            self._journal.append(("upload", local, data, label))
+            return RemoteAllocation(
+                self.tenant,
+                handle=local,
+                address=reply["address"],
+                size=reply["size"],
+                epoch=self._worker.epoch,
+            )
 
     def _check_epoch(self, allocation: RemoteAllocation) -> None:
         current = self._worker.epoch
@@ -986,25 +1168,120 @@ class TenantSession:
             )
 
     def write(self, allocation: RemoteAllocation, array) -> None:
-        self._check_epoch(allocation)
-        self._worker.call(
-            "write", handle=allocation.handle, data=np.asarray(array)
-        )
+        if not self._durable:
+            self._check_epoch(allocation)
+            self._worker.call(
+                "write", handle=allocation.handle,
+                data=np.asarray(array),
+            )
+            return
+        data = np.array(array, copy=True)
+        with self._state_lock:
+            self._await_ready_locked()
+            self._retry_lost(
+                lambda: self._worker.call(
+                    "write",
+                    handle=self._slot_handle(allocation),
+                    data=data,
+                )
+            )
+            self._journal.append(("write", allocation.handle, data))
 
     def read(
         self, allocation: RemoteAllocation, dtype, count: int
     ) -> np.ndarray:
-        self._check_epoch(allocation)
-        return self._worker.call(
-            "read",
-            handle=allocation.handle,
-            dtype=np.dtype(dtype).str,
-            count=count,
-        )
+        if not self._durable:
+            self._check_epoch(allocation)
+            return self._worker.call(
+                "read",
+                handle=allocation.handle,
+                dtype=np.dtype(dtype).str,
+                count=count,
+            )
+        with self._state_lock:
+            self._await_ready_locked()
+            return self._retry_lost(
+                lambda: self._worker.call(
+                    "read",
+                    handle=self._slot_handle(allocation),
+                    dtype=np.dtype(dtype).str,
+                    count=count,
+                )
+            )
 
     def free(self, allocation: RemoteAllocation) -> None:
-        self._check_epoch(allocation)
-        self._worker.call("free", handle=allocation.handle)
+        if not self._durable:
+            self._check_epoch(allocation)
+            self._worker.call("free", handle=allocation.handle)
+            return
+        with self._state_lock:
+            self._await_ready_locked()
+            self._retry_lost(
+                lambda: self._worker.call(
+                    "free", handle=self._slot_handle(allocation)
+                )
+            )
+            self._slots.pop(allocation.handle, None)
+            self._journal.append(("free", allocation.handle))
+
+    # -- durability internals ----------------------------------------------
+
+    def _ready_now(self) -> bool:
+        """True when the slot map matches the worker's live epoch (no
+        restore pending). Lock-free: reads of these fields are atomic
+        and restore publishes ``_ready_epoch`` last."""
+        worker = self._worker
+        return not worker.lost and self._ready_epoch == worker.epoch
+
+    def _await_ready_locked(self, timeout: Optional[float] = None):
+        """Wait (under ``_state_lock``, released while waiting) until
+        the supervisor has restored this tenant onto the worker's
+        current epoch."""
+        deadline = time.monotonic() + (
+            self._restore_timeout if timeout is None else timeout
+        )
+        while True:
+            if self._ready_now():
+                return
+            if self.pool._closed:
+                raise LaunchError("device pool is shut down")
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                worker = self._worker
+                raise DeviceLost(
+                    f"tenant {self.tenant!r} was not restored onto "
+                    f"worker {worker.index} within "
+                    f"{self._restore_timeout}s",
+                    worker=worker.index,
+                    cause="restore timeout",
+                    epoch=worker.epoch,
+                    delivered=False,
+                )
+            self._restored.wait(min(0.05, remaining))
+
+    def _retry_lost(self, operation):
+        """Run one durable memory RPC; on DeviceLost wait out the
+        restore and retry. Safe because the failed attempt was never
+        journaled: the restore rewinds the worker to the journaled
+        state, and the retry re-applies the op exactly once."""
+        attempts = 0
+        while True:
+            try:
+                return operation()
+            except DeviceLost:
+                attempts += 1
+                if attempts >= _RESTORE_DISPATCH_LIMIT:
+                    raise
+                self._await_ready_locked()
+
+    def _slot_handle(self, allocation: RemoteAllocation) -> int:
+        slot = self._slots.get(allocation.handle)
+        if slot is None:
+            raise LaunchError(
+                f"allocation handle {allocation.handle} of tenant "
+                f"{self.tenant!r} was freed (or never existed)"
+            )
+        return slot["handle"]
 
     # -- launches ----------------------------------------------------------
 
@@ -1034,8 +1311,19 @@ class TenantSession:
                 f"call TenantSession.reset() to clear it"
             )
         serialized, allocations = self._serialize_args(args)
-        for allocation in allocations:
-            self._check_epoch(allocation)
+        if self._durable:
+            # Handles are tenant-local and survive respawns; reject
+            # only references to buffers this session already freed.
+            for allocation in allocations:
+                if allocation.handle not in self._slots:
+                    raise LaunchError(
+                        f"allocation handle {allocation.handle} of "
+                        f"tenant {self.tenant!r} was freed (or never "
+                        f"existed)"
+                    )
+        else:
+            for allocation in allocations:
+                self._check_epoch(allocation)
         with self._condition:
             if (
                 self.max_launches is not None
@@ -1150,6 +1438,328 @@ class TenantSession:
     def statistics(self) -> TenantStatistics:
         return self.stats
 
+    # -- checkpointing ------------------------------------------------------
+
+    def checkpoint(self) -> Optional[int]:
+        """Snapshot every live allocation to the pool's state store
+        and truncate the journal to the store's retention floor.
+        Returns the new checkpoint sequence number, or ``None`` when
+        the snapshot was abandoned (disk error, or the worker was lost
+        mid-snapshot) — the previous checkpoint stays intact either
+        way. Requires ``durability="checkpoint"``."""
+        if self.durability != "checkpoint" or self._store is None:
+            raise LaunchError(
+                f"tenant {self.tenant!r} has durability="
+                f"{self.durability!r}; checkpoints need "
+                f"durability=\"checkpoint\""
+            )
+        with self._state_lock:
+            self._await_ready_locked()
+            snapshot = []
+            try:
+                for local in sorted(self._slots):
+                    slot = self._slots[local]
+                    data = self._worker.call(
+                        "read",
+                        handle=slot["handle"],
+                        dtype="|u1",
+                        count=slot["size"],
+                    )
+                    snapshot.append({
+                        "local": local,
+                        "size": slot["size"],
+                        "label": slot.get("label"),
+                        "data": np.asarray(
+                            data, dtype=np.uint8
+                        ).tobytes(),
+                    })
+            except DeviceLost:
+                self.stats.checkpoint_errors += 1
+                return None
+            index = self._journal_base + len(self._journal)
+            seq = self._store.store_checkpoint(
+                self.tenant, index, snapshot
+            )
+            if seq is None:
+                self.stats.checkpoint_errors += 1
+                return None
+            self.stats.checkpoints += 1
+            self.stats.checkpoint_bytes += sum(
+                len(entry["data"]) for entry in snapshot
+            )
+            self._launches_since_checkpoint = 0
+            # Truncate only below what every *retained valid*
+            # checkpoint covers: a torn newest manifest then still
+            # falls back to the previous checkpoint + a longer replay.
+            floor = self._store.journal_floor(self.tenant)
+            if floor > self._journal_base:
+                del self._journal[: floor - self._journal_base]
+                self._journal_base = floor
+            return seq
+
+    def _maybe_checkpoint(self) -> None:
+        """Auto-checkpoint trigger, fired by the dispatcher after a
+        completed launch (outside the session's accounting locks)."""
+        if self.durability != "checkpoint" or self._store is None:
+            return
+        if self._launches_since_checkpoint < self.checkpoint_interval:
+            return
+        try:
+            self.checkpoint()
+        except (LaunchError, DeviceLost):
+            pass
+
+    # -- dispatch & restore (called by pool threads) ------------------------
+
+    def _launch_on_worker(self, worker: _Worker, job: _LaunchJob):
+        """Run one launch RPC for the pool dispatcher. Durable
+        sessions translate tenant-local handles to the worker's
+        current handles and journal the launch once it is known to
+        have executed (success or contained fault). A launch that
+        fails with DeviceLost is *not* journaled — the restore rewinds
+        guest state to before it ran, which is what makes re-
+        dispatching even a delivered casualty safe."""
+        if not self._durable:
+            return worker.call(
+                "launch",
+                kernel=job.kernel,
+                grid=job.grid,
+                block=job.block,
+                args=job.args,
+            )
+        with self._state_lock:
+            if worker.lost:
+                raise worker.lost_error(job.kernel, delivered=False)
+            if self._ready_epoch != worker.epoch:
+                # Never block the (shared, per-worker) dispatcher on a
+                # restore: park and re-dispatch afterwards.
+                raise DeviceLost(
+                    f"launch of {job.kernel!r} for tenant "
+                    f"{self.tenant!r} arrived before the tenant was "
+                    f"restored onto worker {worker.index}",
+                    worker=worker.index,
+                    cause="restore pending",
+                    epoch=worker.epoch,
+                    delivered=False,
+                )
+            args = self._translate_args_locked(job.args, job.kernel)
+            try:
+                result = worker.call(
+                    "launch",
+                    kernel=job.kernel,
+                    grid=job.grid,
+                    block=job.block,
+                    args=args,
+                )
+            except _FAULT_TYPES:
+                # A contained fault still executed (deterministically,
+                # partial writes included): replay must reproduce it.
+                self._journal.append(
+                    ("launch", job.kernel, job.grid, job.block,
+                     list(job.args))
+                )
+                self._launches_since_checkpoint += 1
+                raise
+            self._journal.append(
+                ("launch", job.kernel, job.grid, job.block,
+                 list(job.args))
+            )
+            self._launches_since_checkpoint += 1
+            return result
+
+    def _translate_args_locked(self, args, kernel: str) -> List[object]:
+        translated: List[object] = []
+        for value in args:
+            if isinstance(value, dict) and "__handle__" in value:
+                slot = self._slots.get(value["__handle__"])
+                if slot is None:
+                    raise LaunchError(
+                        f"launch of {kernel!r} references allocation "
+                        f"handle {value['__handle__']} of tenant "
+                        f"{self.tenant!r} that was freed"
+                    )
+                translated.append({"__handle__": slot["handle"]})
+            else:
+                translated.append(value)
+        return translated
+
+    def _park_job(self, job: _LaunchJob) -> bool:
+        """Park a launch caught by a worker loss until the restore
+        completes. Returns False when the session became ready
+        between the caller's check and here — the caller re-queues
+        immediately instead (no lost wakeups: the restore drains the
+        parked list under the same lock *after* publishing
+        readiness)."""
+        with self._parked_lock:
+            if self._ready_now():
+                return False
+            self._parked.append(job)
+            return True
+
+    def _drain_parked(self) -> List[_LaunchJob]:
+        with self._parked_lock:
+            parked = self._parked
+            self._parked = []
+            return parked
+
+    def _release_parked(self) -> None:
+        for job in self._drain_parked():
+            job.restored = True
+            self.pool._requeue(self, job)
+
+    def _restore(self, worker: _Worker) -> None:
+        """Rebuild this tenant's guest state on a respawned worker
+        (supervisor thread): newest valid checkpoint (torn/corrupt
+        ones are discarded by the store — fall back to the previous,
+        or to a full journal replay), then the journal tail, in
+        original order — deterministic execution guarantees the
+        rebuilt guest memory is bit-identical. Tenant-local handles
+        are re-mapped onto the new worker handles, readiness is
+        published, and parked launches are re-queued. Raises
+        DeviceLost when the worker dies mid-restore; the next
+        supervision pass retries on the following epoch."""
+        with self._state_lock:
+            if self._ready_now() or worker.lost:
+                return
+            started = time.monotonic()
+            epoch = worker.epoch
+            slots: Dict[int, dict] = {}
+            start_index = 0
+            replayed = 0
+            checkpoint = None
+            if self.durability == "checkpoint" and self._store is not None:
+                checkpoint = self._store.load_latest(self.tenant)
+            try:
+                if checkpoint is not None:
+                    for entry in checkpoint.allocations:
+                        self.pool._hook_restore_step(
+                            worker, "checkpoint"
+                        )
+                        reply = worker.call(
+                            "malloc",
+                            size=entry["size"],
+                            label=entry.get("label"),
+                        )
+                        worker.call(
+                            "write",
+                            handle=reply["handle"],
+                            data=np.frombuffer(
+                                entry["data"], dtype=np.uint8
+                            ),
+                        )
+                        slots[entry["local"]] = {
+                            "handle": reply["handle"],
+                            "size": entry["size"],
+                            "label": entry.get("label"),
+                        }
+                    start_index = checkpoint.journal_index
+                if start_index < self._journal_base:
+                    self._restore_failed(
+                        worker,
+                        "the journal was truncated below the newest "
+                        "valid checkpoint (no retained checkpoint "
+                        "verifies)",
+                    )
+                    return
+                for entry in self._journal[
+                    start_index - self._journal_base:
+                ]:
+                    self.pool._hook_restore_step(worker, entry[0])
+                    self._replay_locked(worker, entry, slots)
+                    replayed += 1
+            except DeviceLost:
+                raise
+            except Exception as error:
+                # A non-infrastructure replay failure is
+                # deterministic: retrying cannot converge.
+                self._restore_failed(
+                    worker, f"replay error: {error}"
+                )
+                return
+            self._slots = slots
+            self._ready_epoch = epoch
+            elapsed = time.monotonic() - started
+            self.stats.restores += 1
+            self.stats.restore_seconds += elapsed
+            self.stats.replayed_ops += replayed
+            with worker.lock:
+                worker.restores += 1
+                worker.last_restore_seconds = elapsed
+            self._restored.notify_all()
+        self._release_parked()
+
+    def _replay_locked(
+        self, worker: _Worker, entry: tuple, slots: Dict[int, dict]
+    ) -> None:
+        kind = entry[0]
+        if kind == "malloc":
+            _, local, size, label = entry
+            reply = worker.call("malloc", size=size, label=label)
+            slots[local] = {
+                "handle": reply["handle"],
+                "size": reply["size"],
+                "label": label,
+            }
+        elif kind == "upload":
+            _, local, data, label = entry
+            reply = worker.call("upload", data=data, label=label)
+            slots[local] = {
+                "handle": reply["handle"],
+                "size": reply["size"],
+                "label": label,
+            }
+        elif kind == "write":
+            _, local, data = entry
+            worker.call(
+                "write", handle=slots[local]["handle"], data=data
+            )
+        elif kind == "free":
+            _, local = entry
+            worker.call("free", handle=slots[local]["handle"])
+            del slots[local]
+        elif kind == "launch":
+            _, kernel, grid, block, args = entry
+            translated = []
+            for value in args:
+                if isinstance(value, dict) and "__handle__" in value:
+                    translated.append(
+                        {"__handle__": slots[value["__handle__"]]["handle"]}
+                    )
+                else:
+                    translated.append(value)
+            try:
+                worker.call(
+                    "launch", kernel=kernel, grid=grid, block=block,
+                    args=translated,
+                )
+            except _FAULT_TYPES:
+                # Deterministic replay reproduces the original
+                # contained fault (partial writes included); the
+                # worker device already reset itself.
+                pass
+
+    def _restore_failed(self, worker: _Worker, reason: str) -> None:
+        """Give up restoring (no valid state survived): publish an
+        *empty* ready state so the session stays usable, and fail the
+        parked launches with a structured DeviceLost."""
+        error = DeviceLost(
+            f"tenant {self.tenant!r} could not be restored onto "
+            f"worker {worker.index}: {reason}",
+            worker=worker.index,
+            cause="restore failed",
+            epoch=worker.epoch,
+            delivered=False,
+        )
+        self.stats.restore_failures += 1
+        self._slots = {}
+        self._journal = []
+        self._journal_base = 0
+        self._ready_epoch = worker.epoch
+        self._restored.notify_all()
+        for job in self._drain_parked():
+            job.future._fail(error)
+            self._complete(job, None, error)
+
     # -- internal accounting (called by the pool dispatcher) ---------------
 
     def _complete(self, job: _LaunchJob, result, error) -> None:
@@ -1242,6 +1852,7 @@ class DevicePool:
         probe_timeout: float = 30.0,
         circuit_threshold: int = 3,
         circuit_cooldown: float = 2.0,
+        state_dir: Optional[str] = None,
     ):
         if workers < 1:
             raise ValueError(f"invalid worker count {workers}")
@@ -1249,6 +1860,12 @@ class DevicePool:
             start_method or _default_start_method()
         )
         self._respawn = respawn
+        #: Durability tier: built lazily when the first
+        #: durability="checkpoint" session is created. ``state_dir``
+        #: overrides the default (~/.cache/repro/state or
+        #: $REPRO_STATE_DIR).
+        self._state_dir = state_dir
+        self._state_store: Optional[StateStore] = None
         self._hang_timeout = hang_timeout
         self._probe_interval = probe_interval
         self._probe_timeout = probe_timeout
@@ -1345,6 +1962,15 @@ class DevicePool:
                 job.future._fail(error)
                 if session is not None:
                     session._complete(job, None, error)
+        # ... and whatever was parked behind a restore that will now
+        # never run.
+        for session in self.sessions():
+            if not session._durable:
+                continue
+            for job in session._drain_parked():
+                error = LaunchError("device pool was shut down")
+                job.future._fail(error)
+                session._complete(job, None, error)
 
     # -- tenants -----------------------------------------------------------
 
@@ -1376,14 +2002,26 @@ class DevicePool:
         max_launches: Optional[int] = None,
         worker: Optional[int] = None,
         retry: Optional[RetryPolicy] = None,
+        durability: str = "none",
+        checkpoint_interval: int = 32,
+        restore_timeout: float = 60.0,
     ) -> TenantSession:
         """Create (or fetch) the tenant's session. New tenants are
         pinned to the least-populated worker unless ``worker`` pins
-        one explicitly."""
+        one explicitly. ``durability`` opts the session into the
+        journaling/checkpoint restore layer (see
+        :class:`TenantSession`); ``checkpoint_interval`` is the
+        auto-checkpoint period in executed launches and
+        ``restore_timeout`` bounds how long durable operations wait
+        for a pending restore."""
         with self._sessions_lock:
             existing = self._sessions.get(tenant)
             if existing is not None:
                 return existing
+            if durability == "checkpoint" and self._state_store is None:
+                self._state_store = StateStore(
+                    directory=self._state_dir
+                )
             if worker is None:
                 population = {index: 0 for index in range(self.workers)}
                 for session in self._sessions.values():
@@ -1403,6 +2041,10 @@ class DevicePool:
                 max_pending=max_pending,
                 max_launches=max_launches,
                 retry=retry,
+                durability=durability,
+                checkpoint_interval=checkpoint_interval,
+                restore_timeout=restore_timeout,
+                store=self._state_store,
             )
             self._sessions[tenant] = session
             with self._conditions[worker]:
@@ -1505,14 +2147,18 @@ class DevicePool:
             job.future._fail(error)
             session._complete(job, None, error)
             return
-        stale = next(
-            (
-                allocation
-                for allocation in job.allocations
-                if allocation.epoch != worker.epoch
-            ),
-            None,
-        )
+        stale = None
+        if not session._durable:
+            # Durable sessions re-map handles across epochs; the
+            # stale-epoch fail-fast only applies to durability="none".
+            stale = next(
+                (
+                    allocation
+                    for allocation in job.allocations
+                    if allocation.epoch != worker.epoch
+                ),
+                None,
+            )
         if stale is not None:
             error = DeviceLost(
                 f"launch of {job.kernel!r} for tenant "
@@ -1531,21 +2177,36 @@ class DevicePool:
         try:
             if worker.lost:
                 raise worker.lost_error(job.kernel, delivered=False)
-            result = worker.call(
-                "launch",
-                kernel=job.kernel,
-                grid=job.grid,
-                block=job.block,
-                args=job.args,
-            )
+            result = session._launch_on_worker(worker, job)
         except Exception as error:
+            if (
+                session._durable
+                and isinstance(error, DeviceLost)
+                and error.cause != "restore failed"
+                and job.restore_attempts < _RESTORE_DISPATCH_LIMIT
+            ):
+                # The durability layer absorbs the loss: restore
+                # rewinds guest state to before any un-journaled
+                # launch, so even a delivered casualty is safe to
+                # re-dispatch once the tenant is restored.
+                job.restore_attempts += 1
+                if session._park_job(job):
+                    return
+                # Restore finished between the failure and the park:
+                # back into the fair queue immediately.
+                self._requeue(session, job)
+                return
             if self._maybe_retry(session, job, error):
                 return
             job.future._fail(error)
             session._complete(job, None, error)
         else:
+            if job.restored:
+                result.restored = True
+                session.stats.restored_launches += 1
             job.future._resolve(result)
             session._complete(job, result, None)
+            session._maybe_checkpoint()
 
     def _dispatch_loop(self, worker: _Worker) -> None:
         queue_ = self._queues[worker.index]
@@ -1572,6 +2233,27 @@ class DevicePool:
     def _worker_lost(self, worker: _Worker) -> None:
         """Loss callback from any thread: wake the supervisor now."""
         self._supervisor_wake.set()
+
+    def _hook_restore_step(self, worker: _Worker, op: str) -> None:
+        """No-op seam fired before every restore step (checkpoint
+        re-materialization and each journal replay op); the testing
+        FaultInjector's ``kill_during_restore`` site patches this."""
+
+    def _restore_tenants(self, worker: _Worker) -> None:
+        """Restore every durable tenant pinned to a (healthy) worker
+        whose slot map lags the worker's epoch. Idempotent; a worker
+        lost mid-restore is retried on the next supervision pass."""
+        for session in self.sessions():
+            if (
+                not session._durable
+                or session.worker_index != worker.index
+                or session._ready_now()
+            ):
+                continue
+            try:
+                session._restore(worker)
+            except DeviceLost:
+                return  # lost again mid-restore; next pass retries
 
     def _supervise_loop(self) -> None:
         while True:
@@ -1648,6 +2330,11 @@ class DevicePool:
                     f"hung: no heartbeat within {self._probe_timeout}s "
                     f"of respawn"
                 )
+        if not worker.lost:
+            # Durable tenants whose slot map lags the live epoch are
+            # restored here — right after a successful respawn probe,
+            # and again on later passes if a restore was interrupted.
+            self._restore_tenants(worker)
 
     # -- reporting ---------------------------------------------------------
 
@@ -1682,7 +2369,7 @@ class DevicePool:
         header = (
             f"{'tenant':<16} {'worker':>6} {'weight':>6} {'done':>6} "
             f"{'fail':>5} {'traps':>5} {'lost':>5} {'retry':>5} "
-            f"{'rejected':>8} {'host s':>8}"
+            f"{'rest':>4} {'ckpt':>4} {'rejected':>8} {'host s':>8}"
         )
         lines.append(header)
         for session in sorted(sessions, key=lambda s: s.tenant):
@@ -1692,6 +2379,7 @@ class DevicePool:
                 f"{stats.weight:>6.1f} {stats.completed:>6} "
                 f"{stats.failed:>5} {stats.traps:>5} "
                 f"{stats.device_lost:>5} {stats.retries:>5} "
+                f"{stats.restores:>4} {stats.checkpoints:>4} "
                 f"{stats.rejected:>8} {stats.host_seconds:>8.2f}"
             )
         lines.append("worker health:")

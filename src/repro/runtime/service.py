@@ -26,8 +26,23 @@ path             verb  action
 ``/v1/inject``   POST  arm a fault-injection site on the tenant's worker
 ``/v1/disarm``   POST  restore all fault sites on the tenant's worker
 ``/v1/stats``    GET   pool-level report + per-tenant counters
-``/v1/health``   GET   worker supervision snapshot + drain state
+``/v1/health``   GET   liveness: supervision snapshot, always 200
+``/v1/ready``    GET   readiness: 503 while draining / breaker open
 ===============  ====  ====================================================
+
+``/v1/session`` accepts an optional ``durability`` field
+(``"none"`` | ``"journal"`` | ``"checkpoint"``, default the server's
+``--durability``): durable tenants get the pool's state journaling /
+checkpoint layer, so a worker crash is restored transparently and
+re-dispatched collects carry ``"restored": true`` instead of a
+``DeviceLost`` error payload.
+
+Health is split for load balancers: ``/v1/health`` is *liveness* —
+it always answers 200 while the process serves HTTP, reporting the
+supervision snapshot. ``/v1/ready`` is *readiness* — it answers 503
+with ``ready: false`` while the server drains or any worker's circuit
+breaker is open (respawns suspended), so balancers stop routing new
+work but keep the process alive to finish what it has.
 
 Errors map onto status codes: quota rejections are 429, launch/usage
 errors 400, contained kernel faults arrive as ``ok: false`` collect
@@ -48,8 +63,11 @@ launches are shed, queued work flushes, then the workers stop.
 from __future__ import annotations
 
 import json
+import random
 import socket
 import threading
+import time
+from collections import OrderedDict
 from http.client import HTTPConnection
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
@@ -63,7 +81,13 @@ from ..errors import (
     ReproError,
     ServiceUnavailable,
 )
-from .pool import DevicePool, RemoteAllocation, TenantSession
+from .pool import (
+    DevicePool,
+    RemoteAllocation,
+    RetryPolicy,
+    TenantSession,
+    _retry_seed,
+)
 
 
 class _ServiceState:
@@ -76,16 +100,29 @@ class _ServiceState:
         max_tenant_queue: Optional[int] = None,
         default_deadline: Optional[float] = None,
         retry_after: float = 1.0,
+        durability: str = "none",
+        checkpoint_interval: int = 32,
     ):
         self.pool = pool
         self.max_queue_depth = max_queue_depth
         self.max_tenant_queue = max_tenant_queue
         self.default_deadline = default_deadline
         self.retry_after = retry_after
+        #: default session durability for tenants that don't pick one
+        self.durability = durability
+        self.checkpoint_interval = checkpoint_interval
         self.draining = False
         self.lock = threading.Lock()
         self.allocations: Dict[int, RemoteAllocation] = {}
         self.futures: Dict[int, Tuple[str, object]] = {}
+        #: recently-collected payloads, keyed by launch id — kept so a
+        #: client whose collect *response* was lost to a connection
+        #: reset can retry the same id and get the same answer instead
+        #: of "unknown launch id" (bounded LRU)
+        self.collected: "OrderedDict[int, Tuple[str, dict]]" = (
+            OrderedDict()
+        )
+        self.collected_limit = 256
         self.next_id = 1
 
     def admit(self, session: TenantSession) -> None:
@@ -132,6 +169,11 @@ class _ServiceState:
             max_pending=body.get("max_pending"),
             max_launches=body.get("max_launches"),
             worker=body.get("worker"),
+            durability=str(body.get("durability") or self.durability),
+            checkpoint_interval=int(
+                body.get("checkpoint_interval")
+                or self.checkpoint_interval
+            ),
         )
 
     def allocation(self, body: dict, session: TenantSession):
@@ -203,28 +245,54 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- dispatch ----------------------------------------------------------
 
+    def _worker_snapshot(self) -> list:
+        return [
+            {
+                "worker": health.worker,
+                "alive": health.alive,
+                "state": health.state,
+                "epoch": health.epoch,
+                "respawns": health.respawns,
+                "failures": health.consecutive_failures,
+                "in_flight": health.in_flight,
+                "last_cause": health.last_cause,
+                "restores": health.restores,
+                "last_restore_seconds": health.last_restore_seconds,
+            }
+            for health in self.state.pool.health()
+        ]
+
     def do_GET(self):  # noqa: N802 - stdlib naming
         if self.path == "/v1/health":
-            pool = self.state.pool
-            workers = [
-                {
-                    "worker": health.worker,
-                    "alive": health.alive,
-                    "state": health.state,
-                    "epoch": health.epoch,
-                    "respawns": health.respawns,
-                    "failures": health.consecutive_failures,
-                    "in_flight": health.in_flight,
-                    "last_cause": health.last_cause,
-                }
-                for health in pool.health()
-            ]
-            healthy = all(entry["alive"] for entry in workers)
+            # Liveness: the process is serving HTTP — always 200. A
+            # lost worker is the supervisor's problem (it respawns),
+            # not a reason for an orchestrator to kill the server.
+            workers = self._worker_snapshot()
             self._reply(
-                200 if healthy and not self.state.draining else 503,
+                200,
                 {
-                    "ok": healthy,
+                    "ok": all(entry["alive"] for entry in workers),
                     "draining": self.state.draining,
+                    "workers": workers,
+                },
+            )
+            return
+        if self.path == "/v1/ready":
+            # Readiness: should a load balancer route new work here?
+            # Not while draining (launches shed with 503 anyway) and
+            # not while any breaker is open (respawns suspended — the
+            # pool cannot heal until the cooldown elapses).
+            workers = self._worker_snapshot()
+            breaker_open = any(
+                entry["state"] == "open" for entry in workers
+            )
+            ready = not self.state.draining and not breaker_open
+            self._reply(
+                200 if ready else 503,
+                {
+                    "ready": ready,
+                    "draining": self.state.draining,
+                    "breaker_open": breaker_open,
                     "workers": workers,
                 },
             )
@@ -243,6 +311,9 @@ class _Handler(BaseHTTPRequestHandler):
                 "traps": stats.traps,
                 "rejected": stats.rejected,
                 "instructions": stats.statistics.instructions,
+                "restores": stats.restores,
+                "restored_launches": stats.restored_launches,
+                "checkpoints": stats.checkpoints,
             }
             for tenant, stats in pool.statistics().items()
         }
@@ -391,23 +462,46 @@ class _Handler(BaseHTTPRequestHandler):
         handle = body.get("launch")
         with self.state.lock:
             entry = self.state.futures.pop(handle, None)
+            if entry is None:
+                # Collect is idempotent: a client that lost the
+                # *response* to a connection reset retries the same
+                # launch id and gets the cached payload back.
+                cached = self.state.collected.get(handle)
+                if cached is not None and cached[0] == session.tenant:
+                    return cached[1]
         if entry is None:
             raise LaunchError(f"unknown launch id {handle!r}")
         tenant, future = entry
         if tenant != session.tenant:
+            with self.state.lock:
+                self.state.futures[handle] = entry
             raise LaunchError(
                 f"launch {handle} belongs to tenant {tenant!r}"
             )
-        error = future.exception(timeout=body.get("timeout", 60.0))
+        try:
+            error = future.exception(timeout=body.get("timeout", 60.0))
+        except LaunchError:
+            # Wait timed out — put the future back so the client can
+            # poll the same launch id again.
+            with self.state.lock:
+                self.state.futures[handle] = entry
+            raise
         if error is not None:
-            return {"ok": False, "error": _error_payload(error)}
-        result = future.result()
-        return {
-            "ok": True,
-            "kernel": result.kernel_name,
-            "instructions": result.statistics.instructions,
-            "cycles": result.statistics.total_cycles,
-        }
+            payload = {"ok": False, "error": _error_payload(error)}
+        else:
+            result = future.result()
+            payload = {
+                "ok": True,
+                "kernel": result.kernel_name,
+                "instructions": result.statistics.instructions,
+                "cycles": result.statistics.total_cycles,
+                "restored": bool(getattr(result, "restored", False)),
+            }
+        with self.state.lock:
+            self.state.collected[handle] = (tenant, payload)
+            while len(self.state.collected) > self.state.collected_limit:
+                self.state.collected.popitem(last=False)
+        return payload
 
     def _post_reset(self, body: dict) -> dict:
         self.state.session(body).reset()
@@ -449,6 +543,8 @@ class KernelServer:
         max_tenant_queue: Optional[int] = None,
         default_deadline: Optional[float] = None,
         retry_after: float = 1.0,
+        durability: str = "none",
+        checkpoint_interval: int = 32,
     ):
         self.pool = pool
         self._state = _ServiceState(
@@ -457,6 +553,8 @@ class KernelServer:
             max_tenant_queue=max_tenant_queue,
             default_deadline=default_deadline,
             retry_after=retry_after,
+            durability=durability,
+            checkpoint_interval=checkpoint_interval,
         )
         handler = type("BoundHandler", (_Handler,), {"state": self._state})
         self._httpd = ThreadingHTTPServer((host, port), handler)
@@ -510,10 +608,27 @@ class KernelServer:
             self.pool.shutdown()
 
 
+#: POST paths a ServeClient may safely re-send after a connection
+#: reset: they either don't mutate server state (read, session fetch)
+#: or are idempotent by construction (collect caches its payload per
+#: launch id server-side). Launch/malloc/upload are NOT here — a
+#: resend could double-apply them.
+_IDEMPOTENT_PATHS = frozenset(
+    {"/v1/session", "/v1/read", "/v1/collect", "/v1/stats"}
+)
+
+
 class ServeClient:
     """Minimal blocking client of a :class:`KernelServer` (stdlib
     ``http.client``, HTTP/1.1 keep-alive — one TCP connection per
-    client)."""
+    client).
+
+    Idempotent requests (GETs, ``/v1/read``, ``/v1/collect`` polls,
+    ``/v1/session``) that hit a connection reset/refused — typical
+    while a server restarts or a respawn window drops keep-alive
+    connections — are retried with the ``retry`` policy's exponential
+    backoff instead of surfacing the raw socket error. Mutating
+    requests (launch, malloc, upload, ...) are never resent."""
 
     def __init__(
         self,
@@ -525,15 +640,23 @@ class ServeClient:
         max_launches: Optional[int] = None,
         worker: Optional[int] = None,
         timeout: float = 120.0,
+        durability: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         self.tenant = tenant
         self._conn = HTTPConnection(host, port, timeout=timeout)
+        self._retry = retry or RetryPolicy(
+            max_attempts=4, base_delay=0.1
+        )
+        self._rng = random.Random(_retry_seed())
         self._session_body = {
             "tenant": tenant,
             "weight": weight,
             "max_pending": max_pending,
             "max_launches": max_launches,
         }
+        if durability is not None:
+            self._session_body["durability"] = durability
         body = dict(self._session_body)
         if worker is not None:
             body["worker"] = worker
@@ -541,21 +664,53 @@ class ServeClient:
 
     # -- plumbing ----------------------------------------------------------
 
-    def _post(self, path: str, body: dict) -> dict:
-        payload = json.dumps(body).encode("utf-8")
+    def _transport(
+        self, method: str, path: str, payload: Optional[bytes]
+    ):
+        """One request/response over the keep-alive connection;
+        returns ``(response, raw_body)``. Connection-level failures
+        close the socket (the next attempt reconnects) and re-raise."""
         try:
+            headers = {}
+            if payload is not None:
+                headers["Content-Type"] = "application/json"
             self._conn.request(
-                "POST",
-                path,
-                body=payload,
-                headers={"Content-Type": "application/json"},
+                method, path, body=payload, headers=headers
             )
             response = self._conn.getresponse()
-            raw = response.read()
+            return response, response.read()
         except (ConnectionError, socket.timeout, OSError):
             self._conn.close()
             raise
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict],
+        raise_for_status: bool = True,
+    ) -> dict:
+        payload = (
+            None if body is None
+            else json.dumps(body).encode("utf-8")
+        )
+        idempotent = method == "GET" or path in _IDEMPOTENT_PATHS
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                response, raw = self._transport(method, path, payload)
+                break
+            except (ConnectionError, socket.timeout, OSError):
+                if (
+                    not idempotent
+                    or attempt >= self._retry.max_attempts
+                ):
+                    raise
+                time.sleep(self._retry.backoff(attempt, self._rng))
         reply = json.loads(raw)
+        if not raise_for_status:
+            return reply
         if response.status == 429:
             raise QuotaExceeded(reply["error"]["message"])
         if response.status == 503:
@@ -571,6 +726,12 @@ class ServeClient:
                 f"{error.get('message', raw[:200])}"
             )
         return reply
+
+    def _post(self, path: str, body: dict) -> dict:
+        return self._request("POST", path, body)
+
+    def _get(self, path: str) -> dict:
+        return self._request("GET", path, None)
 
     def _tenant_body(self, **extra) -> dict:
         body = dict(self._session_body)
@@ -680,16 +841,19 @@ class ServeClient:
         self._post("/v1/reset", self._tenant_body())
 
     def stats(self) -> dict:
-        self._conn.request("GET", "/v1/stats")
-        response = self._conn.getresponse()
-        return json.loads(response.read())
+        return self._get("/v1/stats")
 
     def health(self) -> dict:
-        """The supervision snapshot (an unhealthy or draining server
-        answers 503, but the payload is returned either way)."""
-        self._conn.request("GET", "/v1/health")
-        response = self._conn.getresponse()
-        return json.loads(response.read())
+        """Liveness: the supervision snapshot. Always 200 while the
+        server process is up."""
+        return self._get("/v1/health")
+
+    def ready(self) -> dict:
+        """Readiness: ``{"ready": bool, ...}``. A draining or
+        breaker-open server answers 503, but the payload is returned
+        either way (it carries the reason)."""
+        return self._request("GET", "/v1/ready", None,
+                             raise_for_status=False)
 
     def close(self) -> None:
         self._conn.close()

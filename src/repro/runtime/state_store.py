@@ -1,0 +1,380 @@
+"""On-disk tier of the tenant durability layer.
+
+A :class:`StateStore` persists per-tenant *checkpoints*: snapshots of
+every live allocation of one :class:`~repro.runtime.pool.TenantSession`
+plus the journal index the snapshot covers, so a respawned worker can
+be rebuilt by loading the checkpoint and replaying only the journal
+tail. The design mirrors :mod:`~repro.runtime.cache_store` (the
+persistent translation cache), hardened for state that must never be
+half-trusted:
+
+- **Content-addressed blocks.** Allocation bytes are stored under
+  their SHA-256 digest, one file per distinct content, scoped to the
+  tenant's directory. A buffer unchanged since the previous checkpoint
+  is not rewritten — the manifest just references the existing block.
+- **Checksummed manifests.** Each checkpoint manifest is a pickled
+  envelope ``{"schema", "checksum", "body"}`` where ``checksum`` is
+  the SHA-256 of the pickled body. A torn write (truncated pickle) or
+  bit corruption fails the checksum and the manifest is *discarded*,
+  never loaded; restore falls back to the previous checkpoint.
+- **Atomic writes.** Blocks and manifests land via tempfile +
+  ``os.replace`` — a crash mid-write leaves the previous checkpoint
+  intact and at worst an orphan temp file.
+- **Bounded retention.** The latest ``keep`` manifests are retained
+  (default 2 — current plus fallback); older manifests and blocks no
+  retained manifest references are garbage-collected.
+- **Never raises.** Every disk failure degrades to "no checkpoint"
+  (restore replays the full journal instead); corruption and I/O
+  errors are counted on the store, not surfaced to launches.
+
+The directory defaults to ``~/.cache/repro/state`` and can be
+overridden with ``DevicePool(state_dir=...)`` or ``REPRO_STATE_DIR``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import re
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Bump whenever the manifest layout changes incompatibly; old
+#: checkpoints are then discarded on load instead of misparsed.
+SCHEMA_VERSION = 1
+
+#: Default location of the durability tier.
+DEFAULT_STATE_DIR = "~/.cache/repro/state"
+
+_MANIFEST_SUFFIX = ".ckpt"
+_BLOCK_SUFFIX = ".blk"
+_MANIFEST_PREFIX = "checkpoint-"
+
+
+@dataclass
+class Checkpoint:
+    """One loaded (and fully verified) tenant checkpoint."""
+
+    tenant: str
+    seq: int
+    #: Absolute journal index the snapshot covers: restore replays the
+    #: journal from this index onward.
+    journal_index: int
+    #: ``[{"local", "size", "label", "data"}, ...]`` in stable (local
+    #: handle) order; ``data`` is the verified allocation bytes.
+    allocations: List[dict] = field(default_factory=list)
+
+
+def _digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _tenant_slug(tenant: str) -> str:
+    """Filesystem-safe per-tenant directory name: a readable prefix
+    plus a digest so distinct tenants can never collide."""
+    safe = re.sub(r"[^A-Za-z0-9._-]", "_", tenant)[:24] or "tenant"
+    return f"{safe}-{_digest(tenant.encode('utf-8'))[:12]}"
+
+
+class StateStore:
+    """Directory of per-tenant checkpoint manifests + content blocks.
+
+    ::
+
+        store/
+          alice-3f29.../
+            checkpoint-1.ckpt     # manifest (schema + checksum + body)
+            checkpoint-2.ckpt
+            a1b2c3....blk         # content-addressed allocation bytes
+    """
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        schema: int = SCHEMA_VERSION,
+        keep: int = 2,
+    ):
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = os.path.expanduser(
+            directory
+            or os.environ.get("REPRO_STATE_DIR")
+            or DEFAULT_STATE_DIR
+        )
+        self.schema = schema
+        self.keep = keep
+        #: Checkpoints successfully written / verified-loaded.
+        self.stored = 0
+        self.loaded = 0
+        #: Manifests or blocks rejected (torn, corrupt, wrong schema).
+        self.discarded = 0
+        #: OS/pickle failures that degraded a store() to a no-op.
+        self.disk_errors = 0
+
+    # -- paths ---------------------------------------------------------------
+
+    def tenant_directory(self, tenant: str) -> str:
+        return os.path.join(self.directory, _tenant_slug(tenant))
+
+    def manifest_path(self, tenant: str, seq: int) -> str:
+        return os.path.join(
+            self.tenant_directory(tenant),
+            f"{_MANIFEST_PREFIX}{seq}{_MANIFEST_SUFFIX}",
+        )
+
+    def block_path(self, tenant: str, digest: str) -> str:
+        return os.path.join(
+            self.tenant_directory(tenant), digest + _BLOCK_SUFFIX
+        )
+
+    def sequences(self, tenant: str) -> List[int]:
+        """Checkpoint sequence numbers on disk, ascending."""
+        try:
+            names = os.listdir(self.tenant_directory(tenant))
+        except OSError:
+            return []
+        found = []
+        for name in names:
+            if not (
+                name.startswith(_MANIFEST_PREFIX)
+                and name.endswith(_MANIFEST_SUFFIX)
+            ):
+                continue
+            raw = name[len(_MANIFEST_PREFIX):-len(_MANIFEST_SUFFIX)]
+            try:
+                found.append(int(raw))
+            except ValueError:
+                continue
+        return sorted(found)
+
+    # -- store ---------------------------------------------------------------
+
+    def _write_atomic(self, path: str, data: bytes) -> None:
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        handle, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                stream.write(data)
+            os.replace(tmp_path, path)
+        except Exception:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def store_checkpoint(
+        self, tenant: str, journal_index: int, allocations: List[dict]
+    ) -> Optional[int]:
+        """Persist one checkpoint: write any block not already present
+        (content addressing skips unchanged buffers), then the
+        checksummed manifest, then prune old checkpoints. Returns the
+        new sequence number, or ``None`` on any disk failure (the
+        previous checkpoint stays intact either way)."""
+        sequences = self.sequences(tenant)
+        seq = (sequences[-1] + 1) if sequences else 1
+        try:
+            entries = []
+            for allocation in allocations:
+                data = bytes(allocation["data"])
+                digest = _digest(data)
+                block = self.block_path(tenant, digest)
+                if not os.path.exists(block):
+                    self._write_atomic(block, data)
+                entries.append({
+                    "local": int(allocation["local"]),
+                    "size": len(data),
+                    "label": allocation.get("label"),
+                    "block": digest,
+                })
+            body = pickle.dumps(
+                {
+                    "tenant": tenant,
+                    "seq": seq,
+                    "journal_index": int(journal_index),
+                    "allocations": entries,
+                },
+                protocol=4,
+            )
+            envelope = pickle.dumps(
+                {
+                    "schema": self.schema,
+                    "checksum": _digest(body),
+                    "body": body,
+                },
+                protocol=4,
+            )
+            self._write_atomic(self.manifest_path(tenant, seq), envelope)
+        except Exception:
+            self.disk_errors += 1
+            return None
+        self.stored += 1
+        self._prune(tenant)
+        return seq
+
+    # -- load ----------------------------------------------------------------
+
+    def _manifest_body(self, tenant: str, seq: int) -> Optional[dict]:
+        """The verified manifest body, or ``None`` for a missing,
+        torn, corrupt, or schema-incompatible manifest."""
+        path = self.manifest_path(tenant, seq)
+        try:
+            with open(path, "rb") as handle:
+                envelope = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("schema") != self.schema
+        ):
+            return None
+        body = envelope.get("body")
+        if not isinstance(body, bytes):
+            return None
+        if _digest(body) != envelope.get("checksum"):
+            return None
+        try:
+            manifest = pickle.loads(body)
+        except Exception:
+            return None
+        if not isinstance(manifest, dict):
+            return None
+        return manifest
+
+    def load(self, tenant: str, seq: int) -> Optional[Checkpoint]:
+        """Load + fully verify one checkpoint (manifest checksum and
+        every referenced block's digest and size). Returns ``None`` —
+        and counts a discard — when anything fails verification."""
+        manifest = self._manifest_body(tenant, seq)
+        if manifest is None:
+            self.discarded += 1
+            return None
+        allocations = []
+        for entry in manifest.get("allocations", []):
+            try:
+                with open(
+                    self.block_path(tenant, entry["block"]), "rb"
+                ) as handle:
+                    data = handle.read()
+            except OSError:
+                self.discarded += 1
+                return None
+            if (
+                len(data) != entry["size"]
+                or _digest(data) != entry["block"]
+            ):
+                self.discarded += 1
+                return None
+            allocations.append({
+                "local": entry["local"],
+                "size": entry["size"],
+                "label": entry.get("label"),
+                "data": data,
+            })
+        self.loaded += 1
+        return Checkpoint(
+            tenant=tenant,
+            seq=int(manifest.get("seq", seq)),
+            journal_index=int(manifest.get("journal_index", 0)),
+            allocations=allocations,
+        )
+
+    def load_latest(self, tenant: str) -> Optional[Checkpoint]:
+        """The newest checkpoint that verifies end to end. Torn or
+        corrupt checkpoints are deleted and skipped — restore then
+        falls back to the previous one (and a longer journal replay),
+        or to a full journal replay when none survives."""
+        for seq in reversed(self.sequences(tenant)):
+            checkpoint = self.load(tenant, seq)
+            if checkpoint is not None:
+                return checkpoint
+            self.discard(tenant, seq)
+        return None
+
+    def journal_floor(self, tenant: str) -> int:
+        """The lowest journal index any retained *valid* checkpoint
+        covers: the session may truncate its journal below this index
+        and every retained checkpoint can still restore. 0 when no
+        valid checkpoint exists (nothing may be truncated)."""
+        indices = []
+        for seq in self.sequences(tenant):
+            manifest = self._manifest_body(tenant, seq)
+            if manifest is not None:
+                indices.append(int(manifest.get("journal_index", 0)))
+        return min(indices) if indices else 0
+
+    # -- retention -----------------------------------------------------------
+
+    def discard(self, tenant: str, seq: int) -> None:
+        try:
+            os.unlink(self.manifest_path(tenant, seq))
+        except OSError:
+            pass
+
+    def _prune(self, tenant: str) -> None:
+        """Drop manifests beyond ``keep`` (oldest first), then delete
+        blocks no retained manifest references. Block GC is skipped
+        when any retained manifest is unreadable — a conservative
+        reader can't prove those blocks are orphans."""
+        sequences = self.sequences(tenant)
+        excess = sequences[:-self.keep]
+        for seq in excess:
+            self.discard(tenant, seq)
+        retained = sequences[-self.keep:]
+        referenced: Dict[str, bool] = {}
+        for seq in retained:
+            manifest = self._manifest_body(tenant, seq)
+            if manifest is None:
+                return
+            for entry in manifest.get("allocations", []):
+                referenced[entry["block"]] = True
+        try:
+            names = os.listdir(self.tenant_directory(tenant))
+        except OSError:
+            return
+        for name in names:
+            if not name.endswith(_BLOCK_SUFFIX):
+                continue
+            digest = name[:-len(_BLOCK_SUFFIX)]
+            if digest not in referenced:
+                try:
+                    os.unlink(
+                        os.path.join(
+                            self.tenant_directory(tenant), name
+                        )
+                    )
+                except OSError:
+                    pass
+
+    def clear(self, tenant: str) -> int:
+        """Delete every checkpoint artifact of one tenant; returns the
+        number of files removed."""
+        removed = 0
+        directory = self.tenant_directory(tenant)
+        try:
+            names = os.listdir(directory)
+        except OSError:
+            return 0
+        for name in names:
+            try:
+                os.unlink(os.path.join(directory, name))
+                removed += 1
+            except OSError:
+                pass
+        try:
+            os.rmdir(directory)
+        except OSError:
+            pass
+        return removed
+
+    def __repr__(self):
+        return (
+            f"<StateStore {self.directory!r} schema={self.schema} "
+            f"keep={self.keep} stored={self.stored} "
+            f"discarded={self.discarded}>"
+        )

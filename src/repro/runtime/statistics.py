@@ -32,16 +32,28 @@ class WorkerHealth:
     consecutive_failures: int = 0
     in_flight: int = 0
     last_cause: Optional[str] = None
+    #: durable-tenant restores completed onto this worker's epochs
+    restores: int = 0
+    #: wall-clock seconds of the most recent restore (None if never)
+    last_restore_seconds: Optional[float] = None
 
     def describe(self) -> str:
         cause = f" ({self.last_cause})" if self.last_cause else ""
+        restored = ""
+        if self.restores:
+            latency = (
+                f" last {self.last_restore_seconds:.3f}s"
+                if self.last_restore_seconds is not None
+                else ""
+            )
+            restored = f" restores={self.restores}{latency}"
         return (
             f"worker {self.worker}: "
             f"{'alive' if self.alive else 'LOST'} "
             f"state={self.state} epoch={self.epoch} "
             f"respawns={self.respawns} "
             f"failures={self.consecutive_failures} "
-            f"in-flight={self.in_flight}{cause}"
+            f"in-flight={self.in_flight}{restored}{cause}"
         )
 
 

@@ -13,6 +13,13 @@ are reached. SIGINT/SIGTERM trigger a graceful drain: new launches
 are shed, queued work flushes (bounded by ``--drain-timeout``), then
 the workers stop.
 
+With ``--durability journal|checkpoint`` tenant sessions become
+*durable*: the pool journals their state-mutating operations (and,
+in checkpoint mode, periodically snapshots allocation contents to
+``--state-dir``), so after a worker crash the supervisor restores
+each tenant's guest memory bit-identically onto the respawned worker
+and clients never observe ``DeviceLost``.
+
 Example::
 
     PYTHONPATH=src REPRO_CACHE=1 python -m repro.serve \
@@ -75,6 +82,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--no-respawn", action="store_true",
         help="disable supervisor respawn of lost workers",
     )
+    parser.add_argument(
+        "--durability", choices=("none", "journal", "checkpoint"),
+        default="none",
+        help="default session durability: journal ops (and, with "
+             "'checkpoint', snapshot allocations to disk) so tenant "
+             "state is restored transparently after a worker crash "
+             "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--checkpoint-interval", type=int, default=32, metavar="N",
+        help="auto-checkpoint period in executed launches for "
+             "checkpoint-durable sessions (default %(default)s)",
+    )
+    parser.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="checkpoint directory (default $REPRO_STATE_DIR or "
+             "~/.cache/repro/state)",
+    )
     args = parser.parse_args(argv)
 
     modules = []
@@ -87,6 +112,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         modules=modules,
         warm=args.warm,
         respawn=not args.no_respawn,
+        state_dir=args.state_dir,
     )
     server = KernelServer(
         pool,
@@ -95,6 +121,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         max_queue_depth=args.max_queue,
         max_tenant_queue=args.max_tenant_queue,
         default_deadline=args.deadline,
+        durability=args.durability,
+        checkpoint_interval=args.checkpoint_interval,
     )
     # SIGTERM (systemd/containers) drains like Ctrl-C does.
     signal.signal(

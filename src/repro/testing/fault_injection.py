@@ -62,6 +62,20 @@ unmodified code:
     The parent's end of the worker pipe is closed around a matching
     request — exercising broken-pipe loss detection
     (``delivered=False``: the request never left the parent).
+``torn_checkpoint``
+    A durability checkpoint that was just written is truncated to half
+    its size — a torn write. Restore must fail its checksum, discard
+    it, and fall back to the previous checkpoint (plus a longer
+    journal replay).
+``corrupt_checkpoint``
+    Bytes in the middle of a just-written checkpoint manifest are
+    overwritten — bit corruption. Same recovery contract as
+    ``torn_checkpoint``.
+``kill_during_restore``
+    The worker being restored is ``kill()``-ed after ``after_steps``
+    restore steps (checkpoint writes / journal replays) — exercising
+    restore-crash recovery: the supervisor respawns again and the
+    restore retries from scratch on the fresh epoch.
 
 Determinism: every probabilistic decision comes from one
 ``random.Random`` seeded explicitly or from ``$REPRO_FAULT_SEED``
@@ -118,11 +132,21 @@ class FaultInjector:
         "kill_worker",
         "hang_worker",
         "drop_pipe",
+        "torn_checkpoint",
+        "corrupt_checkpoint",
+        "kill_during_restore",
     )
 
     #: Sites whose target is a DevicePool (parent-side process chaos),
     #: not a Device.
-    PROCESS_SITES = ("kill_worker", "hang_worker", "drop_pipe")
+    PROCESS_SITES = (
+        "kill_worker",
+        "hang_worker",
+        "drop_pipe",
+        "torn_checkpoint",
+        "corrupt_checkpoint",
+        "kill_during_restore",
+    )
 
     def __init__(self, device, seed: Optional[int] = None):
         self.device = device
@@ -508,6 +532,105 @@ class FaultInjector:
                 _original(op_, payload)
 
             self._patch(target, "_hook_before_send", fire)
+
+    def _pool_state_store(self):
+        store = getattr(self.device, "_state_store", None)
+        if store is None:
+            raise ValueError(
+                "checkpoint chaos sites need a DevicePool that has a "
+                "checkpoint-durable session (the state store is "
+                "created with the first one)"
+            )
+        return store
+
+    def _arm_torn_checkpoint(self, probability: float) -> None:
+        """Truncate a just-written checkpoint manifest to half its
+        size: a torn write. ``load_latest`` must reject it on checksum
+        and fall back to the previous checkpoint."""
+        store = self._pool_state_store()
+        original = store.store_checkpoint
+
+        def store_checkpoint(tenant, journal_index, allocations):
+            seq = original(tenant, journal_index, allocations)
+            if seq is not None and self._fires(
+                "torn_checkpoint", probability
+            ):
+                path = store.manifest_path(tenant, seq)
+                try:
+                    size = os.path.getsize(path)
+                    with open(path, "r+b") as handle:
+                        handle.truncate(size // 2)
+                except OSError:
+                    pass
+            return seq
+
+        self._patch(store, "store_checkpoint", store_checkpoint)
+
+    def _arm_corrupt_checkpoint(self, probability: float) -> None:
+        """Overwrite bytes in the middle of a just-written checkpoint
+        manifest: bit corruption that keeps the file length intact, so
+        only the checksum can tell."""
+        store = self._pool_state_store()
+        original = store.store_checkpoint
+
+        def store_checkpoint(tenant, journal_index, allocations):
+            seq = original(tenant, journal_index, allocations)
+            if seq is not None and self._fires(
+                "corrupt_checkpoint", probability
+            ):
+                path = store.manifest_path(tenant, seq)
+                try:
+                    size = os.path.getsize(path)
+                    with open(path, "r+b") as handle:
+                        handle.seek(size // 2)
+                        handle.write(b"\x00corrupt\x00")
+                except OSError:
+                    pass
+            return seq
+
+        self._patch(store, "store_checkpoint", store_checkpoint)
+
+    def _arm_kill_during_restore(
+        self,
+        probability: float,
+        worker: Optional[int] = None,
+        after_steps: int = 1,
+        times: int = 1,
+    ) -> None:
+        """Kill the worker being restored after ``after_steps``
+        restore steps (checkpoint-allocation writes or journal
+        replays) have been applied to it, at most ``times`` times
+        overall (so the retried restore eventually converges). The
+        in-progress restore fails with ``DeviceLost``; the supervisor
+        respawns the worker again and retries the restore from
+        scratch on the fresh epoch (a fresh arena — nothing is
+        double-applied)."""
+        pool = self.device
+        if not hasattr(pool, "_hook_restore_step"):
+            raise ValueError(
+                "kill_during_restore needs a DevicePool as the "
+                "injector target, not a Device"
+            )
+        original = pool._hook_restore_step
+        state = {"applied": 0, "kills": 0}
+
+        def fire(worker_, op, _original=original):
+            if worker is None or worker_.index == worker:
+                state["applied"] += 1
+                if (
+                    state["applied"] > after_steps
+                    and state["kills"] < times
+                    and self._fires("kill_during_restore", probability)
+                ):
+                    state["applied"] = 0
+                    state["kills"] += 1
+                    try:
+                        worker_.process.kill()
+                    except OSError:  # pragma: no cover - defensive
+                        pass
+            _original(worker_, op)
+
+        self._patch(pool, "_hook_restore_step", fire)
 
     def _arm_drop_pipe(
         self,

@@ -1,0 +1,579 @@
+"""Durable tenant sessions: operation journaling, incremental
+checkpoints (StateStore), transparent restore after DeviceLost,
+torn/corrupt-checkpoint fallback, restore-crash retry, the liveness/
+readiness health split, and ServeClient idempotent-request retry."""
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceLost, LaunchError
+from repro.runtime.pool import DevicePool
+from repro.runtime.service import KernelServer, ServeClient
+from repro.runtime.state_store import StateStore
+from repro.testing.fault_injection import FaultInjector
+from tests.conftest import VECADD_PTX
+
+N = 8
+
+PRIVATE_PTX = VECADD_PTX.replace("vecAdd", "durAdd")
+
+
+def _buffers(session):
+    a = session.upload(np.arange(N, dtype=np.float32))
+    b = session.upload(np.ones(N, dtype=np.float32))
+    c = session.malloc(4 * N)
+    return a, b, c
+
+
+def _vecadd(session, a, b, c, kernel="vecAdd"):
+    return session.launch(kernel, (1, 1, 1), (N, 1, 1), [a, b, c, N])
+
+
+def _expected():
+    return np.arange(N, dtype=np.float32) + 1
+
+
+def _wait_recovered(pool, index=0, epoch=1, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        health = pool.health()[index]
+        if (
+            health.alive
+            and health.epoch >= epoch
+            and health.state == "closed"
+        ):
+            return health
+        time.sleep(0.02)
+    return pool.health()[index]
+
+
+class TestStateStore:
+    def test_roundtrip_and_verification(self, tmp_path):
+        store = StateStore(directory=str(tmp_path))
+        data = np.arange(N, dtype=np.float32).tobytes()
+        seq = store.store_checkpoint(
+            "alice", 7,
+            [{"local": 1, "size": len(data), "label": "a",
+              "data": data}],
+        )
+        assert seq == 1
+        loaded = store.load_latest("alice")
+        assert loaded is not None
+        assert loaded.journal_index == 7
+        assert loaded.allocations[0]["data"] == data
+        assert loaded.allocations[0]["local"] == 1
+        assert store.journal_floor("alice") == 7
+
+    def test_content_addressed_blocks_dedupe(self, tmp_path):
+        store = StateStore(directory=str(tmp_path))
+        data = b"\x01" * 64
+        for index in range(2):
+            store.store_checkpoint(
+                "bob", index,
+                [{"local": 1, "size": 64, "label": None, "data": data},
+                 {"local": 2, "size": 64, "label": None, "data": data}],
+            )
+        blocks = [
+            name
+            for name in os.listdir(store.tenant_directory("bob"))
+            if name.endswith(".blk")
+        ]
+        # Two checkpoints x two allocations, all the same content:
+        # exactly one block on disk.
+        assert len(blocks) == 1
+
+    def test_torn_manifest_discarded_falls_back(self, tmp_path):
+        store = StateStore(directory=str(tmp_path))
+        store.store_checkpoint(
+            "carol", 1,
+            [{"local": 1, "size": 4, "label": None, "data": b"good"}],
+        )
+        seq = store.store_checkpoint(
+            "carol", 9,
+            [{"local": 1, "size": 4, "label": None, "data": b"newr"}],
+        )
+        path = store.manifest_path("carol", seq)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size // 2)
+        loaded = store.load_latest("carol")
+        assert loaded is not None and loaded.journal_index == 1
+        assert loaded.allocations[0]["data"] == b"good"
+        assert store.discarded >= 1
+        # The torn manifest no longer constrains (or provides) the
+        # truncation floor.
+        assert store.journal_floor("carol") == 1
+
+    def test_corrupt_block_discards_checkpoint(self, tmp_path):
+        store = StateStore(directory=str(tmp_path))
+        store.store_checkpoint(
+            "dave", 3,
+            [{"local": 1, "size": 8, "label": None,
+              "data": b"payloadX"}],
+        )
+        directory = store.tenant_directory("dave")
+        for name in os.listdir(directory):
+            if name.endswith(".blk"):
+                with open(os.path.join(directory, name), "r+b") as f:
+                    f.write(b"\xff\xff")
+        assert store.load_latest("dave") is None
+        assert store.discarded >= 1
+
+    def test_prune_keeps_latest_and_gcs_blocks(self, tmp_path):
+        store = StateStore(directory=str(tmp_path), keep=2)
+        for index in range(4):
+            store.store_checkpoint(
+                "erin", index,
+                [{"local": 1, "size": 4, "label": None,
+                  "data": bytes([index]) * 4}],
+            )
+        assert store.sequences("erin") == [3, 4]
+        blocks = [
+            name
+            for name in os.listdir(store.tenant_directory("erin"))
+            if name.endswith(".blk")
+        ]
+        # Only the two retained checkpoints' (distinct) blocks remain.
+        assert len(blocks) == 2
+        assert store.journal_floor("erin") == 2
+
+    def test_disk_failure_degrades_to_none(self, tmp_path):
+        target = tmp_path / "blocked"
+        target.write_text("a file, not a directory")
+        store = StateStore(directory=str(target / "sub"))
+        seq = store.store_checkpoint(
+            "fred", 0,
+            [{"local": 1, "size": 1, "label": None, "data": b"x"}],
+        )
+        assert seq is None
+        assert store.disk_errors == 1
+        assert store.load_latest("fred") is None
+
+
+class TestModuleJournalDedupe:
+    def test_register_journal_is_per_unique_module(self):
+        with DevicePool(workers=1, modules=[VECADD_PTX]) as pool:
+            worker = pool._workers[0]
+            assert len(worker.journal) == 1
+            session = pool.session("dedupe")
+            session.register_module(VECADD_PTX)
+            session.register_module(VECADD_PTX)
+            assert len(worker.journal) == 1
+            session.register_module(PRIVATE_PTX)
+            session.register_module(PRIVATE_PTX)
+            assert len(worker.journal) == 2
+
+
+class TestJournalRestore:
+    @pytest.mark.parametrize("durability", ["journal", "checkpoint"])
+    def test_kill_then_bit_identical_reads(self, durability, tmp_path):
+        with DevicePool(
+            workers=1, modules=[VECADD_PTX],
+            state_dir=str(tmp_path),
+        ) as pool:
+            pool.ready(timeout=300.0)
+            session = pool.session("victim", durability=durability)
+            a, b, c = _buffers(session)
+            _vecadd(session, a, b, c)
+            before = session.read(c, np.float32, N)
+            pool._workers[0].process.kill()
+            # The very next read must restore transparently and give
+            # back the pre-kill bytes through the original handles.
+            after = session.read(c, np.float32, N)
+            assert np.array_equal(after, before)
+            assert np.array_equal(after, _expected())
+            assert session.stats.restores == 1
+            assert session.stats.restore_seconds > 0.0
+            health = _wait_recovered(pool)
+            assert health.restores == 1
+            assert health.last_restore_seconds is not None
+            # The restored tenant keeps working.
+            _vecadd(session, a, b, c)
+            assert np.array_equal(
+                session.read(c, np.float32, N), _expected()
+            )
+
+    def test_inflight_launches_redispatch_with_restored_flag(self):
+        with DevicePool(workers=1, modules=[VECADD_PTX]) as pool:
+            pool.ready(timeout=300.0)
+            session = pool.session("victim", durability="journal")
+            a, b, c = _buffers(session)
+            with FaultInjector(pool, seed=0) as injector:
+                injector.arm(
+                    "kill_worker", probability=1.0, worker=0,
+                    op="launch", kernel="vecAdd",
+                )
+                futures = [
+                    session.launch_async(
+                        "vecAdd", (1, 1, 1), (N, 1, 1), [a, b, c, N]
+                    )
+                    for _ in range(4)
+                ]
+                while not injector.fired.get("kill_worker"):
+                    time.sleep(0.005)
+                injector.restore()
+                results = [f.result(timeout=300.0) for f in futures]
+            assert any(result.restored for result in results)
+            assert session.stats.restored_launches >= 1
+            assert session.stats.device_lost == 0
+            assert np.array_equal(
+                session.read(c, np.float32, N), _expected()
+            )
+
+    def test_co_tenant_on_other_worker_unaffected(self):
+        with DevicePool(workers=2, modules=[VECADD_PTX]) as pool:
+            pool.ready(timeout=300.0)
+            victim = pool.session(
+                "victim", durability="journal", worker=0
+            )
+            bystander = pool.session("bystander", worker=1)
+            va, vb, vc = _buffers(victim)
+            ba, bb, bc = _buffers(bystander)
+            _vecadd(bystander, ba, bb, bc)
+            pool._workers[0].process.kill()
+            assert np.array_equal(
+                victim.read(vc, np.float32, N),
+                np.zeros(N, dtype=np.float32),
+            )
+            # The bystander's worker never died: same epoch, no
+            # restore, handles still hot.
+            _vecadd(bystander, ba, bb, bc)
+            assert np.array_equal(
+                bystander.read(bc, np.float32, N), _expected()
+            )
+            assert bystander.stats.restores == 0
+            assert pool.health()[1].epoch == 0
+
+    def test_free_is_journaled(self):
+        with DevicePool(workers=1, modules=[VECADD_PTX]) as pool:
+            pool.ready(timeout=300.0)
+            session = pool.session("freer", durability="journal")
+            a, b, c = _buffers(session)
+            session.free(b)
+            with pytest.raises(LaunchError, match="freed"):
+                _vecadd(session, a, b, c)
+            pool._workers[0].process.kill()
+            # Restore replays the free too: the handle stays dead.
+            assert np.array_equal(
+                session.read(a, np.float32, N),
+                np.arange(N, dtype=np.float32),
+            )
+            with pytest.raises(LaunchError, match="freed"):
+                session.read(b, np.float32, N)
+
+    def test_durability_none_keeps_fail_fast_epochs(self):
+        with DevicePool(workers=1, modules=[VECADD_PTX]) as pool:
+            pool.ready(timeout=300.0)
+            session = pool.session("plain")  # durability="none"
+            a, b, c = _buffers(session)
+            assert not session._durable
+            pool._workers[0].process.kill()
+            _wait_recovered(pool)
+            # Pre-kill allocations are stale: fail fast, no restore.
+            with pytest.raises((LaunchError, DeviceLost)):
+                _vecadd(session, a, b, c)
+            assert session.stats.restores == 0
+
+
+class TestCheckpointRestore:
+    def test_checkpoint_plus_journal_tail_replay(self, tmp_path):
+        with DevicePool(
+            workers=1, modules=[VECADD_PTX],
+            state_dir=str(tmp_path),
+        ) as pool:
+            pool.ready(timeout=300.0)
+            session = pool.session(
+                "ckpt", durability="checkpoint",
+                checkpoint_interval=1000,
+            )
+            a, b, c = _buffers(session)
+            _vecadd(session, a, b, c)
+            assert session.checkpoint() is not None
+            # Ops after the checkpoint live only in the journal tail.
+            d = session.upload(np.full(N, 5.0, dtype=np.float32))
+            _vecadd(session, a, d, c)
+            pool._workers[0].process.kill()
+            out = session.read(c, np.float32, N)
+            assert np.array_equal(
+                out, np.arange(N, dtype=np.float32) + 5
+            )
+            assert session.stats.restores == 1
+            # The tail (upload + launch) was replayed, not
+            # re-materialized from the snapshot.
+            assert session.stats.replayed_ops >= 2
+            assert session.stats.checkpoints >= 1
+            assert session.stats.checkpoint_bytes > 0
+
+    def test_auto_checkpoint_fires_on_interval(self, tmp_path):
+        with DevicePool(
+            workers=1, modules=[VECADD_PTX],
+            state_dir=str(tmp_path),
+        ) as pool:
+            pool.ready(timeout=300.0)
+            session = pool.session(
+                "auto", durability="checkpoint", checkpoint_interval=2
+            )
+            a, b, c = _buffers(session)
+            for _ in range(4):
+                _vecadd(session, a, b, c)
+            deadline = time.monotonic() + 30.0
+            while (
+                session.stats.checkpoints < 2
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.02)
+            assert session.stats.checkpoints >= 2
+            store = pool._state_store
+            assert store is not None and store.stored >= 2
+
+    def test_journal_mode_needs_no_store(self):
+        with DevicePool(workers=1, modules=[VECADD_PTX]) as pool:
+            session = pool.session("nj", durability="journal")
+            assert pool._state_store is None
+            with pytest.raises(LaunchError, match="checkpoint"):
+                session.checkpoint()
+
+    @pytest.mark.parametrize(
+        "site", ["torn_checkpoint", "corrupt_checkpoint"]
+    )
+    def test_damaged_checkpoint_falls_back(self, site, tmp_path):
+        """A torn/corrupt newest checkpoint is never loaded: restore
+        falls back to the previous one plus a longer journal replay
+        and still converges to identical guest memory."""
+        with DevicePool(
+            workers=1, modules=[VECADD_PTX],
+            state_dir=str(tmp_path),
+        ) as pool:
+            pool.ready(timeout=300.0)
+            session = pool.session(
+                "fallback", durability="checkpoint",
+                checkpoint_interval=1000,
+            )
+            a, b, c = _buffers(session)
+            _vecadd(session, a, b, c)
+            assert session.checkpoint() is not None  # good snapshot
+            d = session.upload(np.full(N, 9.0, dtype=np.float32))
+            _vecadd(session, a, d, c)
+            with FaultInjector(pool, seed=0) as injector:
+                injector.arm(site, probability=1.0)
+                assert session.checkpoint() is not None  # damaged
+            store = pool._state_store
+            pool._workers[0].process.kill()
+            out = session.read(c, np.float32, N)
+            assert np.array_equal(
+                out, np.arange(N, dtype=np.float32) + 9
+            )
+            assert session.stats.restores == 1
+            assert session.stats.restore_failures == 0
+            # The damaged newest snapshot was rejected on checksum...
+            assert store.discarded >= 1
+            # ...and the fallback needed the journal tail again.
+            assert session.stats.replayed_ops >= 2
+
+    def test_kill_during_restore_retries_to_convergence(
+        self, tmp_path
+    ):
+        with DevicePool(
+            workers=1, modules=[VECADD_PTX],
+            state_dir=str(tmp_path),
+        ) as pool:
+            pool.ready(timeout=300.0)
+            session = pool.session(
+                "twice", durability="checkpoint",
+                checkpoint_interval=1000,
+            )
+            a, b, c = _buffers(session)
+            _vecadd(session, a, b, c)
+            assert session.checkpoint() is not None
+            with FaultInjector(pool, seed=0) as injector:
+                injector.arm(
+                    "kill_during_restore", probability=1.0,
+                    worker=0, after_steps=1, times=1,
+                )
+                pool._workers[0].process.kill()
+                out = session.read(c, np.float32, N)
+                assert injector.fired.get("kill_during_restore") == 1
+            assert np.array_equal(out, _expected())
+            # Two respawns: the original kill and the mid-restore one.
+            health = _wait_recovered(pool, epoch=2)
+            assert health.respawns >= 2
+            assert session.stats.restores == 1
+            assert session.stats.restore_failures == 0
+
+    def test_restore_races_concurrent_co_tenant_launch(self):
+        """A co-tenant on the SAME worker keeps submitting while the
+        victim's restore runs: both must converge with correct
+        numerics and no surfaced DeviceLost."""
+        with DevicePool(workers=1, modules=[VECADD_PTX]) as pool:
+            pool.ready(timeout=300.0)
+            victim = pool.session(
+                "racer-victim", durability="journal", worker=0
+            )
+            rival = pool.session(
+                "racer-rival", durability="journal", worker=0
+            )
+            va, vb, vc = _buffers(victim)
+            ra, rb, rc = _buffers(rival)
+            failures = []
+
+            def hammer():
+                try:
+                    for _ in range(6):
+                        _vecadd(rival, ra, rb, rc)
+                except Exception as error:  # pragma: no cover
+                    failures.append(error)
+
+            thread = threading.Thread(target=hammer)
+            thread.start()
+            pool._workers[0].process.kill()
+            out = victim.read(vc, np.float32, N)
+            thread.join(timeout=300.0)
+            assert not thread.is_alive()
+            assert not failures, failures
+            assert np.array_equal(
+                out, np.zeros(N, dtype=np.float32)
+            )
+            assert np.array_equal(
+                rival.read(rc, np.float32, N), _expected()
+            )
+            assert victim.stats.restores == 1
+            assert rival.stats.restores == 1
+
+    def test_restore_under_sanitized_workers(
+        self, tmp_path, monkeypatch
+    ):
+        """Restored allocations get fresh redzones/shadow state: the
+        replayed tenant stays sanitizer-clean after restore."""
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        with DevicePool(
+            workers=1, modules=[VECADD_PTX],
+            state_dir=str(tmp_path),
+        ) as pool:
+            pool.ready(timeout=300.0)
+            session = pool.session(
+                "sanitized", durability="checkpoint",
+                checkpoint_interval=1000,
+            )
+            a, b, c = _buffers(session)
+            _vecadd(session, a, b, c)
+            assert session.checkpoint() is not None
+            pool._workers[0].process.kill()
+            assert np.array_equal(
+                session.read(c, np.float32, N), _expected()
+            )
+            # Launching on the restored (checked) arena still works
+            # and stays finding-free.
+            result = _vecadd(session, a, b, c)
+            assert not result.statistics.sanitizer
+            assert session.stats.restores == 1
+
+
+class TestServeDurability:
+    @pytest.fixture()
+    def server(self, tmp_path):
+        pool = DevicePool(
+            workers=1, modules=[VECADD_PTX],
+            state_dir=str(tmp_path),
+        )
+        pool.ready(timeout=300.0)
+        server = KernelServer(
+            pool, durability="checkpoint", checkpoint_interval=4
+        )
+        server.start_background()
+        yield server
+        server.shutdown(drain=False)
+
+    def test_http_restore_with_restored_flag(self, server):
+        client = ServeClient(server.host, server.port, "http-victim")
+        a = client.upload(np.arange(N, dtype=np.float32))
+        b = client.upload(np.ones(N, dtype=np.float32))
+        c = client.malloc(4 * N)
+        args = [{"allocation": a}, {"allocation": b},
+                {"allocation": c}, N]
+        reply = client.run("vecAdd", 1, N, args)
+        assert reply["restored"] is False
+        server.pool._workers[0].process.kill()
+        out = client.read(c, np.float32, N)
+        assert np.array_equal(out, _expected())
+        stats = client.stats()["tenants"]["http-victim"]
+        assert stats["restores"] == 1
+        reply = client.run("vecAdd", 1, N, args)
+        assert reply["ok"] is True
+        client.close()
+
+    def test_session_durability_override(self, server):
+        client = ServeClient(
+            server.host, server.port, "http-plain",
+            durability="none",
+        )
+        session = server.pool.session("http-plain")
+        assert not session._durable
+        client.close()
+
+    def test_collect_is_idempotent(self, server):
+        client = ServeClient(server.host, server.port, "http-idem")
+        launch = client.launch("vecAdd", 1, N, [])
+        first = client.collect(launch)
+        second = client.collect(launch)
+        assert first == second
+        client.close()
+
+    def test_liveness_stays_200_while_ready_goes_503(self, server):
+        client = ServeClient(server.host, server.port, "http-lb")
+        assert client.health()["ok"] is True
+        assert client.ready()["ready"] is True
+        server.drain(timeout=60.0)
+        # Liveness: still 200 (the raise-for-status path would throw
+        # on a 503). Readiness: 503 payload with the reason.
+        assert client.health()["draining"] is True
+        ready = client.ready()
+        assert ready["ready"] is False and ready["draining"] is True
+        client.close()
+
+    def test_client_retries_idempotent_requests(self, server):
+        client = ServeClient(server.host, server.port, "http-retry")
+        c = client.upload(np.arange(N, dtype=np.float32))
+        real = client._transport
+        dropped = {"count": 0}
+
+        def flaky(method, path, payload):
+            if path == "/v1/read" and dropped["count"] < 2:
+                dropped["count"] += 1
+                client._conn.close()
+                raise ConnectionResetError("injected reset")
+            return real(method, path, payload)
+
+        client._transport = flaky
+        out = client.read(c, np.float32, N)
+        assert dropped["count"] == 2
+        assert np.array_equal(
+            out, np.arange(N, dtype=np.float32)
+        )
+        client.close()
+
+    def test_client_never_resends_mutations(self, server):
+        client = ServeClient(server.host, server.port, "http-mut")
+
+        def always_down(method, path, payload):
+            raise ConnectionResetError("injected reset")
+
+        client._transport = always_down
+        with pytest.raises(ConnectionResetError):
+            client.malloc(4 * N)
+        client.close()
+
+
+class TestExports:
+    def test_durability_api_exported(self):
+        import repro
+
+        assert repro.StateStore is StateStore
+        health = repro.WorkerHealth(
+            worker=0, alive=True, state="closed", epoch=1,
+            restores=2, last_restore_seconds=0.5,
+        )
+        assert "restores=2" in health.describe()
